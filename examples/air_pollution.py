@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Multivariate air-pollution modeling over northern Italy (paper Sec. VI).
+
+Jointly models three pollutants (PM2.5, PM10, O3) with a trivariate
+coregional spatio-temporal GP, then:
+
+1. recovers the interpretable posterior effects (elevation on each
+   pollutant — the paper reports -0.45 / -0.55 / +1.27 ug/m^3 per km);
+2. recovers the inter-pollutant correlations (paper: +0.97 / -0.61 / -0.63);
+3. performs spatial downscaling from the coarse observation cells to a
+   5x finer grid (25-fold more spatial detail), the paper's Fig. 8.
+
+The CAMS reanalysis is replaced by a synthetic generator with the same
+structure and known ground truth (see DESIGN.md, substitutions).
+
+Run:  python examples/air_pollution.py [--full]
+      (--full uses the paper's AP1 dimensions; slow in pure NumPy)
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.inla import DALIA
+from repro.inla.bfgs import BFGSOptions
+from repro.model.pollution import (
+    ELEVATION_EFFECTS,
+    POLLUTANTS,
+    downscaling_grid,
+    make_pollution_dataset,
+)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--full", action="store_true", help="paper-scale AP1 dimensions")
+    ap.add_argument("--seed", type=int, default=2022)
+    args = ap.parse_args()
+
+    if args.full:
+        ns, n_days, cells = 4210, 48, 600
+    else:
+        ns, n_days, cells = 160, 6, 110
+
+    print("=== Trivariate air-pollution model (PM2.5, PM10, O3) ===\n")
+    ds = make_pollution_dataset(ns=ns, n_days=n_days, obs_cells=cells, seed=args.seed)
+    model = ds.model
+    print(f"domain: northern Italy, {model.ns} mesh nodes x {model.nt} days x 3 pollutants")
+    print(f"latent dimension N = {model.N}, observations m = {model.m}")
+    print(f"permuted BTA blocks: n = {model.nt}, b = {model.permutation.bta_shape.b}, "
+          f"a = {model.permutation.bta_shape.a}\n")
+
+    engine = DALIA(model, s1_workers=8, s2_parallel=True)
+    t0 = time.perf_counter()
+    result = engine.fit(options=BFGSOptions(max_iter=80, grad_tol=3e-2))
+    print(f"inference: {result.optimization.n_iterations} iterations, "
+          f"{time.perf_counter() - t0:.1f} s ({result.optimization.message})\n")
+
+    # --- interpretable effects (paper Sec. VI paragraph 2) ---------------
+    print("elevation effect per km (posterior mean [95% interval], ground truth):")
+    for v, name in enumerate(POLLUTANTS):
+        fe = result.latent.fixed_effects(v)[1]
+        print(f"  {name:>6}: {fe.mean:+6.3f}  [{fe.q025:+6.3f}, {fe.q975:+6.3f}]"
+              f"   truth {ELEVATION_EFFECTS[v]:+5.2f}")
+
+    print("\ninter-pollutant correlations (paper: +0.97, -0.61, -0.63):")
+    corr = result.response_correlations
+    pairs = [(0, 1), (0, 2), (1, 2)]
+    for i, j in pairs:
+        print(f"  corr({POLLUTANTS[i]}, {POLLUTANTS[j]}) = {corr[i, j]:+.3f}")
+
+    # --- spatial downscaling (paper Fig. 8) --------------------------------
+    fine = downscaling_grid(factor=5)
+    # Keep points strictly inside the mesh.
+    (x0, x1), (y0, y1) = model.mesh.bbox()
+    inside = (
+        (fine[:, 0] > x0) & (fine[:, 0] < x1) & (fine[:, 1] > y0) & (fine[:, 1] < y1)
+    )
+    fine = fine[inside]
+    day = min(1, model.nt - 1)
+    o3 = engine.predict_st(result, fine, np.full(len(fine), day), v=2)
+    print(f"\ndownscaling: {len(ds.obs_coords)} coarse cells -> {len(fine)} fine points "
+          f"({len(fine) / max(len(ds.obs_coords), 1):.0f}x more spatial detail)")
+    print(f"O3 anomaly surface on day {day + 1}: "
+          f"min {o3.min():+.2f}, median {np.median(o3):+.2f}, max {o3.max():+.2f}")
+    print("\n(the paper's Fig. 8 maps correspond to reshaping these predictions "
+          "onto the 0.02-degree grid)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""The distributed structured solver (strategy S3) in isolation.
+
+Demonstrates the nested-dissection pipeline the paper builds on Serinv:
+time-domain partitioning with boundary load balancing, distributed
+Cholesky factorization (``d_pobtaf``), the paper's new distributed
+triangular solve (``d_pobtas`` / P POBTAS), and distributed selected
+inversion (``d_pobtasi``) — executed over real SPMD thread-ranks with
+collective communication, and verified against the sequential kernels.
+
+Run:  python examples/distributed_solver.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.comm import run_spmd
+from repro.structured import BTAMatrix, BTAShape, pobtaf, pobtas, pobtasi
+from repro.structured.d_pobtaf import d_pobtaf, partition_matrix
+from repro.structured.d_pobtas import d_pobtas
+from repro.structured.d_pobtasi import d_pobtasi
+from repro.structured.partition import partition_counts
+
+
+def main() -> None:
+    n, b, a = 48, 64, 8  # 48 time steps, 64-wide spatial blocks, 8 fixed effects
+    rng = np.random.default_rng(0)
+    A = BTAMatrix.random_spd(BTAShape(n=n, b=b, a=a), rng)
+    rhs = rng.standard_normal(A.N)
+    print(f"=== Distributed BTA solver demo: n={n}, b={b}, a={a} (N={A.N}) ===\n")
+
+    # --- sequential reference --------------------------------------------
+    t0 = time.perf_counter()
+    chol = pobtaf(A)
+    ref_logdet = chol.logdet()
+    ref_x = pobtas(chol, rhs)
+    ref_diag = pobtasi(chol).diagonal()
+    t_seq = time.perf_counter() - t0
+    print(f"sequential pobtaf+pobtas+pobtasi: {t_seq * 1e3:7.1f} ms, "
+          f"logdet = {ref_logdet:.6f}")
+
+    # --- distributed runs ----------------------------------------------------
+    for P in (2, 4):
+        for lb in (1.0, 1.6):
+            counts = partition_counts(n, P, lb=lb)
+            slices = partition_matrix(A, P, lb=lb)
+
+            def rank_fn(comm):
+                sl = slices[comm.Get_rank()]
+                f = d_pobtaf(sl, comm)
+                ld = f.logdet(comm)
+                xl, xt = d_pobtas(
+                    f, rhs[sl.part.start * b : sl.part.stop * b], rhs[n * b :], comm
+                )
+                xi = d_pobtasi(f)
+                return ld, xl, xt, np.diagonal(xi.diag, axis1=1, axis2=2).ravel()
+
+            t0 = time.perf_counter()
+            out = run_spmd(P, rank_fn)
+            dt = time.perf_counter() - t0
+
+            x = np.concatenate([o[1] for o in out] + [out[0][2]])
+            diag = np.concatenate([o[3] for o in out] + [np.diag(pobtasi(chol).tip)])
+            err_ld = abs(out[0][0] - ref_logdet)
+            err_x = np.abs(x - ref_x).max()
+            err_d = np.abs(diag - ref_diag).max()
+            print(
+                f"P={P} lb={lb:<3}: {dt * 1e3:7.1f} ms  partitions={counts}  "
+                f"|dlogdet|={err_ld:.2e}  |dx|={err_x:.2e}  |dvar|={err_d:.2e}"
+            )
+
+    print("\nPartition 0 eliminates top-down (half the per-block work); later")
+    print("partitions carry a fill column to their top boundary.  lb > 1 gives")
+    print("partition 0 proportionally more time steps (paper Fig. 5, lb = 1.6).")
+
+
+if __name__ == "__main__":
+    main()

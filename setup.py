@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 517 editable installs (which need ``bdist_wheel``) fail.  Keeping a
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""DALIA reproduction: accelerated spatio-temporal Bayesian modeling for
+multivariate Gaussian processes (Gaedke-Merzhaeuser, Maillou et al., SC 2025).
+
+Public API quick map:
+
+- build a model: :class:`repro.model.CoregionalSTModel` (or
+  :func:`repro.model.make_dataset` for synthetic data of any Table IV shape);
+- run inference: :class:`repro.inla.DALIA` (``fit`` -> posterior
+  marginals of hyperparameters and latent field);
+- structured solvers: :mod:`repro.structured` (``pobtaf``/``pobtas``/
+  ``pobtasi`` and their distributed ``d_*`` variants);
+- baselines: :class:`repro.baselines.RINLAEngine`,
+  :class:`repro.baselines.INLADistEngine`;
+- scaling predictions: :mod:`repro.perfmodel`.
+
+See README.md for a quickstart and DESIGN.md for the full system map.
+"""
+
+__version__ = "1.0.0"
+
+from repro.inla.dalia import DALIA, INLAResult
+from repro.model.assembler import CoregionalSTModel, ResponseData
+from repro.model.datasets import TABLE_IV, make_dataset
+
+__all__ = [
+    "DALIA",
+    "INLAResult",
+    "CoregionalSTModel",
+    "ResponseData",
+    "make_dataset",
+    "TABLE_IV",
+    "__version__",
+]

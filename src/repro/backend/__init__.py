@@ -1,0 +1,32 @@
+"""Array backend abstraction.
+
+DALIA runs the same code on NumPy (CPU) and CuPy (GPU).  CuPy is not
+available in this environment, so the backend exposes a single entry point,
+:func:`get_array_module`, mirroring ``cupy.get_array_module`` semantics, a
+:class:`Device` abstraction with a memory budget (which is what forces the
+S3 time-domain partitioning in the paper once the block-dense matrix no
+longer fits on one accelerator), and a :class:`MemoryTracker` used to decide
+when a model must be distributed.
+"""
+
+from repro.backend.array_module import (
+    asarray,
+    empty_blocks,
+    get_array_module,
+    zeros_blocks,
+)
+from repro.backend.device import Device, DeviceKind, default_device
+from repro.backend.memory import MemoryBudgetError, MemoryTracker, bta_memory_bytes
+
+__all__ = [
+    "get_array_module",
+    "asarray",
+    "empty_blocks",
+    "zeros_blocks",
+    "Device",
+    "DeviceKind",
+    "default_device",
+    "MemoryTracker",
+    "MemoryBudgetError",
+    "bta_memory_bytes",
+]

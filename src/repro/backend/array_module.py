@@ -1,0 +1,48 @@
+"""NumPy/CuPy array-module shim.
+
+The DALIA paper implements every dense block kernel through the CuPy/NumPy
+compatible API so the same code drives both host and device execution.  In
+this reproduction only NumPy is available; we keep the indirection so all
+block kernels are written backend-agnostically, and so flop accounting can
+be layered on top (see :mod:`repro.perfmodel`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_DEFAULT_DTYPE = np.float64
+
+
+def get_array_module(*arrays) -> "module":
+    """Return the array module (always NumPy here).
+
+    Mirrors ``cupy.get_array_module``: inspects the arguments and returns
+    the module that created them.  Kept for source compatibility with the
+    GPU code path described in the paper.
+    """
+    return np
+
+
+def asarray(a, dtype=None):
+    """Convert ``a`` to a backend array without copying when possible."""
+    return np.asarray(a, dtype=dtype or _DEFAULT_DTYPE)
+
+
+def empty_blocks(n: int, b: int, *, dtype=None) -> np.ndarray:
+    """Allocate an uninitialized C-contiguous stack of ``n`` ``b x b`` blocks.
+
+    The structured solvers store block diagonals as ``(n, b, b)`` stacks so
+    per-block LAPACK calls hit contiguous memory (guide: beware of cache
+    effects; smaller strides are faster).
+    """
+    if n < 0 or b < 0:
+        raise ValueError(f"negative block-stack shape: n={n}, b={b}")
+    return np.empty((n, b, b), dtype=dtype or _DEFAULT_DTYPE, order="C")
+
+
+def zeros_blocks(n: int, b: int, *, dtype=None) -> np.ndarray:
+    """Allocate a zeroed C-contiguous stack of ``n`` ``b x b`` blocks."""
+    if n < 0 or b < 0:
+        raise ValueError(f"negative block-stack shape: n={n}, b={b}")
+    return np.zeros((n, b, b), dtype=dtype or _DEFAULT_DTYPE, order="C")

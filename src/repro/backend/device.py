@@ -1,0 +1,89 @@
+"""Device abstraction.
+
+A :class:`Device` models one accelerator (in the paper: one GH200 superchip
+with 96 GB of HBM3 and one Grace CPU).  Because each model must fit on a
+single accelerator in its densified BT/BTA form (paper Sec. IV-C), the
+device's memory capacity is the quantity that triggers the S3 time-domain
+partitioning.  The reproduction runs all math on the host CPU, but carries
+the device descriptor through the stack so memory-feasibility decisions and
+the performance model behave exactly like the paper's.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class DeviceKind(enum.Enum):
+    """Kind of execution device."""
+
+    CPU = "cpu"
+    GPU = "gpu"  # simulated: math runs on host, costs modeled as GH200
+
+
+@dataclass(frozen=True)
+class Device:
+    """Descriptor of one execution device.
+
+    Attributes
+    ----------
+    kind:
+        CPU or (simulated) GPU.
+    name:
+        Human-readable name, e.g. ``"GH200"``.
+    memory_bytes:
+        Usable device memory.  Structured matrices whose densified storage
+        exceeds this must be partitioned across several devices (S3).
+    gemm_tflops:
+        Sustained double-precision throughput for large GEMM, used by the
+        performance model.
+    bandwidth_gbs:
+        Sustained memory bandwidth in GB/s, used for bandwidth-bound
+        kernels (the sparse-to-dense mapping, vector updates).
+    """
+
+    kind: DeviceKind
+    name: str
+    memory_bytes: int
+    gemm_tflops: float
+    bandwidth_gbs: float
+
+    def fits(self, nbytes: int, *, headroom: float = 0.85) -> bool:
+        """Whether an allocation of ``nbytes`` fits within ``headroom`` of memory."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes <= headroom * self.memory_bytes
+
+
+#: GH200 superchip as used on CSCS Alps (paper Sec. V-A).
+GH200 = Device(
+    kind=DeviceKind.GPU,
+    name="GH200",
+    memory_bytes=96 * 2**30,
+    gemm_tflops=34.0,  # FP64 with tensor cores, sustained for large blocks
+    bandwidth_gbs=4000.0,
+)
+
+#: Sapphire Rapids node of the Fritz supercomputer (R-INLA baseline host).
+SAPPHIRE_RAPIDS = Device(
+    kind=DeviceKind.CPU,
+    name="Xeon-8470",
+    memory_bytes=2 * 2**40,
+    gemm_tflops=2.4,
+    bandwidth_gbs=300.0,
+)
+
+#: The host actually executing this reproduction.
+HOST = Device(
+    kind=DeviceKind.CPU,
+    name="host",
+    memory_bytes=16 * 2**30,
+    gemm_tflops=0.05,
+    bandwidth_gbs=20.0,
+)
+
+
+def default_device() -> Device:
+    """The device used when none is specified (the simulated GH200)."""
+    return GH200

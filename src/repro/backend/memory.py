@@ -1,0 +1,99 @@
+"""Device-memory accounting for structured matrices.
+
+The paper's block-dense approach raises the memory footprint of a precision
+matrix from ``O(nnz)`` (general sparse) to ``O(n * b^2)`` (densified BT/BTA,
+Sec. IV-C).  The framework must therefore decide, per model, how many
+time-domain partitions ``P`` are needed so each partition's slice fits on
+one device.  This module provides the byte-counting helpers and a
+:class:`MemoryTracker` that the solver dispatch layer consults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.device import Device
+
+_F64 = 8  # bytes per float64
+
+
+class MemoryBudgetError(RuntimeError):
+    """Raised when an allocation plan exceeds the device memory budget."""
+
+
+def bta_memory_bytes(n: int, b: int, a: int, *, factors: int = 2) -> int:
+    """Bytes to store a densified BTA matrix (and, by default, its factor).
+
+    Storage: ``n`` diagonal blocks ``b x b``, ``n - 1`` off-diagonal blocks,
+    ``n`` arrow blocks ``a x b``, and one ``a x a`` tip.  ``factors = 2``
+    accounts for the matrix plus one workspace copy, matching the solver's
+    in-place-factorization-plus-original layout used during selected
+    inversion.
+    """
+    if n <= 0 or b <= 0 or a < 0:
+        raise ValueError(f"invalid BTA dims n={n}, b={b}, a={a}")
+    blocks = n * b * b + max(n - 1, 0) * b * b + n * a * b + a * a
+    return factors * blocks * _F64
+
+
+def bt_memory_bytes(n: int, b: int, *, factors: int = 2) -> int:
+    """Bytes to store a densified BT matrix (no arrowhead)."""
+    return bta_memory_bytes(n, b, 0, factors=factors)
+
+
+def min_partitions(n: int, b: int, a: int, device: Device, *, headroom: float = 0.85) -> int:
+    """Smallest ``P`` such that an even time-domain slice fits on ``device``.
+
+    This is the decision rule of paper Sec. V-D: parallelize through S1
+    first and only spill into S3 when the block-dense precision matrices do
+    not fit on a single accelerator anymore.
+    """
+    for p in range(1, n + 1):
+        n_local = -(-n // p)  # ceil division
+        if device.fits(bta_memory_bytes(n_local, b, a), headroom=headroom):
+            return p
+    raise MemoryBudgetError(
+        f"a single {b}x{b} block row does not fit on {device.name}; "
+        f"spatial-domain parallelism (future work in the paper) would be required"
+    )
+
+
+@dataclass
+class MemoryTracker:
+    """Tracks live simulated-device allocations against a budget.
+
+    Used by the structured solvers to assert that no dense ``N x N``
+    transient is ever materialized (the core promise of selected inversion,
+    paper Sec. III-A2).
+    """
+
+    device: Device
+    live_bytes: int = 0
+    peak_bytes: int = 0
+    _tags: dict = field(default_factory=dict)
+
+    def allocate(self, nbytes: int, tag: str = "") -> None:
+        """Record an allocation; raise if the budget is exceeded."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if not self.device.fits(self.live_bytes + nbytes):
+            raise MemoryBudgetError(
+                f"allocating {nbytes} bytes ({tag!r}) exceeds {self.device.name} "
+                f"budget with {self.live_bytes} bytes live"
+            )
+        self.live_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.live_bytes)
+        if tag:
+            self._tags[tag] = self._tags.get(tag, 0) + nbytes
+
+    def free(self, nbytes: int, tag: str = "") -> None:
+        """Record a deallocation."""
+        if nbytes < 0 or nbytes > self.live_bytes:
+            raise ValueError(f"cannot free {nbytes} bytes with {self.live_bytes} live")
+        self.live_bytes -= nbytes
+        if tag and tag in self._tags:
+            self._tags[tag] -= nbytes
+
+    def breakdown(self) -> dict:
+        """Live bytes per tag (diagnostics)."""
+        return dict(self._tags)

@@ -1,0 +1,23 @@
+"""Baseline INLA implementations the paper compares against.
+
+- :mod:`repro.baselines.sparse_solver` — a general sparse symmetric
+  direct solver (our PARDISO stand-in): fill-reducing ordering, LDL^T
+  factorization, Takahashi selected inversion on the filled pattern.
+- :mod:`repro.baselines.rinla` — an R-INLA-like engine: the same INLA
+  loop over the general sparse path, shared-memory only (no S3, no
+  structure exploitation).
+- :mod:`repro.baselines.inladist` — an INLA_DIST-like engine: sequential
+  BTA solver with S1/S2 parallelism but no distributed solver layer,
+  matching Table I's middle row.
+"""
+
+from repro.baselines.sparse_solver import SparseCholesky, sparse_selected_inverse_diagonal
+from repro.baselines.rinla import RINLAEngine
+from repro.baselines.inladist import INLADistEngine
+
+__all__ = [
+    "SparseCholesky",
+    "sparse_selected_inverse_diagonal",
+    "RINLAEngine",
+    "INLADistEngine",
+]

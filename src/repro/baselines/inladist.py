@@ -1,0 +1,37 @@
+"""INLA_DIST-like baseline engine (paper Table I, middle row).
+
+INLA_DIST pioneered the GPU-accelerated BTA solver for spatio-temporal
+models but (a) supports univariate models only, (b) keeps the solver on a
+single device (no S3 time-domain distribution), and (c) parallelizes only
+across function evaluations and the Qp/Qc pair.  This engine reproduces
+that profile: DALIA's sequential structured solver under S1 + S2, with a
+guard rejecting multivariate models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.inla.dalia import DALIA, INLAResult
+from repro.inla.solvers import SequentialSolver
+from repro.model.assembler import CoregionalSTModel
+
+
+class INLADistEngine(DALIA):
+    """Univariate-only, sequential-solver INLA engine."""
+
+    def __init__(self, model: CoregionalSTModel, *, s1_workers: int = 1, s2_parallel: bool = True):
+        if model.nv != 1:
+            raise ValueError(
+                "INLA_DIST supports univariate spatio-temporal models only "
+                f"(got nv = {model.nv}); this is exactly the gap DALIA fills"
+            )
+        super().__init__(
+            model,
+            solver=SequentialSolver(),
+            s1_workers=s1_workers,
+            s2_parallel=s2_parallel,
+        )
+
+    def fit(self, theta0: np.ndarray | None = None, **kwargs) -> INLAResult:
+        return super().fit(theta0, **kwargs)

@@ -1,0 +1,165 @@
+"""Command-line interface.
+
+``python -m repro.cli <command>`` provides the operations a downstream
+user reaches for first:
+
+- ``fit``        — synthesize (or reuse) a dataset of a given shape and run
+                   the full INLA pipeline, printing posterior summaries;
+- ``solver``     — micro-benchmark the structured solver routines
+                   (sequential and distributed) on a random BTA matrix;
+- ``predict``    — paper-scale runtime predictions from the performance
+                   model for a given model shape and GPU count;
+- ``datasets``   — print the paper's Table IV configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+
+def _cmd_fit(args) -> int:
+    from repro.inla import DALIA
+    from repro.inla.bfgs import BFGSOptions
+    from repro.model.datasets import make_dataset
+
+    model, gt, latent = make_dataset(
+        nv=args.nv,
+        ns=args.ns,
+        nt=args.nt,
+        nr=args.nr,
+        obs_per_step=args.obs,
+        seed=args.seed,
+    )
+    print(f"model: nv={model.nv} ns={model.ns} nt={model.nt} nr={model.nr} "
+          f"N={model.N} m={model.m} dim(theta)={model.layout.dim}")
+    engine = DALIA(model, s1_workers=args.s1, s2_parallel=args.s2)
+    t0 = time.perf_counter()
+    res = engine.fit(options=BFGSOptions(max_iter=args.max_iter))
+    print(f"fit: {res.optimization.n_iterations} iterations, "
+          f"{res.n_fobj_evaluations} evaluations, {time.perf_counter() - t0:.1f} s "
+          f"({res.optimization.message})")
+    print("theta truth:", np.array2string(gt.theta, precision=3))
+    print("theta mode :", np.array2string(res.theta_mode, precision=3))
+    print("posterior sd:", np.array2string(res.hyper.sd, precision=3))
+    c = np.corrcoef(res.latent.mean, latent)[0, 1]
+    print(f"latent corr(mean, truth) = {c:.3f}")
+    return 0
+
+
+def _cmd_solver(args) -> int:
+    from repro.comm import run_spmd
+    from repro.diagnostics import Timer
+    from repro.structured import BTAMatrix, BTAShape, pobtaf, pobtas, pobtasi
+    from repro.structured.d_pobtaf import d_pobtaf, partition_matrix
+    from repro.structured.d_pobtas import d_pobtas
+    from repro.structured.d_pobtasi import d_pobtasi
+
+    rng = np.random.default_rng(args.seed)
+    A = BTAMatrix.random_spd(BTAShape(n=args.n, b=args.b, a=args.a), rng)
+    rhs = rng.standard_normal(A.N)
+    with Timer() as tf:
+        chol = pobtaf(A)
+    with Timer() as ts:
+        pobtas(chol, rhs)
+    with Timer() as ti:
+        pobtasi(chol)
+    print(f"sequential: pobtaf {tf.elapsed * 1e3:.1f} ms, pobtas {ts.elapsed * 1e3:.1f} ms, "
+          f"pobtasi {ti.elapsed * 1e3:.1f} ms")
+    if args.ranks > 1:
+        slices = partition_matrix(A, args.ranks, lb=args.lb)
+
+        def rank_fn(comm):
+            sl = slices[comm.Get_rank()]
+            f = d_pobtaf(sl, comm)
+            d_pobtas(f, rhs[sl.part.start * args.b : sl.part.stop * args.b],
+                     rhs[args.n * args.b :], comm)
+            d_pobtasi(f)
+            return None
+
+        with Timer() as td:
+            run_spmd(args.ranks, rank_fn)
+        print(f"distributed (P={args.ranks}, lb={args.lb}): full pipeline "
+              f"{td.elapsed * 1e3:.1f} ms")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from repro.perfmodel import DaliaPerfModel, RInlaPerfModel
+    from repro.perfmodel.scaling import ModelShape
+
+    shape = ModelShape(nv=args.nv, ns=args.ns, nt=args.nt, nr=args.nr)
+    dalia = DaliaPerfModel()
+    rinla = RInlaPerfModel()
+    t = dalia.iteration_time_for_procs(shape, args.gpus)
+    tr = rinla.iteration_time(shape, s1=8)
+    print(f"shape: {shape} (N = {shape.N}, nfeval = {shape.nfeval})")
+    print(f"DALIA on {args.gpus} modeled GH200: {t:.2f} s/iteration")
+    print(f"R-INLA baseline (one CPU node):   {tr:.2f} s/iteration "
+          f"({tr / t:.1f}x slower)")
+    return 0
+
+
+def _cmd_datasets(args) -> int:
+    from repro.diagnostics import format_table
+    from repro.model.datasets import TABLE_IV
+
+    rows = [
+        (s.name, s.dim_theta, s.nv, s.ns, s.nr, s.nt, s.N, s.description)
+        for s in TABLE_IV.values()
+    ]
+    print(format_table(
+        ["name", "dim(theta)", "nv", "ns", "nr", "nt", "N", "description"], rows,
+        title="Paper Table IV",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    f = sub.add_parser("fit", help="fit a synthetic coregional ST model")
+    f.add_argument("--nv", type=int, default=1)
+    f.add_argument("--ns", type=int, default=40)
+    f.add_argument("--nt", type=int, default=6)
+    f.add_argument("--nr", type=int, default=2)
+    f.add_argument("--obs", type=int, default=40)
+    f.add_argument("--seed", type=int, default=0)
+    f.add_argument("--s1", type=int, default=4, help="parallel fobj evaluations")
+    f.add_argument("--s2", action="store_true", help="factorize Qp/Qc concurrently")
+    f.add_argument("--max-iter", type=int, default=60)
+    f.set_defaults(func=_cmd_fit)
+
+    s = sub.add_parser("solver", help="benchmark the structured solver")
+    s.add_argument("--n", type=int, default=32)
+    s.add_argument("--b", type=int, default=64)
+    s.add_argument("--a", type=int, default=8)
+    s.add_argument("--ranks", type=int, default=2)
+    s.add_argument("--lb", type=float, default=1.6)
+    s.add_argument("--seed", type=int, default=0)
+    s.set_defaults(func=_cmd_solver)
+
+    pr = sub.add_parser("predict", help="paper-scale runtime prediction")
+    pr.add_argument("--nv", type=int, default=3)
+    pr.add_argument("--ns", type=int, default=1675)
+    pr.add_argument("--nt", type=int, default=192)
+    pr.add_argument("--nr", type=int, default=1)
+    pr.add_argument("--gpus", type=int, default=62)
+    pr.set_defaults(func=_cmd_predict)
+
+    d = sub.add_parser("datasets", help="print the paper's Table IV")
+    d.set_defaults(func=_cmd_datasets)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

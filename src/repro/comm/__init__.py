@@ -1,0 +1,39 @@
+"""SPMD communication substrate.
+
+The paper uses MPI (mpi4py) between function-evaluation groups and NCCL
+inside the distributed solver.  Neither is available offline, so this
+package provides communicators with mpi4py-compatible semantics:
+
+- :class:`SerialComm` — single-rank communicator (collectives are no-ops).
+- :class:`ThreadComm` — P ranks executed as Python threads with real
+  rendezvous collectives (NumPy BLAS releases the GIL, so block kernels do
+  overlap).  Created through :func:`run_spmd`, which launches one SPMD
+  function on every rank, exactly like ``mpiexec -n P``.
+- :class:`TraceComm` — wrapper that records message counts/bytes for the
+  performance model.
+
+Communicator method names follow the mpi4py convention from the
+hpc-parallel guide: capitalized methods (``Send``, ``Allreduce``) move
+NumPy buffers; lowercase methods (``bcast``, ``allgather``) move pickled
+Python objects.
+"""
+
+from repro.comm.communicator import Communicator, ReduceOp
+from repro.comm.local import ThreadComm, run_spmd
+from repro.comm.serial import SerialComm
+from repro.comm.stats import CommStats, TraceComm
+from repro.comm.groups import GridComms, ProcessGrid, plan_process_grid, split_process_grid
+
+__all__ = [
+    "Communicator",
+    "ReduceOp",
+    "SerialComm",
+    "ThreadComm",
+    "run_spmd",
+    "TraceComm",
+    "CommStats",
+    "ProcessGrid",
+    "GridComms",
+    "plan_process_grid",
+    "split_process_grid",
+]

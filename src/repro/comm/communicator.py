@@ -1,0 +1,124 @@
+"""Abstract communicator interface (mpi4py-compatible subset).
+
+Only the operations DALIA actually uses are included: point-to-point
+``Send``/``Recv`` between time-domain partition neighbors, ``Allreduce``
+for aggregating objective-function values across the S1 group,
+``Allgather``/``allgather`` for assembling the nested-dissection reduced
+system, ``Bcast``/``bcast`` for distributing hyperparameters, and
+``Split`` for carving the three nested process groups out of the world
+communicator.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+
+import numpy as np
+
+
+class ReduceOp(enum.Enum):
+    """Reduction operators supported by :meth:`Communicator.Allreduce`."""
+
+    SUM = "sum"
+    MAX = "max"
+    MIN = "min"
+
+
+def _reduce_pair(a: np.ndarray, b: np.ndarray, op: ReduceOp) -> np.ndarray:
+    if op is ReduceOp.SUM:
+        return a + b
+    if op is ReduceOp.MAX:
+        return np.maximum(a, b)
+    if op is ReduceOp.MIN:
+        return np.minimum(a, b)
+    raise ValueError(f"unsupported reduce op: {op}")
+
+
+class Communicator(abc.ABC):
+    """A group of SPMD ranks.
+
+    Semantics follow MPI: every rank of the group must call collectives in
+    the same order; ``Send``/``Recv`` are blocking rendezvous operations.
+    """
+
+    # -- topology ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def Get_rank(self) -> int:
+        """Rank of the calling process within this communicator."""
+
+    @abc.abstractmethod
+    def Get_size(self) -> int:
+        """Number of ranks in this communicator."""
+
+    @abc.abstractmethod
+    def Split(self, color: int, key: int = 0) -> "Communicator":
+        """Partition the group into sub-communicators by ``color``.
+
+        Ranks passing the same ``color`` end up in the same sub-group,
+        ordered by ``key`` (ties broken by parent rank), exactly like
+        ``MPI_Comm_split``.
+        """
+
+    # -- point to point ---------------------------------------------------
+
+    @abc.abstractmethod
+    def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Blocking send of a contiguous NumPy buffer."""
+
+    @abc.abstractmethod
+    def Recv(self, buf: np.ndarray, source: int, tag: int = 0) -> None:
+        """Blocking receive into a preallocated contiguous NumPy buffer."""
+
+    def Sendrecv(
+        self,
+        sendbuf: np.ndarray,
+        dest: int,
+        recvbuf: np.ndarray,
+        source: int,
+        tag: int = 0,
+    ) -> None:
+        """Combined send+receive; default implementation orders by rank parity
+        to avoid rendezvous deadlock between neighbor pairs."""
+        if self.Get_rank() % 2 == 0:
+            self.Send(sendbuf, dest, tag)
+            self.Recv(recvbuf, source, tag)
+        else:
+            self.Recv(recvbuf, source, tag)
+            self.Send(sendbuf, dest, tag)
+
+    # -- collectives ------------------------------------------------------
+
+    @abc.abstractmethod
+    def Barrier(self) -> None:
+        """Synchronize all ranks."""
+
+    @abc.abstractmethod
+    def Allreduce(self, sendbuf: np.ndarray, op: ReduceOp = ReduceOp.SUM) -> np.ndarray:
+        """Reduce ``sendbuf`` across ranks; every rank gets the result."""
+
+    @abc.abstractmethod
+    def Bcast(self, buf: np.ndarray, root: int = 0) -> np.ndarray:
+        """Broadcast ``buf`` from ``root``; returns the (possibly new) buffer."""
+
+    @abc.abstractmethod
+    def Allgather(self, sendbuf: np.ndarray) -> list:
+        """Gather one buffer per rank on all ranks; returns list indexed by rank."""
+
+    # -- pickled-object variants ------------------------------------------
+
+    @abc.abstractmethod
+    def bcast(self, obj, root: int = 0):
+        """Broadcast an arbitrary Python object from ``root``."""
+
+    @abc.abstractmethod
+    def allgather(self, obj) -> list:
+        """Gather one Python object per rank on all ranks."""
+
+    # -- convenience -------------------------------------------------------
+
+    def allreduce_scalar(self, value: float, op: ReduceOp = ReduceOp.SUM) -> float:
+        """Allreduce a single float (the paper's ``(+)`` aggregation of fobj)."""
+        out = self.Allreduce(np.asarray([value], dtype=np.float64), op)
+        return float(out[0])

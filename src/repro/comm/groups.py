@@ -1,0 +1,125 @@
+"""Nested process groups for the three parallelization layers (paper Fig. 3).
+
+A pool of ``nprocs`` ranks is organized as a dense grid
+``s1 x s2 x s3``:
+
+- ``s1`` — number of groups evaluating ``fobj`` at different
+  finite-difference stencil points in parallel (strategy S1, saturates at
+  ``nfeval = 2 dim(theta) + 1``);
+- ``s2`` — factorization parallelism inside one evaluation: ``Qp`` and
+  ``Qc`` factorized concurrently for Gaussian likelihoods (S2, saturates
+  at 2);
+- ``s3`` — time-domain partitions of the distributed structured solver
+  (S3, saturates at the number of diagonal blocks).
+
+``plan_process_grid`` implements the paper's resource-assignment policy
+(Sec. V-D): prefer S1 until saturated, then S2, then S3 — except that S3 is
+raised first when the densified matrix does not fit in device memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comm.communicator import Communicator
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """Sizes of the three nested parallel layers."""
+
+    s1: int
+    s2: int
+    s3: int
+
+    def __post_init__(self):
+        if self.s1 < 1 or self.s2 < 1 or self.s3 < 1:
+            raise ValueError(f"all grid sizes must be >= 1, got {self}")
+        if self.s2 > 2:
+            raise ValueError("S2 parallelizes Qp vs Qc only; s2 <= 2")
+
+    @property
+    def nprocs(self) -> int:
+        return self.s1 * self.s2 * self.s3
+
+    def coords(self, rank: int) -> tuple:
+        """Decompose a world rank into (i1, i2, i3) grid coordinates."""
+        if not 0 <= rank < self.nprocs:
+            raise ValueError(f"rank {rank} out of range for grid {self}")
+        i3 = rank % self.s3
+        i2 = (rank // self.s3) % self.s2
+        i1 = rank // (self.s2 * self.s3)
+        return i1, i2, i3
+
+
+def plan_process_grid(
+    nprocs: int,
+    nfeval: int,
+    *,
+    gaussian: bool = True,
+    min_s3: int = 1,
+    max_s3: int = 10**9,
+) -> ProcessGrid:
+    """Choose (s1, s2, s3) for ``nprocs`` ranks.
+
+    ``min_s3`` is the memory-driven lower bound on the number of
+    time-domain partitions (from :func:`repro.backend.memory.min_partitions`);
+    ``max_s3`` caps it at the number of diagonal blocks.  Remaining factors
+    go to S1 first (embarrassingly parallel), then S2 (x2, Gaussian only),
+    then back to S3.
+    """
+    if nprocs < 1:
+        raise ValueError("nprocs must be >= 1")
+    if min_s3 > max_s3:
+        raise ValueError(f"min_s3={min_s3} exceeds max_s3={max_s3}")
+    s3 = max(1, min(min_s3, max_s3))
+    remaining = max(1, nprocs // s3)
+    s1 = min(remaining, nfeval)
+    remaining //= max(s1, 1)
+    s2 = 2 if (gaussian and remaining >= 2) else 1
+    remaining //= max(s2, 1)
+    # Spill leftover ranks into deeper time-domain partitioning.
+    if remaining > 1:
+        s3 = min(s3 * remaining, max_s3)
+    return ProcessGrid(s1=s1, s2=s2, s3=s3)
+
+
+@dataclass
+class GridComms:
+    """Communicators carved out of the world for one rank's grid position."""
+
+    world: Communicator
+    #: ranks sharing this rank's stencil point: size s2 * s3 (the S2 x S3 block)
+    eval_comm: Communicator
+    #: ranks sharing this rank's matrix (Qp or Qc): size s3 (the S3 group)
+    solver_comm: Communicator
+    #: grid coordinates of this rank
+    i1: int
+    i2: int
+    i3: int
+    grid: ProcessGrid
+
+
+def split_process_grid(world: Communicator, grid: ProcessGrid) -> GridComms:
+    """Split the world communicator into the nested S1/S2/S3 groups.
+
+    Must be called collectively by all ``grid.nprocs`` world ranks.
+    """
+    if world.Get_size() != grid.nprocs:
+        raise ValueError(
+            f"world size {world.Get_size()} does not match grid {grid} "
+            f"({grid.nprocs} ranks)"
+        )
+    rank = world.Get_rank()
+    i1, i2, i3 = grid.coords(rank)
+    eval_comm = world.Split(color=i1, key=rank)
+    solver_comm = eval_comm.Split(color=i2, key=rank)
+    return GridComms(
+        world=world,
+        eval_comm=eval_comm,
+        solver_comm=solver_comm,
+        i1=i1,
+        i2=i2,
+        i3=i3,
+        grid=grid,
+    )

@@ -1,0 +1,210 @@
+"""Thread-based SPMD execution.
+
+:func:`run_spmd` plays the role of ``mpiexec -n P``: it launches one Python
+thread per rank, each receiving a :class:`ThreadComm` bound to the shared
+group state.  Collectives are implemented with rendezvous barriers and a
+shared slot array; point-to-point messages go through per-(source, dest,
+tag) queues.  NumPy's BLAS releases the GIL, so the block-dense kernels of
+the structured solvers genuinely overlap across ranks — this is the
+closest single-node analogue of the paper's MPI+NCCL execution.
+
+Determinism: reductions are evaluated in rank order on every rank, so
+``Allreduce`` results are bit-identical across ranks and across runs.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.comm.communicator import Communicator, ReduceOp, _reduce_pair
+
+
+class _GroupState:
+    """Shared state for one communicator group of ``size`` ranks."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("group size must be >= 1")
+        self.size = size
+        self.barrier = threading.Barrier(size)
+        self.slots: list = [None] * size
+        self.mailboxes: dict = {}
+        self.mailbox_lock = threading.Lock()
+        self.split_result: dict = {}
+
+    def mailbox(self, src: int, dst: int, tag: int) -> queue.Queue:
+        key = (src, dst, tag)
+        with self.mailbox_lock:
+            box = self.mailboxes.get(key)
+            if box is None:
+                box = self.mailboxes[key] = queue.Queue()
+            return box
+
+    def abort(self) -> None:
+        self.barrier.abort()
+
+
+class ThreadComm(Communicator):
+    """Communicator over ranks that are threads sharing a :class:`_GroupState`."""
+
+    def __init__(self, group: _GroupState, rank: int):
+        self._group = group
+        self._rank = rank
+
+    # -- topology ---------------------------------------------------------
+
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self._group.size
+
+    def Split(self, color: int, key: int = 0) -> "Communicator":
+        g = self._group
+        g.slots[self._rank] = (color, key, self._rank)
+        g.barrier.wait()
+        if self._rank == 0:
+            # Rank 0 groups the (color, key, rank) triples and publishes one
+            # fresh _GroupState per color; members then index in by rank.
+            by_color: dict = {}
+            for triple in g.slots:
+                by_color.setdefault(triple[0], []).append(triple)
+            result = {}
+            for c, members in by_color.items():
+                members.sort(key=lambda t: (t[1], t[2]))
+                sub = _GroupState(len(members))
+                for new_rank, (_, _, old_rank) in enumerate(members):
+                    result[old_rank] = (sub, new_rank)
+            g.split_result = result
+            g.barrier.wait()
+        else:
+            g.barrier.wait()
+        sub, new_rank = g.split_result[self._rank]
+        g.barrier.wait()  # keep split_result alive until everyone has read it
+        from repro.comm.serial import SerialComm
+
+        if sub.size == 1:
+            return SerialComm()
+        return ThreadComm(sub, new_rank)
+
+    # -- point to point ---------------------------------------------------
+
+    def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self._group.size or dest == self._rank:
+            raise ValueError(f"invalid destination rank {dest}")
+        # Copy on send: the receiver must observe the value at send time
+        # even if the sender mutates the buffer afterwards (MPI semantics).
+        self._group.mailbox(self._rank, dest, tag).put(np.array(buf, copy=True))
+
+    def Recv(self, buf: np.ndarray, source: int, tag: int = 0) -> None:
+        if not 0 <= source < self._group.size or source == self._rank:
+            raise ValueError(f"invalid source rank {source}")
+        msg = self._group.mailbox(source, self._rank, tag).get()
+        if msg.shape != buf.shape:
+            raise ValueError(f"Recv shape mismatch: got {msg.shape}, want {buf.shape}")
+        buf[...] = msg
+
+    # -- collectives ------------------------------------------------------
+
+    def Barrier(self) -> None:
+        self._group.barrier.wait()
+
+    def Allreduce(self, sendbuf: np.ndarray, op: ReduceOp = ReduceOp.SUM) -> np.ndarray:
+        g = self._group
+        g.slots[self._rank] = np.asarray(sendbuf)
+        g.barrier.wait()
+        # Every rank reduces in rank order => deterministic, identical results.
+        acc = np.array(g.slots[0], copy=True)
+        for r in range(1, g.size):
+            acc = _reduce_pair(acc, g.slots[r], op)
+        g.barrier.wait()  # protect slots until all ranks finished reading
+        return acc
+
+    def Bcast(self, buf: np.ndarray, root: int = 0) -> np.ndarray:
+        g = self._group
+        if self._rank == root:
+            g.slots[root] = np.asarray(buf)
+        g.barrier.wait()
+        out = np.array(g.slots[root], copy=True) if self._rank != root else buf
+        g.barrier.wait()
+        if self._rank != root:
+            buf = np.asarray(buf)
+            if buf.shape == out.shape:
+                buf[...] = out
+                return buf
+        return out
+
+    def Allgather(self, sendbuf: np.ndarray) -> list:
+        g = self._group
+        g.slots[self._rank] = np.asarray(sendbuf)
+        g.barrier.wait()
+        out = [np.array(g.slots[r], copy=True) for r in range(g.size)]
+        g.barrier.wait()
+        return out
+
+    # -- pickled-object variants -------------------------------------------
+
+    def bcast(self, obj, root: int = 0):
+        g = self._group
+        if self._rank == root:
+            g.slots[root] = obj
+        g.barrier.wait()
+        out = g.slots[root]
+        g.barrier.wait()
+        return out
+
+    def allgather(self, obj) -> list:
+        g = self._group
+        g.slots[self._rank] = obj
+        g.barrier.wait()
+        out = [g.slots[r] for r in range(g.size)]
+        g.barrier.wait()
+        return out
+
+
+def run_spmd(nranks: int, fn: Callable, *args, **kwargs) -> list:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` thread-ranks.
+
+    Returns the list of per-rank return values, ordered by rank.  If any
+    rank raises, the group barrier is aborted (so no rank deadlocks) and
+    the first exception is re-raised in the caller.
+    """
+    if nranks < 1:
+        raise ValueError("nranks must be >= 1")
+    if nranks == 1:
+        from repro.comm.serial import SerialComm
+
+        return [fn(SerialComm(), *args, **kwargs)]
+
+    group = _GroupState(nranks)
+    results: list = [None] * nranks
+    errors: list = []
+    errors_lock = threading.Lock()
+
+    def worker(rank: int) -> None:
+        comm = ThreadComm(group, rank)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - must not deadlock peers
+            with errors_lock:
+                errors.append((rank, exc))
+            group.abort()
+
+    threads = [threading.Thread(target=worker, args=(r,), daemon=True) for r in range(nranks)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        rank, exc = min(errors, key=lambda e: e[0])
+        if isinstance(exc, threading.BrokenBarrierError):
+            # Secondary failure; prefer reporting a primary error if any.
+            primaries = [e for e in errors if not isinstance(e[1], threading.BrokenBarrierError)]
+            if primaries:
+                rank, exc = min(primaries, key=lambda e: e[0])
+        raise RuntimeError(f"SPMD rank {rank} failed") from exc
+    return results

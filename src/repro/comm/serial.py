@@ -1,0 +1,50 @@
+"""Single-rank communicator.
+
+Used whenever a parallel section of the paper's Fig. 3 workflow runs with
+group size 1 (e.g. S3 with a single partition).  All collectives degenerate
+to identity operations; point-to-point is an error because a single rank
+has no neighbor to talk to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.communicator import Communicator, ReduceOp
+
+
+class SerialComm(Communicator):
+    """Communicator over exactly one rank."""
+
+    def Get_rank(self) -> int:
+        return 0
+
+    def Get_size(self) -> int:
+        return 1
+
+    def Split(self, color: int, key: int = 0) -> "SerialComm":
+        return SerialComm()
+
+    def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
+        raise RuntimeError("SerialComm has no peer ranks to Send to")
+
+    def Recv(self, buf: np.ndarray, source: int, tag: int = 0) -> None:
+        raise RuntimeError("SerialComm has no peer ranks to Recv from")
+
+    def Barrier(self) -> None:
+        return None
+
+    def Allreduce(self, sendbuf: np.ndarray, op: ReduceOp = ReduceOp.SUM) -> np.ndarray:
+        return np.array(sendbuf, copy=True)
+
+    def Bcast(self, buf: np.ndarray, root: int = 0) -> np.ndarray:
+        return buf
+
+    def Allgather(self, sendbuf: np.ndarray) -> list:
+        return [np.array(sendbuf, copy=True)]
+
+    def bcast(self, obj, root: int = 0):
+        return obj
+
+    def allgather(self, obj) -> list:
+        return [obj]

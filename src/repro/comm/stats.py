@@ -1,0 +1,97 @@
+"""Communication accounting.
+
+:class:`TraceComm` wraps any communicator and counts messages and bytes per
+operation type.  The performance model uses these counts — together with
+link latency/bandwidth of the modeled machine — to extrapolate the runtime
+of rank counts that cannot be executed on this host (paper runs up to 496
+GH200; we execute up to the host's thread capacity and model beyond).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.communicator import Communicator, ReduceOp
+
+
+@dataclass
+class CommStats:
+    """Message/byte counters, by operation kind."""
+
+    counts: dict = field(default_factory=dict)
+    bytes: dict = field(default_factory=dict)
+
+    def record(self, kind: str, nbytes: int) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.bytes[kind] = self.bytes.get(kind, 0) + int(nbytes)
+
+    def total_bytes(self) -> int:
+        return sum(self.bytes.values())
+
+    def total_messages(self) -> int:
+        return sum(self.counts.values())
+
+    def merge(self, other: "CommStats") -> "CommStats":
+        out = CommStats(dict(self.counts), dict(self.bytes))
+        for k, v in other.counts.items():
+            out.counts[k] = out.counts.get(k, 0) + v
+        for k, v in other.bytes.items():
+            out.bytes[k] = out.bytes.get(k, 0) + v
+        return out
+
+
+def _nbytes(obj) -> int:
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    return 0
+
+
+class TraceComm(Communicator):
+    """Communicator decorator that records traffic into a :class:`CommStats`."""
+
+    def __init__(self, inner: Communicator, stats: CommStats | None = None):
+        self.inner = inner
+        self.stats = stats if stats is not None else CommStats()
+
+    def Get_rank(self) -> int:
+        return self.inner.Get_rank()
+
+    def Get_size(self) -> int:
+        return self.inner.Get_size()
+
+    def Split(self, color: int, key: int = 0) -> "TraceComm":
+        return TraceComm(self.inner.Split(color, key), self.stats)
+
+    def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
+        self.stats.record("send", _nbytes(buf))
+        self.inner.Send(buf, dest, tag)
+
+    def Recv(self, buf: np.ndarray, source: int, tag: int = 0) -> None:
+        self.stats.record("recv", _nbytes(buf))
+        self.inner.Recv(buf, source, tag)
+
+    def Barrier(self) -> None:
+        self.stats.record("barrier", 0)
+        self.inner.Barrier()
+
+    def Allreduce(self, sendbuf: np.ndarray, op: ReduceOp = ReduceOp.SUM) -> np.ndarray:
+        self.stats.record("allreduce", _nbytes(np.asarray(sendbuf)))
+        return self.inner.Allreduce(sendbuf, op)
+
+    def Bcast(self, buf: np.ndarray, root: int = 0) -> np.ndarray:
+        self.stats.record("bcast", _nbytes(np.asarray(buf)))
+        return self.inner.Bcast(buf, root)
+
+    def Allgather(self, sendbuf: np.ndarray) -> list:
+        self.stats.record("allgather", _nbytes(np.asarray(sendbuf)) * self.Get_size())
+        return self.inner.Allgather(sendbuf)
+
+    def bcast(self, obj, root: int = 0):
+        self.stats.record("bcast_obj", _nbytes(obj))
+        return self.inner.bcast(obj, root)
+
+    def allgather(self, obj) -> list:
+        self.stats.record("allgather_obj", _nbytes(obj) * self.Get_size())
+        return self.inner.allgather(obj)

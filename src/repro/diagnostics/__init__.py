@@ -1,0 +1,5 @@
+"""Timing and reporting utilities used by the benchmark harness."""
+
+from repro.diagnostics.timers import Timer, TimingRecords, format_table
+
+__all__ = ["Timer", "TimingRecords", "format_table"]

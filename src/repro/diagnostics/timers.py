@@ -1,0 +1,65 @@
+"""Lightweight timers and table formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class Timer:
+    """Context-manager wall-clock timer.
+
+    >>> with Timer() as t:
+    ...     work()
+    >>> t.elapsed
+    """
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        self.elapsed = float("nan")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+
+@dataclass
+class TimingRecords:
+    """Named timing accumulator (min/mean over repeats)."""
+
+    records: dict = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.records.setdefault(name, []).append(float(seconds))
+
+    def best(self, name: str) -> float:
+        return min(self.records[name])
+
+    def mean(self, name: str) -> float:
+        xs = self.records[name]
+        return sum(xs) / len(xs)
+
+    def time(self, name: str, fn, *args, repeats: int = 1, **kwargs):
+        """Time ``fn`` ``repeats`` times; returns the last result."""
+        result = None
+        for _ in range(max(repeats, 1)):
+            with Timer() as t:
+                result = fn(*args, **kwargs)
+            self.add(name, t.elapsed)
+        return result
+
+
+def format_table(headers: list, rows: list, *, title: str = "") -> str:
+    """Plain-text table, right-aligned numerics (benchmark reports)."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{c:.4g}" if isinstance(c, float) else str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[j]) for r in cells) for j in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

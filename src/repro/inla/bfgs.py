@@ -1,0 +1,125 @@
+"""BFGS optimization of the (negated) INLA objective (paper Eq. 9).
+
+A quasi-Newton method with inverse-Hessian updates and Armijo
+backtracking.  Gradients come from the parallel central-difference
+stencil (strategy S1); line-search probes are sequential single
+evaluations, exactly as in R-INLA / INLA_DIST.  The optimizer *minimizes*
+``g(theta) = -fobj(theta)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.inla.evaluator import FobjEvaluator
+
+
+@dataclass(frozen=True)
+class BFGSOptions:
+    """Stopping and line-search controls."""
+
+    max_iter: int = 60
+    grad_tol: float = 5e-3  # ||grad||_inf below this => converged
+    f_rel_tol: float = 1e-9  # relative objective change below this => converged
+    fd_step: float = 1e-4  # central-difference step h (paper Eq. 10)
+    armijo_c1: float = 1e-4
+    backtrack_factor: float = 0.5
+    max_backtracks: int = 20
+    initial_step: float = 1.0
+
+    def __post_init__(self):
+        if self.max_iter < 1 or self.max_backtracks < 1:
+            raise ValueError("iteration counts must be positive")
+        if not 0 < self.backtrack_factor < 1:
+            raise ValueError("backtrack factor must be in (0, 1)")
+
+
+@dataclass
+class BFGSResult:
+    """Optimization outcome."""
+
+    theta: np.ndarray
+    fobj: float  # value of fobj (not the negated objective) at the optimum
+    n_iterations: int
+    converged: bool
+    message: str
+    trace: list = field(default_factory=list)  # (iter, fobj, ||grad||_inf)
+
+
+def bfgs_minimize(
+    evaluator: FobjEvaluator,
+    theta0: np.ndarray,
+    options: BFGSOptions | None = None,
+) -> BFGSResult:
+    """Find the mode of ``fobj`` starting from ``theta0``."""
+    opts = options or BFGSOptions()
+    theta = np.array(theta0, dtype=np.float64)
+    d = theta.size
+
+    f0, grad_f, _ = evaluator.value_and_gradient(theta, h=opts.fd_step)
+    if not np.isfinite(f0):
+        raise ValueError("objective is not finite at the starting point")
+    g = -f0
+    grad = -grad_f
+    H = np.eye(d)  # inverse-Hessian approximation
+    trace = [(0, f0, float(np.abs(grad).max()))]
+
+    for it in range(1, opts.max_iter + 1):
+        gnorm = float(np.abs(grad).max())
+        if gnorm < opts.grad_tol:
+            return BFGSResult(theta, -g, it - 1, True, f"gradient below tolerance ({gnorm:.2e})", trace)
+
+        p = -H @ grad
+        slope = float(grad @ p)
+        if slope >= 0:
+            # Reset a corrupted curvature estimate (can happen with noisy
+            # FD gradients); fall back to steepest descent.
+            H = np.eye(d)
+            p = -grad
+            slope = float(grad @ p)
+
+        # -- Armijo backtracking ------------------------------------------
+        def line_search(direction, slope_d):
+            step = opts.initial_step
+            for _ in range(opts.max_backtracks):
+                cand = theta + step * direction
+                res = evaluator(cand)
+                if np.isfinite(res.value) and -res.value <= g + opts.armijo_c1 * step * slope_d:
+                    return cand, -res.value
+                step *= opts.backtrack_factor
+            return None, None
+
+        theta_new, g_new = line_search(p, slope)
+        if theta_new is None and not np.allclose(p, -grad):
+            # The quasi-Newton direction can be poisoned by finite-difference
+            # noise; reset the curvature estimate and retry along the
+            # steepest descent direction before giving up.
+            H = np.eye(d)
+            p = -grad
+            slope = float(grad @ p)
+            theta_new, g_new = line_search(p, slope)
+        if theta_new is None:
+            return BFGSResult(theta, -g, it, False, "line search failed", trace)
+
+        f_new, grad_f_new, _ = evaluator.value_and_gradient(theta_new, h=opts.fd_step)
+        grad_new = -grad_f_new
+
+        # -- BFGS inverse-Hessian update ------------------------------------
+        s = theta_new - theta
+        yv = grad_new - grad
+        sy = float(s @ yv)
+        if sy > 1e-12 * float(np.linalg.norm(s) * np.linalg.norm(yv) + 1e-300):
+            rho = 1.0 / sy
+            I = np.eye(d)
+            V = I - rho * np.outer(s, yv)
+            H = V @ H @ V.T + rho * np.outer(s, s)
+
+        rel_impr = abs(g - g_new) / max(abs(g), 1.0)
+        theta, g, grad = theta_new, g_new, grad_new
+        trace.append((it, -g, float(np.abs(grad).max())))
+        if rel_impr < opts.f_rel_tol:
+            return BFGSResult(theta, -g, it, True, f"objective stalled (rel {rel_impr:.2e})", trace)
+
+    return BFGSResult(theta, -g, opts.max_iter, False, "iteration limit reached", trace)

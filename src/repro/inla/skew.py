@@ -1,0 +1,118 @@
+"""Skewness-corrected hyperparameter marginals (paper Sec. III-3).
+
+The default Gaussian approximation of ``p(theta | y)`` is symmetric; the
+paper notes R-INLA's more accurate alternative: reparametrize along the
+eigenvectors of the Hessian at the mode and correct each principal
+direction for skewness using extra objective evaluations.  We implement
+the standard third-order variant: for each eigendirection ``v_k`` with
+curvature scale ``s_k``, evaluate ``fobj`` at ``theta* +/- delta s_k v_k``
+and fit separate left/right Gaussian scales (the "skew-normal by halves"
+used by INLA's simplified Laplace), yielding asymmetric marginal
+intervals.
+
+All extra evaluations form one S1-parallel batch (2 per dimension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.inla.evaluator import FobjEvaluator
+
+
+@dataclass
+class SkewMarginal:
+    """Asymmetric marginal of one principal direction."""
+
+    direction: np.ndarray  # eigenvector in theta space
+    scale_left: float
+    scale_right: float
+
+    @property
+    def asymmetry(self) -> float:
+        """``s_right / s_left`` — 1 means symmetric."""
+        return self.scale_right / self.scale_left
+
+
+@dataclass
+class SkewCorrectedMarginals:
+    """Skew-corrected approximation of ``p(theta | y)`` at the mode."""
+
+    mode: np.ndarray
+    marginals: list  # one SkewMarginal per eigendirection
+
+    def interval(self, coverage: float = 0.95) -> np.ndarray:
+        """Componentwise credible intervals, shape ``(dim, 2)``.
+
+        Combines the per-direction asymmetric scales through the
+        eigenbasis (conservative componentwise projection).
+        """
+        from scipy.stats import norm
+
+        z = norm.ppf(0.5 + coverage / 2.0)
+        d = self.mode.size
+        lo = np.zeros(d)
+        hi = np.zeros(d)
+        for m in self.marginals:
+            lo += (np.abs(m.direction) * z * m.scale_left) ** 2
+            hi += (np.abs(m.direction) * z * m.scale_right) ** 2
+        return np.column_stack([self.mode - np.sqrt(lo), self.mode + np.sqrt(hi)])
+
+
+def skew_corrected_marginals(
+    evaluator: FobjEvaluator,
+    theta_mode: np.ndarray,
+    hessian: np.ndarray,
+    *,
+    f_mode: float | None = None,
+    delta: float = 1.5,
+) -> SkewCorrectedMarginals:
+    """Fit asymmetric scales along the Hessian eigendirections.
+
+    ``hessian`` is the FD Hessian of ``fobj`` at the mode (negative
+    definite).  For each eigenpair ``(w_k, v_k)`` the Gaussian predicts
+    ``fobj(theta* + t v_k) - fobj(theta*) = -t^2 / (2 s_k^2)`` with
+    ``s_k = 1/sqrt(-w_k)``; evaluating at ``t = +/- delta s_k`` and
+    inverting gives direction-specific left/right scales.
+    """
+    theta_mode = np.asarray(theta_mode, dtype=np.float64)
+    H = 0.5 * (np.asarray(hessian) + np.asarray(hessian).T)
+    w, V = np.linalg.eigh(H)
+    if np.any(w >= 0):
+        w = np.minimum(w, -1e-8)
+    scales = 1.0 / np.sqrt(-w)
+
+    points = []
+    for k in range(theta_mode.size):
+        step = delta * scales[k] * V[:, k]
+        points.append(theta_mode + step)
+        points.append(theta_mode - step)
+    if f_mode is None:
+        points.append(theta_mode.copy())
+    results = evaluator.eval_batch(points)
+    if f_mode is None:
+        f0 = results[-1].value
+    else:
+        f0 = float(f_mode)
+
+    marginals = []
+    for k in range(theta_mode.size):
+        fp = results[2 * k].value
+        fm = results[2 * k + 1].value
+        s_right = _scale_from_drop(f0, fp, delta * scales[k], fallback=scales[k])
+        s_left = _scale_from_drop(f0, fm, delta * scales[k], fallback=scales[k])
+        marginals.append(
+            SkewMarginal(direction=V[:, k].copy(), scale_left=s_left, scale_right=s_right)
+        )
+    return SkewCorrectedMarginals(mode=theta_mode.copy(), marginals=marginals)
+
+
+def _scale_from_drop(f0: float, f: float, t: float, *, fallback: float) -> float:
+    """Solve ``f0 - f = t^2 / (2 s^2)`` for ``s``; fall back to the
+    Gaussian scale when the probe is infeasible or the drop is tiny."""
+    drop = f0 - f
+    if not np.isfinite(drop) or drop <= 1e-12:
+        return float(fallback)
+    return float(t / np.sqrt(2.0 * drop))

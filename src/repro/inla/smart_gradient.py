@@ -1,0 +1,93 @@
+"""Smart Gradient (Fattah, van Niekerk & Rue, 2022 — paper ref. [41]).
+
+R-INLA's adaptive gradient technique: instead of differencing along the
+canonical axes, difference along an orthonormalized basis aligned with
+the optimizer's recent descent directions.  Near ridges of ``fobj`` this
+reduces the finite-difference truncation error substantially at the same
+cost of ``2 dim(theta)`` evaluations, and keeps the embarrassing
+parallelism of strategy S1 intact (the stencil is still a batch).
+
+The implementation keeps a sliding window of BFGS steps, builds the
+orthonormal frame ``G`` by modified Gram-Schmidt (newest direction
+first, completed with canonical axes), evaluates the central-difference
+directional derivatives along ``G``'s columns, and maps them back with
+``grad = G d``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.inla.evaluator import FobjEvaluator
+
+
+def orthonormal_frame(directions: list, dim: int) -> np.ndarray:
+    """Orthonormal basis whose leading columns span ``directions``.
+
+    Modified Gram-Schmidt over the given directions (newest first), then
+    completed to a full basis with the canonical axes.  Degenerate inputs
+    are skipped, so the result is always a ``dim x dim`` orthogonal matrix.
+    """
+    basis = []
+    candidates = [np.asarray(d, dtype=np.float64) for d in directions]
+    candidates += [e for e in np.eye(dim)]
+    for v in candidates:
+        w = v.copy()
+        for b in basis:
+            w -= (b @ w) * b
+        n = np.linalg.norm(w)
+        if n > 1e-10:
+            basis.append(w / n)
+        if len(basis) == dim:
+            break
+    G = np.column_stack(basis)
+    assert G.shape == (dim, dim)
+    return G
+
+
+class SmartGradient:
+    """Stateful smart-gradient estimator wrapping a :class:`FobjEvaluator`."""
+
+    def __init__(self, evaluator: FobjEvaluator, *, window: int = 2, h: float = 1e-4):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.evaluator = evaluator
+        self.window = window
+        self.h = h
+        self._history: list = []
+
+    def record_step(self, step: np.ndarray) -> None:
+        """Feed the optimizer's accepted step ``theta_new - theta``."""
+        step = np.asarray(step, dtype=np.float64)
+        if np.linalg.norm(step) > 0:
+            self._history.append(step)
+            self._history = self._history[-self.window :]
+
+    def frame(self, dim: int) -> np.ndarray:
+        """Current differencing frame (identity until steps are recorded)."""
+        if not self._history:
+            return np.eye(dim)
+        return orthonormal_frame(list(reversed(self._history)), dim)
+
+    def value_and_gradient(self, theta: np.ndarray) -> tuple:
+        """Central differences along the adaptive frame; one S1 batch."""
+        theta = np.asarray(theta, dtype=np.float64)
+        d = theta.size
+        G = self.frame(d)
+        pts = []
+        for i in range(d):
+            pts.append(theta + self.h * G[:, i])
+            pts.append(theta - self.h * G[:, i])
+        pts.append(theta.copy())
+        results = self.evaluator.eval_batch(pts)
+        f0 = results[-1].value
+        dirs = np.zeros(d)
+        for i in range(d):
+            fp = results[2 * i].value
+            fm = results[2 * i + 1].value
+            if not np.isfinite(fp):
+                fp = f0
+            if not np.isfinite(fm):
+                fm = f0
+            dirs[i] = (fp - fm) / (2.0 * self.h)
+        return f0, G @ dirs, results[-1]

@@ -1,0 +1,162 @@
+"""Structured-solver dispatch (sequential vs. distributed S3 path).
+
+A :class:`StructuredSolver` performs the three bottleneck operations on a
+BTA matrix.  :class:`SequentialSolver` calls the single-device kernels;
+:class:`DistributedSolver` executes the full nested-dissection pipeline
+over ``P`` SPMD thread-ranks (paper strategy S3), exactly as the MPI+NCCL
+version would, including the reduced-system collectives.
+
+``select_solver`` applies the paper's dispatch rule (Sec. V-D): stay
+sequential while the densified matrix fits on one device, otherwise use
+the smallest ``P`` that makes each partition fit.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.backend.device import Device, default_device
+from repro.backend.memory import bta_memory_bytes, min_partitions
+from repro.comm import run_spmd
+from repro.structured.bta import BTAMatrix
+from repro.structured.d_pobtaf import d_pobtaf, partition_matrix
+from repro.structured.d_pobtas import d_pobtas
+from repro.structured.d_pobtasi import d_pobtasi
+from repro.structured.kernels import NotPositiveDefiniteError
+from repro.structured.pobtaf import pobtaf
+from repro.structured.pobtas import pobtas
+from repro.structured.pobtasi import pobtasi
+
+
+def _run_spmd_spd(P, fn):
+    """``run_spmd`` that surfaces per-rank positive-definiteness failures.
+
+    An infeasible hyperparameter configuration makes a rank's Cholesky
+    fail; the objective layer must see ``NotPositiveDefiniteError`` (so
+    the optimizer backtracks) rather than a generic SPMD error.
+    """
+    try:
+        return run_spmd(P, fn)
+    except RuntimeError as exc:
+        cause = exc.__cause__
+        while cause is not None:
+            if isinstance(cause, NotPositiveDefiniteError):
+                raise NotPositiveDefiniteError(str(cause)) from exc
+            cause = cause.__cause__
+        raise
+
+
+class StructuredSolver(abc.ABC):
+    """The three INLA bottleneck operations on one BTA matrix."""
+
+    @abc.abstractmethod
+    def logdet(self, A: BTAMatrix) -> float:
+        """Cholesky factorization, returning ``log det A``."""
+
+    @abc.abstractmethod
+    def logdet_and_solve(self, A: BTAMatrix, rhs: np.ndarray) -> tuple:
+        """Factorize and solve ``A x = rhs``; returns ``(logdet, x)``."""
+
+    @abc.abstractmethod
+    def selected_inverse_diagonal(self, A: BTAMatrix) -> np.ndarray:
+        """Diagonal of ``A^{-1}`` via selected inversion."""
+
+
+class SequentialSolver(StructuredSolver):
+    """Single-device BTA kernels (the INLA_DIST-style solver)."""
+
+    def logdet(self, A: BTAMatrix) -> float:
+        return pobtaf(A, overwrite=True).logdet()
+
+    def logdet_and_solve(self, A: BTAMatrix, rhs: np.ndarray) -> tuple:
+        chol = pobtaf(A, overwrite=True)
+        return chol.logdet(), pobtas(chol, rhs)
+
+    def selected_inverse_diagonal(self, A: BTAMatrix) -> np.ndarray:
+        return pobtasi(pobtaf(A, overwrite=True)).diagonal()
+
+
+class DistributedSolver(StructuredSolver):
+    """Time-domain distributed solver over ``P`` SPMD ranks (strategy S3).
+
+    Each public call launches the collective pipeline on ``P``
+    thread-ranks: slice -> ``d_pobtaf`` -> (``d_pobtas`` | ``d_pobtasi``)
+    -> gather.  The load-balancing factor ``lb`` gives partition 0 extra
+    blocks (paper Fig. 5 uses 1.6).
+    """
+
+    def __init__(self, P: int, *, lb: float = 1.6):
+        if P < 1:
+            raise ValueError(f"P must be >= 1, got {P}")
+        self.P = P
+        self.lb = lb
+
+    def _nparts(self, A: BTAMatrix) -> int:
+        # Cannot split n blocks into more than floor(n / 2) + 1 partitions
+        # (later partitions need two boundary blocks).
+        return max(1, min(self.P, (A.n - 1) // 2 + 1 if A.n > 1 else 1))
+
+    def logdet(self, A: BTAMatrix) -> float:
+        P = self._nparts(A)
+        if P == 1:
+            return SequentialSolver().logdet(A)
+        slices = partition_matrix(A, P, lb=self.lb)
+
+        def rank_fn(comm):
+            return d_pobtaf(slices[comm.Get_rank()], comm).logdet(comm)
+
+        return _run_spmd_spd(P, rank_fn)[0]
+
+    def logdet_and_solve(self, A: BTAMatrix, rhs: np.ndarray) -> tuple:
+        P = self._nparts(A)
+        if P == 1:
+            return SequentialSolver().logdet_and_solve(A, rhs)
+        slices = partition_matrix(A, P, lb=self.lb)
+        rhs = np.asarray(rhs, dtype=np.float64)
+        b, n = A.b, A.n
+
+        def rank_fn(comm):
+            sl = slices[comm.Get_rank()]
+            f = d_pobtaf(sl, comm)
+            ld = f.logdet(comm)
+            xl, xt = d_pobtas(
+                f, rhs[sl.part.start * b : sl.part.stop * b], rhs[n * b :], comm
+            )
+            return ld, xl, xt
+
+        out = _run_spmd_spd(P, rank_fn)
+        x = np.concatenate([o[1] for o in out] + [out[0][2]])
+        return out[0][0], x
+
+    def selected_inverse_diagonal(self, A: BTAMatrix) -> np.ndarray:
+        P = self._nparts(A)
+        if P == 1:
+            return SequentialSolver().selected_inverse_diagonal(A)
+        slices = partition_matrix(A, P, lb=self.lb)
+
+        def rank_fn(comm):
+            f = d_pobtaf(slices[comm.Get_rank()], comm)
+            xi = d_pobtasi(f)
+            return np.diagonal(xi.diag, axis1=1, axis2=2).ravel(), np.diagonal(xi.tip)
+
+        out = _run_spmd_spd(P, rank_fn)
+        return np.concatenate([o[0] for o in out] + [out[0][1]])
+
+
+def select_solver(
+    A_shape,
+    *,
+    device: Device | None = None,
+    max_ranks: int = 16,
+    lb: float = 1.6,
+) -> StructuredSolver:
+    """Paper Sec. V-D dispatch: sequential while the block-dense matrix
+    fits on one device, otherwise the smallest feasible S3 partitioning."""
+    device = device or default_device()
+    n, b, a = A_shape.n, A_shape.b, A_shape.a
+    if device.fits(bta_memory_bytes(n, b, a)):
+        return SequentialSolver()
+    P = min(min_partitions(n, b, a, device), max_ranks)
+    return DistributedSolver(P, lb=lb)

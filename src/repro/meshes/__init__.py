@@ -1,0 +1,35 @@
+"""Finite-element discretization substrate.
+
+The SPDE approach (paper Sec. II-A1) represents Gaussian processes through
+P1 finite elements on a triangulated spatial domain plus linear elements
+on a 1-D temporal mesh.  This package provides:
+
+- :mod:`repro.meshes.mesh2d` — structured triangulations of rectangular
+  (lon/lat) domains with uniform refinement (the paper's Fig. 6c mesh
+  hierarchy over northern Italy);
+- :mod:`repro.meshes.fem` — P1 mass (consistent and lumped) and stiffness
+  matrices;
+- :mod:`repro.meshes.temporal` — 1-D temporal FEM matrices ``M0``
+  (mass), ``M1`` (boundary), ``M2`` (stiffness);
+- :mod:`repro.meshes.projector` — barycentric point-evaluation matrices
+  linking mesh nodes to observation locations (the ``A`` matrix of
+  paper Eq. 2).
+"""
+
+from repro.meshes.mesh2d import Mesh2D, northern_italy_mesh, rectangle_mesh
+from repro.meshes.fem import fem_matrices, lumped_mass, mass_matrix, stiffness_matrix
+from repro.meshes.temporal import TemporalMesh, temporal_fem_matrices
+from repro.meshes.projector import point_interpolation_matrix
+
+__all__ = [
+    "Mesh2D",
+    "rectangle_mesh",
+    "northern_italy_mesh",
+    "fem_matrices",
+    "mass_matrix",
+    "lumped_mass",
+    "stiffness_matrix",
+    "TemporalMesh",
+    "temporal_fem_matrices",
+    "point_interpolation_matrix",
+]

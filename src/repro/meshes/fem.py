@@ -1,0 +1,82 @@
+"""P1 finite-element matrices on triangle meshes.
+
+Standard linear-element assembly, fully vectorized over triangles (guide:
+vectorize the loops).  Produces the spatial building blocks of the SPDE
+precision (paper Sec. II-A1):
+
+- ``C``  — consistent mass matrix ``C_ij = \\int phi_i phi_j``
+- ``C~`` — lumped (diagonal) mass matrix, used to keep products like
+  ``G C^{-1} G`` sparse
+- ``G``  — stiffness matrix ``G_ij = \\int grad phi_i . grad phi_j``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.meshes.mesh2d import Mesh2D
+
+
+def _element_geometry(mesh: Mesh2D):
+    """Per-triangle areas and P1 gradient vectors."""
+    p = mesh.points[mesh.triangles]  # (m, 3, 2)
+    v1 = p[:, 1] - p[:, 0]
+    v2 = p[:, 2] - p[:, 0]
+    det = v1[:, 0] * v2[:, 1] - v1[:, 1] * v2[:, 0]
+    if np.any(np.abs(det) < 1e-14):
+        raise ValueError("mesh contains a degenerate triangle")
+    area = 0.5 * np.abs(det)
+    # Gradients of the three barycentric basis functions on each triangle:
+    # grad lambda_k = rot(edge opposite to k) / (2 * signed area).
+    e0 = p[:, 2] - p[:, 1]
+    e1 = p[:, 0] - p[:, 2]
+    e2 = p[:, 1] - p[:, 0]
+    rot = lambda e: np.column_stack([-e[:, 1], e[:, 0]])  # noqa: E731
+    grads = np.stack([rot(e0), rot(e1), rot(e2)], axis=1) / det[:, None, None]
+    return area, grads
+
+
+def mass_matrix(mesh: Mesh2D) -> sp.csr_matrix:
+    """Consistent P1 mass matrix (local block ``area/12 * [[2,1,1],...]``)."""
+    area, _ = _element_geometry(mesh)
+    tris = mesh.triangles
+    local = np.array([[2.0, 1.0, 1.0], [1.0, 2.0, 1.0], [1.0, 1.0, 2.0]]) / 12.0
+    vals = area[:, None, None] * local[None, :, :]
+    rows = np.repeat(tris, 3, axis=1).ravel()
+    cols = np.tile(tris, (1, 3)).ravel()
+    M = sp.coo_matrix((vals.ravel(), (rows, cols)), shape=(mesh.n_nodes, mesh.n_nodes))
+    out = M.tocsr()
+    out.sum_duplicates()
+    out.sort_indices()
+    return out
+
+
+def lumped_mass(mesh: Mesh2D) -> sp.dia_matrix:
+    """Row-lumped (diagonal) mass matrix ``C~`` — keeps ``C^{-1}`` diagonal,
+    which is what preserves sparsity in ``G C^{-1} G`` (paper Sec. II-A1)."""
+    C = mass_matrix(mesh)
+    d = np.asarray(C.sum(axis=1)).ravel()
+    if np.any(d <= 0):
+        raise ValueError("non-positive lumped mass entry; broken mesh")
+    return sp.diags(d)
+
+
+def stiffness_matrix(mesh: Mesh2D) -> sp.csr_matrix:
+    """P1 stiffness matrix ``G_ij = sum_T area_T grad_i . grad_j``."""
+    area, grads = _element_geometry(mesh)
+    tris = mesh.triangles
+    # (m, 3, 3) local stiffness: area * grad_i . grad_j
+    local = np.einsum("mik,mjk->mij", grads, grads) * area[:, None, None]
+    rows = np.repeat(tris, 3, axis=1).ravel()
+    cols = np.tile(tris, (1, 3)).ravel()
+    G = sp.coo_matrix((local.ravel(), (rows, cols)), shape=(mesh.n_nodes, mesh.n_nodes))
+    out = G.tocsr()
+    out.sum_duplicates()
+    out.sort_indices()
+    return out
+
+
+def fem_matrices(mesh: Mesh2D) -> tuple:
+    """``(C_lumped, G)`` — the pair every SPDE precision is built from."""
+    return lumped_mass(mesh), stiffness_matrix(mesh)

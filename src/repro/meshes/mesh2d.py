@@ -1,0 +1,150 @@
+"""Triangulated 2-D meshes.
+
+The paper discretizes a 122,350 km^2 region of northern Italy at several
+refinement levels (72 to 4485 nodes, Fig. 6c).  We generate structured
+triangulations of rectangular lon/lat domains: simple, reproducible, and
+with the same asymptotics (node count ~ h^-2, 7-point stencils) as the
+unstructured meshes produced by R-INLA's mesher — which is what matters
+for the solver workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Mesh2D:
+    """A conforming triangle mesh.
+
+    Attributes
+    ----------
+    points:
+        ``(n_nodes, 2)`` vertex coordinates.
+    triangles:
+        ``(n_tri, 3)`` vertex indices, counter-clockwise.
+    """
+
+    points: np.ndarray
+    triangles: np.ndarray
+
+    def __post_init__(self):
+        if self.points.ndim != 2 or self.points.shape[1] != 2:
+            raise ValueError(f"points must be (n, 2), got {self.points.shape}")
+        if self.triangles.ndim != 2 or self.triangles.shape[1] != 3:
+            raise ValueError(f"triangles must be (m, 3), got {self.triangles.shape}")
+        if self.triangles.min(initial=0) < 0 or self.triangles.max(initial=-1) >= len(self.points):
+            raise ValueError("triangle indices out of range")
+
+    @property
+    def n_nodes(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def n_triangles(self) -> int:
+        return self.triangles.shape[0]
+
+    def triangle_areas(self) -> np.ndarray:
+        """Signed areas of all triangles (positive for CCW orientation)."""
+        p = self.points[self.triangles]
+        v1 = p[:, 1] - p[:, 0]
+        v2 = p[:, 2] - p[:, 0]
+        return 0.5 * (v1[:, 0] * v2[:, 1] - v1[:, 1] * v2[:, 0])
+
+    def bbox(self) -> tuple:
+        """((xmin, xmax), (ymin, ymax)) of the mesh."""
+        return (
+            (float(self.points[:, 0].min()), float(self.points[:, 0].max())),
+            (float(self.points[:, 1].min()), float(self.points[:, 1].max())),
+        )
+
+    def refine(self) -> "Mesh2D":
+        """Uniform red refinement: each triangle splits into four.
+
+        Node count roughly quadruples — the mesh-refinement ladder used in
+        the paper's spatial weak-scaling study (Fig. 6b/c).
+        """
+        pts = self.points
+        tris = self.triangles
+        edge_mid: dict = {}
+        new_pts = [pts]
+        next_id = len(pts)
+
+        def midpoint(i: int, j: int) -> int:
+            nonlocal next_id
+            key = (min(i, j), max(i, j))
+            idx = edge_mid.get(key)
+            if idx is None:
+                edge_mid[key] = idx = next_id
+                new_pts.append(0.5 * (pts[i] + pts[j]))
+                next_id += 1
+            return idx
+
+        new_tris = np.empty((4 * len(tris), 3), dtype=np.int64)
+        for k, (i, j, l) in enumerate(tris):
+            a = midpoint(i, j)
+            b = midpoint(j, l)
+            c = midpoint(l, i)
+            new_tris[4 * k + 0] = (i, a, c)
+            new_tris[4 * k + 1] = (a, j, b)
+            new_tris[4 * k + 2] = (c, b, l)
+            new_tris[4 * k + 3] = (a, b, c)
+        points = np.vstack([new_pts[0]] + [np.asarray(p)[None, :] for p in new_pts[1:]])
+        return Mesh2D(points=points, triangles=new_tris)
+
+
+def rectangle_mesh(nx: int, ny: int, *, extent: tuple = ((0.0, 1.0), (0.0, 1.0))) -> Mesh2D:
+    """Structured triangulation of a rectangle with ``nx x ny`` nodes.
+
+    Each grid cell is split along its diagonal into two CCW triangles.
+    """
+    if nx < 2 or ny < 2:
+        raise ValueError("need at least 2 nodes per direction")
+    (x0, x1), (y0, y1) = extent
+    if x1 <= x0 or y1 <= y0:
+        raise ValueError(f"degenerate extent {extent}")
+    xs = np.linspace(x0, x1, nx)
+    ys = np.linspace(y0, y1, ny)
+    X, Y = np.meshgrid(xs, ys, indexing="xy")
+    points = np.column_stack([X.ravel(), Y.ravel()])
+
+    tris = []
+    for j in range(ny - 1):
+        for i in range(nx - 1):
+            v00 = j * nx + i
+            v10 = v00 + 1
+            v01 = v00 + nx
+            v11 = v01 + 1
+            tris.append((v00, v10, v11))
+            tris.append((v00, v11, v01))
+    return Mesh2D(points=points, triangles=np.asarray(tris, dtype=np.int64))
+
+
+def mesh_with_n_nodes(target_nodes: int, *, extent: tuple = ((0.0, 1.0), (0.0, 1.0))) -> Mesh2D:
+    """Rectangle mesh with approximately ``target_nodes`` vertices.
+
+    Matches the aspect ratio of ``extent`` so triangles stay well shaped.
+    """
+    if target_nodes < 4:
+        raise ValueError("need at least 4 nodes")
+    (x0, x1), (y0, y1) = extent
+    aspect = (x1 - x0) / (y1 - y0)
+    ny = max(2, int(round(np.sqrt(target_nodes / aspect))))
+    nx = max(2, int(round(target_nodes / ny)))
+    return rectangle_mesh(nx, ny, extent=extent)
+
+
+#: Lon/lat bounding box of the paper's northern-Italy study region
+#: (~122,350 km^2 around the Po valley).
+NORTHERN_ITALY_EXTENT = ((6.6, 13.8), (44.0, 46.6))
+
+
+def northern_italy_mesh(n_nodes: int) -> Mesh2D:
+    """Mesh over the northern-Italy application domain (paper Sec. VI).
+
+    ``n_nodes`` close to the paper's refinement levels (72, 282, 1119,
+    1247, 1675, 4210, 4485) reproduces the Fig. 6c ladder.
+    """
+    return mesh_with_n_nodes(n_nodes, extent=NORTHERN_ITALY_EXTENT)

@@ -1,0 +1,104 @@
+"""Point-evaluation (projection) matrices.
+
+Builds the sparse design matrix ``A`` of paper Eq. 2 that links latent
+mesh nodes to observation locations: each observation row holds the three
+barycentric weights of the triangle containing the point.  Observations
+need not sit on mesh nodes — this is what lets the framework assimilate
+scattered station data and produce downscaled predictions on a finer grid
+(paper Sec. VI).
+
+Point location uses a uniform-grid spatial hash over triangle bounding
+boxes (O(1) expected per query), not a brute-force scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.meshes.mesh2d import Mesh2D
+
+
+class _TriangleLocator:
+    """Uniform-grid spatial hash for point-in-triangle queries."""
+
+    def __init__(self, mesh: Mesh2D, *, cells_per_axis: int | None = None):
+        self.mesh = mesh
+        (x0, x1), (y0, y1) = mesh.bbox()
+        pad = 1e-9 * max(x1 - x0, y1 - y0, 1.0)
+        self.x0, self.y0 = x0 - pad, y0 - pad
+        m = mesh.n_triangles
+        k = cells_per_axis or max(1, int(np.sqrt(m / 2)))
+        self.k = k
+        self.hx = (x1 - x0 + 2 * pad) / k
+        self.hy = (y1 - y0 + 2 * pad) / k
+        self.buckets: dict = {}
+        pts = mesh.points[mesh.triangles]  # (m, 3, 2)
+        lo = pts.min(axis=1)
+        hi = pts.max(axis=1)
+        for t in range(m):
+            i0 = int((lo[t, 0] - self.x0) / self.hx)
+            i1 = int((hi[t, 0] - self.x0) / self.hx)
+            j0 = int((lo[t, 1] - self.y0) / self.hy)
+            j1 = int((hi[t, 1] - self.y0) / self.hy)
+            for i in range(max(i0, 0), min(i1, k - 1) + 1):
+                for j in range(max(j0, 0), min(j1, k - 1) + 1):
+                    self.buckets.setdefault((i, j), []).append(t)
+
+    def locate(self, p: np.ndarray, *, tol: float = 1e-10) -> tuple:
+        """Return (triangle index, barycentric coords) or (-1, None)."""
+        i = int((p[0] - self.x0) / self.hx)
+        j = int((p[1] - self.y0) / self.hy)
+        if not (0 <= i < self.k and 0 <= j < self.k):
+            return -1, None
+        for t in self.buckets.get((i, j), ()):
+            lam = _barycentric(self.mesh, t, p)
+            if lam is not None and lam.min() >= -tol:
+                return t, np.clip(lam, 0.0, 1.0)
+        return -1, None
+
+
+def _barycentric(mesh: Mesh2D, tri: int, p: np.ndarray):
+    a, b, c = mesh.points[mesh.triangles[tri]]
+    v0 = b - a
+    v1 = c - a
+    v2 = p - a
+    den = v0[0] * v1[1] - v1[0] * v0[1]
+    if abs(den) < 1e-15:
+        return None
+    l1 = (v2[0] * v1[1] - v1[0] * v2[1]) / den
+    l2 = (v0[0] * v2[1] - v2[0] * v0[1]) / den
+    return np.array([1.0 - l1 - l2, l1, l2])
+
+
+def point_interpolation_matrix(
+    mesh: Mesh2D, points: np.ndarray, *, allow_outside: bool = False
+) -> sp.csr_matrix:
+    """Sparse ``(n_points, n_nodes)`` barycentric interpolation matrix.
+
+    Rows for points outside the mesh are all-zero when
+    ``allow_outside=True`` and raise otherwise.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError(f"points must be (m, 2), got {points.shape}")
+    loc = _TriangleLocator(mesh)
+    rows, cols, vals = [], [], []
+    for r, p in enumerate(points):
+        t, lam = loc.locate(p)
+        if t < 0:
+            if not allow_outside:
+                raise ValueError(f"point {p} lies outside the mesh")
+            continue
+        for node, w in zip(mesh.triangles[t], lam):
+            if w > 0.0:
+                rows.append(r)
+                cols.append(node)
+                vals.append(w)
+    A = sp.coo_matrix(
+        (np.asarray(vals), (np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64))),
+        shape=(len(points), mesh.n_nodes),
+    ).tocsr()
+    A.sum_duplicates()
+    A.sort_indices()
+    return A

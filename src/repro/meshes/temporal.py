@@ -1,0 +1,70 @@
+"""1-D temporal finite-element matrices.
+
+The diffusion-based spatio-temporal SPDE (paper ref. [25], Lindgren et
+al. 2024) discretizes time with linear elements on a uniform mesh of
+``nt`` knots.  Three matrices appear in the precision construction:
+
+- ``M0`` — temporal mass matrix (tridiagonal),
+- ``M1`` — boundary matrix ``diag(1/2, 0, ..., 0, 1/2)`` arising from the
+  symmetrized first-derivative term (integration by parts leaves only the
+  endpoint contributions),
+- ``M2`` — temporal stiffness matrix (tridiagonal).
+
+All are at most tridiagonal, which is exactly why the time-major ordering
+of the joint precision is block-*tridiagonal* (paper Fig. 2a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass(frozen=True)
+class TemporalMesh:
+    """Uniform 1-D mesh with ``nt`` knots spaced ``dt`` apart."""
+
+    nt: int
+    dt: float = 1.0
+
+    def __post_init__(self):
+        if self.nt < 2:
+            raise ValueError(f"need at least 2 time knots, got {self.nt}")
+        if self.dt <= 0:
+            raise ValueError(f"time step must be positive, got {self.dt}")
+
+    @property
+    def knots(self) -> np.ndarray:
+        return np.arange(self.nt) * self.dt
+
+
+def temporal_mass(mesh: TemporalMesh) -> sp.csr_matrix:
+    """``M0``: tridiagonal lumped-endpoints mass matrix of linear elements."""
+    nt, dt = mesh.nt, mesh.dt
+    main = np.full(nt, 2.0 / 3.0)
+    main[0] = main[-1] = 1.0 / 3.0
+    off = np.full(nt - 1, 1.0 / 6.0)
+    return sp.diags([off, main, off], [-1, 0, 1], format="csr") * dt
+
+
+def temporal_boundary(mesh: TemporalMesh) -> sp.csr_matrix:
+    """``M1``: endpoint boundary matrix ``diag(1/2, 0, ..., 0, 1/2)``."""
+    d = np.zeros(mesh.nt)
+    d[0] = d[-1] = 0.5
+    return sp.diags(d).tocsr()
+
+
+def temporal_stiffness(mesh: TemporalMesh) -> sp.csr_matrix:
+    """``M2``: tridiagonal stiffness of linear elements, ``1/dt`` scaling."""
+    nt, dt = mesh.nt, mesh.dt
+    main = np.full(nt, 2.0)
+    main[0] = main[-1] = 1.0
+    off = np.full(nt - 1, -1.0)
+    return sp.diags([off, main, off], [-1, 0, 1], format="csr") / dt
+
+
+def temporal_fem_matrices(mesh: TemporalMesh) -> tuple:
+    """``(M0, M1, M2)`` for the DEMF precision construction."""
+    return temporal_mass(mesh), temporal_boundary(mesh), temporal_stiffness(mesh)

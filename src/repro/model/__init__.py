@@ -1,0 +1,34 @@
+"""Bayesian model layer: designs, likelihoods, and model assembly.
+
+Glues the statistical substrates together into the latent Gaussian models
+INLA operates on:
+
+- :mod:`repro.model.layout` — hyperparameter vector layout
+  (``2 dim(theta) + 1`` drives the S1 parallel width);
+- :mod:`repro.model.likelihood` — Gaussian observation model;
+- :mod:`repro.model.design` — sparse space-time design matrices (Eq. 2);
+- :mod:`repro.model.assembler` — :class:`CoregionalSTModel`, which turns a
+  ``theta`` into the permuted BTA pair ``(Qp, Qc)`` plus the information
+  vector — the per-evaluation work that strategies S2/S3 parallelize;
+- :mod:`repro.model.datasets` — the paper's Table IV configurations and
+  synthetic data generation;
+- :mod:`repro.model.pollution` — the synthetic CAMS-like air-pollution
+  dataset for the Sec. VI application.
+"""
+
+from repro.model.assembler import AssembledSystem, CoregionalSTModel
+from repro.model.design import spacetime_design
+from repro.model.layout import ThetaLayout
+from repro.model.likelihood import GaussianLikelihood
+from repro.model.datasets import DatasetSpec, TABLE_IV, make_dataset
+
+__all__ = [
+    "CoregionalSTModel",
+    "AssembledSystem",
+    "spacetime_design",
+    "ThetaLayout",
+    "GaussianLikelihood",
+    "DatasetSpec",
+    "TABLE_IV",
+    "make_dataset",
+]

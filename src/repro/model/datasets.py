@@ -1,0 +1,184 @@
+"""Dataset configurations of the paper's Table IV and synthetic generators.
+
+Each spec records the model dimensions the paper used; ``make_dataset``
+builds a :class:`CoregionalSTModel` of that shape (optionally scaled down
+— the shapes, not the GH200-scale sizes, are what the correctness tests
+need) with observations simulated from known ground-truth
+hyperparameters, so recovery can be verified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.coreg.lmc import lambda_matrix, n_couplings
+from repro.meshes.mesh2d import mesh_with_n_nodes, NORTHERN_ITALY_EXTENT
+from repro.meshes.temporal import TemporalMesh
+from repro.model.assembler import CoregionalSTModel, ResponseData
+from repro.model.layout import ThetaLayout
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of the paper's Table IV."""
+
+    name: str
+    dim_theta: int
+    nv: int
+    ns: int  # spatial mesh size (per process / per solver rank for MB2)
+    nr: int
+    nt: int  # number of time steps (smallest point of a sweep)
+    description: str = ""
+
+    @property
+    def N(self) -> int:
+        """Total latent dimension ``nv (ns nt + nr)`` (paper Sec. IV-B)."""
+        return self.nv * (self.ns * self.nt + self.nr)
+
+
+#: The paper's Table IV (sweep datasets list their smallest configuration).
+TABLE_IV = {
+    "MB1": DatasetSpec("MB1", 4, 1, 4002, 6, 250, "univariate strong-scaling model (Fig. 4)"),
+    "MB2": DatasetSpec("MB2", 4, 1, 1675, 6, 128, "solver weak-scaling microbenchmark (Fig. 5)"),
+    "WA1": DatasetSpec("WA1", 15, 3, 1247, 1, 2, "trivariate weak scaling in time (Fig. 6a)"),
+    "WA2": DatasetSpec("WA2", 15, 3, 72, 1, 48, "trivariate weak scaling in space (Fig. 6b)"),
+    "SA1": DatasetSpec("SA1", 15, 3, 1675, 1, 192, "trivariate strong scaling (Fig. 7)"),
+    "AP1": DatasetSpec("AP1", 15, 3, 4210, 2, 48, "air-pollution application (Sec. VI)"),
+}
+
+#: WA2 mesh-refinement ladder (paper Fig. 6b/c).
+WA2_MESH_LADDER = [72, 282, 1119, 4485]
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Hyperparameters a synthetic dataset was generated from."""
+
+    theta: np.ndarray
+    layout: ThetaLayout
+
+
+def default_ground_truth(layout: ThetaLayout, *, extent=NORTHERN_ITALY_EXTENT, nt: int = 8) -> GroundTruth:
+    """Reasonable ground-truth hyperparameters for a given model shape."""
+    (x0, x1), (y0, y1) = extent
+    rs = 0.35 * max(x1 - x0, y1 - y0)
+    rt = max(2.0, 0.4 * nt)
+    nv = layout.nv
+    taus = np.full(nv, 10.0)  # sd 0.316 observation noise
+    ranges = np.tile([rs, rt], (nv, 1))
+    sigmas = 1.0 + 0.25 * np.arange(nv)
+    # Couplings giving strong + / moderate - correlations like Sec. VI.
+    lambdas = np.array([0.9, -0.55, -0.3])[: n_couplings(nv)] if nv > 1 else np.zeros(0)
+    return GroundTruth(theta=layout.pack(taus, ranges, sigmas, lambdas), layout=layout)
+
+
+def _simulate_latent(model: CoregionalSTModel, theta: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Exact draw from the model prior ``N(0, Qp^{-1})`` (variable-major)."""
+    from repro.structured.pobtaf import pobtaf
+    from repro.structured.pobtas import pobtas_lt
+
+    sys = model.assemble(theta)
+    chol = pobtaf(sys.qp, overwrite=True)
+    z = rng.standard_normal(model.N)
+    x_perm = pobtas_lt(chol, z)
+    return model.permutation.unpermute_vector(x_perm)
+
+
+def make_dataset(
+    nv: int,
+    ns: int,
+    nt: int,
+    nr: int,
+    *,
+    obs_per_step: int | None = None,
+    seed: int = 0,
+    extent=NORTHERN_ITALY_EXTENT,
+    ground_truth: GroundTruth | None = None,
+) -> tuple:
+    """Synthesize a coregional dataset of the given shape.
+
+    Returns ``(model, ground_truth, latent)`` where ``latent`` is the
+    variable-major true latent field the observations were generated
+    from.  Observation stations are uniform over the domain, repeated at
+    every time step; covariates are an intercept plus ``nr - 1`` smooth
+    synthetic fields (elevation-like).
+    """
+    rng = np.random.default_rng(seed)
+    mesh = mesh_with_n_nodes(ns, extent=extent)
+    tmesh = TemporalMesh(nt=nt)
+    layout = ThetaLayout(nv)
+    gt = ground_truth or default_ground_truth(layout, extent=extent, nt=nt)
+    if gt.layout.nv != nv:
+        raise ValueError("ground truth has wrong nv")
+
+    n_stations = obs_per_step or max(8, mesh.n_nodes // 2)
+    (x0, x1), (y0, y1) = extent
+    margin_x = 0.02 * (x1 - x0)
+    margin_y = 0.02 * (y1 - y0)
+
+    # Build the model first with placeholder observations to sample the
+    # prior, then attach the real simulated measurements.
+    responses = []
+    taus = layout.taus(gt.theta)
+    station_sets = []
+    for v in range(nv):
+        coords = np.column_stack(
+            [
+                rng.uniform(x0 + margin_x, x1 - margin_x, n_stations),
+                rng.uniform(y0 + margin_y, y1 - margin_y, n_stations),
+            ]
+        )
+        station_sets.append(coords)
+        coords_all = np.tile(coords, (nt, 1))
+        time_idx = np.repeat(np.arange(nt), n_stations)
+        X = _covariates(coords_all, nr, rng)
+        responses.append(
+            ResponseData(
+                coords=coords_all,
+                time_idx=time_idx,
+                covariates=X,
+                y=np.zeros(coords_all.shape[0]),
+            )
+        )
+    model = CoregionalSTModel(mesh, tmesh, responses)
+
+    latent = _simulate_latent(model, gt.theta, rng)
+    eta = np.asarray(model.A @ latent).ravel()
+    noise_sd = 1.0 / np.sqrt(taus[model.likelihood.response_of])
+    y = eta + noise_sd * rng.standard_normal(eta.size)
+
+    # Rebuild with the actual observations.
+    offset = 0
+    final = []
+    for r in responses:
+        final.append(
+            ResponseData(
+                coords=r.coords,
+                time_idx=r.time_idx,
+                covariates=r.covariates,
+                y=y[offset : offset + r.m],
+            )
+        )
+        offset += r.m
+    model = CoregionalSTModel(mesh, tmesh, final)
+    return model, gt, latent
+
+
+def _covariates(coords: np.ndarray, nr: int, rng: np.random.Generator) -> np.ndarray:
+    """Intercept + smooth deterministic fields (elevation-like gradients)."""
+    m = coords.shape[0]
+    X = np.ones((m, nr))
+    if nr > 1:
+        x = (coords[:, 0] - coords[:, 0].min()) / max(np.ptp(coords[:, 0]), 1e-12)
+        y = (coords[:, 1] - coords[:, 1].min()) / max(np.ptp(coords[:, 1]), 1e-12)
+        fields = [
+            x + 0.5 * np.sin(2 * np.pi * y),  # elevation-like
+            y,  # latitude gradient (coast distance proxy)
+            x * y,
+            np.cos(2 * np.pi * x),
+        ]
+        for j in range(1, nr):
+            X[:, j] = fields[(j - 1) % len(fields)]
+    return X

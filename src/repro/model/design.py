@@ -1,0 +1,80 @@
+"""Sparse design matrices linking latent effects to observations.
+
+An observation of response ``v`` at station location ``s`` and time knot
+``t`` reads the latent field through a row of ``A`` (paper Eq. 2):
+barycentric spatial weights placed in the time-``t`` block of the
+(time-major within process) spatio-temporal effect, plus the covariate
+values multiplying the fixed effects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.meshes.mesh2d import Mesh2D
+from repro.meshes.projector import point_interpolation_matrix
+from repro.meshes.temporal import TemporalMesh
+
+
+def spacetime_design(
+    mesh: Mesh2D,
+    tmesh: TemporalMesh,
+    coords: np.ndarray,
+    time_idx: np.ndarray,
+) -> sp.csr_matrix:
+    """Design matrix ``(m, ns * nt)`` for observations at ``(coords, time_idx)``.
+
+    ``coords``: ``(m, 2)`` station locations; ``time_idx``: ``(m,)``
+    integer time-knot indices.  The latent process is ordered time-major
+    (all spatial nodes of time 0, then time 1, ...).
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    time_idx = np.asarray(time_idx, dtype=np.int64)
+    if coords.ndim != 2 or coords.shape[1] != 2:
+        raise ValueError(f"coords must be (m, 2), got {coords.shape}")
+    if time_idx.shape != (coords.shape[0],):
+        raise ValueError("time_idx must match coords length")
+    if time_idx.min(initial=0) < 0 or time_idx.max(initial=-1) >= tmesh.nt:
+        raise ValueError(f"time indices out of range [0, {tmesh.nt})")
+
+    ns = mesh.n_nodes
+    A_s = point_interpolation_matrix(mesh, coords).tocoo()
+    # Shift each observation's spatial columns into its time block.
+    cols = A_s.col + time_idx[A_s.row] * ns
+    A = sp.coo_matrix(
+        (A_s.data, (A_s.row, cols)), shape=(coords.shape[0], ns * tmesh.nt)
+    ).tocsr()
+    A.sum_duplicates()
+    A.sort_indices()
+    return A
+
+
+def process_design(
+    mesh: Mesh2D,
+    tmesh: TemporalMesh,
+    coords: np.ndarray,
+    time_idx: np.ndarray,
+    covariates: np.ndarray,
+) -> sp.csr_matrix:
+    """Full per-process design ``[A_st | X]`` of shape ``(m, ns*nt + nr)``.
+
+    ``covariates``: ``(m, nr)`` fixed-effect values (e.g. intercept,
+    elevation) — these create the arrowhead coupling in ``Qc``
+    (paper Fig. 2a).
+    """
+    covariates = np.atleast_2d(np.asarray(covariates, dtype=np.float64))
+    if covariates.shape[0] != coords.shape[0]:
+        raise ValueError(
+            f"covariates rows {covariates.shape[0]} != observations {coords.shape[0]}"
+        )
+    A_st = spacetime_design(mesh, tmesh, coords, time_idx)
+    return sp.hstack([A_st, sp.csr_matrix(covariates)], format="csr")
+
+
+def joint_design(per_process: list) -> sp.csr_matrix:
+    """Variable-major block-diagonal joint design ``blkdiag(A_1 .. A_nv)``
+    (paper Eq. 5's ``A``)."""
+    if not per_process:
+        raise ValueError("need at least one per-process design")
+    return sp.block_diag(per_process, format="csr")

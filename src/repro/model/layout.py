@@ -1,0 +1,144 @@
+"""Hyperparameter vector layout for coregional spatio-temporal models.
+
+The optimizer works on a flat unconstrained vector ``theta``.  For ``nv``
+response variables the layout is::
+
+    [ log tau_1 .. log tau_nv        observation noise precisions
+      log rs_1, log rt_1, ...        per-process spatial/temporal ranges
+      log sigma_1 .. log sigma_nv    LMC scale parameters
+      lambda_1 .. lambda_{nv(nv-1)/2}  LMC couplings (unconstrained) ]
+
+For ``nv = 3`` this gives ``3 + 6 + 3 + 3 = 15`` hyperparameters and for
+``nv = 1`` exactly ``4`` — matching the paper's Table IV (``dim(theta)``
+of 15 for the coregional datasets and 4 for MB1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.coreg.lmc import n_couplings
+from repro.spde.params import SpatioTemporalParams
+
+
+@dataclass(frozen=True)
+class ThetaLayout:
+    """Index bookkeeping for the flat hyperparameter vector."""
+
+    nv: int
+
+    def __post_init__(self):
+        if self.nv < 1:
+            raise ValueError(f"nv must be >= 1, got {self.nv}")
+
+    @property
+    def n_lambda(self) -> int:
+        return n_couplings(self.nv)
+
+    @property
+    def dim(self) -> int:
+        return 4 * self.nv + self.n_lambda
+
+    @property
+    def n_feval(self) -> int:
+        """Parallel width of one central-difference gradient: the paper's
+        ``nfeval = 2 dim(theta) + 1`` (Sec. IV-D1)."""
+        return 2 * self.dim + 1
+
+    # -- slices -------------------------------------------------------------
+
+    def tau_slice(self) -> slice:
+        return slice(0, self.nv)
+
+    def range_slice(self, v: int) -> slice:
+        self._check_v(v)
+        base = self.nv + 2 * v
+        return slice(base, base + 2)
+
+    def sigma_slice(self) -> slice:
+        return slice(3 * self.nv, 4 * self.nv)
+
+    def lambda_slice(self) -> slice:
+        return slice(4 * self.nv, 4 * self.nv + self.n_lambda)
+
+    def _check_v(self, v: int) -> None:
+        if not 0 <= v < self.nv:
+            raise ValueError(f"response index {v} out of range [0, {self.nv})")
+
+    # -- extraction ----------------------------------------------------------
+
+    def validate(self, theta: np.ndarray) -> np.ndarray:
+        theta = np.asarray(theta, dtype=np.float64)
+        if theta.shape != (self.dim,):
+            raise ValueError(f"theta shape {theta.shape} != ({self.dim},)")
+        if not np.all(np.isfinite(theta)):
+            raise ValueError("theta contains non-finite entries")
+        return theta
+
+    def taus(self, theta: np.ndarray) -> np.ndarray:
+        """Observation noise precisions (natural scale)."""
+        return np.exp(self.validate(theta)[self.tau_slice()])
+
+    def process_params(self, theta: np.ndarray, v: int) -> SpatioTemporalParams:
+        """Unit-variance process parameters for response ``v``."""
+        theta = self.validate(theta)
+        rs, rt = np.exp(theta[self.range_slice(v)])
+        return SpatioTemporalParams(range_s=float(rs), range_t=float(rt), sigma=1.0)
+
+    def sigmas(self, theta: np.ndarray) -> np.ndarray:
+        """LMC scale parameters (natural scale)."""
+        return np.exp(self.validate(theta)[self.sigma_slice()])
+
+    def lambdas(self, theta: np.ndarray) -> np.ndarray:
+        """LMC couplings (already unconstrained)."""
+        return self.validate(theta)[self.lambda_slice()].copy()
+
+    # -- construction ----------------------------------------------------------
+
+    def pack(
+        self,
+        taus: np.ndarray,
+        ranges: np.ndarray,
+        sigmas: np.ndarray,
+        lambdas: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Build theta from natural-scale components.
+
+        ``ranges`` is ``(nv, 2)`` with columns ``(range_s, range_t)``.
+        """
+        taus = np.asarray(taus, dtype=np.float64)
+        ranges = np.asarray(ranges, dtype=np.float64)
+        sigmas = np.asarray(sigmas, dtype=np.float64)
+        lambdas = (
+            np.zeros(self.n_lambda) if lambdas is None else np.asarray(lambdas, dtype=np.float64)
+        )
+        if taus.shape != (self.nv,) or sigmas.shape != (self.nv,):
+            raise ValueError("taus and sigmas must have nv entries")
+        if ranges.shape != (self.nv, 2):
+            raise ValueError(f"ranges must be (nv, 2), got {ranges.shape}")
+        if lambdas.shape != (self.n_lambda,):
+            raise ValueError(f"lambdas must have {self.n_lambda} entries")
+        if np.any(taus <= 0) or np.any(ranges <= 0) or np.any(sigmas <= 0):
+            raise ValueError("taus, ranges and sigmas must be positive")
+        theta = np.empty(self.dim)
+        theta[self.tau_slice()] = np.log(taus)
+        for v in range(self.nv):
+            theta[self.range_slice(v)] = np.log(ranges[v])
+        theta[self.sigma_slice()] = np.log(sigmas)
+        theta[self.lambda_slice()] = lambdas
+        return theta
+
+    def describe(self, theta: np.ndarray) -> dict:
+        """Human-readable natural-scale dictionary (for reports)."""
+        theta = self.validate(theta)
+        return {
+            "tau": self.taus(theta).tolist(),
+            "ranges": [
+                (self.process_params(theta, v).range_s, self.process_params(theta, v).range_t)
+                for v in range(self.nv)
+            ],
+            "sigma": self.sigmas(theta).tolist(),
+            "lambda": self.lambdas(theta).tolist(),
+        }

@@ -1,0 +1,61 @@
+"""Gaussian observation model.
+
+For Gaussian likelihoods the Laplace approximation ``pG`` of paper Eq. 3
+is *exact*: the negative Hessian ``D`` of the log-likelihood is the
+constant diagonal ``tau I`` and the INLA objective needs no inner
+optimization.  This is also what decouples ``Qp`` from ``Qc`` and enables
+the S2 parallel factorization (paper Sec. III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GaussianLikelihood:
+    """Independent Gaussian noise with per-response precisions.
+
+    ``y`` is the concatenation of the ``nv`` response vectors;
+    ``response_of`` maps each observation to its response index so the
+    right ``tau_v`` applies.
+    """
+
+    y: np.ndarray
+    response_of: np.ndarray
+
+    def __post_init__(self):
+        y = np.asarray(self.y, dtype=np.float64)
+        r = np.asarray(self.response_of, dtype=np.int64)
+        if y.ndim != 1 or r.shape != y.shape:
+            raise ValueError("y and response_of must be equal-length vectors")
+        object.__setattr__(self, "y", y)
+        object.__setattr__(self, "response_of", r)
+
+    @property
+    def m(self) -> int:
+        return self.y.size
+
+    def noise_precisions(self, taus: np.ndarray) -> np.ndarray:
+        """Per-observation precision vector ``diag(D)``."""
+        taus = np.asarray(taus, dtype=np.float64)
+        if np.any(taus <= 0):
+            raise ValueError("noise precisions must be positive")
+        return taus[self.response_of]
+
+    def logpdf(self, eta: np.ndarray, taus: np.ndarray) -> float:
+        """``log l(y | theta, x)`` at linear predictor ``eta = A x``."""
+        eta = np.asarray(eta, dtype=np.float64)
+        if eta.shape != self.y.shape:
+            raise ValueError(f"eta shape {eta.shape} != y shape {self.y.shape}")
+        d = self.noise_precisions(taus)
+        resid = self.y - eta
+        return float(0.5 * np.sum(np.log(d)) - 0.5 * self.m * np.log(2.0 * np.pi)
+                     - 0.5 * np.sum(d * resid**2))
+
+    def information_vector(self, A, taus: np.ndarray) -> np.ndarray:
+        """``A^T D y`` — the right-hand side of the conditional-mean solve."""
+        d = self.noise_precisions(taus)
+        return np.asarray(A.T @ (d * self.y)).ravel()

@@ -1,0 +1,176 @@
+"""Synthetic air-pollution dataset for the Sec. VI application.
+
+The paper jointly models PM2.5, PM10 and O3 over northern Italy from CAMS
+reanalysis cells (0.1 deg, aggregated to daily values, 48 days) and then
+downscales to 0.02 deg.  CAMS data cannot be shipped offline, so this
+module synthesizes a trivariate pollutant field with the same structure:
+
+- a coregional LMC ground truth whose mixing reproduces the paper's
+  correlation pattern (PM2.5-PM10 strongly positive, both moderately
+  negative with O3);
+- elevation and coast-distance covariates with the paper's effect signs
+  (elevation decreases particulate matter, increases ozone);
+- observations on a coarse regular grid of "satellite cells";
+- a fine prediction grid for the 25-fold downscaling.
+
+Because the generating process is known, the reproduction can *verify*
+sign recovery and correlation recovery — something the real data cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.meshes.mesh2d import NORTHERN_ITALY_EXTENT, mesh_with_n_nodes
+from repro.meshes.temporal import TemporalMesh
+from repro.model.assembler import CoregionalSTModel, ResponseData
+from repro.model.layout import ThetaLayout
+
+POLLUTANTS = ("PM2.5", "PM10", "O3")
+
+#: Ground-truth elevation effects in ug/m^3 per km (paper Sec. VI).
+ELEVATION_EFFECTS = np.array([-0.45, -0.55, +1.27])
+
+#: LMC couplings reproducing the paper's correlations (+0.97, -0.61, -0.63).
+PAPER_LAMBDAS = np.array([3.9, -0.17, -0.75])
+
+
+def elevation_km(coords: np.ndarray) -> np.ndarray:
+    """Synthetic northern-Italy elevation (km): Po valley floor rising
+    into the Alps to the north/west."""
+    (x0, x1), (y0, y1) = NORTHERN_ITALY_EXTENT
+    x = (coords[:, 0] - x0) / (x1 - x0)
+    y = (coords[:, 1] - y0) / (y1 - y0)
+    alps = 2.2 * np.exp(-((y - 1.05) ** 2) / 0.09) * (0.8 + 0.2 * np.cos(3 * np.pi * x))
+    apennines = 0.9 * np.exp(-((y - 0.02) ** 2) / 0.05)
+    valley = 0.06 * np.ones_like(x)
+    return valley + alps + apennines
+
+
+def coast_distance(coords: np.ndarray) -> np.ndarray:
+    """Normalized distance to the Ligurian/Adriatic coasts (proxy)."""
+    (x0, x1), (y0, y1) = NORTHERN_ITALY_EXTENT
+    x = (coords[:, 0] - x0) / (x1 - x0)
+    y = (coords[:, 1] - y0) / (y1 - y0)
+    return np.minimum(np.hypot(x - 0.25, y), np.hypot(1.0 - x, y))
+
+
+def coarse_grid(step_deg: float = 0.1) -> np.ndarray:
+    """Regular grid of CAMS-like cell centers over the study region."""
+    (x0, x1), (y0, y1) = NORTHERN_ITALY_EXTENT
+    xs = np.arange(x0 + step_deg / 2, x1, step_deg)
+    ys = np.arange(y0 + step_deg / 2, y1, step_deg)
+    X, Y = np.meshgrid(xs, ys)
+    return np.column_stack([X.ravel(), Y.ravel()])
+
+
+@dataclass
+class PollutionDataset:
+    """A synthetic trivariate pollution problem plus its ground truth."""
+
+    model: CoregionalSTModel
+    theta_true: np.ndarray
+    latent_true: np.ndarray
+    obs_coords: np.ndarray
+    n_days: int
+
+    @property
+    def layout(self) -> ThetaLayout:
+        return self.model.layout
+
+
+def make_pollution_dataset(
+    *,
+    ns: int = 200,
+    n_days: int = 8,
+    obs_cells: int = 120,
+    seed: int = 2022,
+) -> PollutionDataset:
+    """Build the AP1-shaped application problem (scaled by default).
+
+    Paper scale is ``ns = 4210``, 48 days, 0.1-degree cells; pass those
+    values to reproduce it in full (slow in pure NumPy).
+    """
+    rng = np.random.default_rng(seed)
+    mesh = mesh_with_n_nodes(ns, extent=NORTHERN_ITALY_EXTENT)
+    tmesh = TemporalMesh(nt=n_days)
+    layout = ThetaLayout(3)
+
+    # Ground truth: ranges in degrees/days, unit process variances mixed
+    # through Lambda, per-pollutant noise.
+    theta_true = layout.pack(
+        taus=np.array([8.0, 8.0, 8.0]),
+        ranges=np.array([[2.2, 4.0], [2.2, 4.0], [2.6, 5.0]]),
+        sigmas=np.array([1.0, 0.25, 0.8]),
+        lambdas=PAPER_LAMBDAS,
+    )
+
+    # Observation stations: a thinned regular CAMS-like grid.
+    cells = coarse_grid(0.1)
+    keep = rng.choice(len(cells), size=min(obs_cells, len(cells)), replace=False)
+    coords = cells[np.sort(keep)]
+    # Clip strictly inside the mesh.
+    (x0, x1), (y0, y1) = NORTHERN_ITALY_EXTENT
+    coords = coords[
+        (coords[:, 0] > x0 + 0.05)
+        & (coords[:, 0] < x1 - 0.05)
+        & (coords[:, 1] > y0 + 0.05)
+        & (coords[:, 1] < y1 - 0.05)
+    ]
+    m_st = len(coords)
+    coords_all = np.tile(coords, (n_days, 1))
+    time_idx = np.repeat(np.arange(n_days), m_st)
+
+    # Covariates: intercept + elevation (km).  The paper reports the
+    # elevation effect, so it is the covariate we track.
+    X = np.column_stack([np.ones(len(coords_all)), elevation_km(coords_all)])
+
+    responses = [
+        ResponseData(coords=coords_all, time_idx=time_idx, covariates=X, y=np.zeros(len(coords_all)))
+        for _ in range(3)
+    ]
+    model = CoregionalSTModel(mesh, tmesh, responses)
+
+    # Simulate: latent field from the prior; then *override* the fixed
+    # effects with the paper's elevation coefficients so sign recovery is a
+    # meaningful check rather than a draw from the diffuse prior.
+    from repro.model.datasets import _simulate_latent
+
+    latent = _simulate_latent(model, theta_true, rng)
+    stride = model.dim_process
+    k = model.ns * model.nt
+    for v in range(3):
+        latent[v * stride + k] = 0.0  # intercept
+        latent[v * stride + k + 1] = ELEVATION_EFFECTS[v]
+
+    eta = np.asarray(model.A @ latent).ravel()
+    taus = layout.taus(theta_true)
+    noise_sd = 1.0 / np.sqrt(taus[model.likelihood.response_of])
+    y = eta + noise_sd * rng.standard_normal(eta.size)
+
+    offset = 0
+    final = []
+    for r in responses:
+        final.append(
+            ResponseData(
+                coords=r.coords, time_idx=r.time_idx, covariates=r.covariates,
+                y=y[offset : offset + r.m],
+            )
+        )
+        offset += r.m
+    model = CoregionalSTModel(mesh, tmesh, final)
+    return PollutionDataset(
+        model=model,
+        theta_true=theta_true,
+        latent_true=latent,
+        obs_coords=coords,
+        n_days=n_days,
+    )
+
+
+def downscaling_grid(factor: int = 5, base_step: float = 0.1) -> np.ndarray:
+    """Fine prediction grid: paper uses 0.1 deg -> 0.02 deg (factor 5,
+    a 25-fold increase in spatial detail)."""
+    return coarse_grid(base_step / factor)

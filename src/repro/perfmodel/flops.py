@@ -1,0 +1,142 @@
+"""Analytic flop counts for the structured kernels.
+
+Conventions: one fused multiply-add = 2 flops; a ``POTRF`` of size ``b``
+costs ``b^3 / 3``; a ``TRSM`` with ``k`` right-hand-side columns costs
+``k b^2``; a ``GEMM`` ``(p x q) (q x r)`` costs ``2 p q r``.
+
+These counts drive the performance model and also document the paper's
+complexity claims (Table III: ``O(n b^3)`` factorization; Sec. IV-D2:
+BTA adds ``O(a^3)`` and the imbalance ratio ``r_Q = a^3 / b^3``).
+"""
+
+from __future__ import annotations
+
+
+def potrf_flops(b: int) -> float:
+    return b**3 / 3.0
+
+
+def trsm_flops(b: int, k: int) -> float:
+    return float(k) * b**2
+
+
+def gemm_flops(p: int, q: int, r: int) -> float:
+    return 2.0 * p * q * r
+
+
+def bta_factorization_flops(n: int, b: int, a: int) -> float:
+    """Sequential ``pobtaf``: per block one POTRF, two TRSMs, three GEMMs."""
+    per_block = (
+        potrf_flops(b)
+        + trsm_flops(b, b)  # L[i+1, i]
+        + trsm_flops(b, a)  # L[t, i]
+        + gemm_flops(b, b, b)  # diag update
+        + gemm_flops(a, b, b)  # arrow update
+        + gemm_flops(a, b, a)  # tip update
+    )
+    return n * per_block + potrf_flops(a)
+
+
+def bta_solve_flops(n: int, b: int, a: int, k: int = 1) -> float:
+    """Sequential ``pobtas``: two triangular sweeps, ``O(n b^2 k)``."""
+    per_block = 2.0 * (
+        trsm_flops(b, k)  # diagonal solves (fwd + bwd counted via factor 2)
+        + gemm_flops(b, b, k)  # neighbor update
+        + gemm_flops(a, b, k)  # arrow update
+    )
+    return n * per_block + 2.0 * trsm_flops(a, k)
+
+
+def bta_selected_inversion_flops(n: int, b: int, a: int) -> float:
+    """Sequential ``pobtasi``: same order as the factorization."""
+    per_block = (
+        2.0 * trsm_flops(b, b)  # two right-solves per off-diagonal block
+        + 4.0 * gemm_flops(b, b, b)
+        + 3.0 * gemm_flops(a, b, b)
+        + gemm_flops(a, a, b)
+    )
+    return n * per_block + gemm_flops(a, a, a)
+
+
+def partition_factorization_flops(n_local: int, b: int, a: int, *, first: bool) -> float:
+    """Per-partition interior elimination cost in ``d_pobtaf``.
+
+    Partition 0 runs the standard per-block step; later partitions carry
+    the fill column — one extra TRSM and three extra GEMMs per block,
+    i.e. roughly twice the work.  This asymmetry is the paper's motivation
+    for the boundary load-balancing factor (Fig. 5, ``lb = 1.6``).
+    """
+    base = (
+        potrf_flops(b)
+        + trsm_flops(b, b)
+        + trsm_flops(b, a)
+        + gemm_flops(b, b, b)
+        + gemm_flops(a, b, b)
+        + gemm_flops(a, b, a)
+    )
+    fill_extra = trsm_flops(b, b) + 2.0 * gemm_flops(b, b, b) + gemm_flops(a, b, b)
+    m = max(n_local - (1 if first else 2), 0)
+    return m * (base + (0.0 if first else fill_extra))
+
+
+def reduced_system_blocks(P: int) -> int:
+    """Number of diagonal blocks in the nested-dissection reduced system."""
+    return max(2 * P - 1, 1)
+
+
+def d_pobtaf_critical_flops(counts: list, b: int, a: int) -> float:
+    """Critical-path flops of the distributed factorization.
+
+    ``counts`` are per-partition block counts; the slowest interior
+    elimination plus the (redundant) reduced-system factorization bound
+    the makespan.
+    """
+    P = len(counts)
+    interior = max(
+        partition_factorization_flops(c, b, a, first=(p == 0)) for p, c in enumerate(counts)
+    )
+    reduced = bta_factorization_flops(reduced_system_blocks(P), b, a)
+    return interior + reduced
+
+
+def d_pobtas_critical_flops(counts: list, b: int, a: int, k: int = 1) -> float:
+    """Critical-path flops of the distributed triangular solve (P POBTAS).
+
+    Unlike the factorization, the per-block solve work of middle
+    partitions is only marginally higher than partition 0's (one extra
+    GEMV pair), so the critical path follows the *largest* partition.
+    This is why boundary load balancing tuned for the ``b^3`` kernels
+    makes the solve *worse* (paper Fig. 5) — the effect is amplified by
+    kernel-launch latency, modeled in
+    :meth:`repro.perfmodel.scaling.DaliaPerfModel.solve_time`.
+    """
+    P = len(counts)
+    interior = max(
+        bta_solve_flops(c, b, a, k) * (1.0 if p == 0 else 1.2) for p, c in enumerate(counts)
+    )
+    reduced = bta_solve_flops(reduced_system_blocks(P), b, a, k)
+    return interior + reduced
+
+
+def d_pobtasi_critical_flops(counts: list, b: int, a: int) -> float:
+    """Critical-path flops of the distributed selected inversion."""
+    P = len(counts)
+    interior = max(
+        bta_selected_inversion_flops(c, b, a) * (1.0 if p == 0 else 2.0)
+        for p, c in enumerate(counts)
+    )
+    reduced = bta_selected_inversion_flops(reduced_system_blocks(P), b, a)
+    return interior + reduced
+
+
+def d_pobtaf_comm_bytes(P: int, b: int, a: int) -> float:
+    """Allgather volume of the reduced-system assembly, per rank."""
+    if P <= 1:
+        return 0.0
+    per_contrib = (2 * b * b + b * b + 2 * a * b + a * a) * 8.0
+    return P * per_contrib
+
+
+def sparse_to_dense_bytes(nnz: int) -> float:
+    """The O(nnz) mapping cost (paper Sec. IV-F): read + write per nonzero."""
+    return 24.0 * nnz  # value + source index + destination write

@@ -1,0 +1,72 @@
+"""Alignment of sparse matrices onto a fixed reference pattern.
+
+The INLA objective re-assembles precision matrices at every evaluation;
+their *numerical* pattern can shrink when couplings pass through zero
+(e.g. an LMC ``lambda = 0`` removes whole blocks).  The structured-solver
+mappings and permutation plans require a *fixed* pattern, so every
+assembled matrix is scattered into the reference pattern's data array —
+an ``O(nnz)`` fancy-indexed copy, never an index recomputation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class PatternAligner:
+    """Scatter matrices with sub-patterns into a fixed canonical pattern."""
+
+    def __init__(self, pattern: sp.spmatrix):
+        A = sp.csr_matrix(pattern).copy()
+        A.sum_duplicates()
+        A.sort_indices()
+        self.pattern = A
+        # Slot lookup: same-pattern CSR whose data are the slot indices.
+        self._lookup = sp.csr_matrix(
+            (np.arange(A.nnz, dtype=np.int64) + 1, A.indices, A.indptr), shape=A.shape
+        )
+        # (key, slots) stored as one tuple so concurrent readers (S1
+        # threads) always see a consistent pair.
+        self._cache = None
+
+    @property
+    def nnz(self) -> int:
+        return self.pattern.nnz
+
+    def align(self, Q: sp.spmatrix, out: sp.csr_matrix | None = None) -> sp.csr_matrix:
+        """Return ``Q`` re-expressed on the reference pattern.
+
+        Entries of the reference pattern absent from ``Q`` become explicit
+        zeros; an entry of ``Q`` outside the pattern raises.  Row/column
+        slot computations are cached per observed sub-pattern, so repeated
+        calls with the same symbolic shape cost one fancy-indexed copy.
+        """
+        Q = sp.csr_matrix(Q)
+        Q.sum_duplicates()
+        Q.sort_indices()
+        if Q.shape != self.pattern.shape:
+            raise ValueError(f"shape {Q.shape} != pattern shape {self.pattern.shape}")
+        key = hash((Q.indptr.tobytes(), Q.indices.tobytes()))
+        cached = self._cache
+        if cached is not None and cached[0] == key:
+            slots = cached[1]
+        else:
+            rows = np.repeat(np.arange(Q.shape[0]), np.diff(Q.indptr))
+            slots = np.asarray(self._lookup[rows, Q.indices]).ravel().astype(np.int64)
+            if np.any(slots == 0):
+                bad = np.argmax(slots == 0)
+                raise ValueError(
+                    f"entry ({rows[bad]}, {Q.indices[bad]}) is outside the reference pattern"
+                )
+            slots -= 1
+            self._cache = (key, slots)
+        if out is None:
+            out = sp.csr_matrix(
+                (np.zeros(self.nnz), self.pattern.indices, self.pattern.indptr),
+                shape=self.pattern.shape,
+            )
+        else:
+            out.data[:] = 0.0
+        out.data[slots] = Q.data
+        return out

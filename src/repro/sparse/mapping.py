@@ -1,0 +1,109 @@
+"""Sparse-to-structured-dense (BTA) mapping.
+
+The distributed solver operates on densified BT/BTA block stacks, but the
+precision matrices are assembled sparse.  Naively densifying costs
+``O(n b^2)`` writes per evaluation; the paper implements custom CUDA
+kernels to scatter only the nonzeros, bringing the cost to ``O(nnz)``
+(and ``O(nnz / P)`` per rank under S3; Sec. IV-F).
+
+:class:`BTAMapping` is the NumPy equivalent: for a fixed CSR pattern it
+precomputes, once, the flat destination index of every nonzero inside the
+``(n, b, b)`` / ``(n, a, b)`` / ``(a, a)`` block stacks; every subsequent
+remap of new data is a single fancy-indexed scatter per stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.structured.bta import BTAMatrix, BTAShape
+
+
+class BTAMapping:
+    """O(nnz) scatter from a fixed CSR pattern into BTA block storage."""
+
+    def __init__(self, pattern: sp.spmatrix, shape: BTAShape):
+        A = sp.csr_matrix(pattern).copy()
+        A.sum_duplicates()
+        A.sort_indices()
+        if A.shape != (shape.N, shape.N):
+            raise ValueError(f"pattern shape {A.shape} != ({shape.N}, {shape.N})")
+        self.shape3 = shape
+        self._indptr = A.indptr.copy()
+        self._indices = A.indices.copy()
+        n, b, a = shape.n, shape.b, shape.a
+
+        rows = np.repeat(np.arange(shape.N), np.diff(A.indptr))
+        cols = A.indices
+        src = np.arange(A.nnz, dtype=np.int64)
+
+        in_arrow_row = rows >= n * b
+        in_arrow_col = cols >= n * b
+        brow = np.where(in_arrow_row, -1, rows // b)
+        bcol = np.where(in_arrow_col, -1, cols // b)
+
+        # Lower-triangle-only storage: keep diag blocks fully (solvers read
+        # the full symmetric block), keep sub-diagonal and arrow-row blocks,
+        # drop strictly-upper entries (they mirror stored ones).
+        diag_mask = (~in_arrow_row) & (~in_arrow_col) & (brow == bcol)
+        lower_mask = (~in_arrow_row) & (~in_arrow_col) & (brow == bcol + 1)
+        upper_mask = (~in_arrow_row) & (~in_arrow_col) & (bcol == brow + 1)
+        arrow_mask = in_arrow_row & (~in_arrow_col)
+        arrow_t_mask = (~in_arrow_row) & in_arrow_col
+        tip_mask = in_arrow_row & in_arrow_col
+
+        outside = ~(diag_mask | lower_mask | upper_mask | arrow_mask | arrow_t_mask | tip_mask)
+        if outside.any():
+            i, j = rows[outside][0], cols[outside][0]
+            raise ValueError(
+                f"pattern entry ({i}, {j}) falls outside the BTA structure "
+                f"(n={n}, b={b}, a={a})"
+            )
+
+        def flat_block(mask, block_of_row, nrows_in_block, r_local, c_local):
+            blk = block_of_row[mask]
+            return (blk * nrows_in_block + r_local[mask]) * b + c_local[mask], src[mask]
+
+        r_in = rows % b
+        c_in = cols % b
+        self._diag_dst, self._diag_src = flat_block(diag_mask, brow, b, r_in, c_in)
+        self._lower_dst, self._lower_src = (
+            ((brow[lower_mask] - 1) * b + r_in[lower_mask]) * b + c_in[lower_mask],
+            src[lower_mask],
+        )
+        ra = rows - n * b
+        ca = cols - n * b
+        self._arrow_dst = (bcol[arrow_mask] * a + ra[arrow_mask]) * b + c_in[arrow_mask]
+        self._arrow_src = src[arrow_mask]
+        self._tip_dst = ca[tip_mask] + a * ra[tip_mask]
+        self._tip_src = src[tip_mask]
+        self.nnz = A.nnz
+
+    def check_pattern(self, A: sp.csr_matrix) -> None:
+        if A.nnz != self.nnz or not (
+            np.array_equal(A.indptr, self._indptr) and np.array_equal(A.indices, self._indices)
+        ):
+            raise ValueError("matrix pattern differs from the mapped pattern")
+
+    def map(self, A: sp.spmatrix, out: BTAMatrix | None = None) -> BTAMatrix:
+        """Scatter the CSR data into BTA block stacks (``O(nnz)``).
+
+        ``out`` may be a previously returned matrix to reuse its storage.
+        """
+        A = sp.csr_matrix(A)
+        self.check_pattern(A)
+        s = self.shape3
+        if out is None:
+            out = BTAMatrix.zeros(s)
+        else:
+            out.diag[...] = 0.0
+            out.lower[...] = 0.0
+            out.arrow[...] = 0.0
+            out.tip[...] = 0.0
+        out.diag.ravel()[self._diag_dst] = A.data[self._diag_src]
+        out.lower.ravel()[self._lower_dst] = A.data[self._lower_src]
+        if s.a:
+            out.arrow.ravel()[self._arrow_dst] = A.data[self._arrow_src]
+            out.tip.ravel()[self._tip_dst] = A.data[self._tip_src]
+        return out

@@ -1,0 +1,140 @@
+"""Precomputed symmetric permutations of sparse matrices.
+
+The coregional joint precision ``Q_nv`` (paper Eq. 11) is naturally
+ordered *variable-major* (all time steps of response 1, then response 2,
+...) which destroys the BT/BTA pattern (paper Fig. 2b).  Reordering
+*time-major* (all responses' parameters for time step 1, then time step 2,
+..., fixed effects last) recovers it with enlarged blocks ``b = nv * ns``
+(Fig. 2c).
+
+Because each univariate process carries its own hyperparameters, the joint
+matrix must be permuted at *every* objective evaluation.  The paper's
+trick (Sec. IV-B1): compute the permutation of the nonzero pattern once,
+store the index map, and thereafter permute by fancy-indexing the CSR
+*data array only* — ``O(nnz)`` with no index recomputation.
+:class:`SymmetricPermutation` implements exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class SymmetricPermutation:
+    """A permutation ``pi`` applied symmetrically: ``B = A[pi, :][:, pi]``.
+
+    ``pi`` maps new index -> old index (``B[i, j] = A[pi[i], pi[j]]``).
+    """
+
+    def __init__(self, perm: np.ndarray):
+        perm = np.asarray(perm, dtype=np.int64)
+        if perm.ndim != 1:
+            raise ValueError("permutation must be a 1-D index vector")
+        n = perm.size
+        seen = np.zeros(n, dtype=bool)
+        seen[perm] = True
+        if not seen.all():
+            raise ValueError("not a permutation: indices missing or repeated")
+        self.perm = perm
+        self.inverse = np.empty_like(perm)
+        self.inverse[perm] = np.arange(n)
+        self._plan_pattern = None
+        self._plan_order = None
+        self._plan_out = None
+
+    @property
+    def n(self) -> int:
+        return self.perm.size
+
+    # -- vectors ----------------------------------------------------------
+
+    def apply_vector(self, x: np.ndarray) -> np.ndarray:
+        """Permute a vector (or the leading axis of a matrix) into new order."""
+        return np.asarray(x)[self.perm]
+
+    def undo_vector(self, x: np.ndarray) -> np.ndarray:
+        """Inverse-permute back to the original ordering."""
+        return np.asarray(x)[self.inverse]
+
+    # -- matrices ----------------------------------------------------------
+
+    def apply_matrix(self, A: sp.spmatrix) -> sp.csr_matrix:
+        """``P A P^T`` computed from scratch (used once to build the plan)."""
+        A = sp.csr_matrix(A)
+        if A.shape != (self.n, self.n):
+            raise ValueError(f"matrix shape {A.shape} != ({self.n}, {self.n})")
+        out = A[self.perm, :][:, self.perm].tocsr()
+        out.sum_duplicates()
+        out.sort_indices()
+        return out
+
+    def build_plan(self, pattern: sp.spmatrix) -> None:
+        """Precompute the data-array index map for matrices with this pattern.
+
+        ``pattern`` must be in canonical CSR form (sorted indices, no
+        duplicates); any later matrix with the *same* indptr/indices can be
+        permuted by :meth:`apply_data` in ``O(nnz)``.
+        """
+        A = sp.csr_matrix(pattern).copy()
+        A.sum_duplicates()
+        A.sort_indices()
+        tagged = sp.csr_matrix(
+            (np.arange(A.nnz, dtype=np.int64) + 1, A.indices, A.indptr), shape=A.shape
+        )
+        permuted = tagged[self.perm, :][:, self.perm].tocsr()
+        permuted.sum_duplicates()
+        permuted.sort_indices()
+        self._plan_pattern = (A.indptr.copy(), A.indices.copy())
+        self._plan_order = (permuted.data - 1).astype(np.int64)
+        # Permuted index arrays are shared read-only by every apply_data
+        # call; each call gets a fresh data array (thread safety: objective
+        # evaluations run concurrently under strategy S1).
+        self._plan_indptr = permuted.indptr.copy()
+        self._plan_indices = permuted.indices.copy()
+
+    def apply_data(self, A: sp.spmatrix) -> sp.csr_matrix:
+        """Permute using the precomputed plan (data-array shuffle only)."""
+        if self._plan_order is None:
+            raise RuntimeError("call build_plan(pattern) before apply_data")
+        A = sp.csr_matrix(A)
+        indptr, indices = self._plan_pattern
+        if A.nnz != self._plan_order.size or not (
+            np.array_equal(A.indptr, indptr) and np.array_equal(A.indices, indices)
+        ):
+            raise ValueError("matrix pattern differs from the planned pattern")
+        return sp.csr_matrix(
+            (A.data[self._plan_order], self._plan_indices, self._plan_indptr),
+            shape=(self.n, self.n),
+        )
+
+
+def time_major_permutation(nv: int, ns: int, nt: int, nr: int) -> SymmetricPermutation:
+    """Permutation from variable-major to time-major coregional ordering.
+
+    Old (variable-major) layout, as Eq. 11 constructs it::
+
+        [ v0: t0 s0..s_{ns-1}, t1 ..., fixed_0..fixed_{nr-1} | v1: ... | ... ]
+
+    New (time-major) layout recovering BT/BTA (paper Fig. 2c)::
+
+        [ t0: v0 s*, v1 s*, ..., | t1: ... | ... | all fixed effects ]
+
+    Returns the :class:`SymmetricPermutation` with ``perm[new] = old``.
+    """
+    if min(nv, ns, nt) < 1 or nr < 0:
+        raise ValueError(f"invalid dims nv={nv}, ns={ns}, nt={nt}, nr={nr}")
+    stride = ns * nt + nr  # size of one univariate process block
+    perm = np.empty(nv * stride, dtype=np.int64)
+    pos = 0
+    for t in range(nt):
+        for v in range(nv):
+            old = v * stride + t * ns
+            perm[pos : pos + ns] = np.arange(old, old + ns)
+            pos += ns
+    for v in range(nv):
+        old = v * stride + ns * nt
+        perm[pos : pos + nr] = np.arange(old, old + nr)
+        pos += nr
+    assert pos == nv * stride
+    return SymmetricPermutation(perm)

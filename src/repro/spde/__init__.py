@@ -1,0 +1,32 @@
+"""SPDE / GMRF precision-matrix construction.
+
+Implements the stochastic-partial-differential-equation representation of
+Gaussian fields (paper refs. [24], [25]):
+
+- :mod:`repro.spde.matern` — stationary spatial Matern fields
+  (``alpha = 2``) on a triangulated mesh;
+- :mod:`repro.spde.spatiotemporal` — the diffusion-based (DEMF(1,2,1))
+  non-separable spatio-temporal model whose precision is a sum of three
+  sparse Kronecker products, block-tridiagonal in time-major order;
+- :mod:`repro.spde.params` — mappings between interpretable
+  hyperparameters (spatial range, temporal range, marginal standard
+  deviation) and the internal SPDE coefficients
+  ``(gamma_s, gamma_t, gamma_e)``;
+- :mod:`repro.spde.priors` — Gaussian priors on log-hyperparameters.
+"""
+
+from repro.spde.matern import matern_precision, spatial_operators
+from repro.spde.params import SpatioTemporalParams, gammas_from_interpretable, interpretable_from_gammas
+from repro.spde.priors import GaussianPrior, PriorCollection
+from repro.spde.spatiotemporal import SpatioTemporalSPDE
+
+__all__ = [
+    "matern_precision",
+    "spatial_operators",
+    "SpatioTemporalSPDE",
+    "SpatioTemporalParams",
+    "gammas_from_interpretable",
+    "interpretable_from_gammas",
+    "GaussianPrior",
+    "PriorCollection",
+]

@@ -1,0 +1,71 @@
+"""Spatial Matern fields via the SPDE approach (Lindgren et al. 2011).
+
+A Matern field with smoothness ``nu = alpha - d/2`` solves
+``(kappa^2 - Delta)^{alpha/2} (tau u) = W`` on the domain.  With P1
+elements and a *lumped* mass matrix ``C`` the discrete precision for
+``alpha = 2`` is::
+
+    Q = tau^2 (kappa^4 C + 2 kappa^2 G + G C^{-1} G)
+
+All powers of the operator ``K = kappa^2 C + G`` stay sparse because
+``C^{-1}`` is diagonal.  The helper :func:`spatial_operators` returns the
+first three powers ``q1 = K``, ``q2 = K C^{-1} K``, ``q3 = K C^{-1} K
+C^{-1} K`` used by the spatio-temporal construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.meshes.fem import fem_matrices
+from repro.meshes.mesh2d import Mesh2D
+
+
+def _canon(A: sp.spmatrix) -> sp.csr_matrix:
+    A = sp.csr_matrix(A)
+    A.sum_duplicates()
+    A.sort_indices()
+    return A
+
+
+def spatial_operators(mesh_or_CG, kappa: float) -> tuple:
+    """First three powers of ``K = kappa^2 C + G`` (all CSR, symmetric).
+
+    ``mesh_or_CG`` is either a :class:`Mesh2D` or a precomputed
+    ``(C_lumped, G)`` pair — passing the pair avoids re-assembling the FEM
+    matrices in every objective evaluation.
+    """
+    if isinstance(mesh_or_CG, Mesh2D):
+        C, G = fem_matrices(mesh_or_CG)
+    else:
+        C, G = mesh_or_CG
+    if kappa <= 0:
+        raise ValueError(f"kappa must be positive, got {kappa}")
+    C = sp.csr_matrix(C)
+    cinv = sp.diags(1.0 / C.diagonal())
+    q1 = _canon(kappa**2 * C + G)
+    q2 = _canon(q1 @ cinv @ q1)
+    q3 = _canon(q1 @ cinv @ q2)
+    return q1, q2, q3
+
+
+def matern_precision(mesh_or_CG, *, range_: float, sigma: float) -> sp.csr_matrix:
+    """Precision of an ``alpha = 2`` Matern field with unit-area marginals.
+
+    Interpretable parameterization: ``kappa = sqrt(8 nu) / range`` with
+    ``nu = 1`` and ``tau`` chosen so the marginal variance is ``sigma^2``
+    (stationary formula ``sigma^2 = 1 / (4 pi kappa^2 tau^2)``).
+    """
+    if range_ <= 0 or sigma <= 0:
+        raise ValueError(f"range and sigma must be positive, got {range_}, {sigma}")
+    nu = 1.0
+    kappa = np.sqrt(8.0 * nu) / range_
+    tau2 = 1.0 / (4.0 * np.pi * kappa**2 * sigma**2)
+    if isinstance(mesh_or_CG, Mesh2D):
+        C, G = fem_matrices(mesh_or_CG)
+    else:
+        C, G = mesh_or_CG
+    cinv = sp.diags(1.0 / sp.csr_matrix(C).diagonal())
+    K = kappa**2 * C + G
+    return _canon(tau2 * (K @ cinv @ K))

@@ -1,0 +1,101 @@
+"""Hyperparameter mappings for the DEMF(1,2,1) spatio-temporal model.
+
+The model has interpretable hyperparameters ``(r_s, r_t, sigma)`` — the
+spatial correlation range, the temporal correlation range, and the
+marginal standard deviation — which map to the internal SPDE coefficients
+``(gamma_s, gamma_t, gamma_e)`` (Lindgren et al. 2024, paper ref. [25]).
+For ``(alpha_t, alpha_s, alpha_e) = (1, 2, 1)`` on a 2-D spatial domain:
+
+    nu_s    = alpha - d/2 = 1           with  alpha = alpha_e + alpha_s (alpha_t - 1/2) = 2
+    gamma_s = sqrt(8 nu_s) / r_s
+    gamma_t = (r_t / sqrt(8 (alpha_t - 1/2))) * gamma_s^{alpha_s}
+            = r_t gamma_s^2 / 2
+    sigma_0^2 = Gamma(alpha_t - 1/2) Gamma(alpha - d/2)
+                / (Gamma(alpha_t) Gamma(alpha) (4 pi)^{(d+1)/2}
+                   gamma_t gamma_s^{2(alpha-1)} )
+    gamma_e = sigma_0 / sigma            so the field has variance sigma^2
+
+The INLA optimizer works in ``theta = (log r_s, log r_t, log sigma)``
+space (unconstrained), exactly like R-INLA and INLA_DIST.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import gamma as gamma_fn
+
+ALPHA_T = 1
+ALPHA_S = 2
+ALPHA_E = 1
+D_SPACE = 2
+ALPHA = ALPHA_E + ALPHA_S * (ALPHA_T - 0.5)  # = 2
+NU_S = ALPHA - D_SPACE / 2.0  # = 1
+NU_T = ALPHA_T - 0.5  # = 1/2
+
+
+@dataclass(frozen=True)
+class SpatioTemporalParams:
+    """Interpretable hyperparameters of one univariate ST process."""
+
+    range_s: float
+    range_t: float
+    sigma: float
+
+    def __post_init__(self):
+        if not all(np.isfinite([self.range_s, self.range_t, self.sigma])):
+            raise ValueError(f"all parameters must be finite: {self}")
+        if min(self.range_s, self.range_t, self.sigma) <= 0:
+            raise ValueError(f"all parameters must be positive: {self}")
+
+    def to_theta(self) -> np.ndarray:
+        """Unconstrained optimizer coordinates (log scale)."""
+        return np.log([self.range_s, self.range_t, self.sigma])
+
+    @classmethod
+    def from_theta(cls, theta: np.ndarray) -> "SpatioTemporalParams":
+        theta = np.asarray(theta, dtype=np.float64)
+        if theta.shape != (3,):
+            raise ValueError(f"theta must have 3 entries, got shape {theta.shape}")
+        r_s, r_t, sig = np.exp(theta)
+        return cls(range_s=float(r_s), range_t=float(r_t), sigma=float(sig))
+
+
+def _sigma0_squared(gamma_s: float, gamma_t: float) -> float:
+    """Marginal variance of the unit-``gamma_e`` DEMF(1,2,1) field."""
+    with np.errstate(over="raise", divide="raise"):
+        try:
+            num = gamma_fn(NU_T) * gamma_fn(NU_S)
+            den = (
+                gamma_fn(ALPHA_T)
+                * gamma_fn(ALPHA)
+                * (4.0 * np.pi) ** ((D_SPACE + 1) / 2.0)
+                * gamma_t
+                * gamma_s ** (2.0 * (ALPHA - 1.0))
+            )
+            out = num / den
+        except FloatingPointError as exc:
+            raise ValueError(f"hyperparameters out of range: {exc}") from exc
+    if not np.isfinite(out) or out <= 0:
+        raise ValueError(f"non-finite marginal variance for gammas ({gamma_s}, {gamma_t})")
+    return out
+
+
+def gammas_from_interpretable(params: SpatioTemporalParams) -> tuple:
+    """Map ``(r_s, r_t, sigma)`` to internal ``(gamma_s, gamma_t, gamma_e)``."""
+    gamma_s = np.sqrt(8.0 * NU_S) / params.range_s
+    gamma_t = params.range_t * gamma_s**ALPHA_S / np.sqrt(8.0 * NU_T)
+    sigma0 = np.sqrt(_sigma0_squared(gamma_s, gamma_t))
+    gamma_e = sigma0 / params.sigma
+    return float(gamma_s), float(gamma_t), float(gamma_e)
+
+
+def interpretable_from_gammas(gamma_s: float, gamma_t: float, gamma_e: float) -> SpatioTemporalParams:
+    """Inverse of :func:`gammas_from_interpretable` (used in tests)."""
+    if min(gamma_s, gamma_t, gamma_e) <= 0:
+        raise ValueError("gammas must be positive")
+    range_s = np.sqrt(8.0 * NU_S) / gamma_s
+    range_t = gamma_t * np.sqrt(8.0 * NU_T) / gamma_s**ALPHA_S
+    sigma = np.sqrt(_sigma0_squared(gamma_s, gamma_t)) / gamma_e
+    return SpatioTemporalParams(range_s=float(range_s), range_t=float(range_t), sigma=float(sigma))

@@ -1,0 +1,61 @@
+"""Priors over hyperparameters.
+
+INLA needs ``log p(theta)`` (first term of the objective, paper Eq. 8).
+Following INLA_DIST's default we place independent Gaussian priors on the
+*log-scale* hyperparameters; a :class:`PriorCollection` evaluates the
+joint log-density and supplies the starting point for BFGS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GaussianPrior:
+    """Univariate Gaussian prior on one (log-scale) hyperparameter."""
+
+    mean: float = 0.0
+    precision: float = 0.5
+
+    def __post_init__(self):
+        if self.precision <= 0:
+            raise ValueError(f"prior precision must be positive, got {self.precision}")
+
+    def logpdf(self, x: float) -> float:
+        return 0.5 * (np.log(self.precision) - np.log(2.0 * np.pi)) - 0.5 * self.precision * (
+            x - self.mean
+        ) ** 2
+
+    def grad_logpdf(self, x: float) -> float:
+        return -self.precision * (x - self.mean)
+
+
+class PriorCollection:
+    """Independent Gaussian priors over the full theta vector."""
+
+    def __init__(self, priors: list):
+        if not priors:
+            raise ValueError("need at least one prior")
+        self.priors = list(priors)
+
+    @classmethod
+    def default(cls, dim: int, *, mean: float = 0.0, precision: float = 0.5) -> "PriorCollection":
+        """Weakly informative iid Gaussian priors for all components."""
+        return cls([GaussianPrior(mean=mean, precision=precision) for _ in range(dim)])
+
+    @property
+    def dim(self) -> int:
+        return len(self.priors)
+
+    def logpdf(self, theta: np.ndarray) -> float:
+        theta = np.asarray(theta, dtype=np.float64)
+        if theta.shape != (self.dim,):
+            raise ValueError(f"theta shape {theta.shape} != ({self.dim},)")
+        return float(sum(p.logpdf(t) for p, t in zip(self.priors, theta)))
+
+    def mean_vector(self) -> np.ndarray:
+        """Prior means — the default BFGS starting point."""
+        return np.array([p.mean for p in self.priors])

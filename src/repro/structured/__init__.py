@@ -1,0 +1,44 @@
+"""Structured sparse linear algebra for BT / BTA matrices (Serinv substrate).
+
+The precision matrices arising in DALIA's spatio-temporal models are
+block-tridiagonal (BT, the prior ``Qp``) or block-tridiagonal with an
+arrowhead (BTA, the conditional ``Qc``; paper Fig. 2).  This package
+implements the three bottleneck operations on their *densified-block*
+representation:
+
+- Cholesky factorization      (``pobtaf``  / distributed ``d_pobtaf``)
+- triangular solve            (``pobtas``  / distributed ``d_pobtas`` —
+  the P POBTAS routine the paper contributes)
+- selected inversion          (``pobtasi`` / distributed ``d_pobtasi``)
+
+Naming follows Serinv: ``po`` (positive definite) + ``bta`` (block
+tridiagonal arrowhead) + ``f``/``s``/``si``.  The distributed variants use
+the nested-dissection time-domain partitioning of paper Sec. IV-C/D3 with
+the boundary-weighted load balancing studied in Fig. 5.
+"""
+
+from repro.structured.bta import BTAMatrix, BTAShape
+from repro.structured.partition import Partition, balanced_partitions, partition_counts
+from repro.structured.pobtaf import pobtaf
+from repro.structured.pobtas import pobtas
+from repro.structured.pobtasi import pobtasi
+from repro.structured.d_pobtaf import DistributedFactors, d_pobtaf
+from repro.structured.d_pobtas import d_pobtas
+from repro.structured.d_pobtasi import d_pobtasi
+from repro.structured.reduced_system import ReducedSystem
+
+__all__ = [
+    "BTAMatrix",
+    "BTAShape",
+    "Partition",
+    "balanced_partitions",
+    "partition_counts",
+    "pobtaf",
+    "pobtas",
+    "pobtasi",
+    "DistributedFactors",
+    "d_pobtaf",
+    "d_pobtas",
+    "d_pobtasi",
+    "ReducedSystem",
+]

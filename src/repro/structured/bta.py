@@ -1,0 +1,251 @@
+"""Block-tridiagonal-with-arrowhead (BTA) matrix container.
+
+A BTA matrix (paper Fig. 2c) with ``n`` diagonal blocks of size ``b`` and
+an arrow tip of size ``a`` is stored densified:
+
+- ``diag``  — ``(n, b, b)``   main-diagonal blocks ``A[i, i]``
+- ``lower`` — ``(n-1, b, b)`` sub-diagonal blocks ``A[i+1, i]``
+- ``arrow`` — ``(n, a, b)``   arrow-row blocks ``A[tip, i]``
+- ``tip``   — ``(a, a)``      arrow-tip block
+
+Only the lower triangle is stored; the matrix is symmetric by contract
+(``A[i, i+1] = A[i+1, i]^T``).  With ``a = 0`` this degenerates to a plain
+BT matrix, which is how the prior ``Qp`` of a model without fixed effects
+is represented.
+
+Memory is ``O(n b^2)`` — the densification trade-off of paper Sec. IV-C —
+and all solvers in this package operate on these stacks in place, never
+materializing an ``N x N`` dense matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BTAShape:
+    """Structural dimensions of a BTA matrix.
+
+    ``n`` diagonal blocks of size ``b``, tip of size ``a``; total matrix
+    dimension ``N = n*b + a`` (paper Table III).
+    """
+
+    n: int
+    b: int
+    a: int
+
+    def __post_init__(self):
+        if self.n < 1:
+            raise ValueError(f"need at least one diagonal block, got n={self.n}")
+        if self.b < 1:
+            raise ValueError(f"block size must be positive, got b={self.b}")
+        if self.a < 0:
+            raise ValueError(f"arrow size must be non-negative, got a={self.a}")
+
+    @property
+    def N(self) -> int:
+        return self.n * self.b + self.a
+
+
+class BTAMatrix:
+    """Densified symmetric BTA matrix (lower-triangle storage)."""
+
+    def __init__(
+        self,
+        diag: np.ndarray,
+        lower: np.ndarray | None = None,
+        arrow: np.ndarray | None = None,
+        tip: np.ndarray | None = None,
+    ):
+        diag = np.ascontiguousarray(diag, dtype=np.float64)
+        if diag.ndim != 3 or diag.shape[1] != diag.shape[2]:
+            raise ValueError(f"diag must be (n, b, b), got {diag.shape}")
+        n, b, _ = diag.shape
+        if lower is None:
+            lower = np.zeros((max(n - 1, 0), b, b))
+        lower = np.ascontiguousarray(lower, dtype=np.float64)
+        if lower.shape != (max(n - 1, 0), b, b):
+            raise ValueError(f"lower must be (n-1, b, b) = {(n - 1, b, b)}, got {lower.shape}")
+        if tip is None:
+            a = 0 if arrow is None else arrow.shape[1]
+            tip = np.zeros((a, a))
+        tip = np.ascontiguousarray(tip, dtype=np.float64)
+        a = tip.shape[0]
+        if tip.shape != (a, a):
+            raise ValueError(f"tip must be square, got {tip.shape}")
+        if arrow is None:
+            arrow = np.zeros((n, a, b))
+        arrow = np.ascontiguousarray(arrow, dtype=np.float64)
+        if arrow.shape != (n, a, b):
+            raise ValueError(f"arrow must be (n, a, b) = {(n, a, b)}, got {arrow.shape}")
+
+        self.diag = diag
+        self.lower = lower
+        self.arrow = arrow
+        self.tip = tip
+        self.shape3 = BTAShape(n=n, b=b, a=a)
+
+    # -- convenience accessors --------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.shape3.n
+
+    @property
+    def b(self) -> int:
+        return self.shape3.b
+
+    @property
+    def a(self) -> int:
+        return self.shape3.a
+
+    @property
+    def N(self) -> int:
+        return self.shape3.N
+
+    @property
+    def is_bt(self) -> bool:
+        """True when there is no arrowhead (plain block-tridiagonal)."""
+        return self.a == 0
+
+    def copy(self) -> "BTAMatrix":
+        return BTAMatrix(
+            self.diag.copy(), self.lower.copy(), self.arrow.copy(), self.tip.copy()
+        )
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, shape: BTAShape) -> "BTAMatrix":
+        return cls(
+            np.zeros((shape.n, shape.b, shape.b)),
+            np.zeros((max(shape.n - 1, 0), shape.b, shape.b)),
+            np.zeros((shape.n, shape.a, shape.b)),
+            np.zeros((shape.a, shape.a)),
+        )
+
+    @classmethod
+    def random_spd(
+        cls,
+        shape: BTAShape,
+        rng: np.random.Generator,
+        *,
+        diagonal_dominance: float = 2.0,
+    ) -> "BTAMatrix":
+        """Random symmetric positive-definite BTA matrix (for tests/benches).
+
+        Off-diagonal blocks are random; diagonal blocks are made symmetric
+        and shifted by a dominance factor times the largest possible row
+        sum, which guarantees strict diagonal dominance, hence SPD.
+        """
+        n, b, a = shape.n, shape.b, shape.a
+        diag = rng.standard_normal((n, b, b))
+        diag = 0.5 * (diag + diag.transpose(0, 2, 1))
+        lower = rng.standard_normal((max(n - 1, 0), b, b))
+        arrow = rng.standard_normal((n, a, b))
+        tip = rng.standard_normal((a, a))
+        tip = 0.5 * (tip + tip.T)
+        # Row-sum bound: each block row touches <= 3 b-blocks and the arrow.
+        shift = diagonal_dominance * (3.0 * b + a + 1.0)
+        diag += shift * np.eye(b)
+        tip += diagonal_dominance * (float(n) * b + a + 1.0) * np.eye(a) if a else 0.0
+        return cls(diag, lower, arrow, tip)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, shape: BTAShape) -> "BTAMatrix":
+        """Extract BTA blocks from a dense matrix (test helper).
+
+        Entries of ``dense`` outside the BTA pattern are ignored.
+        """
+        n, b, a = shape.n, shape.b, shape.a
+        if dense.shape != (shape.N, shape.N):
+            raise ValueError(f"dense shape {dense.shape} != {(shape.N, shape.N)}")
+        diag = np.empty((n, b, b))
+        lower = np.empty((max(n - 1, 0), b, b))
+        arrow = np.empty((n, a, b))
+        for i in range(n):
+            s = slice(i * b, (i + 1) * b)
+            diag[i] = dense[s, s]
+            if i + 1 < n:
+                lower[i] = dense[(i + 1) * b : (i + 2) * b, s]
+            arrow[i] = dense[n * b :, s]
+        tip = np.array(dense[n * b :, n * b :])
+        return cls(diag, lower, arrow, tip)
+
+    # -- conversions ---------------------------------------------------------
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the full symmetric matrix (tests / tiny cases only)."""
+        n, b, a = self.n, self.b, self.a
+        out = np.zeros((self.N, self.N))
+        for i in range(n):
+            s = slice(i * b, (i + 1) * b)
+            out[s, s] = self.diag[i]
+            if i + 1 < n:
+                t = slice((i + 1) * b, (i + 2) * b)
+                out[t, s] = self.lower[i]
+                out[s, t] = self.lower[i].T
+            if a:
+                out[n * b :, s] = self.arrow[i]
+                out[s, n * b :] = self.arrow[i].T
+        if a:
+            out[n * b :, n * b :] = self.tip
+        return out
+
+    # -- algebra ---------------------------------------------------------------
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Symmetric matrix-vector product ``A @ x`` without densifying.
+
+        ``x`` may be a vector of length ``N`` or a matrix ``(N, k)``.
+        """
+        x = np.asarray(x)
+        squeeze = x.ndim == 1
+        xm = x.reshape(self.N, -1)
+        n, b, a = self.n, self.b, self.a
+        y = np.zeros_like(xm)
+        xb = xm[: n * b].reshape(n, b, -1)
+        yb = y[: n * b].reshape(n, b, -1)
+        # Diagonal blocks (batched GEMM).
+        yb += self.diag @ xb
+        # Off-diagonal blocks.
+        if n > 1:
+            yb[1:] += self.lower @ xb[:-1]
+            yb[:-1] += self.lower.transpose(0, 2, 1) @ xb[1:]
+        if a:
+            xt = xm[n * b :]
+            # Arrow row and column.
+            y[n * b :] += np.einsum("iab,ibk->ak", self.arrow, xb)
+            yb += self.arrow.transpose(0, 2, 1) @ xt[None, :, :]
+            y[n * b :] += self.tip @ xt
+        return y[:, 0] if squeeze else y
+
+    def diagonal(self) -> np.ndarray:
+        """Scalar diagonal of the matrix (length ``N``)."""
+        d = np.concatenate([np.diagonal(self.diag, axis1=1, axis2=2).ravel(), np.diagonal(self.tip)])
+        return np.ascontiguousarray(d)
+
+    def add_diagonal(self, values: np.ndarray) -> None:
+        """In-place add a scalar diagonal (e.g. a regularization shift)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim == 0:
+            values = np.full(self.N, float(values))
+        if values.shape != (self.N,):
+            raise ValueError(f"diagonal length {values.shape} != ({self.N},)")
+        n, b, a = self.n, self.b, self.a
+        idx = np.arange(b)
+        self.diag[:, idx, idx] += values[: n * b].reshape(n, b)
+        if a:
+            ia = np.arange(a)
+            self.tip[ia, ia] += values[n * b :]
+
+    def frobenius_norm(self) -> float:
+        """Frobenius norm of the full symmetric matrix."""
+        off = 2.0 * (np.sum(self.lower**2) + np.sum(self.arrow**2))
+        return float(np.sqrt(np.sum(self.diag**2) + off + np.sum(self.tip**2)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BTAMatrix(n={self.n}, b={self.b}, a={self.a}, N={self.N})"

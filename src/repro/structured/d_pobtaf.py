@@ -1,0 +1,266 @@
+"""``d_pobtaf`` — distributed Cholesky factorization of a BTA matrix.
+
+Nested-dissection factorization across ``P`` time-domain partitions
+(paper Sec. IV-C/D3).  Each rank owns a contiguous slice of diagonal
+blocks and eliminates its *interior*:
+
+- partition 0 eliminates top-down, exactly like the sequential ``pobtaf``
+  restricted to its slice (one TRSM + two GEMM updates per block);
+- partitions ``p >= 1`` eliminate their interior while maintaining a fill
+  coupling to their top boundary block, which roughly doubles the
+  per-block work — this is the load imbalance the paper's ``lb`` factor
+  compensates (Fig. 5).
+
+The remaining boundary blocks form a reduced BTA system of ``2P - 1``
+blocks (see :mod:`repro.structured.reduced_system`), which is allgathered
+and factorized redundantly on every rank with the sequential ``pobtaf`` —
+the same all-to-all pattern NCCL executes in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.communicator import Communicator
+from repro.structured.bta import BTAMatrix
+from repro.structured.kernels import (
+    chol_lower,
+    logdet_from_chol_diag,
+    right_solve_lower_t,
+)
+from repro.structured.partition import Partition, balanced_partitions
+from repro.structured.pobtaf import BTACholesky, pobtaf
+from repro.structured.reduced_system import BoundaryContribution, ReducedSystem
+
+
+@dataclass
+class LocalBTASlice:
+    """One rank's slice of a global BTA matrix.
+
+    ``diag``/``arrow`` cover global blocks ``[part.start, part.stop)``;
+    ``lower`` holds the couplings *within* the slice (``A[j+1, j]`` for
+    ``j`` in ``[start, stop-1)``); ``lower_prev`` is the coupling to the
+    previous partition (``A[start, start-1]``, None for partition 0);
+    ``tip`` is replicated on every rank (it is only ``a x a``).
+    """
+
+    part: Partition
+    diag: np.ndarray
+    lower: np.ndarray
+    arrow: np.ndarray
+    tip: np.ndarray
+    lower_prev: np.ndarray | None
+
+    def __post_init__(self):
+        nl = self.part.n_blocks
+        b = self.diag.shape[1]
+        a = self.tip.shape[0]
+        if self.diag.shape != (nl, b, b):
+            raise ValueError(f"diag shape {self.diag.shape} != {(nl, b, b)}")
+        if self.lower.shape != (max(nl - 1, 0), b, b):
+            raise ValueError(f"lower shape {self.lower.shape} != {(nl - 1, b, b)}")
+        if self.arrow.shape != (nl, a, b):
+            raise ValueError(f"arrow shape {self.arrow.shape} != {(nl, a, b)}")
+        if (self.lower_prev is None) != self.part.is_first:
+            raise ValueError("lower_prev must be given exactly for partitions p >= 1")
+
+    @property
+    def b(self) -> int:
+        return self.diag.shape[1]
+
+    @property
+    def a(self) -> int:
+        return self.tip.shape[0]
+
+    @classmethod
+    def from_global(cls, A: BTAMatrix, part: Partition) -> "LocalBTASlice":
+        """Cut one partition's slice out of a fully assembled matrix (tests)."""
+        s, e = part.start, part.stop
+        return cls(
+            part=part,
+            diag=A.diag[s:e].copy(),
+            lower=A.lower[s : e - 1].copy(),
+            arrow=A.arrow[s:e].copy(),
+            tip=A.tip.copy(),
+            lower_prev=None if part.is_first else A.lower[s - 1].copy(),
+        )
+
+
+@dataclass
+class DistributedFactors:
+    """Per-rank result of ``d_pobtaf``.
+
+    Interior factor stacks are indexed in elimination order (ascending
+    global block index over ``part.interior()``):
+
+    - ``ldiag[k]``  — lower Cholesky factor of interior block ``j_k``
+    - ``lnext[k]``  — ``L[j_k + 1, j_k]``
+    - ``lfill[k]``  — ``L[s_p, j_k]`` (fill column; partitions ``p >= 1`` only)
+    - ``larrow[k]`` — ``L[tip, j_k]``
+
+    ``reduced`` is the (redundantly factorized) reduced boundary system and
+    ``reduced_chol`` its Cholesky factor.
+    """
+
+    part: Partition
+    ldiag: np.ndarray
+    lnext: np.ndarray
+    lfill: np.ndarray | None
+    larrow: np.ndarray
+    reduced: ReducedSystem
+    reduced_chol: BTACholesky
+    b: int
+    a: int
+
+    @property
+    def n_interior(self) -> int:
+        return self.ldiag.shape[0]
+
+    @property
+    def positions(self) -> tuple:
+        """(top, bottom) reduced positions of this rank's boundaries."""
+        return self.reduced.positions[self.part.index]
+
+    def logdet(self, comm: Communicator) -> float:
+        """Global ``log det A``: interior contributions summed across ranks
+        plus the reduced-system determinant (identical on every rank)."""
+        local = 0.0
+        for k in range(self.n_interior):
+            local += logdet_from_chol_diag(self.ldiag[k])
+        total = comm.allreduce_scalar(local)
+        return total + self.reduced_chol.logdet()
+
+
+def _eliminate_first_partition(sl: LocalBTASlice):
+    """Top-down interior elimination of partition 0 (no fill column)."""
+    nl, b, a = sl.part.n_blocks, sl.b, sl.a
+    m = nl - 1  # interiors
+    ldiag = np.empty((m, b, b))
+    lnext = np.empty((m, b, b))
+    larrow = np.empty((m, a, b))
+    diag = sl.diag.copy()
+    lower = sl.lower.copy()
+    arrow = sl.arrow.copy()
+    tip_delta = np.zeros((a, a))
+    for k in range(m):
+        ldiag[k] = chol_lower(diag[k])
+        lnext[k] = right_solve_lower_t(ldiag[k], lower[k])
+        diag[k + 1] -= lnext[k] @ lnext[k].T
+        if a:
+            larrow[k] = right_solve_lower_t(ldiag[k], arrow[k])
+            arrow[k + 1] -= larrow[k] @ lnext[k].T
+            tip_delta -= larrow[k] @ larrow[k].T
+        else:
+            larrow[k] = np.zeros((a, b))
+    contrib = BoundaryContribution(
+        part=sl.part,
+        diag_top=None,
+        diag_bottom=diag[-1],
+        coupling=None,
+        lower_prev=None,
+        arrow_top=None,
+        arrow_bottom=arrow[-1],
+        tip_delta=tip_delta,
+    )
+    return ldiag, lnext, None, larrow, contrib
+
+
+def _eliminate_middle_partition(sl: LocalBTASlice):
+    """Interior elimination maintaining the fill column to the top boundary.
+
+    Eliminating interior block ``j`` (neighbors ``{j+1, s, tip}`` in the
+    permuted matrix) performs three TRSMs and six GEMM updates — twice the
+    work of partition 0 per block, which is the source of the paper's load
+    imbalance discussion.
+    """
+    nl, b, a = sl.part.n_blocks, sl.b, sl.a
+    m = max(nl - 2, 0)  # interiors between the two boundaries
+    ldiag = np.empty((m, b, b))
+    lnext = np.empty((m, b, b))
+    lfill = np.empty((m, b, b))
+    larrow = np.empty((m, a, b))
+    diag = sl.diag.copy()
+    lower = sl.lower.copy()
+    arrow = sl.arrow.copy()
+    tip_delta = np.zeros((a, a))
+
+    # Local indices: boundary top = 0, interiors = 1..nl-2, bottom = nl-1.
+    # fill = A[s, j] for the current column j (starts at A[s, s+1] = lower[0]^T).
+    fill = lower[0].T.copy() if m > 0 else None
+    for k in range(m):
+        j = k + 1  # local index of the interior block being eliminated
+        ldiag[k] = chol_lower(diag[j])
+        lnext[k] = right_solve_lower_t(ldiag[k], lower[j])
+        lfill[k] = right_solve_lower_t(ldiag[k], fill)
+        # Schur updates onto the remaining neighbors {j+1, s, tip}.
+        diag[j + 1] -= lnext[k] @ lnext[k].T
+        diag[0] -= lfill[k] @ lfill[k].T
+        new_fill = -lfill[k] @ lnext[k].T  # A[s, j+1] fill (original entry is 0)
+        if a:
+            larrow[k] = right_solve_lower_t(ldiag[k], arrow[j])
+            arrow[j + 1] -= larrow[k] @ lnext[k].T
+            arrow[0] -= larrow[k] @ lfill[k].T
+            tip_delta -= larrow[k] @ larrow[k].T
+        else:
+            larrow[k] = np.zeros((a, b))
+        fill = new_fill
+    if m == 0:
+        # No interior: boundaries are directly coupled by the original block.
+        coupling = lower[0].copy() if nl == 2 else None
+    else:
+        # After eliminating the last interior, `fill` is A[s, e]; the
+        # reduced system stores the lower block A[e, s] = fill^T.
+        coupling = fill.T.copy()
+    contrib = BoundaryContribution(
+        part=sl.part,
+        diag_top=diag[0] if nl > 1 else None,
+        diag_bottom=diag[-1],
+        coupling=coupling,
+        lower_prev=sl.lower_prev,
+        arrow_top=arrow[0] if nl > 1 else None,
+        arrow_bottom=arrow[-1],
+        tip_delta=tip_delta,
+    )
+    return ldiag, lnext, lfill, larrow, contrib
+
+
+def d_pobtaf(sl: LocalBTASlice, comm: Communicator) -> DistributedFactors:
+    """Distributed BTA Cholesky factorization (collective over ``comm``).
+
+    Every rank passes its :class:`LocalBTASlice`; partition indices must
+    equal communicator ranks.  Returns this rank's
+    :class:`DistributedFactors`, including the redundantly factorized
+    reduced system.
+    """
+    if sl.part.index != comm.Get_rank():
+        raise ValueError(
+            f"partition index {sl.part.index} != communicator rank {comm.Get_rank()}"
+        )
+    if sl.part.is_first:
+        ldiag, lnext, lfill, larrow, contrib = _eliminate_first_partition(sl)
+    else:
+        ldiag, lnext, lfill, larrow, contrib = _eliminate_middle_partition(sl)
+
+    contributions = comm.allgather(contrib)
+    contributions.sort(key=lambda c: c.part.index)
+    reduced = ReducedSystem.assemble(contributions, tip_original=sl.tip)
+    reduced_chol = pobtaf(reduced.matrix, overwrite=True)
+    return DistributedFactors(
+        part=sl.part,
+        ldiag=ldiag,
+        lnext=lnext,
+        lfill=lfill,
+        larrow=larrow,
+        reduced=reduced,
+        reduced_chol=reduced_chol,
+        b=sl.b,
+        a=sl.a,
+    )
+
+
+def partition_matrix(A: BTAMatrix, P: int, *, lb: float = 1.0) -> list:
+    """Split a fully assembled BTA matrix into ``P`` rank slices (driver/test helper)."""
+    parts = balanced_partitions(A.n, P, lb=lb)
+    return [LocalBTASlice.from_global(A, part) for part in parts]

@@ -1,0 +1,139 @@
+"""``d_pobtas`` — distributed triangular solve (the paper's P POBTAS).
+
+Serinv ships distributed factorization and selected inversion but *not* a
+distributed triangular solve; the paper contributes this routine
+(Sec. IV-E) using the same nested-dissection scheme as ``d_pobtaf``:
+
+1. every rank forward-eliminates its interior right-hand-side entries,
+   accumulating updates onto its boundary entries and a tip delta;
+2. tip deltas are summed with an ``Allreduce``, boundary entries are
+   ``Allgather``-ed into the reduced right-hand side;
+3. the reduced BTA system is solved redundantly with the sequential
+   ``pobtas``;
+4. every rank back-substitutes its interior using the boundary solutions.
+
+The routine is roughly an order of magnitude cheaper than factorization
+(``O(n b^2)`` vs ``O(n b^3)`` per right-hand side), which is why the paper
+observes it reacts *worse* to load balancing tuned for the ``b^3`` kernels
+(Fig. 5 discussion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.communicator import Communicator
+from repro.structured.d_pobtaf import DistributedFactors
+from repro.structured.kernels import solve_lower, solve_lower_t
+from repro.structured.pobtas import pobtas
+
+
+def d_pobtas(
+    factors: DistributedFactors,
+    rhs_local: np.ndarray,
+    rhs_tip: np.ndarray,
+    comm: Communicator,
+) -> tuple:
+    """Solve ``A x = rhs`` with distributed factors (collective over ``comm``).
+
+    Parameters
+    ----------
+    factors:
+        This rank's :class:`DistributedFactors` from ``d_pobtaf``.
+    rhs_local:
+        This rank's slice of the right-hand side, shape ``(nl * b,)`` or
+        ``(nl * b, k)`` where ``nl`` is the partition's block count.
+    rhs_tip:
+        The arrow-tip right-hand side, replicated on every rank,
+        shape ``(a,)`` or ``(a, k)``.
+
+    Returns
+    -------
+    (x_local, x_tip):
+        This rank's solution slice (same shape as ``rhs_local``) and the
+        tip solution (identical on every rank).
+    """
+    part, b, a = factors.part, factors.b, factors.a
+    nl = part.n_blocks
+    m = factors.n_interior
+
+    rhs_local = np.asarray(rhs_local, dtype=np.float64)
+    rhs_tip = np.asarray(rhs_tip, dtype=np.float64)
+    squeeze = rhs_local.ndim == 1
+    if rhs_local.shape[0] != nl * b:
+        raise ValueError(f"rhs_local leading dim {rhs_local.shape[0]} != {nl * b}")
+    r = np.array(rhs_local.reshape(nl * b, -1), copy=True)
+    k = r.shape[1]
+    rb = r.reshape(nl, b, k)
+    tip_delta = np.zeros((a, k))
+
+    # ---- forward: eliminate interior unknowns ---------------------------
+    if part.is_first:
+        for i in range(m):
+            rb[i] = solve_lower(factors.ldiag[i], rb[i])
+            rb[i + 1] -= factors.lnext[i] @ rb[i]
+            if a:
+                tip_delta -= factors.larrow[i] @ rb[i]
+    else:
+        for i in range(m):
+            j = i + 1  # local index of the interior block
+            rb[j] = solve_lower(factors.ldiag[i], rb[j])
+            rb[j + 1] -= factors.lnext[i] @ rb[j]
+            rb[0] -= factors.lfill[i] @ rb[j]
+            if a:
+                tip_delta -= factors.larrow[i] @ rb[j]
+
+    # ---- reduced right-hand side ----------------------------------------
+    if a:
+        tip_sum = comm.Allreduce(tip_delta)
+        rt = rhs_tip.reshape(a, -1) + tip_sum
+    else:
+        comm.Allreduce(tip_delta)  # keep the collective schedule uniform
+        rt = np.zeros((0, k))
+
+    pos_top, pos_bottom = factors.positions
+    if pos_top is None or pos_top == pos_bottom:
+        mine = rb[-1]
+    else:
+        mine = np.concatenate([rb[0], rb[-1]], axis=0)
+    gathered = comm.Allgather(np.ascontiguousarray(mine))
+
+    mr = factors.reduced.m
+    r_red = np.zeros((mr * b + a, k))
+    for p, piece in enumerate(gathered):
+        top, bottom = factors.reduced.positions[p]
+        if top is None or top == bottom:
+            r_red[bottom * b : (bottom + 1) * b] = piece
+        else:
+            r_red[top * b : (top + 1) * b] = piece[:b]
+            r_red[bottom * b : (bottom + 1) * b] = piece[b:]
+    if a:
+        r_red[mr * b :] = rt
+
+    x_red = pobtas(factors.reduced_chol, r_red)
+    x_tip = x_red[mr * b :]
+
+    # ---- backward: recover interior unknowns -----------------------------
+    x = rb  # solve in place; boundary slots receive the reduced solution
+    if pos_top is not None:
+        x[0] = x_red[pos_top * b : (pos_top + 1) * b]
+    x[-1] = x_red[pos_bottom * b : (pos_bottom + 1) * b]
+
+    if part.is_first:
+        for i in range(m - 1, -1, -1):
+            acc = x[i] - factors.lnext[i].T @ x[i + 1]
+            if a:
+                acc -= factors.larrow[i].T @ x_tip
+            x[i] = solve_lower_t(factors.ldiag[i], acc)
+    else:
+        for i in range(m - 1, -1, -1):
+            j = i + 1
+            acc = x[j] - factors.lnext[i].T @ x[j + 1] - factors.lfill[i].T @ x[0]
+            if a:
+                acc -= factors.larrow[i].T @ x_tip
+            x[j] = solve_lower_t(factors.ldiag[i], acc)
+
+    x_local = x.reshape(nl * b, k)
+    if squeeze:
+        return x_local[:, 0], x_tip[:, 0]
+    return x_local, x_tip

@@ -1,0 +1,136 @@
+"""``pobtaf`` — sequential Cholesky factorization of a BTA matrix.
+
+Factorizes ``A = L L^T`` where ``A`` is symmetric positive definite with
+block-tridiagonal-with-arrowhead structure.  The factor ``L`` inherits the
+BTA sparsity exactly (no fill outside the pattern), which is what makes the
+block-dense approach ``O(n b^3)`` instead of a general sparse
+``O(fill)`` (paper Sec. IV-C, Table III):
+
+    L[i, i]   — lower Cholesky factors of the Schur-complemented diagonals
+    L[i+1, i] — sub-diagonal coupling factors
+    L[t, i]   — arrow-row factors
+    L[t, t]   — tip factor
+
+Cost per diagonal block: one ``POTRF`` + two ``TRSM`` + three ``GEMM``-like
+updates, i.e. ``O(n (b^3 + a b^2) + a^3)`` total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.structured.bta import BTAMatrix
+from repro.structured.kernels import (
+    chol_lower,
+    logdet_from_chol_diag,
+    right_solve_lower_t,
+)
+
+
+@dataclass
+class BTACholesky:
+    """Cholesky factor of a BTA matrix, stored in BTA block layout.
+
+    ``factor.diag[i]`` is lower-triangular; ``factor.lower`` / ``factor.arrow``
+    / ``factor.tip`` hold the corresponding factor blocks.
+    """
+
+    factor: BTAMatrix
+
+    @property
+    def n(self) -> int:
+        return self.factor.n
+
+    @property
+    def b(self) -> int:
+        return self.factor.b
+
+    @property
+    def a(self) -> int:
+        return self.factor.a
+
+    @property
+    def N(self) -> int:
+        return self.factor.N
+
+    def logdet(self) -> float:
+        """``log det A = 2 sum_i log diag(L)_i`` — the quantity INLA needs
+        for every GMRF log-density evaluation (paper Eq. 1/3)."""
+        total = 0.0
+        for i in range(self.n):
+            total += logdet_from_chol_diag(self.factor.diag[i])
+        if self.a:
+            total += logdet_from_chol_diag(self.factor.tip)
+        return total
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A x = rhs`` (delegates to :func:`repro.structured.pobtas.pobtas`)."""
+        from repro.structured.pobtas import pobtas
+
+        return pobtas(self, rhs)
+
+    def selected_inverse(self) -> BTAMatrix:
+        """Selected entries of ``A^{-1}`` (delegates to ``pobtasi``)."""
+        from repro.structured.pobtasi import pobtasi
+
+        return pobtasi(self)
+
+    def to_dense(self) -> np.ndarray:
+        """Dense lower-triangular factor (tests only)."""
+        n, b, a = self.n, self.b, self.a
+        out = np.zeros((self.N, self.N))
+        for i in range(n):
+            s = slice(i * b, (i + 1) * b)
+            out[s, s] = np.tril(self.factor.diag[i])
+            if i + 1 < n:
+                out[(i + 1) * b : (i + 2) * b, s] = self.factor.lower[i]
+            if a:
+                out[n * b :, s] = self.factor.arrow[i]
+        if a:
+            out[n * b :, n * b :] = np.tril(self.factor.tip)
+        return out
+
+
+def pobtaf(A: BTAMatrix, *, overwrite: bool = False) -> BTACholesky:
+    """Factorize a symmetric positive definite BTA matrix ``A = L L^T``.
+
+    Parameters
+    ----------
+    A:
+        The matrix to factorize.  Only the lower-triangle blocks are read.
+    overwrite:
+        When True, ``A``'s storage is reused for the factor (the caller's
+        matrix is destroyed).  This is the memory-lean mode used inside the
+        INLA objective where ``Qp``/``Qc`` are rebuilt every evaluation.
+
+    Raises
+    ------
+    NotPositiveDefiniteError
+        If any Schur-complemented diagonal block is not positive definite.
+    """
+    L = A if overwrite else A.copy()
+    n, a = L.n, L.a
+    diag, lower, arrow, tip = L.diag, L.lower, L.arrow, L.tip
+
+    for i in range(n):
+        # Factorize the current (Schur-complemented) diagonal block.
+        diag[i] = chol_lower(diag[i])
+        li = diag[i]
+        if i + 1 < n:
+            # L[i+1, i] = A[i+1, i] L[i,i]^{-T}
+            lower[i] = right_solve_lower_t(li, lower[i])
+        if a:
+            # L[t, i] = A[t, i] L[i,i]^{-T}
+            arrow[i] = right_solve_lower_t(li, arrow[i])
+        # Schur-complement the trailing blocks touched by column i.
+        if i + 1 < n:
+            diag[i + 1] -= lower[i] @ lower[i].T
+            if a:
+                arrow[i + 1] -= arrow[i] @ lower[i].T
+        if a:
+            tip -= arrow[i] @ arrow[i].T
+    if a:
+        tip[...] = chol_lower(tip)
+    return BTACholesky(factor=L)

@@ -1,0 +1,83 @@
+"""``pobtas`` — sequential triangular solve with a BTA Cholesky factor.
+
+Solves ``A x = rhs`` given ``A = L L^T`` from :func:`repro.structured.pobtaf.pobtaf`
+via a forward sweep ``L z = rhs`` followed by a backward sweep
+``L^T x = z``.  INLA uses this to obtain the conditional mean
+``mu = Qc^{-1} A^T D y`` in every objective-function evaluation
+(paper Eq. 3/8) — it is roughly an order of magnitude cheaper than the
+factorization itself (paper Sec. V-C).
+
+``rhs`` may be a vector of length ``N`` or a block of ``k`` right-hand
+sides ``(N, k)``; block solves are used by the predictive-sampling helpers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.structured.kernels import solve_lower, solve_lower_t
+from repro.structured.pobtaf import BTACholesky
+
+
+def pobtas(chol: BTACholesky, rhs: np.ndarray, *, overwrite: bool = False) -> np.ndarray:
+    """Solve ``A x = rhs`` using the BTA Cholesky factor ``chol``."""
+    L = chol.factor
+    n, b, a, N = L.n, L.b, L.a, L.N
+    rhs = np.asarray(rhs, dtype=np.float64)
+    squeeze = rhs.ndim == 1
+    if rhs.shape[0] != N:
+        raise ValueError(f"rhs has leading dimension {rhs.shape[0]}, expected {N}")
+    x = rhs.reshape(N, -1) if overwrite and rhs.ndim > 1 else np.array(rhs.reshape(N, -1), copy=True)
+
+    # Views of the block segments (no copies; guide: use views).
+    xb = x[: n * b].reshape(n, b, -1)
+    xt = x[n * b :]
+
+    # ---- forward sweep: L z = rhs --------------------------------------
+    for i in range(n):
+        if i > 0:
+            xb[i] -= L.lower[i - 1] @ xb[i - 1]
+        xb[i] = solve_lower(L.diag[i], xb[i])
+        if a:
+            xt -= L.arrow[i] @ xb[i]
+    if a:
+        xt[...] = solve_lower(L.tip, xt)
+
+    # ---- backward sweep: L^T x = z --------------------------------------
+    if a:
+        xt[...] = solve_lower_t(L.tip, xt)
+    for i in range(n - 1, -1, -1):
+        if a:
+            xb[i] -= L.arrow[i].T @ xt
+        if i + 1 < n:
+            xb[i] -= L.lower[i].T @ xb[i + 1]
+        xb[i] = solve_lower_t(L.diag[i], xb[i])
+
+    return x[:, 0] if squeeze else x
+
+
+def pobtas_lt(chol: BTACholesky, rhs: np.ndarray) -> np.ndarray:
+    """Backward-only solve ``L^T x = rhs``.
+
+    This is the GMRF sampling primitive: if ``z ~ N(0, I)`` then
+    ``x = L^{-T} z ~ N(0, A^{-1})`` — used by the synthetic-data
+    generators to draw exact samples from the model prior.
+    """
+    L = chol.factor
+    n, b, a, N = L.n, L.b, L.a, L.N
+    rhs = np.asarray(rhs, dtype=np.float64)
+    squeeze = rhs.ndim == 1
+    if rhs.shape[0] != N:
+        raise ValueError(f"rhs has leading dimension {rhs.shape[0]}, expected {N}")
+    x = np.array(rhs.reshape(N, -1), copy=True)
+    xb = x[: n * b].reshape(n, b, -1)
+    xt = x[n * b :]
+    if a:
+        xt[...] = solve_lower_t(L.tip, xt)
+    for i in range(n - 1, -1, -1):
+        if a:
+            xb[i] -= L.arrow[i].T @ xt
+        if i + 1 < n:
+            xb[i] -= L.lower[i].T @ xb[i + 1]
+        xb[i] = solve_lower_t(L.diag[i], xb[i])
+    return x[:, 0] if squeeze else x

@@ -1,0 +1,119 @@
+"""Reduced (separator) system of the nested-dissection scheme.
+
+Eliminating every partition's interior blocks leaves a system coupling only
+the partition *boundary* blocks and the arrow tip.  With partitions
+``p = 0..P-1`` the boundary blocks, in global order, are::
+
+    [e_0,  s_1, e_1,  s_2, e_2,  ...,  s_{P-1}, e_{P-1}]
+
+(``s_p``/``e_p`` = first/last block of partition ``p``; partition 0 has no
+top boundary).  Consecutive boundary blocks are coupled either by an
+original off-diagonal block (``e_p`` to ``s_{p+1} = e_p + 1``) or by the
+fill block created through partition ``p``'s interior (``s_p`` to ``e_p``),
+so the reduced system is itself a BTA matrix with ``2P - 1`` diagonal
+blocks — this is what lets the same sequential kernels solve it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.structured.bta import BTAMatrix
+from repro.structured.partition import Partition
+
+
+@dataclass
+class BoundaryContribution:
+    """Schur-complement data one partition contributes to the reduced system.
+
+    All arrays are the partition's *updated* copies (original block plus
+    accumulated Schur updates from the partition's interior elimination).
+    """
+
+    part: Partition
+    #: updated top-boundary diagonal block ``A[s, s]`` (None for partition 0)
+    diag_top: np.ndarray | None
+    #: updated bottom-boundary diagonal block ``A[e, e]``
+    diag_bottom: np.ndarray
+    #: coupling ``A[e, s]`` through the interior (None for partition 0 and
+    #: for single-boundary partitions)
+    coupling: np.ndarray | None
+    #: original inter-partition coupling ``A[s, s-1]`` (None for partition 0)
+    lower_prev: np.ndarray | None
+    #: updated arrow blocks ``A[t, s]`` / ``A[t, e]``
+    arrow_top: np.ndarray | None
+    arrow_bottom: np.ndarray
+    #: this partition's Schur update to the arrow tip (a, a)
+    tip_delta: np.ndarray
+
+
+@dataclass
+class ReducedSystem:
+    """Assembled reduced BTA system plus the position bookkeeping."""
+
+    matrix: BTAMatrix
+    #: reduced position of each partition's (top, bottom) boundary;
+    #: top is None for partition 0.
+    positions: list
+
+    @property
+    def m(self) -> int:
+        return self.matrix.n
+
+    @classmethod
+    def assemble(
+        cls,
+        contributions: list,
+        tip_original: np.ndarray,
+    ) -> "ReducedSystem":
+        """Build the reduced BTA matrix from all partitions' contributions.
+
+        ``contributions`` must be ordered by partition index.  The original
+        tip is added exactly once; per-partition ``tip_delta`` updates are
+        summed on top.
+        """
+        P = len(contributions)
+        if P < 1:
+            raise ValueError("need at least one contribution")
+        b = contributions[0].diag_bottom.shape[0]
+        a = tip_original.shape[0]
+        m = 1 + sum(2 if c.part.index > 0 else 0 for c in contributions)
+        # Single-boundary later partitions (top == bottom) contribute one block.
+        for c in contributions[1:]:
+            if c.part.n_blocks == 1:
+                m -= 1
+
+        diag = np.zeros((m, b, b))
+        lower = np.zeros((max(m - 1, 0), b, b))
+        arrow = np.zeros((m, a, b))
+        tip = np.array(tip_original, copy=True)
+
+        positions = []
+        pos = 0
+        for c in contributions:
+            if c.part.index == 0:
+                diag[pos] = c.diag_bottom
+                arrow[pos] = c.arrow_bottom
+                positions.append((None, pos))
+                pos += 1
+            else:
+                # Coupling across the partition boundary: A[s_p, e_{p-1}].
+                lower[pos - 1] = c.lower_prev
+                if c.part.n_blocks == 1:
+                    diag[pos] = c.diag_bottom
+                    arrow[pos] = c.arrow_bottom
+                    positions.append((pos, pos))
+                    pos += 1
+                else:
+                    diag[pos] = c.diag_top
+                    arrow[pos] = c.arrow_top
+                    diag[pos + 1] = c.diag_bottom
+                    arrow[pos + 1] = c.arrow_bottom
+                    lower[pos] = c.coupling
+                    positions.append((pos, pos + 1))
+                    pos += 2
+            tip += c.tip_delta
+        assert pos == m, f"assembled {pos} reduced blocks, expected {m}"
+        return cls(matrix=BTAMatrix(diag, lower, arrow, tip), positions=positions)

@@ -1,0 +1,97 @@
+"""Backend: devices, memory accounting, array helpers."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    Device,
+    DeviceKind,
+    MemoryBudgetError,
+    MemoryTracker,
+    bta_memory_bytes,
+    empty_blocks,
+    get_array_module,
+    zeros_blocks,
+)
+from repro.backend.device import GH200
+from repro.backend.memory import bt_memory_bytes, min_partitions
+
+
+class TestArrayModule:
+    def test_get_array_module(self):
+        assert get_array_module(np.zeros(3)) is np
+
+    def test_blocks_contiguous(self):
+        a = empty_blocks(4, 3)
+        assert a.shape == (4, 3, 3)
+        assert a.flags["C_CONTIGUOUS"]
+
+    def test_zeros_blocks(self):
+        assert np.all(zeros_blocks(2, 2) == 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            empty_blocks(-1, 3)
+
+
+class TestDevice:
+    def test_fits_headroom(self):
+        d = Device(DeviceKind.GPU, "x", memory_bytes=100, gemm_tflops=1, bandwidth_gbs=1)
+        assert d.fits(84)
+        assert not d.fits(86)
+
+    def test_gh200_spec(self):
+        assert GH200.memory_bytes == 96 * 2**30
+        assert GH200.kind is DeviceKind.GPU
+
+
+class TestMemoryAccounting:
+    def test_bta_bytes_formula(self):
+        # n=2, b=3, a=1: diag 2*9 + lower 1*9 + arrow 2*3 + tip 1 = 34 doubles
+        assert bta_memory_bytes(2, 3, 1, factors=1) == 34 * 8
+
+    def test_bt_is_bta_with_a0(self):
+        assert bt_memory_bytes(5, 4) == bta_memory_bytes(5, 4, 0)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            bta_memory_bytes(0, 3, 1)
+
+    def test_min_partitions_single_when_fits(self):
+        assert min_partitions(100, 10, 2, GH200) == 1
+
+    def test_min_partitions_grows_with_block_size(self):
+        small = Device(DeviceKind.GPU, "s", memory_bytes=2**24, gemm_tflops=1, bandwidth_gbs=1)
+        p = min_partitions(64, 100, 4, small)
+        assert p > 1
+        # The per-partition slice must then fit.
+        n_local = -(-64 // p)
+        assert small.fits(bta_memory_bytes(n_local, 100, 4))
+
+    def test_min_partitions_infeasible(self):
+        nano = Device(DeviceKind.GPU, "n", memory_bytes=100, gemm_tflops=1, bandwidth_gbs=1)
+        with pytest.raises(MemoryBudgetError):
+            min_partitions(4, 50, 0, nano)
+
+
+class TestMemoryTracker:
+    def test_tracks_peak(self):
+        t = MemoryTracker(device=GH200)
+        t.allocate(1000, "qp")
+        t.allocate(500, "qc")
+        t.free(1000, "qp")
+        assert t.live_bytes == 500
+        assert t.peak_bytes == 1500
+        assert t.breakdown()["qc"] == 500
+
+    def test_budget_enforced(self):
+        small = Device(DeviceKind.GPU, "s", memory_bytes=1000, gemm_tflops=1, bandwidth_gbs=1)
+        t = MemoryTracker(device=small)
+        with pytest.raises(MemoryBudgetError):
+            t.allocate(900)
+
+    def test_over_free_rejected(self):
+        t = MemoryTracker(device=GH200)
+        t.allocate(10)
+        with pytest.raises(ValueError):
+            t.free(20)

@@ -1,0 +1,235 @@
+"""SPMD communicator semantics (mpi4py-compatible subset)."""
+
+import numpy as np
+import pytest
+
+from repro.comm import ReduceOp, SerialComm, run_spmd
+from repro.comm.stats import CommStats, TraceComm
+
+
+class TestSerialComm:
+    def test_topology(self):
+        c = SerialComm()
+        assert c.Get_rank() == 0
+        assert c.Get_size() == 1
+
+    def test_allreduce_identity(self):
+        c = SerialComm()
+        x = np.arange(4.0)
+        assert np.array_equal(c.Allreduce(x), x)
+
+    def test_allreduce_copies(self):
+        c = SerialComm()
+        x = np.arange(4.0)
+        y = c.Allreduce(x)
+        y[0] = 99
+        assert x[0] == 0
+
+    def test_point_to_point_rejected(self):
+        c = SerialComm()
+        with pytest.raises(RuntimeError):
+            c.Send(np.zeros(1), dest=0)
+        with pytest.raises(RuntimeError):
+            c.Recv(np.zeros(1), source=0)
+
+    def test_gathers(self):
+        c = SerialComm()
+        assert c.allgather("x") == ["x"]
+        assert len(c.Allgather(np.ones(2))) == 1
+
+    def test_split_returns_serial(self):
+        assert SerialComm().Split(color=3).Get_size() == 1
+
+
+class TestRunSpmd:
+    def test_single_rank_uses_serial(self):
+        out = run_spmd(1, lambda comm: comm.Get_size())
+        assert out == [1]
+
+    def test_results_ordered_by_rank(self):
+        out = run_spmd(4, lambda comm: comm.Get_rank())
+        assert out == [0, 1, 2, 3]
+
+    def test_exception_propagates(self):
+        def fail(comm):
+            if comm.Get_rank() == 1:
+                raise ValueError("boom")
+            comm.Barrier()
+
+        with pytest.raises(RuntimeError, match="rank 1"):
+            run_spmd(3, fail)
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ValueError):
+            run_spmd(0, lambda comm: None)
+
+
+class TestThreadCollectives:
+    def test_allreduce_sum(self):
+        out = run_spmd(4, lambda comm: comm.Allreduce(np.full(3, float(comm.Get_rank()))))
+        for o in out:
+            assert np.array_equal(o, np.full(3, 6.0))
+
+    def test_allreduce_max_min(self):
+        out = run_spmd(3, lambda c: (
+            c.Allreduce(np.array([float(c.Get_rank())]), ReduceOp.MAX)[0],
+            c.Allreduce(np.array([float(c.Get_rank())]), ReduceOp.MIN)[0],
+        ))
+        assert all(o == (2.0, 0.0) for o in out)
+
+    def test_allreduce_deterministic_across_ranks(self):
+        def fn(comm):
+            rng = np.random.default_rng(comm.Get_rank())
+            return comm.Allreduce(rng.standard_normal(16))
+
+        out = run_spmd(4, fn)
+        for o in out[1:]:
+            assert np.array_equal(o, out[0])  # bitwise identical
+
+    def test_bcast(self):
+        def fn(comm):
+            x = np.full(4, float(comm.Get_rank()))
+            return comm.Bcast(x, root=2)
+
+        out = run_spmd(3, fn)
+        for o in out:
+            assert np.array_equal(o, np.full(4, 2.0))
+
+    def test_allgather_order(self):
+        out = run_spmd(3, lambda c: c.Allgather(np.array([c.Get_rank() * 1.0])))
+        for o in out:
+            assert [x[0] for x in o] == [0.0, 1.0, 2.0]
+
+    def test_object_bcast_and_allgather(self):
+        out = run_spmd(3, lambda c: c.allgather({"r": c.Get_rank()}))
+        assert out[0] == [{"r": 0}, {"r": 1}, {"r": 2}]
+
+    def test_sequential_collectives_do_not_interfere(self):
+        def fn(comm):
+            a = comm.Allreduce(np.array([1.0]))
+            b = comm.Allreduce(np.array([2.0]))
+            return a[0], b[0]
+
+        out = run_spmd(4, fn)
+        assert all(o == (4.0, 8.0) for o in out)
+
+    def test_allreduce_scalar(self):
+        out = run_spmd(3, lambda c: c.allreduce_scalar(float(c.Get_rank() + 1)))
+        assert all(o == 6.0 for o in out)
+
+
+class TestPointToPoint:
+    def test_ring_exchange(self):
+        def fn(comm):
+            r, s = comm.Get_rank(), comm.Get_size()
+            buf = np.empty(2)
+            comm.Sendrecv(
+                np.array([r, r + 0.5]), dest=(r + 1) % s, recvbuf=buf, source=(r - 1) % s
+            )
+            return buf[0]
+
+        out = run_spmd(4, fn)
+        assert out == [3.0, 0.0, 1.0, 2.0]
+
+    def test_send_copies_buffer(self):
+        def fn(comm):
+            if comm.Get_rank() == 0:
+                x = np.array([1.0])
+                comm.Send(x, dest=1)
+                x[0] = 99.0  # mutation after send must not be visible
+                comm.Barrier()
+                return None
+            buf = np.empty(1)
+            comm.Barrier()
+            comm.Recv(buf, source=0)
+            return buf[0]
+
+        assert run_spmd(2, fn)[1] == 1.0
+
+    def test_shape_mismatch_raises(self):
+        def fn(comm):
+            if comm.Get_rank() == 0:
+                comm.Send(np.zeros(3), dest=1)
+            else:
+                comm.Recv(np.zeros(4), source=0)
+
+        with pytest.raises(RuntimeError):
+            run_spmd(2, fn)
+
+    def test_tagged_messages_do_not_mix(self):
+        def fn(comm):
+            if comm.Get_rank() == 0:
+                comm.Send(np.array([1.0]), dest=1, tag=7)
+                comm.Send(np.array([2.0]), dest=1, tag=9)
+                return None
+            b9 = np.empty(1)
+            b7 = np.empty(1)
+            comm.Recv(b9, source=0, tag=9)
+            comm.Recv(b7, source=0, tag=7)
+            return b7[0], b9[0]
+
+        assert run_spmd(2, fn)[1] == (1.0, 2.0)
+
+
+class TestSplit:
+    def test_split_into_two_groups(self):
+        def fn(comm):
+            color = comm.Get_rank() % 2
+            sub = comm.Split(color=color, key=comm.Get_rank())
+            return color, sub.Get_size(), sub.Get_rank()
+
+        out = run_spmd(4, fn)
+        assert out[0] == (0, 2, 0)
+        assert out[1] == (1, 2, 0)
+        assert out[2] == (0, 2, 1)
+        assert out[3] == (1, 2, 1)
+
+    def test_split_subgroup_collectives(self):
+        def fn(comm):
+            sub = comm.Split(color=comm.Get_rank() // 2)
+            return sub.allreduce_scalar(1.0)
+
+        assert run_spmd(4, fn) == [2.0, 2.0, 2.0, 2.0]
+
+    def test_split_single_member_is_serial(self):
+        def fn(comm):
+            sub = comm.Split(color=comm.Get_rank())  # everyone alone
+            return sub.Get_size()
+
+        assert run_spmd(3, fn) == [1, 1, 1]
+
+
+class TestTraceComm:
+    def test_records_collective_traffic(self):
+        stats = CommStats()
+
+        def fn(comm):
+            tc = TraceComm(comm, stats)
+            tc.Allreduce(np.zeros(8))
+            tc.Barrier()
+            return None
+
+        run_spmd(2, fn)
+        assert stats.counts["allreduce"] == 2  # one record per rank
+        assert stats.bytes["allreduce"] == 2 * 64
+        assert stats.counts["barrier"] == 2
+
+    def test_merge(self):
+        a = CommStats({"send": 1}, {"send": 10})
+        b = CommStats({"send": 2, "recv": 1}, {"send": 5, "recv": 7})
+        m = a.merge(b)
+        assert m.counts == {"send": 3, "recv": 1}
+        assert m.total_bytes() == 22
+        assert m.total_messages() == 4
+
+    def test_split_preserves_stats_object(self):
+        stats = CommStats()
+
+        def fn(comm):
+            tc = TraceComm(comm, stats)
+            sub = tc.Split(color=0)
+            sub.Allreduce(np.zeros(4))
+            return None
+
+        run_spmd(2, fn)
+        assert stats.counts["allreduce"] == 2

@@ -1,0 +1,94 @@
+"""Process-grid planning and splitting for the S1/S2/S3 layers."""
+
+import pytest
+
+from repro.comm import run_spmd
+from repro.comm.groups import GridComms, ProcessGrid, plan_process_grid, split_process_grid
+
+
+class TestProcessGrid:
+    def test_nprocs(self):
+        assert ProcessGrid(s1=3, s2=2, s3=4).nprocs == 24
+
+    def test_coords_roundtrip(self):
+        g = ProcessGrid(s1=2, s2=2, s3=3)
+        seen = set()
+        for r in range(g.nprocs):
+            seen.add(g.coords(r))
+        assert len(seen) == g.nprocs
+
+    def test_s2_capped_at_two(self):
+        with pytest.raises(ValueError):
+            ProcessGrid(s1=1, s2=3, s3=1)
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            ProcessGrid(s1=2, s2=1, s3=1).coords(2)
+
+
+class TestPlanProcessGrid:
+    def test_prefers_s1(self):
+        g = plan_process_grid(8, nfeval=9)
+        assert g.s1 == 8
+        assert g.s2 == 1
+        assert g.s3 == 1
+
+    def test_s1_saturates_then_s2(self):
+        g = plan_process_grid(18, nfeval=9)
+        assert g.s1 == 9
+        assert g.s2 == 2
+
+    def test_overflow_goes_to_s3(self):
+        g = plan_process_grid(72, nfeval=9)
+        assert (g.s1, g.s2) == (9, 2)
+        assert g.s3 == 4
+
+    def test_memory_forces_min_s3(self):
+        g = plan_process_grid(8, nfeval=31, min_s3=4)
+        assert g.s3 >= 4
+        assert g.s1 == 2
+
+    def test_non_gaussian_disables_s2(self):
+        g = plan_process_grid(18, nfeval=9, gaussian=False)
+        assert g.s2 == 1
+
+    def test_max_s3_respected(self):
+        g = plan_process_grid(64, nfeval=3, max_s3=5)
+        assert g.s3 <= 5
+
+    def test_single_process(self):
+        g = plan_process_grid(1, nfeval=31)
+        assert g.nprocs == 1
+
+
+class TestSplitProcessGrid:
+    def test_group_sizes(self):
+        grid = ProcessGrid(s1=2, s2=2, s3=2)
+
+        def fn(comm):
+            gc = split_process_grid(comm, grid)
+            return gc.i1, gc.eval_comm.Get_size(), gc.solver_comm.Get_size()
+
+        out = run_spmd(8, fn)
+        for i1, eval_size, solver_size in out:
+            assert eval_size == 4  # s2 * s3
+            assert solver_size == 2  # s3
+
+    def test_eval_groups_partition_world(self):
+        grid = ProcessGrid(s1=2, s2=1, s3=2)
+
+        def fn(comm):
+            gc = split_process_grid(comm, grid)
+            return gc.i1, gc.eval_comm.Get_rank()
+
+        out = run_spmd(4, fn)
+        by_group = {}
+        for i1, r in out:
+            by_group.setdefault(i1, []).append(r)
+        assert sorted(by_group[0]) == [0, 1]
+        assert sorted(by_group[1]) == [0, 1]
+
+    def test_size_mismatch_rejected(self):
+        grid = ProcessGrid(s1=2, s2=1, s3=1)
+        with pytest.raises(RuntimeError):
+            run_spmd(3, lambda comm: split_process_grid(comm, grid))

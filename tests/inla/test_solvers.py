@@ -1,0 +1,78 @@
+"""Solver dispatch layer (sequential vs distributed S3)."""
+
+import numpy as np
+import pytest
+
+from repro.backend.device import Device, DeviceKind
+from repro.backend.memory import MemoryBudgetError
+from repro.inla.solvers import DistributedSolver, SequentialSolver, select_solver
+from repro.structured.bta import BTAMatrix, BTAShape
+
+
+@pytest.fixture
+def spd(rng):
+    A = BTAMatrix.random_spd(BTAShape(n=10, b=3, a=2), rng)
+    return A, A.to_dense()
+
+
+class TestSequentialSolver:
+    def test_logdet(self, spd):
+        A, Ad = spd
+        assert np.isclose(SequentialSolver().logdet(A.copy()), np.linalg.slogdet(Ad)[1])
+
+    def test_logdet_and_solve(self, spd, rng):
+        A, Ad = spd
+        rhs = rng.standard_normal(A.N)
+        ld, x = SequentialSolver().logdet_and_solve(A.copy(), rhs)
+        assert np.allclose(Ad @ x, rhs)
+
+    def test_selected_inverse_diagonal(self, spd):
+        A, Ad = spd
+        d = SequentialSolver().selected_inverse_diagonal(A.copy())
+        assert np.allclose(d, np.diag(np.linalg.inv(Ad)))
+
+
+class TestDistributedSolver:
+    @pytest.mark.parametrize("P", [2, 3])
+    def test_matches_sequential(self, spd, rng, P):
+        A, Ad = spd
+        rhs = rng.standard_normal(A.N)
+        sv = DistributedSolver(P)
+        assert np.isclose(sv.logdet(A.copy()), np.linalg.slogdet(Ad)[1])
+        ld, x = sv.logdet_and_solve(A.copy(), rhs)
+        assert np.allclose(Ad @ x, rhs, atol=1e-8)
+        d = sv.selected_inverse_diagonal(A.copy())
+        assert np.allclose(d, np.diag(np.linalg.inv(Ad)), atol=1e-8)
+
+    def test_oversized_p_clamped(self, rng):
+        A = BTAMatrix.random_spd(BTAShape(n=4, b=2, a=1), rng)
+        Ad = A.to_dense()
+        sv = DistributedSolver(16)  # more ranks than feasible partitions
+        assert np.isclose(sv.logdet(A.copy()), np.linalg.slogdet(Ad)[1])
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            DistributedSolver(0)
+
+
+class TestSelectSolver:
+    def test_small_model_sequential(self):
+        s = select_solver(BTAShape(n=10, b=4, a=2))
+        assert isinstance(s, SequentialSolver)
+
+    def test_large_model_distributed(self):
+        tiny_device = Device(
+            kind=DeviceKind.GPU, name="tiny", memory_bytes=10 * 2**20,
+            gemm_tflops=1.0, bandwidth_gbs=100.0,
+        )
+        s = select_solver(BTAShape(n=64, b=200, a=4), device=tiny_device)
+        assert isinstance(s, DistributedSolver)
+        assert s.P > 1
+
+    def test_infeasible_block_raises(self):
+        nano = Device(
+            kind=DeviceKind.GPU, name="nano", memory_bytes=1000,
+            gemm_tflops=1.0, bandwidth_gbs=1.0,
+        )
+        with pytest.raises(MemoryBudgetError):
+            select_solver(BTAShape(n=4, b=100, a=0), device=nano)

@@ -1,0 +1,162 @@
+"""Mesh generation and finite-element matrices."""
+
+import numpy as np
+import pytest
+
+from repro.meshes.fem import lumped_mass, mass_matrix, stiffness_matrix
+from repro.meshes.mesh2d import (
+    Mesh2D,
+    NORTHERN_ITALY_EXTENT,
+    mesh_with_n_nodes,
+    northern_italy_mesh,
+    rectangle_mesh,
+)
+from repro.meshes.projector import point_interpolation_matrix
+from repro.meshes.temporal import (
+    TemporalMesh,
+    temporal_boundary,
+    temporal_fem_matrices,
+    temporal_mass,
+    temporal_stiffness,
+)
+
+
+class TestMesh2D:
+    def test_rectangle_counts(self):
+        m = rectangle_mesh(5, 4)
+        assert m.n_nodes == 20
+        assert m.n_triangles == 2 * 4 * 3
+
+    def test_triangles_ccw(self):
+        m = rectangle_mesh(6, 5)
+        assert np.all(m.triangle_areas() > 0)
+
+    def test_total_area(self):
+        m = rectangle_mesh(4, 4, extent=((0, 2), (0, 3)))
+        assert np.isclose(m.triangle_areas().sum(), 6.0)
+
+    def test_refine_quadruples_triangles(self):
+        m = rectangle_mesh(3, 3)
+        r = m.refine()
+        assert r.n_triangles == 4 * m.n_triangles
+        assert np.isclose(r.triangle_areas().sum(), m.triangle_areas().sum())
+
+    def test_refine_shares_edge_midpoints(self):
+        m = rectangle_mesh(3, 3)
+        r = m.refine()
+        # New nodes = old nodes + unique edges; a 3x3 structured grid has
+        # 9 nodes and 16 unique edges (6 horizontal, 6 vertical, 4 diagonal).
+        assert r.n_nodes == 9 + 16
+
+    def test_mesh_with_n_nodes_close(self):
+        m = mesh_with_n_nodes(300)
+        assert 0.7 * 300 <= m.n_nodes <= 1.3 * 300
+
+    def test_northern_italy_extent(self):
+        m = northern_italy_mesh(100)
+        (x0, x1), (y0, y1) = m.bbox()
+        assert x0 == pytest.approx(NORTHERN_ITALY_EXTENT[0][0])
+        assert y1 == pytest.approx(NORTHERN_ITALY_EXTENT[1][1])
+
+    def test_invalid_mesh_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh2D(points=np.zeros((3, 2)), triangles=np.array([[0, 1, 5]]))
+
+    def test_degenerate_extent_rejected(self):
+        with pytest.raises(ValueError):
+            rectangle_mesh(3, 3, extent=((0, 0), (0, 1)))
+
+
+class TestSpatialFEM:
+    def test_mass_total_equals_area(self, unit_mesh):
+        C = mass_matrix(unit_mesh)
+        assert np.isclose(C.sum(), 1.0)
+
+    def test_lumped_mass_rowsums(self, unit_mesh):
+        Cl = lumped_mass(unit_mesh)
+        C = mass_matrix(unit_mesh)
+        assert np.allclose(Cl.diagonal(), np.asarray(C.sum(axis=1)).ravel())
+
+    def test_mass_spd(self, unit_mesh):
+        C = mass_matrix(unit_mesh).toarray()
+        assert np.linalg.eigvalsh(C).min() > 0
+
+    def test_stiffness_symmetric_psd(self, unit_mesh):
+        G = stiffness_matrix(unit_mesh).toarray()
+        assert np.allclose(G, G.T)
+        w = np.linalg.eigvalsh(G)
+        assert w.min() > -1e-12
+
+    def test_stiffness_kernel_is_constants(self, unit_mesh):
+        G = stiffness_matrix(unit_mesh)
+        assert np.allclose(G @ np.ones(unit_mesh.n_nodes), 0.0, atol=1e-12)
+
+    def test_stiffness_energy_of_linear_function(self):
+        # For f = x on the unit square: integral |grad f|^2 = 1.
+        m = rectangle_mesh(9, 9)
+        G = stiffness_matrix(m)
+        f = m.points[:, 0]
+        assert np.isclose(f @ (G @ f), 1.0)
+
+
+class TestTemporalFEM:
+    def test_mass_total_equals_length(self):
+        tm = TemporalMesh(nt=7, dt=0.5)
+        M0 = temporal_mass(tm)
+        assert np.isclose(M0.sum(), (7 - 1) * 0.5)
+
+    def test_boundary_matrix(self):
+        M1 = temporal_boundary(TemporalMesh(nt=5))
+        d = M1.diagonal()
+        assert d[0] == 0.5 and d[-1] == 0.5
+        assert np.all(d[1:-1] == 0)
+
+    def test_stiffness_kernel(self):
+        M2 = temporal_stiffness(TemporalMesh(nt=6, dt=2.0))
+        assert np.allclose(M2 @ np.ones(6), 0.0)
+
+    def test_stiffness_energy_linear(self):
+        tm = TemporalMesh(nt=5, dt=1.0)
+        M2 = temporal_stiffness(tm)
+        f = tm.knots
+        # integral of (df/dt)^2 = length of interval = 4
+        assert np.isclose(f @ (M2 @ f), 4.0)
+
+    def test_all_tridiagonal(self):
+        M0, M1, M2 = temporal_fem_matrices(TemporalMesh(nt=8))
+        for M in (M0, M1, M2):
+            coo = M.tocoo()
+            assert np.all(np.abs(coo.row - coo.col) <= 1)
+
+    def test_too_few_knots_rejected(self):
+        with pytest.raises(ValueError):
+            TemporalMesh(nt=1)
+
+
+class TestProjector:
+    def test_partition_of_unity(self, unit_mesh, rng):
+        pts = rng.uniform(0.05, 0.95, size=(40, 2))
+        A = point_interpolation_matrix(unit_mesh, pts)
+        assert np.allclose(np.asarray(A.sum(axis=1)).ravel(), 1.0)
+
+    def test_linear_reproduction(self, unit_mesh, rng):
+        pts = rng.uniform(0.1, 0.9, size=(30, 2))
+        A = point_interpolation_matrix(unit_mesh, pts)
+        f = 3.0 * unit_mesh.points[:, 0] - 2.0 * unit_mesh.points[:, 1] + 1.0
+        assert np.allclose(A @ f, 3.0 * pts[:, 0] - 2.0 * pts[:, 1] + 1.0)
+
+    def test_node_evaluation_is_exact(self, unit_mesh):
+        A = point_interpolation_matrix(unit_mesh, unit_mesh.points[:5])
+        eye = A[:, :5].toarray()
+        assert np.allclose(eye, np.eye(5))
+
+    def test_outside_point_raises(self, unit_mesh):
+        with pytest.raises(ValueError):
+            point_interpolation_matrix(unit_mesh, np.array([[2.0, 2.0]]))
+
+    def test_outside_point_allowed_gives_zero_row(self, unit_mesh):
+        A = point_interpolation_matrix(
+            unit_mesh, np.array([[2.0, 2.0], [0.5, 0.5]]), allow_outside=True
+        )
+        assert A[0].nnz == 0
+        assert np.isclose(A[1].sum(), 1.0)

@@ -1,0 +1,218 @@
+"""Model layer: theta layout, likelihood, designs, assembly."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.meshes.mesh2d import rectangle_mesh
+from repro.meshes.temporal import TemporalMesh
+from repro.model.assembler import CoregionalSTModel, ResponseData
+from repro.model.design import joint_design, process_design, spacetime_design
+from repro.model.layout import ThetaLayout
+from repro.model.likelihood import GaussianLikelihood
+from repro.model.datasets import TABLE_IV, make_dataset
+
+
+class TestThetaLayout:
+    def test_dims_match_paper(self):
+        """Table IV: dim(theta) = 4 for univariate, 15 for trivariate."""
+        assert ThetaLayout(1).dim == 4
+        assert ThetaLayout(3).dim == 15
+
+    def test_nfeval(self):
+        assert ThetaLayout(3).n_feval == 31  # the paper's coregional count
+        assert ThetaLayout(1).n_feval == 9
+
+    def test_pack_extract_roundtrip(self):
+        lay = ThetaLayout(3)
+        taus = np.array([5.0, 10.0, 2.0])
+        ranges = np.array([[0.5, 2.0], [0.7, 3.0], [0.4, 1.5]])
+        sigmas = np.array([1.0, 1.5, 0.8])
+        lambdas = np.array([0.3, -0.4, 0.1])
+        theta = lay.pack(taus, ranges, sigmas, lambdas)
+        assert np.allclose(lay.taus(theta), taus)
+        assert np.allclose(lay.sigmas(theta), sigmas)
+        assert np.allclose(lay.lambdas(theta), lambdas)
+        for v in range(3):
+            p = lay.process_params(theta, v)
+            assert np.isclose(p.range_s, ranges[v, 0])
+            assert np.isclose(p.range_t, ranges[v, 1])
+            assert p.sigma == 1.0  # unit variance; scale lives in Lambda
+
+    def test_slices_disjoint_cover(self):
+        lay = ThetaLayout(2)
+        covered = set()
+        for s in [lay.tau_slice(), lay.range_slice(0), lay.range_slice(1), lay.sigma_slice(), lay.lambda_slice()]:
+            idx = set(range(*s.indices(lay.dim)))
+            assert not (covered & idx)
+            covered |= idx
+        assert covered == set(range(lay.dim))
+
+    def test_invalid_pack_rejected(self):
+        lay = ThetaLayout(2)
+        with pytest.raises(ValueError):
+            lay.pack(np.array([1.0, -1.0]), np.ones((2, 2)), np.ones(2), np.zeros(1))
+
+    def test_describe(self):
+        lay = ThetaLayout(1)
+        theta = lay.pack(np.array([2.0]), np.array([[0.5, 1.5]]), np.array([1.2]))
+        d = lay.describe(theta)
+        assert np.isclose(d["tau"][0], 2.0)
+        assert np.isclose(d["sigma"][0], 1.2)
+
+
+class TestGaussianLikelihood:
+    def test_logpdf_matches_scipy(self, rng):
+        from scipy.stats import norm
+
+        y = rng.standard_normal(10)
+        eta = rng.standard_normal(10)
+        lik = GaussianLikelihood(y=y, response_of=np.zeros(10, dtype=np.int64))
+        tau = np.array([4.0])
+        ref = norm.logpdf(y, loc=eta, scale=0.5).sum()
+        assert np.isclose(lik.logpdf(eta, tau), ref)
+
+    def test_per_response_precisions(self, rng):
+        y = rng.standard_normal(6)
+        r = np.array([0, 0, 1, 1, 2, 2])
+        lik = GaussianLikelihood(y=y, response_of=r)
+        d = lik.noise_precisions(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(d, [1, 1, 2, 2, 3, 3])
+
+    def test_information_vector(self, rng):
+        y = rng.standard_normal(5)
+        A = sp.random(5, 8, density=0.5, format="csr")
+        lik = GaussianLikelihood(y=y, response_of=np.zeros(5, dtype=np.int64))
+        ref = A.T @ (2.0 * y)
+        assert np.allclose(lik.information_vector(A, np.array([2.0])), ref)
+
+    def test_negative_tau_rejected(self, rng):
+        lik = GaussianLikelihood(y=np.zeros(3), response_of=np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValueError):
+            lik.noise_precisions(np.array([-1.0]))
+
+
+class TestDesign:
+    def test_spacetime_design_places_time_blocks(self):
+        mesh = rectangle_mesh(4, 3)
+        tmesh = TemporalMesh(nt=3)
+        coords = np.array([[0.5, 0.5], [0.2, 0.7]])
+        A = spacetime_design(mesh, tmesh, coords, np.array([0, 2]))
+        ns = mesh.n_nodes
+        assert A.shape == (2, ns * 3)
+        # First obs touches time block 0 only, second time block 2 only.
+        assert A[0, ns:].nnz == 0
+        assert A[1, : 2 * ns].nnz == 0
+        assert np.isclose(A[1, 2 * ns :].sum(), 1.0)
+
+    def test_process_design_appends_covariates(self):
+        mesh = rectangle_mesh(3, 3)
+        tmesh = TemporalMesh(nt=2)
+        coords = np.array([[0.5, 0.5]])
+        X = np.array([[1.0, 7.0]])
+        A = process_design(mesh, tmesh, coords, np.array([1]), X)
+        assert A.shape == (1, mesh.n_nodes * 2 + 2)
+        assert A[0, -1] == 7.0
+
+    def test_joint_design_block_diagonal(self):
+        A1 = sp.csr_matrix(np.ones((2, 3)))
+        A2 = sp.csr_matrix(2 * np.ones((1, 3)))
+        J = joint_design([A1, A2])
+        assert J.shape == (3, 6)
+        assert J[2, 0] == 0
+        assert J[2, 3] == 2
+
+    def test_time_index_out_of_range(self):
+        mesh = rectangle_mesh(3, 3)
+        with pytest.raises(ValueError):
+            spacetime_design(mesh, TemporalMesh(nt=2), np.array([[0.5, 0.5]]), np.array([5]))
+
+
+class TestAssembly:
+    def test_dimensions_match_paper_formula(self, tiny_model):
+        model, _, _ = tiny_model
+        assert model.N == model.nv * (model.ns * model.nt + model.nr)
+
+    def test_qp_bta_matches_sparse(self, tiny_model):
+        """The BTA block stacks must equal the permuted sparse matrix."""
+        model, gt, _ = tiny_model
+        sys = model.assemble(gt.theta)
+        assert np.allclose(sys.qp.to_dense(), sys.qp_csr.toarray(), atol=1e-12)
+
+    def test_qc_is_qp_plus_gram(self, tiny_model):
+        model, gt, _ = tiny_model
+        qp, qc, rhs, taus = model.assemble_sparse(gt.theta)
+        gram = sum(t * g for t, g in zip(taus, model._grams))
+        assert np.allclose(qc.toarray(), (qp + gram).toarray(), atol=1e-10)
+
+    def test_qc_spd(self, tiny_model):
+        model, gt, _ = tiny_model
+        sys = model.assemble(gt.theta)
+        w = np.linalg.eigvalsh(sys.qc.to_dense())
+        assert w.min() > 0
+
+    def test_assemble_consistent_with_sparse(self, tiny_model):
+        model, gt, _ = tiny_model
+        sys = model.assemble(gt.theta)
+        qp_var, qc_var, rhs_var, _ = model.assemble_sparse(gt.theta)
+        p = model.permutation.perm.perm
+        assert np.allclose(sys.qc.to_dense(), qc_var.toarray()[np.ix_(p, p)], atol=1e-12)
+        assert np.allclose(sys.rhs, rhs_var[p])
+
+    def test_zero_lambda_assembles(self, tiny_model):
+        """lambda = 0 shrinks the numeric pattern; alignment must absorb it."""
+        model, gt, _ = tiny_model
+        theta = gt.theta.copy()
+        theta[model.layout.lambda_slice()] = 0.0
+        sys = model.assemble(theta)
+        assert np.isfinite(sys.qp.frobenius_norm())
+
+    def test_split_latent_shapes(self, tiny_model):
+        model, gt, latent = tiny_model
+        parts = model.split_latent(model.permutation.permute_vector(latent))
+        assert len(parts) == model.nv
+        st, fixed = parts[0]
+        assert st.shape == (model.nt, model.ns)
+        assert fixed.shape == (model.nr,)
+
+    def test_mismatched_nr_rejected(self):
+        mesh = rectangle_mesh(3, 3)
+        tmesh = TemporalMesh(nt=2)
+        r1 = ResponseData(
+            coords=np.array([[0.5, 0.5]]),
+            time_idx=np.array([0]),
+            covariates=np.ones((1, 1)),
+            y=np.zeros(1),
+        )
+        r2 = ResponseData(
+            coords=np.array([[0.5, 0.5]]),
+            time_idx=np.array([0]),
+            covariates=np.ones((1, 2)),
+            y=np.zeros(1),
+        )
+        with pytest.raises(ValueError):
+            CoregionalSTModel(mesh, tmesh, [r1, r2])
+
+
+class TestDatasets:
+    def test_table_iv_total_dims(self):
+        """N = nv (ns nt + nr) for every Table IV row (paper Sec. IV-B)."""
+        assert TABLE_IV["MB1"].N == 1 * (4002 * 250 + 6) == 1_000_506
+        assert TABLE_IV["SA1"].N == 3 * (1675 * 192 + 1) == 964_803
+        assert TABLE_IV["AP1"].N == 3 * (4210 * 48 + 2) == 606_246
+        assert TABLE_IV["WA1"].dim_theta == 15
+        assert TABLE_IV["MB1"].dim_theta == 4
+
+    def test_make_dataset_reproducible(self):
+        m1, g1, l1 = make_dataset(nv=1, ns=12, nt=3, nr=1, obs_per_step=8, seed=3)
+        m2, g2, l2 = make_dataset(nv=1, ns=12, nt=3, nr=1, obs_per_step=8, seed=3)
+        assert np.array_equal(l1, l2)
+        assert np.array_equal(m1.likelihood.y, m2.likelihood.y)
+
+    def test_make_dataset_observations_follow_latent(self, tiny_uni_model):
+        model, gt, latent = tiny_uni_model
+        eta = np.asarray(model.A @ latent).ravel()
+        resid = model.likelihood.y - eta
+        tau = model.layout.taus(gt.theta)[0]
+        # Residual variance should match the observation noise level.
+        assert np.isclose(resid.var(), 1.0 / tau, rtol=0.4)

@@ -1,0 +1,89 @@
+"""Synthetic air-pollution dataset (Sec. VI substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.model.pollution import (
+    ELEVATION_EFFECTS,
+    PAPER_LAMBDAS,
+    POLLUTANTS,
+    coarse_grid,
+    coast_distance,
+    downscaling_grid,
+    elevation_km,
+    make_pollution_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_pollution_dataset(ns=60, n_days=4, obs_cells=50, seed=7)
+
+
+class TestGeography:
+    def test_elevation_positive_and_bounded(self):
+        pts = coarse_grid(0.2)
+        e = elevation_km(pts)
+        assert np.all(e >= 0)
+        assert e.max() < 4.0  # the Alps, not the Himalaya
+
+    def test_alps_higher_than_po_valley(self):
+        north = elevation_km(np.array([[9.0, 46.5]]))
+        valley = elevation_km(np.array([[9.0, 45.1]]))
+        assert north[0] > valley[0] + 0.5
+
+    def test_coast_distance_nonnegative(self):
+        pts = coarse_grid(0.3)
+        assert np.all(coast_distance(pts) >= 0)
+
+    def test_grids_nest(self):
+        coarse = coarse_grid(0.1)
+        fine = downscaling_grid(factor=5)
+        assert len(fine) == pytest.approx(25 * len(coarse), rel=0.05)
+
+
+class TestDataset:
+    def test_shapes(self, dataset):
+        model = dataset.model
+        assert model.nv == 3
+        assert model.nr == 2  # intercept + elevation
+        assert model.nt == dataset.n_days
+        assert dataset.latent_true.shape == (model.N,)
+
+    def test_ground_truth_fixed_effects_injected(self, dataset):
+        model = dataset.model
+        stride = model.dim_process
+        k = model.ns * model.nt
+        for v in range(3):
+            assert dataset.latent_true[v * stride + k] == 0.0  # intercept
+            assert dataset.latent_true[v * stride + k + 1] == ELEVATION_EFFECTS[v]
+
+    def test_observation_noise_level(self, dataset):
+        model = dataset.model
+        eta = np.asarray(model.A @ dataset.latent_true).ravel()
+        resid = model.likelihood.y - eta
+        tau = dataset.layout.taus(dataset.theta_true)[0]
+        assert np.isclose(resid.var(), 1.0 / tau, rtol=0.5)
+
+    def test_lambda_truth_gives_paper_correlations(self, dataset):
+        corr = dataset.model.coreg.response_correlations(
+            dataset.layout.sigmas(dataset.theta_true), PAPER_LAMBDAS
+        )
+        assert corr[0, 1] > 0.9  # PM2.5-PM10 strongly positive
+        assert corr[0, 2] < -0.3  # both negative with O3
+        assert corr[1, 2] < -0.3
+
+    def test_reproducible(self):
+        a = make_pollution_dataset(ns=40, n_days=3, obs_cells=30, seed=1)
+        b = make_pollution_dataset(ns=40, n_days=3, obs_cells=30, seed=1)
+        assert np.array_equal(a.model.likelihood.y, b.model.likelihood.y)
+
+    def test_fobj_finite_at_truth(self, dataset):
+        from repro.inla import evaluate_fobj
+
+        r = evaluate_fobj(dataset.model, dataset.theta_true)
+        assert np.isfinite(r.value)
+
+    def test_pollutant_names(self):
+        assert POLLUTANTS == ("PM2.5", "PM10", "O3")
+        assert len(ELEVATION_EFFECTS) == 3

@@ -1,0 +1,54 @@
+"""Host calibration of the performance model."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.calibrate import (
+    KernelSample,
+    calibrated_host_machine,
+    fit_efficiency_law,
+    measure_factorization,
+)
+
+
+class TestMeasurement:
+    def test_samples_have_positive_rates(self):
+        samples = measure_factorization((4, 8), n_blocks=6, repeats=1)
+        assert len(samples) == 2
+        for s in samples:
+            assert s.seconds > 0
+            assert s.rate > 0
+
+    def test_rate_grows_with_block_size(self):
+        """Bigger blocks amortize per-call overhead -> higher flop rate."""
+        samples = measure_factorization((4, 64), n_blocks=8, repeats=2)
+        assert samples[1].rate > samples[0].rate
+
+
+class TestFit:
+    def test_recovers_synthetic_law(self):
+        peak, b_half = 5e10, 24.0
+        samples = []
+        for b in (4, 8, 16, 32, 64, 128):
+            eff = b**3 / (b**3 + b_half**3)
+            rate = peak * eff
+            flops = KernelSample(b=b, n=10, seconds=1.0).flops
+            samples.append(KernelSample(b=b, n=10, seconds=flops / rate))
+        p, bh = fit_efficiency_law(samples)
+        assert np.isclose(p, peak, rtol=0.05)
+        assert np.isclose(bh, b_half, rtol=0.15)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            fit_efficiency_law([KernelSample(b=8, n=4, seconds=0.1)])
+
+
+class TestEndToEnd:
+    def test_calibrated_machine_is_usable(self):
+        m = calibrated_host_machine(block_sizes=(4, 8, 16), n_blocks=6)
+        assert m.device.gemm_tflops > 0
+        assert m.b_half > 0
+        # Predictions from the fitted model must be positive and monotone.
+        t1 = m.kernel_time(1e9, 16)
+        t2 = m.kernel_time(2e9, 16)
+        assert 0 < t1 < t2

@@ -1,0 +1,175 @@
+"""SPDE precision construction, parameter maps, priors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.meshes.mesh2d import rectangle_mesh
+from repro.meshes.temporal import TemporalMesh
+from repro.spde.matern import matern_precision, spatial_operators
+from repro.spde.params import (
+    SpatioTemporalParams,
+    gammas_from_interpretable,
+    interpretable_from_gammas,
+)
+from repro.spde.priors import GaussianPrior, PriorCollection
+from repro.spde.spatiotemporal import SpatioTemporalSPDE
+
+
+class TestMatern:
+    def test_precision_spd(self, unit_mesh):
+        Q = matern_precision(unit_mesh, range_=0.4, sigma=1.0)
+        w = np.linalg.eigvalsh(Q.toarray())
+        assert w.min() > 0
+
+    def test_variance_scales_with_sigma(self, unit_mesh):
+        Q1 = matern_precision(unit_mesh, range_=0.3, sigma=1.0)
+        Q2 = matern_precision(unit_mesh, range_=0.3, sigma=2.0)
+        v1 = np.diag(np.linalg.inv(Q1.toarray()))
+        v2 = np.diag(np.linalg.inv(Q2.toarray()))
+        assert np.allclose(v2, 4.0 * v1)
+
+    def test_spatial_operator_powers(self, unit_mesh):
+        q1, q2, q3 = spatial_operators(unit_mesh, kappa=2.0)
+        from repro.meshes.fem import fem_matrices
+
+        C, G = fem_matrices(unit_mesh)
+        cinv = np.diag(1.0 / C.diagonal())
+        K = (4.0 * C + G).toarray()
+        assert np.allclose(q1.toarray(), K)
+        assert np.allclose(q2.toarray(), K @ cinv @ K)
+        assert np.allclose(q3.toarray(), K @ cinv @ K @ cinv @ K)
+
+    def test_invalid_kappa(self, unit_mesh):
+        with pytest.raises(ValueError):
+            spatial_operators(unit_mesh, kappa=0.0)
+
+    def test_correlation_decays_with_distance(self):
+        mesh = rectangle_mesh(15, 15)
+        Q = matern_precision(mesh, range_=0.2, sigma=1.0)
+        S = np.linalg.inv(Q.toarray())
+        center = np.argmin(np.linalg.norm(mesh.points - 0.5, axis=1))
+        d = np.linalg.norm(mesh.points - mesh.points[center], axis=1)
+        corr = S[center] / np.sqrt(S[center, center] * np.diag(S))
+        near = corr[(d > 0.05) & (d < 0.15)].mean()
+        far = corr[d > 0.45].mean()
+        assert near > far
+        assert far < 0.35
+
+
+class TestParamMaps:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rs=st.floats(0.05, 10.0),
+        rt=st.floats(0.1, 50.0),
+        sig=st.floats(0.1, 5.0),
+    )
+    def test_roundtrip(self, rs, rt, sig):
+        p = SpatioTemporalParams(range_s=rs, range_t=rt, sigma=sig)
+        q = interpretable_from_gammas(*gammas_from_interpretable(p))
+        assert np.isclose(q.range_s, rs, rtol=1e-10)
+        assert np.isclose(q.range_t, rt, rtol=1e-10)
+        assert np.isclose(q.sigma, sig, rtol=1e-10)
+
+    def test_theta_roundtrip(self):
+        p = SpatioTemporalParams(range_s=0.5, range_t=3.0, sigma=1.2)
+        q = SpatioTemporalParams.from_theta(p.to_theta())
+        assert np.isclose(q.range_s, p.range_s)
+        assert np.isclose(q.range_t, p.range_t)
+        assert np.isclose(q.sigma, p.sigma)
+
+    def test_larger_range_smaller_gamma_s(self):
+        g1 = gammas_from_interpretable(SpatioTemporalParams(1.0, 1.0, 1.0))
+        g2 = gammas_from_interpretable(SpatioTemporalParams(2.0, 1.0, 1.0))
+        assert g2[0] < g1[0]
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            SpatioTemporalParams(range_s=-1.0, range_t=1.0, sigma=1.0)
+
+
+class TestSpatioTemporalSPDE:
+    @pytest.fixture
+    def spde(self, unit_mesh):
+        return SpatioTemporalSPDE(unit_mesh, TemporalMesh(nt=5))
+
+    def test_dimension(self, spde):
+        assert spde.dim == spde.ns * 5
+
+    def test_precision_spd(self, spde):
+        Q = spde.precision(SpatioTemporalParams(0.4, 2.0, 1.0))
+        w = np.linalg.eigvalsh(Q.toarray())
+        assert w.min() > 0
+
+    def test_block_tridiagonal_pattern(self, spde):
+        assert spde.block_bandwidth_check()
+
+    def test_symmetry(self, spde):
+        Q = spde.precision(SpatioTemporalParams(0.3, 1.5, 0.8)).toarray()
+        assert np.allclose(Q, Q.T)
+
+    def test_variance_scales_with_sigma(self, spde):
+        Q1 = spde.precision(SpatioTemporalParams(0.4, 2.0, 1.0)).toarray()
+        Q2 = spde.precision(SpatioTemporalParams(0.4, 2.0, 3.0)).toarray()
+        v1 = np.diag(np.linalg.inv(Q1))
+        v2 = np.diag(np.linalg.inv(Q2))
+        assert np.allclose(v2, 9.0 * v1, rtol=1e-8)
+
+    def test_marginal_variance_order_of_magnitude(self, spde):
+        """Stationary-formula variance is right to within boundary effects."""
+        target = 1.5
+        Q = spde.precision(SpatioTemporalParams(0.25, 2.0, target)).toarray()
+        v = np.diag(np.linalg.inv(Q))
+        med = np.median(v)
+        assert 0.3 * target**2 < med < 4.0 * target**2
+
+    def test_temporal_correlation_increases_with_range_t(self, spde):
+        def lag1_corr(rt):
+            Q = spde.precision(SpatioTemporalParams(0.4, rt, 1.0)).toarray()
+            S = np.linalg.inv(Q)
+            ns = spde.ns
+            i = 2 * ns + ns // 2  # same spatial node, consecutive times
+            j = 3 * ns + ns // 2
+            return S[i, j] / np.sqrt(S[i, i] * S[j, j])
+
+        assert lag1_corr(8.0) > lag1_corr(0.5)
+
+    def test_pattern_independent_of_theta(self, spde):
+        Q1 = spde.precision(SpatioTemporalParams(0.2, 1.0, 1.0))
+        Q2 = spde.precision(SpatioTemporalParams(0.9, 7.0, 2.5))
+        assert np.array_equal(Q1.indices, Q2.indices)
+        assert np.array_equal(Q1.indptr, Q2.indptr)
+
+    def test_precision_from_theta(self, spde):
+        p = SpatioTemporalParams(0.4, 2.0, 1.0)
+        Q1 = spde.precision(p)
+        Q2 = spde.precision_from_theta(p.to_theta())
+        assert np.allclose(Q1.toarray(), Q2.toarray())
+
+
+class TestPriors:
+    def test_gaussian_logpdf_matches_scipy(self):
+        from scipy.stats import norm
+
+        p = GaussianPrior(mean=1.0, precision=4.0)
+        assert np.isclose(p.logpdf(0.3), norm.logpdf(0.3, loc=1.0, scale=0.5))
+
+    def test_grad_logpdf(self):
+        p = GaussianPrior(mean=0.0, precision=2.0)
+        h = 1e-6
+        num = (p.logpdf(0.5 + h) - p.logpdf(0.5 - h)) / (2 * h)
+        assert np.isclose(p.grad_logpdf(0.5), num, atol=1e-5)
+
+    def test_collection_sum(self):
+        c = PriorCollection.default(3, precision=1.0)
+        theta = np.array([0.1, -0.2, 0.3])
+        assert np.isclose(c.logpdf(theta), sum(p.logpdf(t) for p, t in zip(c.priors, theta)))
+
+    def test_dimension_check(self):
+        c = PriorCollection.default(2)
+        with pytest.raises(ValueError):
+            c.logpdf(np.zeros(3))
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            GaussianPrior(precision=-1.0)

@@ -1,0 +1,119 @@
+"""Tests for the BTA matrix container."""
+
+import numpy as np
+import pytest
+
+from repro.structured.bta import BTAMatrix, BTAShape
+
+
+class TestBTAShape:
+    def test_total_dimension(self):
+        s = BTAShape(n=5, b=3, a=2)
+        assert s.N == 17
+
+    def test_no_arrow(self):
+        assert BTAShape(n=4, b=2, a=0).N == 8
+
+    @pytest.mark.parametrize("n,b,a", [(0, 3, 1), (3, 0, 1), (3, 3, -1)])
+    def test_invalid_dims_rejected(self, n, b, a):
+        with pytest.raises(ValueError):
+            BTAShape(n=n, b=b, a=a)
+
+
+class TestBTAMatrixConstruction:
+    def test_zeros_shapes(self):
+        A = BTAMatrix.zeros(BTAShape(n=4, b=3, a=2))
+        assert A.diag.shape == (4, 3, 3)
+        assert A.lower.shape == (3, 3, 3)
+        assert A.arrow.shape == (4, 2, 3)
+        assert A.tip.shape == (2, 2)
+
+    def test_default_blocks_are_zero(self):
+        A = BTAMatrix(np.ones((3, 2, 2)))
+        assert A.a == 0
+        assert np.all(A.lower == 0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BTAMatrix(np.ones((3, 2, 2)), lower=np.ones((3, 2, 2)))
+
+    def test_non_square_diag_rejected(self):
+        with pytest.raises(ValueError):
+            BTAMatrix(np.ones((3, 2, 4)))
+
+    def test_is_bt_flag(self, small_bt, small_bta):
+        assert small_bt[0].is_bt
+        assert not small_bta[0].is_bt
+
+
+class TestDenseRoundtrip:
+    def test_to_dense_symmetric(self, small_bta):
+        A, Ad = small_bta
+        assert np.allclose(Ad, Ad.T)
+
+    def test_from_dense_roundtrip(self, small_bta):
+        A, Ad = small_bta
+        B = BTAMatrix.from_dense(Ad, A.shape3)
+        assert np.allclose(B.to_dense(), Ad)
+
+    def test_from_dense_wrong_shape(self, small_bta):
+        A, Ad = small_bta
+        with pytest.raises(ValueError):
+            BTAMatrix.from_dense(Ad[:-1, :-1], A.shape3)
+
+
+class TestAlgebra:
+    def test_matvec_vector(self, small_bta, rng):
+        A, Ad = small_bta
+        x = rng.standard_normal(A.N)
+        assert np.allclose(A.matvec(x), Ad @ x)
+
+    def test_matvec_block(self, small_bta, rng):
+        A, Ad = small_bta
+        X = rng.standard_normal((A.N, 3))
+        assert np.allclose(A.matvec(X), Ad @ X)
+
+    def test_matvec_bt(self, small_bt, rng):
+        A, Ad = small_bt
+        x = rng.standard_normal(A.N)
+        assert np.allclose(A.matvec(x), Ad @ x)
+
+    def test_diagonal(self, small_bta):
+        A, Ad = small_bta
+        assert np.allclose(A.diagonal(), np.diag(Ad))
+
+    def test_add_diagonal_scalar(self, small_bta):
+        A, Ad = small_bta
+        B = A.copy()
+        B.add_diagonal(np.float64(2.5))
+        assert np.allclose(B.to_dense(), Ad + 2.5 * np.eye(A.N))
+
+    def test_add_diagonal_vector(self, small_bta, rng):
+        A, Ad = small_bta
+        v = rng.standard_normal(A.N)
+        B = A.copy()
+        B.add_diagonal(v)
+        assert np.allclose(B.to_dense(), Ad + np.diag(v))
+
+    def test_add_diagonal_wrong_length(self, small_bta):
+        A, _ = small_bta
+        with pytest.raises(ValueError):
+            A.copy().add_diagonal(np.ones(A.N + 1))
+
+    def test_frobenius_norm(self, small_bta):
+        A, Ad = small_bta
+        assert np.isclose(A.frobenius_norm(), np.linalg.norm(Ad))
+
+    def test_copy_is_deep(self, small_bta):
+        A, _ = small_bta
+        B = A.copy()
+        B.diag[0, 0, 0] += 1.0
+        assert A.diag[0, 0, 0] != B.diag[0, 0, 0]
+
+
+class TestRandomSPD:
+    @pytest.mark.parametrize("n,b,a", [(3, 2, 0), (5, 3, 2), (2, 6, 4), (8, 1, 1)])
+    def test_positive_definite(self, rng, n, b, a):
+        A = BTAMatrix.random_spd(BTAShape(n=n, b=b, a=a), rng)
+        w = np.linalg.eigvalsh(A.to_dense())
+        assert w.min() > 0

@@ -1,0 +1,103 @@
+"""Time-domain partitioning and load balancing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.structured.partition import (
+    Partition,
+    balanced_partitions,
+    partition_counts,
+    reduced_block_indices,
+)
+
+
+class TestPartitionCounts:
+    def test_even_split(self):
+        assert partition_counts(12, 3) == [4, 4, 4]
+
+    def test_single_partition(self):
+        assert partition_counts(7, 1) == [7]
+
+    def test_total_preserved_with_lb(self):
+        counts = partition_counts(100, 4, lb=1.6)
+        assert sum(counts) == 100
+
+    def test_lb_gives_first_partition_more(self):
+        counts = partition_counts(100, 4, lb=1.6)
+        assert counts[0] > counts[1]
+        # Roughly lb x the even share.
+        assert counts[0] == pytest.approx(100 * 1.6 / 4.6, abs=1.5)
+
+    def test_later_partitions_get_two_blocks(self):
+        counts = partition_counts(7, 3)
+        assert all(c >= 2 for c in counts[1:])
+
+    def test_too_many_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            partition_counts(3, 4)
+
+    def test_lb_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            partition_counts(10, 2, lb=0.5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(1, 200),
+        P=st.integers(1, 8),
+        lb=st.floats(1.0, 3.0),
+    )
+    def test_counts_always_partition_n(self, n, P, lb):
+        if P > max(n // 2, 1) and P > 1:
+            return  # not enough blocks for two-boundary partitions
+        try:
+            counts = partition_counts(n, P, lb=lb)
+        except ValueError:
+            return
+        assert sum(counts) == n
+        assert all(c >= 1 for c in counts)
+        assert all(c >= 2 for c in counts[1:])
+
+
+class TestBalancedPartitions:
+    def test_contiguous_cover(self):
+        parts = balanced_partitions(20, 4, lb=1.3)
+        assert parts[0].start == 0
+        assert parts[-1].stop == 20
+        for a, b in zip(parts, parts[1:]):
+            assert a.stop == b.start
+
+    def test_partition_properties(self):
+        p = Partition(index=2, start=5, stop=9)
+        assert p.n_blocks == 4
+        assert p.top_boundary == 5
+        assert p.bottom_boundary == 8
+        assert list(p.interior()) == [6, 7]
+
+    def test_first_partition_interior(self):
+        p = Partition(index=0, start=0, stop=4)
+        assert p.top_boundary is None
+        assert list(p.interior()) == [0, 1, 2]
+
+    def test_empty_partition_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(index=0, start=3, stop=3)
+
+
+class TestReducedIndices:
+    def test_reduced_block_count(self):
+        parts = balanced_partitions(20, 4)
+        idx = reduced_block_indices(parts)
+        assert len(idx) == 2 * 4 - 1
+
+    def test_reduced_indices_are_boundaries(self):
+        parts = balanced_partitions(15, 3)
+        idx = reduced_block_indices(parts)
+        assert idx[0] == parts[0].bottom_boundary
+        assert parts[1].top_boundary in idx
+        assert parts[2].bottom_boundary in idx
+
+    def test_indices_strictly_increasing(self):
+        parts = balanced_partitions(30, 5, lb=1.6)
+        idx = reduced_block_indices(parts)
+        assert all(a < b for a, b in zip(idx, idx[1:]))

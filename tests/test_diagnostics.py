@@ -1,0 +1,42 @@
+"""Diagnostics helpers."""
+
+import time
+
+import pytest
+
+from repro.diagnostics import Timer, TimingRecords, format_table
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert 0.005 < t.elapsed < 1.0
+
+
+class TestTimingRecords:
+    def test_accumulates(self):
+        r = TimingRecords()
+        r.add("x", 2.0)
+        r.add("x", 1.0)
+        assert r.best("x") == 1.0
+        assert r.mean("x") == 1.5
+
+    def test_time_helper_returns_result(self):
+        r = TimingRecords()
+        out = r.time("f", lambda a: a + 1, 41, repeats=3)
+        assert out == 42
+        assert len(r.records["f"]) == 3
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        txt = format_table(["a", "bb"], [(1, 2.5), (10, 0.25)], title="T")
+        lines = txt.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        txt = format_table(["v"], [(0.123456,)])
+        assert "0.1235" in txt
