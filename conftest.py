@@ -1,0 +1,18 @@
+"""Repository-level pytest configuration.
+
+Adds the ``--bench-smoke`` flag that tightens the perf thresholds of the
+tier-1 benchmark smoke test (``tests/test_bench_smoke.py``).  Without the
+flag the smoke test still runs — correctness, flop-count identity, and a
+lenient speedup floor — so a regression of the batched kernel path fails
+loudly in every tier-1 run; with the flag it asserts the full measured
+speedups of ``benchmarks/bench_batched_kernels.py``'s smoke shape.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-smoke",
+        action="store_true",
+        default=False,
+        help="assert strict (measured) speedup thresholds in the benchmark smoke test",
+    )

@@ -5,13 +5,40 @@ compatible API so the same code drives both host and device execution.  In
 this reproduction only NumPy is available; we keep the indirection so all
 block kernels are written backend-agnostically, and so flop accounting can
 be layered on top (see :mod:`repro.perfmodel`).
+
+The shim also owns the ``REPRO_BATCHED`` execution-policy switch consulted
+by the structured solvers: ``1`` (default) routes them through the stacked
+kernels of :mod:`repro.structured.batched`, ``0`` forces the per-block
+reference kernels of :mod:`repro.structured.kernels`.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 _DEFAULT_DTYPE = np.float64
+
+_FALSY = frozenset({"0", "false", "off", "no"})
+
+
+def batched_enabled(override: bool | None = None) -> bool:
+    """Resolve the batched-kernel switch.
+
+    ``override`` (a solver's explicit ``batched=`` argument) wins when not
+    None; otherwise the ``REPRO_BATCHED`` environment variable decides,
+    defaulting to enabled.  Read per call so tests and A/B benchmarks can
+    flip the path without re-importing modules.
+    """
+    if override is not None:
+        return bool(override)
+    return os.environ.get("REPRO_BATCHED", "1").strip().lower() not in _FALSY
+
+
+def is_host_module(xp) -> bool:
+    """True when ``xp`` is NumPy (enables the SciPy/LAPACK fast paths)."""
+    return xp is np
 
 
 def get_array_module(*arrays) -> "module":

@@ -41,21 +41,44 @@ def bt_memory_bytes(n: int, b: int, *, factors: int = 2) -> int:
     return bta_memory_bytes(n, b, 0, factors=factors)
 
 
-def min_partitions(n: int, b: int, a: int, device: Device, *, headroom: float = 0.85) -> int:
+def min_partitions(
+    n: int, b: int, a: int, device: Device, *, factors: int = 2, headroom: float = 0.85
+) -> int:
     """Smallest ``P`` such that an even time-domain slice fits on ``device``.
 
     This is the decision rule of paper Sec. V-D: parallelize through S1
     first and only spill into S3 when the block-dense precision matrices do
     not fit on a single accelerator anymore.
+
+    ``P`` is computed in closed form from the byte formula rather than by
+    scanning ``P = 1, 2, ...`` (the historical implementation was ``O(n)``
+    per dispatch, which the solver-selection layer pays on every model
+    evaluation).  A slice of ``n_local`` block rows occupies
+
+        factors * 8 * (n_local * (2 b^2 + a b) - b^2 + a^2)
+
+    bytes, so the largest feasible slice is obtained by inverting the
+    linear-in-``n_local`` expression against the headroom budget.
+
+    ``factors`` distinguishes workloads: a factorize-only ``logdet`` sweep
+    factors in place (``factors=1``), while selected inversion keeps the
+    factor plus a workspace copy (``factors=2``, the default) — the two
+    genuinely need different partition counts, which the old signature
+    could not express.
     """
-    for p in range(1, n + 1):
-        n_local = -(-n // p)  # ceil division
-        if device.fits(bta_memory_bytes(n_local, b, a), headroom=headroom):
-            return p
-    raise MemoryBudgetError(
-        f"a single {b}x{b} block row does not fit on {device.name}; "
-        f"spatial-domain parallelism (future work in the paper) would be required"
-    )
+    if n <= 0 or b <= 0 or a < 0:
+        raise ValueError(f"invalid BTA dims n={n}, b={b}, a={a}")
+    if factors < 1:
+        raise ValueError(f"factors must be >= 1, got {factors}")
+    budget_doubles = int(headroom * device.memory_bytes) // (factors * _F64)
+    per_row = 2 * b * b + a * b
+    n_local_max = (budget_doubles + b * b - a * a) // per_row
+    if n_local_max < 1:
+        raise MemoryBudgetError(
+            f"a single {b}x{b} block row does not fit on {device.name}; "
+            f"spatial-domain parallelism (future work in the paper) would be required"
+        )
+    return max(1, -(-n // n_local_max))  # ceil(n / n_local_max)
 
 
 @dataclass

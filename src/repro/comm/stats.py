@@ -9,6 +9,8 @@ GH200; we execute up to the host's thread capacity and model beyond).
 
 from __future__ import annotations
 
+import dataclasses
+import numbers
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -43,8 +45,39 @@ class CommStats:
 
 
 def _nbytes(obj) -> int:
-    if isinstance(obj, np.ndarray):
-        return obj.nbytes
+    """Wire size of a collective payload, in bytes.
+
+    The object collectives (``allgather``/``bcast``) carry more than bare
+    ndarrays: the reduced-system assembly gathers dataclasses of block
+    arrays, and scalar reductions ship Python floats.  Counting only
+    ``np.ndarray`` (as this function historically did) silently dropped
+    all of that traffic from the performance-model calibration, so the
+    modeled link term underestimated the paper's NCCL volume.  Handles:
+
+    - ndarrays and NumPy scalars: ``.nbytes``
+    - Python scalars: ``bool`` 1, ``int``/``float`` 8, ``complex`` 16
+      (the fixed-width types MPI would marshal them to)
+    - tuples / lists / sets / dicts: recursive sum over the elements
+    - dataclasses (e.g. ``BoundaryContribution``): recursive sum over
+      the field values
+    - anything else (None, strings used as tags, ...): 0
+    """
+    if isinstance(obj, np.ndarray) or isinstance(obj, np.generic):
+        return int(obj.nbytes)
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, numbers.Integral) or isinstance(obj, numbers.Real):
+        return 8
+    if isinstance(obj, numbers.Complex):
+        return 16
+    if isinstance(obj, (tuple, list, set, frozenset)):
+        return sum(_nbytes(o) for o in obj)
+    if isinstance(obj, dict):
+        return sum(_nbytes(k) + _nbytes(v) for k, v in obj.items())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return sum(
+            _nbytes(getattr(obj, f.name)) for f in dataclasses.fields(obj)
+        )
     return 0
 
 

@@ -65,17 +65,29 @@ class StructuredSolver(abc.ABC):
 
 
 class SequentialSolver(StructuredSolver):
-    """Single-device BTA kernels (the INLA_DIST-style solver)."""
+    """Single-device BTA kernels (the INLA_DIST-style solver).
+
+    ``batched=None`` (default) follows the ``REPRO_BATCHED`` environment
+    switch; True/False pin the stacked or per-block kernel path.
+    """
+
+    def __init__(self, *, batched: bool | None = None):
+        self.batched = batched
 
     def logdet(self, A: BTAMatrix) -> float:
-        return pobtaf(A, overwrite=True).logdet()
+        return pobtaf(A, overwrite=True, batched=self.batched).logdet(
+            batched=self.batched
+        )
 
     def logdet_and_solve(self, A: BTAMatrix, rhs: np.ndarray) -> tuple:
-        chol = pobtaf(A, overwrite=True)
-        return chol.logdet(), pobtas(chol, rhs)
+        chol = pobtaf(A, overwrite=True, batched=self.batched)
+        return chol.logdet(batched=self.batched), pobtas(
+            chol, rhs, batched=self.batched
+        )
 
     def selected_inverse_diagonal(self, A: BTAMatrix) -> np.ndarray:
-        return pobtasi(pobtaf(A, overwrite=True)).diagonal()
+        chol = pobtaf(A, overwrite=True, batched=self.batched)
+        return pobtasi(chol, batched=self.batched).diagonal()
 
 
 class DistributedSolver(StructuredSolver):
@@ -87,11 +99,12 @@ class DistributedSolver(StructuredSolver):
     blocks (paper Fig. 5 uses 1.6).
     """
 
-    def __init__(self, P: int, *, lb: float = 1.6):
+    def __init__(self, P: int, *, lb: float = 1.6, batched: bool | None = None):
         if P < 1:
             raise ValueError(f"P must be >= 1, got {P}")
         self.P = P
         self.lb = lb
+        self.batched = batched
 
     def _nparts(self, A: BTAMatrix) -> int:
         # Cannot split n blocks into more than floor(n / 2) + 1 partitions
@@ -101,28 +114,33 @@ class DistributedSolver(StructuredSolver):
     def logdet(self, A: BTAMatrix) -> float:
         P = self._nparts(A)
         if P == 1:
-            return SequentialSolver().logdet(A)
+            return SequentialSolver(batched=self.batched).logdet(A)
         slices = partition_matrix(A, P, lb=self.lb)
 
         def rank_fn(comm):
-            return d_pobtaf(slices[comm.Get_rank()], comm).logdet(comm)
+            f = d_pobtaf(slices[comm.Get_rank()], comm, batched=self.batched)
+            return f.logdet(comm, batched=self.batched)
 
         return _run_spmd_spd(P, rank_fn)[0]
 
     def logdet_and_solve(self, A: BTAMatrix, rhs: np.ndarray) -> tuple:
         P = self._nparts(A)
         if P == 1:
-            return SequentialSolver().logdet_and_solve(A, rhs)
+            return SequentialSolver(batched=self.batched).logdet_and_solve(A, rhs)
         slices = partition_matrix(A, P, lb=self.lb)
         rhs = np.asarray(rhs, dtype=np.float64)
         b, n = A.b, A.n
 
         def rank_fn(comm):
             sl = slices[comm.Get_rank()]
-            f = d_pobtaf(sl, comm)
-            ld = f.logdet(comm)
+            f = d_pobtaf(sl, comm, batched=self.batched)
+            ld = f.logdet(comm, batched=self.batched)
             xl, xt = d_pobtas(
-                f, rhs[sl.part.start * b : sl.part.stop * b], rhs[n * b :], comm
+                f,
+                rhs[sl.part.start * b : sl.part.stop * b],
+                rhs[n * b :],
+                comm,
+                batched=self.batched,
             )
             return ld, xl, xt
 
@@ -133,12 +151,12 @@ class DistributedSolver(StructuredSolver):
     def selected_inverse_diagonal(self, A: BTAMatrix) -> np.ndarray:
         P = self._nparts(A)
         if P == 1:
-            return SequentialSolver().selected_inverse_diagonal(A)
+            return SequentialSolver(batched=self.batched).selected_inverse_diagonal(A)
         slices = partition_matrix(A, P, lb=self.lb)
 
         def rank_fn(comm):
-            f = d_pobtaf(slices[comm.Get_rank()], comm)
-            xi = d_pobtasi(f)
+            f = d_pobtaf(slices[comm.Get_rank()], comm, batched=self.batched)
+            xi = d_pobtasi(f, batched=self.batched)
             return np.diagonal(xi.diag, axis1=1, axis2=2).ravel(), np.diagonal(xi.tip)
 
         out = _run_spmd_spd(P, rank_fn)
@@ -151,12 +169,21 @@ def select_solver(
     device: Device | None = None,
     max_ranks: int = 16,
     lb: float = 1.6,
+    factors: int = 2,
+    batched: bool | None = None,
 ) -> StructuredSolver:
     """Paper Sec. V-D dispatch: sequential while the block-dense matrix
-    fits on one device, otherwise the smallest feasible S3 partitioning."""
+    fits on one device, otherwise the smallest feasible S3 partitioning.
+
+    ``factors`` is the workload's storage multiplier (see
+    :func:`repro.backend.memory.min_partitions`): factorize-only ``logdet``
+    sweeps run in place (``factors=1``), selected inversion keeps the
+    factor plus a workspace copy (``factors=2``, the default) — the same
+    shape can be sequential for the former and partitioned for the latter.
+    """
     device = device or default_device()
     n, b, a = A_shape.n, A_shape.b, A_shape.a
-    if device.fits(bta_memory_bytes(n, b, a)):
-        return SequentialSolver()
-    P = min(min_partitions(n, b, a, device), max_ranks)
-    return DistributedSolver(P, lb=lb)
+    if device.fits(bta_memory_bytes(n, b, a, factors=factors)):
+        return SequentialSolver(batched=batched)
+    P = min(min_partitions(n, b, a, device, factors=factors), max_ranks)
+    return DistributedSolver(P, lb=lb, batched=batched)

@@ -15,8 +15,15 @@ Naming follows Serinv: ``po`` (positive definite) + ``bta`` (block
 tridiagonal arrowhead) + ``f``/``s``/``si``.  The distributed variants use
 the nested-dissection time-domain partitioning of paper Sec. IV-C/D3 with
 the boundary-weighted load balancing studied in Fig. 5.
+
+Every solver has two execution paths selected by ``REPRO_BATCHED`` (or a
+per-call ``batched=`` argument): the per-block reference kernels of
+:mod:`repro.structured.kernels`, and the stacked/fused kernels of
+:mod:`repro.structured.batched` (default) — see ``README.md`` in this
+package for the layering and the measured crossover.
 """
 
+from repro.structured.batched import batched_enabled
 from repro.structured.bta import BTAMatrix, BTAShape
 from repro.structured.partition import Partition, balanced_partitions, partition_counts
 from repro.structured.pobtaf import pobtaf
@@ -30,6 +37,7 @@ from repro.structured.reduced_system import ReducedSystem
 __all__ = [
     "BTAMatrix",
     "BTAShape",
+    "batched_enabled",
     "Partition",
     "balanced_partitions",
     "partition_counts",

@@ -15,6 +15,13 @@ The remaining boundary blocks form a reduced BTA system of ``2P - 1``
 blocks (see :mod:`repro.structured.reduced_system`), which is allgathered
 and factorized redundantly on every rank with the sequential ``pobtaf`` —
 the same all-to-all pattern NCCL executes in the paper.
+
+On the batched path (``REPRO_BATCHED=1``, the default) each interior
+elimination step fuses its two (or, with the fill column, three) TRSMs
+into one call on the stacked operand and its Schur updates into a single
+``G G^T`` GEMM whose tiles land on ``{diag, fill, arrow, tip}`` — the
+same fusion the sequential ``pobtaf`` uses, applied to the permuted
+sparsity pattern ``{j+1, s, tip}``.
 """
 
 from __future__ import annotations
@@ -23,7 +30,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend.array_module import batched_enabled
 from repro.comm.communicator import Communicator
+from repro.structured import batched as bk
 from repro.structured.bta import BTAMatrix
 from repro.structured.kernels import (
     chol_lower,
@@ -113,6 +122,7 @@ class DistributedFactors:
     reduced_chol: BTACholesky
     b: int
     a: int
+    _ldiag_inv: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     @property
     def n_interior(self) -> int:
@@ -123,14 +133,24 @@ class DistributedFactors:
         """(top, bottom) reduced positions of this rank's boundaries."""
         return self.reduced.positions[self.part.index]
 
-    def logdet(self, comm: Communicator) -> float:
+    def ldiag_inverses(self) -> np.ndarray:
+        """Stacked ``L[j_k, j_k]^{-1}`` over this rank's interior — one
+        genuinely batched call (the interiors are independent blocks)."""
+        if self._ldiag_inv is None:
+            self._ldiag_inv = bk.batched_tri_inverse_lower(self.ldiag)
+        return self._ldiag_inv
+
+    def logdet(self, comm: Communicator, *, batched: bool | None = None) -> float:
         """Global ``log det A``: interior contributions summed across ranks
         plus the reduced-system determinant (identical on every rank)."""
-        local = 0.0
-        for k in range(self.n_interior):
-            local += logdet_from_chol_diag(self.ldiag[k])
+        if bk.batched_enabled(batched):
+            local = bk.batched_logdet_from_chol_diag(self.ldiag)
+        else:
+            local = 0.0
+            for k in range(self.n_interior):
+                local += logdet_from_chol_diag(self.ldiag[k])
         total = comm.allreduce_scalar(local)
-        return total + self.reduced_chol.logdet()
+        return total + self.reduced_chol.logdet(batched=batched)
 
 
 def _eliminate_first_partition(sl: LocalBTASlice):
@@ -164,7 +184,56 @@ def _eliminate_first_partition(sl: LocalBTASlice):
         arrow_bottom=arrow[-1],
         tip_delta=tip_delta,
     )
-    return ldiag, lnext, None, larrow, contrib
+    return ldiag, lnext, None, larrow, contrib, None
+
+
+def _eliminate_first_partition_batched(sl: LocalBTASlice):
+    """Partition-0 elimination via the batched kernel layer.
+
+    Like the sequential batched ``pobtaf``: the BT chain runs one POTRF +
+    TRTRI per step with the TRSMs realized as GEMMs against the explicit
+    triangular inverse (returned stacked, for reuse by ``d_pobtas`` /
+    ``d_pobtasi``); the arrow row is deferred into a GEMM substitution
+    whose tip update batches over the whole interior stack.
+    """
+    nl, b, a = sl.part.n_blocks, sl.b, sl.a
+    m = nl - 1
+    ldiag = np.empty((m, b, b))
+    linv = np.empty((m, b, b))
+    lnext = np.empty((m, b, b))
+    larrow = np.zeros((m, a, b))
+    diag = sl.diag.copy()
+    lower = sl.lower.copy()
+    arrow = sl.arrow.copy()
+    tip_delta = np.zeros((a, a))
+    chol_inv = bk.chol_and_inverse_block
+    for k in range(m):
+        li, inv_k = chol_inv(diag[k])
+        ldiag[k] = li
+        linv[k] = inv_k
+        G = lower[k] @ inv_k.T
+        lnext[k] = G
+        diag[k + 1] -= G @ G.T
+    if a and m:
+        cur = arrow[0] @ linv[0].T
+        larrow[0] = cur
+        for k in range(1, m):
+            cur = (arrow[k] - cur @ lnext[k - 1].T) @ linv[k].T
+            larrow[k] = cur
+        # Boundary arrow block: Schur-updated by the last interior column.
+        arrow[m] -= cur @ lnext[m - 1].T
+        tip_delta -= np.einsum("iab,icb->ac", larrow, larrow)
+    contrib = BoundaryContribution(
+        part=sl.part,
+        diag_top=None,
+        diag_bottom=diag[-1],
+        coupling=None,
+        lower_prev=None,
+        arrow_top=None,
+        arrow_bottom=arrow[-1],
+        tip_delta=tip_delta,
+    )
+    return ldiag, lnext, None, larrow, contrib, linv
 
 
 def _eliminate_middle_partition(sl: LocalBTASlice):
@@ -223,10 +292,77 @@ def _eliminate_middle_partition(sl: LocalBTASlice):
         arrow_bottom=arrow[-1],
         tip_delta=tip_delta,
     )
-    return ldiag, lnext, lfill, larrow, contrib
+    return ldiag, lnext, lfill, larrow, contrib, None
 
 
-def d_pobtaf(sl: LocalBTASlice, comm: Communicator) -> DistributedFactors:
+def _eliminate_middle_partition_batched(sl: LocalBTASlice):
+    """Middle-partition elimination via the batched kernel layer.
+
+    The loop-carried chain fuses the two ``b x b`` operands that feed back
+    into it — the next coupling and the fill column — into one GEMM
+    against ``L^{-T}`` and one Schur GEMM whose tiles update
+    ``{diag[j+1], diag[s], fill}``.  The arrow row is deferred like in the
+    sequential solver; its accumulations onto the two boundary targets
+    (top-boundary arrow and tip delta) batch over the whole interior
+    stack as single contractions.
+    """
+    nl, b, a = sl.part.n_blocks, sl.b, sl.a
+    m = max(nl - 2, 0)
+    ldiag = np.empty((m, b, b))
+    linv = np.empty((m, b, b))
+    lnext = np.empty((m, b, b))
+    lfill = np.empty((m, b, b))
+    larrow = np.zeros((m, a, b))
+    diag = sl.diag.copy()
+    lower = sl.lower.copy()
+    arrow = sl.arrow.copy()
+    tip_delta = np.zeros((a, a))
+    chol_inv = bk.chol_and_inverse_block
+
+    fill = lower[0].T.copy() if m > 0 else None
+    for k in range(m):
+        j = k + 1
+        li, inv_k = chol_inv(diag[j])
+        ldiag[k] = li
+        linv[k] = inv_k
+        G = np.concatenate([lower[j], fill], axis=0) @ inv_k.T
+        S = G @ G.T
+        lnext[k] = G[:b]
+        lfill[k] = G[b:]
+        diag[j + 1] -= S[:b, :b]
+        diag[0] -= S[b:, b:]
+        fill = -S[b:, :b]  # -lfill @ lnext^T: A[s, j+1] fill
+    if a and m:
+        cur = arrow[1] @ linv[0].T
+        larrow[0] = cur
+        for k in range(1, m):
+            cur = (arrow[k + 1] - cur @ lnext[k - 1].T) @ linv[k].T
+            larrow[k] = cur
+        # Bottom-boundary arrow: updated by the last interior column.
+        arrow[-1] -= cur @ lnext[m - 1].T
+        # Top-boundary arrow and tip delta: batched over the whole stack.
+        arrow[0] -= np.einsum("iab,icb->ac", larrow, lfill)
+        tip_delta -= np.einsum("iab,icb->ac", larrow, larrow)
+    if m == 0:
+        coupling = lower[0].copy() if nl == 2 else None
+    else:
+        coupling = fill.T.copy()
+    contrib = BoundaryContribution(
+        part=sl.part,
+        diag_top=diag[0] if nl > 1 else None,
+        diag_bottom=diag[-1],
+        coupling=coupling,
+        lower_prev=sl.lower_prev,
+        arrow_top=arrow[0] if nl > 1 else None,
+        arrow_bottom=arrow[-1],
+        tip_delta=tip_delta,
+    )
+    return ldiag, lnext, lfill, larrow, contrib, linv
+
+
+def d_pobtaf(
+    sl: LocalBTASlice, comm: Communicator, *, batched: bool | None = None
+) -> DistributedFactors:
     """Distributed BTA Cholesky factorization (collective over ``comm``).
 
     Every rank passes its :class:`LocalBTASlice`; partition indices must
@@ -238,15 +374,21 @@ def d_pobtaf(sl: LocalBTASlice, comm: Communicator) -> DistributedFactors:
         raise ValueError(
             f"partition index {sl.part.index} != communicator rank {comm.Get_rank()}"
         )
+    use_batched = batched_enabled(batched)
     if sl.part.is_first:
-        ldiag, lnext, lfill, larrow, contrib = _eliminate_first_partition(sl)
+        eliminate = (
+            _eliminate_first_partition_batched if use_batched else _eliminate_first_partition
+        )
     else:
-        ldiag, lnext, lfill, larrow, contrib = _eliminate_middle_partition(sl)
+        eliminate = (
+            _eliminate_middle_partition_batched if use_batched else _eliminate_middle_partition
+        )
+    ldiag, lnext, lfill, larrow, contrib, linv = eliminate(sl)
 
     contributions = comm.allgather(contrib)
     contributions.sort(key=lambda c: c.part.index)
     reduced = ReducedSystem.assemble(contributions, tip_original=sl.tip)
-    reduced_chol = pobtaf(reduced.matrix, overwrite=True)
+    reduced_chol = pobtaf(reduced.matrix, overwrite=True, batched=use_batched)
     return DistributedFactors(
         part=sl.part,
         ldiag=ldiag,
@@ -257,6 +399,7 @@ def d_pobtaf(sl: LocalBTASlice, comm: Communicator) -> DistributedFactors:
         reduced_chol=reduced_chol,
         b=sl.b,
         a=sl.a,
+        _ldiag_inv=linv,
     )
 
 

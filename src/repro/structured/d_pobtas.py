@@ -16,59 +16,28 @@ The routine is roughly an order of magnitude cheaper than factorization
 (``O(n b^2)`` vs ``O(n b^3)`` per right-hand side), which is why the paper
 observes it reacts *worse* to load balancing tuned for the ``b^3`` kernels
 (Fig. 5 discussion).
+
+On the batched path the interior sweeps run as GEMMs against the cached
+``L[j,j]^{-1}`` stack, and every update that targets a *fixed* entry (the
+tip delta, the top-boundary fill accumulation, and the back-propagation of
+the boundary/tip solutions) is hoisted out of the loop-carried chain into
+one batched ``einsum``/GEMM over the whole interior stack.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backend.array_module import batched_enabled
 from repro.comm.communicator import Communicator
+from repro.structured import batched as bk
 from repro.structured.d_pobtaf import DistributedFactors
 from repro.structured.kernels import solve_lower, solve_lower_t
 from repro.structured.pobtas import pobtas
 
 
-def d_pobtas(
-    factors: DistributedFactors,
-    rhs_local: np.ndarray,
-    rhs_tip: np.ndarray,
-    comm: Communicator,
-) -> tuple:
-    """Solve ``A x = rhs`` with distributed factors (collective over ``comm``).
-
-    Parameters
-    ----------
-    factors:
-        This rank's :class:`DistributedFactors` from ``d_pobtaf``.
-    rhs_local:
-        This rank's slice of the right-hand side, shape ``(nl * b,)`` or
-        ``(nl * b, k)`` where ``nl`` is the partition's block count.
-    rhs_tip:
-        The arrow-tip right-hand side, replicated on every rank,
-        shape ``(a,)`` or ``(a, k)``.
-
-    Returns
-    -------
-    (x_local, x_tip):
-        This rank's solution slice (same shape as ``rhs_local``) and the
-        tip solution (identical on every rank).
-    """
-    part, b, a = factors.part, factors.b, factors.a
-    nl = part.n_blocks
-    m = factors.n_interior
-
-    rhs_local = np.asarray(rhs_local, dtype=np.float64)
-    rhs_tip = np.asarray(rhs_tip, dtype=np.float64)
-    squeeze = rhs_local.ndim == 1
-    if rhs_local.shape[0] != nl * b:
-        raise ValueError(f"rhs_local leading dim {rhs_local.shape[0]} != {nl * b}")
-    r = np.array(rhs_local.reshape(nl * b, -1), copy=True)
-    k = r.shape[1]
-    rb = r.reshape(nl, b, k)
-    tip_delta = np.zeros((a, k))
-
-    # ---- forward: eliminate interior unknowns ---------------------------
-    if part.is_first:
+def _forward_blocked(factors: DistributedFactors, rb, tip_delta, a: int, m: int) -> None:
+    if factors.part.is_first:
         for i in range(m):
             rb[i] = solve_lower(factors.ldiag[i], rb[i])
             rb[i + 1] -= factors.lnext[i] @ rb[i]
@@ -82,6 +51,113 @@ def d_pobtas(
             rb[0] -= factors.lfill[i] @ rb[j]
             if a:
                 tip_delta -= factors.larrow[i] @ rb[j]
+
+
+def _forward_batched(factors: DistributedFactors, rb, tip_delta, a: int, m: int) -> None:
+    inv = factors.ldiag_inverses()
+    first = factors.part.is_first
+    off = 0 if first else 1  # interiors live at rb[off : off + m]
+    for i in range(m):
+        j = i + off
+        rb[j] = inv[i] @ rb[j]
+        rb[j + 1] -= factors.lnext[i] @ rb[j]
+    solved = rb[off : off + m]
+    if not first and m:
+        # Fill-column accumulation onto the (fixed) top boundary entry:
+        # one batched contraction over the whole solved interior stack.
+        rb[0] -= np.einsum("ibc,ick->bk", factors.lfill, solved)
+    if a and m:
+        tip_delta -= np.einsum("iab,ibk->ak", factors.larrow, solved)
+
+
+def _backward_blocked(factors: DistributedFactors, x, x_tip, a: int, m: int) -> None:
+    if factors.part.is_first:
+        for i in range(m - 1, -1, -1):
+            acc = x[i] - factors.lnext[i].T @ x[i + 1]
+            if a:
+                acc -= factors.larrow[i].T @ x_tip
+            x[i] = solve_lower_t(factors.ldiag[i], acc)
+    else:
+        for i in range(m - 1, -1, -1):
+            j = i + 1
+            acc = x[j] - factors.lnext[i].T @ x[j + 1] - factors.lfill[i].T @ x[0]
+            if a:
+                acc -= factors.larrow[i].T @ x_tip
+            x[j] = solve_lower_t(factors.ldiag[i], acc)
+
+
+def _backward_batched(factors: DistributedFactors, x, x_tip, a: int, m: int) -> None:
+    inv_t = factors.ldiag_inverses().transpose(0, 2, 1)
+    first = factors.part.is_first
+    off = 0 if first else 1
+    if m == 0:
+        return
+    interior = x[off : off + m]
+    # The boundary/tip solutions are fixed during the backward sweep, so
+    # their propagation into the interior batches across the whole stack.
+    if a:
+        interior -= bk.batched_gemm(
+            factors.larrow.transpose(0, 2, 1), x_tip[None, :, :]
+        )
+    if not first:
+        interior -= bk.batched_gemm(
+            factors.lfill.transpose(0, 2, 1), x[0][None, :, :]
+        )
+    for i in range(m - 1, -1, -1):
+        j = i + off
+        x[j] = inv_t[i] @ (x[j] - factors.lnext[i].T @ x[j + 1])
+
+
+def d_pobtas(
+    factors: DistributedFactors,
+    rhs_local: np.ndarray,
+    rhs_tip: np.ndarray,
+    comm: Communicator,
+    *,
+    batched: bool | None = None,
+) -> tuple:
+    """Solve ``A x = rhs`` with distributed factors (collective over ``comm``).
+
+    Parameters
+    ----------
+    factors:
+        This rank's :class:`DistributedFactors` from ``d_pobtaf``.
+    rhs_local:
+        This rank's slice of the right-hand side, shape ``(nl * b,)`` or
+        ``(nl * b, k)`` where ``nl`` is the partition's block count.
+    rhs_tip:
+        The arrow-tip right-hand side, replicated on every rank,
+        shape ``(a,)`` or ``(a, k)``.
+    batched:
+        Force the batched (True) or per-block reference (False) path;
+        None consults the ``REPRO_BATCHED`` environment switch.
+
+    Returns
+    -------
+    (x_local, x_tip):
+        This rank's solution slice (same shape as ``rhs_local``) and the
+        tip solution (identical on every rank).
+    """
+    part, b, a = factors.part, factors.b, factors.a
+    nl = part.n_blocks
+    m = factors.n_interior
+    use_batched = batched_enabled(batched)
+
+    rhs_local = np.asarray(rhs_local, dtype=np.float64)
+    rhs_tip = np.asarray(rhs_tip, dtype=np.float64)
+    squeeze = rhs_local.ndim == 1
+    if rhs_local.shape[0] != nl * b:
+        raise ValueError(f"rhs_local leading dim {rhs_local.shape[0]} != {nl * b}")
+    r = np.array(rhs_local.reshape(nl * b, -1), copy=True)
+    k = r.shape[1]
+    rb = r.reshape(nl, b, k)
+    tip_delta = np.zeros((a, k))
+
+    # ---- forward: eliminate interior unknowns ---------------------------
+    if use_batched:
+        _forward_batched(factors, rb, tip_delta, a, m)
+    else:
+        _forward_blocked(factors, rb, tip_delta, a, m)
 
     # ---- reduced right-hand side ----------------------------------------
     if a:
@@ -110,7 +186,7 @@ def d_pobtas(
     if a:
         r_red[mr * b :] = rt
 
-    x_red = pobtas(factors.reduced_chol, r_red)
+    x_red = pobtas(factors.reduced_chol, r_red, batched=use_batched)
     x_tip = x_red[mr * b :]
 
     # ---- backward: recover interior unknowns -----------------------------
@@ -119,19 +195,10 @@ def d_pobtas(
         x[0] = x_red[pos_top * b : (pos_top + 1) * b]
     x[-1] = x_red[pos_bottom * b : (pos_bottom + 1) * b]
 
-    if part.is_first:
-        for i in range(m - 1, -1, -1):
-            acc = x[i] - factors.lnext[i].T @ x[i + 1]
-            if a:
-                acc -= factors.larrow[i].T @ x_tip
-            x[i] = solve_lower_t(factors.ldiag[i], acc)
+    if use_batched:
+        _backward_batched(factors, x, x_tip, a, m)
     else:
-        for i in range(m - 1, -1, -1):
-            j = i + 1
-            acc = x[j] - factors.lnext[i].T @ x[j + 1] - factors.lfill[i].T @ x[0]
-            if a:
-                acc -= factors.larrow[i].T @ x_tip
-            x[j] = solve_lower_t(factors.ldiag[i], acc)
+        _backward_blocked(factors, x, x_tip, a, m)
 
     x_local = x.reshape(nl * b, k)
     if squeeze:

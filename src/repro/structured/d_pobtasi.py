@@ -13,12 +13,19 @@ nested-dissection decomposition:
 Step 2 is embarrassingly parallel — no communication at all — which is
 why the selected inversion weak-scales like the factorization in the
 paper's Fig. 5.
+
+On the batched path the interior sweep's right-divisions by ``L[j, j]``
+become GEMMs against the rank's cached ``L[j,j]^{-1}`` stack (computed in
+one batched triangular inversion over the independent interior factors),
+so each recursion step is pure batched-GEMM work.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backend.array_module import batched_enabled
+from repro.structured import batched as bk
 from repro.structured.d_pobtaf import DistributedFactors, LocalBTASlice
 from repro.structured.kernels import right_solve_lower, solve_lower_t
 from repro.structured.pobtasi import pobtasi
@@ -28,7 +35,9 @@ def _symmetrize(block: np.ndarray) -> np.ndarray:
     return 0.5 * (block + block.T)
 
 
-def d_pobtasi(factors: DistributedFactors) -> LocalBTASlice:
+def d_pobtasi(
+    factors: DistributedFactors, *, batched: bool | None = None
+) -> LocalBTASlice:
     """This rank's slice of the selected inverse (no communication needed).
 
     Returns a :class:`LocalBTASlice` holding the inverse blocks for the
@@ -39,8 +48,28 @@ def d_pobtasi(factors: DistributedFactors) -> LocalBTASlice:
     part, b, a = factors.part, factors.b, factors.a
     nl = part.n_blocks
     m = factors.n_interior
-    Xr = pobtasi(factors.reduced_chol)
+    use_batched = batched_enabled(batched)
+    Xr = pobtasi(factors.reduced_chol, batched=use_batched)
     pos_top, pos_bottom = factors.positions
+
+    if use_batched and m:
+        inv = factors.ldiag_inverses()
+        inv_t = inv.transpose(0, 2, 1)
+
+        def right_div(k, acc):
+            """``acc @ L[j_k, j_k]^{-1}`` via the cached inverse stack."""
+            return acc @ inv[k]
+
+        def linv_t(k):
+            return inv_t[k].copy()
+
+    else:
+
+        def right_div(k, acc):
+            return right_solve_lower(factors.ldiag[k], acc)
+
+        def linv_t(k):
+            return solve_lower_t(factors.ldiag[k], np.eye(b))
 
     diag_out = np.empty((nl, b, b))
     lower_out = np.empty((max(nl - 1, 0), b, b))
@@ -53,19 +82,19 @@ def d_pobtasi(factors: DistributedFactors) -> LocalBTASlice:
         diag_out[-1] = x_next
         arrow_out[-1] = xa_next
         for k in range(m - 1, -1, -1):
-            li, en, ea = factors.ldiag[k], factors.lnext[k], factors.larrow[k]
+            en, ea = factors.lnext[k], factors.larrow[k]
             acc = x_next @ en
             if a:
                 acc += xa_next.T @ ea
-            x_off = -right_solve_lower(li, acc)  # X[j+1, j]
+            x_off = -right_div(k, acc)  # X[j+1, j]
             if a:
-                x_arr = -right_solve_lower(li, xa_next @ en + tip_out @ ea)  # X[t, j]
+                x_arr = -right_div(k, xa_next @ en + tip_out @ ea)  # X[t, j]
             else:
                 x_arr = np.zeros((a, b))
-            acc_d = solve_lower_t(li, np.eye(b)) - x_off.T @ en
+            acc_d = linv_t(k) - x_off.T @ en
             if a:
                 acc_d -= x_arr.T @ ea
-            x_diag = _symmetrize(right_solve_lower(li, acc_d))
+            x_diag = _symmetrize(right_div(k, acc_d))
             lower_out[k] = x_off
             arrow_out[k] = x_arr
             diag_out[k] = x_diag
@@ -117,27 +146,27 @@ def d_pobtasi(factors: DistributedFactors) -> LocalBTASlice:
     xs_j = None  # X[s, j] from the previous iteration (for lower_out[0])
     for k in range(m - 1, -1, -1):
         j = k + 1  # local index of the interior block
-        li, en, ef, ea = factors.ldiag[k], factors.lnext[k], factors.lfill[k], factors.larrow[k]
+        en, ef, ea = factors.lnext[k], factors.lfill[k], factors.larrow[k]
         # X[j+1, j]
         acc = x_next @ en + xs_next.T @ ef
         if a:
             acc += xa_next.T @ ea
-        x_off = -right_solve_lower(li, acc)
+        x_off = -right_div(k, acc)
         # X[s, j]
         acc_s = xs_next @ en + x_ss @ ef
         if a:
             acc_s += x_ts.T @ ea
-        xs_j = -right_solve_lower(li, acc_s)
+        xs_j = -right_div(k, acc_s)
         # X[t, j]
         if a:
-            x_arr = -right_solve_lower(li, xa_next @ en + x_ts @ ef + tip_out @ ea)
+            x_arr = -right_div(k, xa_next @ en + x_ts @ ef + tip_out @ ea)
         else:
             x_arr = np.zeros((a, b))
         # X[j, j]
-        acc_d = solve_lower_t(li, np.eye(b)) - x_off.T @ en - xs_j.T @ ef
+        acc_d = linv_t(k) - x_off.T @ en - xs_j.T @ ef
         if a:
             acc_d -= x_arr.T @ ea
-        x_diag = _symmetrize(right_solve_lower(li, acc_d))
+        x_diag = _symmetrize(right_div(k, acc_d))
 
         lower_out[j] = x_off
         arrow_out[j] = x_arr

@@ -56,8 +56,17 @@ def tri_inverse_lower(l: np.ndarray) -> np.ndarray:
 
 
 def logdet_from_chol_diag(l: np.ndarray) -> float:
-    """``log det`` contribution of one Cholesky block: ``2 sum log diag(L)``."""
+    """``log det`` contribution of one Cholesky block: ``2 sum log diag(L)``.
+
+    Single pass over the diagonal: instead of scanning for non-positive
+    entries and then taking logs (two reads of ``d`` on the hot path),
+    invalid entries surface as non-finite logs and are detected on the
+    reduced scalar.  This also catches NaNs, which the old ``d <= 0``
+    check silently let through.
+    """
     d = np.diagonal(l)
-    if np.any(d <= 0):
+    with np.errstate(invalid="ignore", divide="ignore"):
+        total = float(np.sum(np.log(d)))
+    if d.size and not np.isfinite(total):
         raise NotPositiveDefiniteError("non-positive diagonal in Cholesky factor")
-    return 2.0 * float(np.sum(np.log(d)))
+    return 2.0 * total

@@ -13,20 +13,41 @@ block-dense approach ``O(n b^3)`` instead of a general sparse
 
 Cost per diagonal block: one ``POTRF`` + two ``TRSM`` + three ``GEMM``-like
 updates, i.e. ``O(n (b^3 + a b^2) + a^3)`` total.
+
+Two execution paths (same math, same flop count — see
+:mod:`repro.perfmodel.flops`):
+
+- the per-block reference path, looping the SciPy kernels of
+  :mod:`repro.structured.kernels` block by block;
+- the batched path (default, ``REPRO_BATCHED=1``), which fuses the two
+  TRSMs of each elimination step into one call on the stacked operand
+  ``[lower; arrow]`` and all three Schur updates into a single GEMM
+  ``G G^T``, and evaluates ``log det`` in one batched pass over the
+  whole factor stack.  The Schur recurrence itself stays loop-carried —
+  block ``i+1`` cannot be factorized before block ``i`` — but every
+  per-step kernel goes through :mod:`repro.structured.batched`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend.array_module import batched_enabled
+from repro.structured import batched as bk
 from repro.structured.bta import BTAMatrix
 from repro.structured.kernels import (
     chol_lower,
     logdet_from_chol_diag,
     right_solve_lower_t,
 )
+
+
+def _flatten_arrow(arrow: np.ndarray) -> np.ndarray:
+    """Arrow-row stack ``(n, a, b)`` as one contiguous ``(a, n b)`` matrix."""
+    n, a, b = arrow.shape
+    return np.ascontiguousarray(arrow.transpose(1, 0, 2)).reshape(a, n * b)
 
 
 @dataclass
@@ -38,6 +59,8 @@ class BTACholesky:
     """
 
     factor: BTAMatrix
+    _diag_inv: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _arrow_flat: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     @property
     def n(self) -> int:
@@ -55,9 +78,35 @@ class BTACholesky:
     def N(self) -> int:
         return self.factor.N
 
-    def logdet(self) -> float:
+    def diag_inverses(self) -> np.ndarray:
+        """Stacked ``L[i,i]^{-1}`` ``(n, b, b)``, computed once and cached.
+
+        The batched sweeps (``pobtas``/``pobtasi``) use these to express
+        every per-block triangular solve as a batched GEMM.
+        """
+        if self._diag_inv is None:
+            self._diag_inv = bk.batched_tri_inverse_lower(self.factor.diag)
+        return self._diag_inv
+
+    def arrow_flat(self) -> np.ndarray:
+        """The arrow row of ``L`` as one flat ``(a, n b)`` matrix, cached.
+
+        Flattening turns the arrow eliminations of the batched sweeps —
+        a reduction over the whole block stack — into a single GEMM
+        against the (free, contiguous) flat view of the right-hand side.
+        """
+        if self._arrow_flat is None:
+            self._arrow_flat = _flatten_arrow(self.factor.arrow)
+        return self._arrow_flat
+
+    def logdet(self, *, batched: bool | None = None) -> float:
         """``log det A = 2 sum_i log diag(L)_i`` — the quantity INLA needs
         for every GMRF log-density evaluation (paper Eq. 1/3)."""
+        if bk.batched_enabled(batched):
+            total = bk.batched_logdet_from_chol_diag(self.factor.diag)
+            if self.a:
+                total += bk.batched_logdet_from_chol_diag(self.factor.tip)
+            return total
         total = 0.0
         for i in range(self.n):
             total += logdet_from_chol_diag(self.factor.diag[i])
@@ -93,24 +142,8 @@ class BTACholesky:
         return out
 
 
-def pobtaf(A: BTAMatrix, *, overwrite: bool = False) -> BTACholesky:
-    """Factorize a symmetric positive definite BTA matrix ``A = L L^T``.
-
-    Parameters
-    ----------
-    A:
-        The matrix to factorize.  Only the lower-triangle blocks are read.
-    overwrite:
-        When True, ``A``'s storage is reused for the factor (the caller's
-        matrix is destroyed).  This is the memory-lean mode used inside the
-        INLA objective where ``Qp``/``Qc`` are rebuilt every evaluation.
-
-    Raises
-    ------
-    NotPositiveDefiniteError
-        If any Schur-complemented diagonal block is not positive definite.
-    """
-    L = A if overwrite else A.copy()
+def _pobtaf_blocked(L: BTAMatrix) -> None:
+    """Reference per-block elimination (in place) via the SciPy kernels."""
     n, a = L.n, L.a
     diag, lower, arrow, tip = L.diag, L.lower, L.arrow, L.tip
 
@@ -133,4 +166,82 @@ def pobtaf(A: BTAMatrix, *, overwrite: bool = False) -> BTACholesky:
             tip -= arrow[i] @ arrow[i].T
     if a:
         tip[...] = chol_lower(tip)
+
+
+def _pobtaf_batched(L: BTAMatrix) -> tuple[np.ndarray, np.ndarray | None]:
+    """Batched elimination (in place) via the batched kernel layer.
+
+    The block-tridiagonal chain runs first: per step one POTRF + one TRTRI
+    (see :func:`repro.structured.batched.chol_and_inverse_block` for why
+    the TRSMs become GEMMs against the explicit triangular inverse), one
+    GEMM for ``L[i+1, i]`` and one GEMM for the Schur update.  The arrow
+    row — which never feeds back into the chain — is deferred: its forward
+    substitution against the finished BT factor runs as ``a x b`` GEMMs,
+    and the tip Schur update collapses into a single batched contraction
+    over the whole arrow stack (one kernel instead of ``n``).
+
+    Returns ``(inv, arrow_flat)``: the stacked ``L[i,i]^{-1}`` by-product
+    consumed by the sweeps via ``BTACholesky.diag_inverses``, and the flat
+    arrow row (None when ``a == 0``) cached as ``BTACholesky.arrow_flat``.
+    """
+    n, a = L.n, L.a
+    diag, lower, arrow, tip = L.diag, L.lower, L.arrow, L.tip
+    inv = np.empty_like(diag)
+    chol_inv = bk.chol_and_inverse_block
+
+    # ---- block-tridiagonal chain (loop-carried) -------------------------
+    for i in range(n - 1):
+        li, linv = chol_inv(diag[i])
+        diag[i] = li
+        inv[i] = linv
+        G = lower[i] @ linv.T
+        lower[i] = G
+        diag[i + 1] -= G @ G.T
+    li, linv = chol_inv(diag[n - 1])
+    diag[n - 1] = li
+    inv[n - 1] = linv
+
+    # ---- arrow row: forward substitution against the BT factor ----------
+    arrow_flat = None
+    if a:
+        cur = arrow[0] @ inv[0].T
+        arrow[0] = cur
+        for i in range(1, n):
+            cur = (arrow[i] - cur @ lower[i - 1].T) @ inv[i].T
+            arrow[i] = cur
+        # Tip Schur update: one GEMM over the flattened arrow row (the
+        # flat form is cached for the sweeps' arrow eliminations).
+        arrow_flat = _flatten_arrow(arrow)
+        tip -= arrow_flat @ arrow_flat.T
+        tip[...] = bk.chol_lower_block(tip)
+    return inv, arrow_flat
+
+
+def pobtaf(
+    A: BTAMatrix, *, overwrite: bool = False, batched: bool | None = None
+) -> BTACholesky:
+    """Factorize a symmetric positive definite BTA matrix ``A = L L^T``.
+
+    Parameters
+    ----------
+    A:
+        The matrix to factorize.  Only the lower-triangle blocks are read.
+    overwrite:
+        When True, ``A``'s storage is reused for the factor (the caller's
+        matrix is destroyed).  This is the memory-lean mode used inside the
+        INLA objective where ``Qp``/``Qc`` are rebuilt every evaluation.
+    batched:
+        Force the batched (True) or per-block reference (False) path;
+        None consults the ``REPRO_BATCHED`` environment switch.
+
+    Raises
+    ------
+    NotPositiveDefiniteError
+        If any Schur-complemented diagonal block is not positive definite.
+    """
+    L = A if overwrite else A.copy()
+    if batched_enabled(batched):
+        inv, arrow_flat = _pobtaf_batched(L)
+        return BTACholesky(factor=L, _diag_inv=inv, _arrow_flat=arrow_flat)
+    _pobtaf_blocked(L)
     return BTACholesky(factor=L)

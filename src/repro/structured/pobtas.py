@@ -9,30 +9,41 @@ factorization itself (paper Sec. V-C).
 
 ``rhs`` may be a vector of length ``N`` or a block of ``k`` right-hand
 sides ``(N, k)``; block solves are used by the predictive-sampling helpers.
+
+On the batched path the per-block triangular solves become GEMMs against
+the cached stacked inverses ``L[i,i]^{-1}`` (see
+:meth:`repro.structured.pobtaf.BTACholesky.diag_inverses`), and the
+arrow-row eliminations — which touch only the tip entry — are hoisted out
+of the sweeps into single batched ``einsum``/GEMM updates over the whole
+block stack.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backend.array_module import batched_enabled
+from repro.structured import batched as bk
 from repro.structured.kernels import solve_lower, solve_lower_t
 from repro.structured.pobtaf import BTACholesky
 
 
-def pobtas(chol: BTACholesky, rhs: np.ndarray, *, overwrite: bool = False) -> np.ndarray:
-    """Solve ``A x = rhs`` using the BTA Cholesky factor ``chol``."""
+def _prepare(chol: BTACholesky, rhs: np.ndarray, *, overwrite: bool = False):
     L = chol.factor
-    n, b, a, N = L.n, L.b, L.a, L.N
+    n, b, N = L.n, L.b, L.N
     rhs = np.asarray(rhs, dtype=np.float64)
     squeeze = rhs.ndim == 1
     if rhs.shape[0] != N:
         raise ValueError(f"rhs has leading dimension {rhs.shape[0]}, expected {N}")
-    x = rhs.reshape(N, -1) if overwrite and rhs.ndim > 1 else np.array(rhs.reshape(N, -1), copy=True)
+    if overwrite and rhs.ndim > 1:
+        x = rhs.reshape(N, -1)
+    else:
+        x = np.array(rhs.reshape(N, -1), copy=True)
+    return L, x, x[: n * b].reshape(n, b, -1), x[n * b :], squeeze
 
-    # Views of the block segments (no copies; guide: use views).
-    xb = x[: n * b].reshape(n, b, -1)
-    xt = x[n * b :]
 
+def _pobtas_blocked(L, xb, xt, a: int, n: int) -> None:
+    """Reference per-block forward + backward sweeps (in place)."""
     # ---- forward sweep: L z = rhs --------------------------------------
     for i in range(n):
         if i > 0:
@@ -53,25 +64,80 @@ def pobtas(chol: BTACholesky, rhs: np.ndarray, *, overwrite: bool = False) -> np
             xb[i] -= L.lower[i].T @ xb[i + 1]
         xb[i] = solve_lower_t(L.diag[i], xb[i])
 
+
+def _backward_sweep_batched(chol: BTACholesky, xb, xt, a: int, n: int) -> None:
+    """``L^T x = z`` with GEMMs against the cached inverses.
+
+    The tip back-propagation reads only the (final) tip solution, so it
+    runs as one flat GEMM instead of n per-block vector updates.
+    """
+    L = chol.factor
+    inv = chol.diag_inverses()
+    lw = L.lower
+    if a:
+        xt[...] = bk.solve_lower_t_block(L.tip, xt)
+        x_flat = xb.reshape(n * L.b, -1)
+        x_flat -= chol.arrow_flat().T @ xt
+    cur = inv[n - 1].T @ xb[n - 1]
+    xb[n - 1] = cur
+    for i in range(n - 2, -1, -1):
+        cur = inv[i].T @ (xb[i] - lw[i].T @ cur)
+        xb[i] = cur
+
+
+def _pobtas_batched(chol: BTACholesky, xb, xt, a: int, n: int) -> None:
+    """Batched sweeps: GEMM against cached ``L[i,i]^{-1}``; arrow terms
+    applied as single stacked updates outside the loop-carried chain."""
+    L = chol.factor
+    inv = chol.diag_inverses()
+    lw = L.lower
+
+    # ---- forward sweep: L z = rhs --------------------------------------
+    cur = inv[0] @ xb[0]
+    xb[0] = cur
+    for i in range(1, n):
+        cur = inv[i] @ (xb[i] - lw[i - 1] @ cur)
+        xb[i] = cur
+    if a:
+        # The arrow eliminations only accumulate onto the tip entry: one
+        # GEMM of the flat arrow row against the solved stack.
+        xt -= chol.arrow_flat() @ xb.reshape(n * L.b, -1)
+        xt[...] = bk.solve_lower_block(L.tip, xt)
+
+    # ---- backward sweep: L^T x = z --------------------------------------
+    _backward_sweep_batched(chol, xb, xt, a, n)
+
+
+def pobtas(
+    chol: BTACholesky,
+    rhs: np.ndarray,
+    *,
+    overwrite: bool = False,
+    batched: bool | None = None,
+) -> np.ndarray:
+    """Solve ``A x = rhs`` using the BTA Cholesky factor ``chol``."""
+    L, x, xb, xt, squeeze = _prepare(chol, rhs, overwrite=overwrite)
+    if batched_enabled(batched):
+        _pobtas_batched(chol, xb, xt, L.a, L.n)
+    else:
+        _pobtas_blocked(L, xb, xt, L.a, L.n)
     return x[:, 0] if squeeze else x
 
 
-def pobtas_lt(chol: BTACholesky, rhs: np.ndarray) -> np.ndarray:
+def pobtas_lt(
+    chol: BTACholesky, rhs: np.ndarray, *, batched: bool | None = None
+) -> np.ndarray:
     """Backward-only solve ``L^T x = rhs``.
 
     This is the GMRF sampling primitive: if ``z ~ N(0, I)`` then
     ``x = L^{-T} z ~ N(0, A^{-1})`` — used by the synthetic-data
     generators to draw exact samples from the model prior.
     """
-    L = chol.factor
-    n, b, a, N = L.n, L.b, L.a, L.N
-    rhs = np.asarray(rhs, dtype=np.float64)
-    squeeze = rhs.ndim == 1
-    if rhs.shape[0] != N:
-        raise ValueError(f"rhs has leading dimension {rhs.shape[0]}, expected {N}")
-    x = np.array(rhs.reshape(N, -1), copy=True)
-    xb = x[: n * b].reshape(n, b, -1)
-    xt = x[n * b :]
+    L, x, xb, xt, squeeze = _prepare(chol, rhs)
+    n, a = L.n, L.a
+    if batched_enabled(batched):
+        _backward_sweep_batched(chol, xb, xt, a, n)
+        return x[:, 0] if squeeze else x
     if a:
         xt[...] = solve_lower_t(L.tip, xt)
     for i in range(n - 1, -1, -1):

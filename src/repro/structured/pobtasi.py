@@ -20,12 +20,19 @@ which closes a backward recursion starting from the tip,
 ``X[t, t] = L[t, t]^{-T} L[t, t]^{-1}``.  Total cost is again
 ``O(n (b^3 + a b^2))`` — the same order as the factorization, matching the
 microbenchmark observation of paper Fig. 5.
+
+The recursion is loop-carried (column ``i`` needs ``X[i+1, i+1]``), but on
+the batched path every right-division by ``L[i, i]`` becomes a GEMM
+against the cached stacked inverses, so each step is pure batched-GEMM
+work — the kernel mix the paper runs on the GPU.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backend.array_module import batched_enabled
+from repro.structured import batched as bk
 from repro.structured.bta import BTAMatrix
 from repro.structured.kernels import (
     right_solve_lower,
@@ -35,15 +42,10 @@ from repro.structured.kernels import (
 from repro.structured.pobtaf import BTACholesky
 
 
-def pobtasi(chol: BTACholesky) -> BTAMatrix:
-    """Selected inverse of the BTA matrix factorized in ``chol``.
-
-    Returns a :class:`BTAMatrix` whose blocks hold the corresponding blocks
-    of ``A^{-1}`` (symmetric; lower-triangle layout like the input).
-    """
+def _pobtasi_blocked(chol: BTACholesky, X: BTAMatrix) -> None:
+    """Reference per-block backward recursion via the SciPy kernels."""
     L = chol.factor
     n, b, a = L.n, L.b, L.a
-    X = BTAMatrix.zeros(L.shape3)
 
     if a:
         tip_inv = tri_inverse_lower(L.tip)
@@ -80,9 +82,58 @@ def pobtasi(chol: BTACholesky) -> BTAMatrix:
         # Enforce exact symmetry (the recursion is symmetric only in exact
         # arithmetic; downstream variance extraction expects symmetry).
         X.diag[i] = 0.5 * (X.diag[i] + X.diag[i].T)
+
+
+def _pobtasi_batched(chol: BTACholesky, X: BTAMatrix) -> None:
+    """Backward recursion where every right-division is a GEMM against the
+    cached ``L[i,i]^{-1}`` stack (see ``BTACholesky.diag_inverses``)."""
+    L = chol.factor
+    n, a = L.n, L.a
+    inv = chol.diag_inverses()
+
+    if a:
+        tip_inv = bk.tri_inverse_lower_block(L.tip)
+        X.tip[...] = tip_inv.T @ tip_inv
+
+    for i in range(n - 1, -1, -1):
+        inv_i = inv[i]
+        has_next = i + 1 < n
+        lo = L.lower[i] if has_next else None
+        ar = L.arrow[i] if a else None
+
+        if has_next:
+            acc_next = X.diag[i + 1] @ lo
+            if a:
+                acc_next += X.arrow[i + 1].T @ ar
+            X.lower[i] = -(acc_next @ inv_i)
+            if a:
+                X.arrow[i] = -((X.arrow[i + 1] @ lo + X.tip @ ar) @ inv_i)
+        elif a:
+            X.arrow[i] = -(X.tip @ ar @ inv_i)
+
+        # Diagonal block: L^{-T} is exactly inv_i^T here.
+        acc_diag = inv_i.T.copy()
+        if has_next:
+            acc_diag -= X.lower[i].T @ lo
+        if a:
+            acc_diag -= X.arrow[i].T @ ar
+        X.diag[i] = bk.symmetrize(acc_diag @ inv_i)
+
+
+def pobtasi(chol: BTACholesky, *, batched: bool | None = None) -> BTAMatrix:
+    """Selected inverse of the BTA matrix factorized in ``chol``.
+
+    Returns a :class:`BTAMatrix` whose blocks hold the corresponding blocks
+    of ``A^{-1}`` (symmetric; lower-triangle layout like the input).
+    """
+    X = BTAMatrix.zeros(chol.factor.shape3)
+    if batched_enabled(batched):
+        _pobtasi_batched(chol, X)
+    else:
+        _pobtasi_blocked(chol, X)
     return X
 
 
-def selected_inverse_diagonal(chol: BTACholesky) -> np.ndarray:
+def selected_inverse_diagonal(chol: BTACholesky, *, batched: bool | None = None) -> np.ndarray:
     """Scalar diagonal of ``A^{-1}`` (the posterior marginal variances)."""
-    return pobtasi(chol).diagonal()
+    return pobtasi(chol, batched=batched).diagonal()

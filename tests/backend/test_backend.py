@@ -95,3 +95,49 @@ class TestMemoryTracker:
         t.allocate(10)
         with pytest.raises(ValueError):
             t.free(20)
+
+
+class TestMinPartitionsClosedForm:
+    """min_partitions is computed directly from the byte formula; it must
+    agree with the historical O(n) linear scan everywhere."""
+
+    def _scan_reference(self, n, b, a, device, factors=2, headroom=0.85):
+        for p in range(1, n + 1):
+            n_local = -(-n // p)
+            if device.fits(
+                bta_memory_bytes(n_local, b, a, factors=factors), headroom=headroom
+            ):
+                return p
+        raise MemoryBudgetError("infeasible")
+
+    def test_matches_linear_scan(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            n = int(rng.integers(1, 400))
+            b = int(rng.integers(1, 80))
+            a = int(rng.integers(0, 20))
+            mem = int(rng.integers(b * b * 64, 2**26))
+            dev = Device(DeviceKind.GPU, "t", memory_bytes=mem, gemm_tflops=1, bandwidth_gbs=1)
+            try:
+                ref = self._scan_reference(n, b, a, dev)
+            except MemoryBudgetError:
+                with pytest.raises(MemoryBudgetError):
+                    min_partitions(n, b, a, dev)
+                continue
+            assert min_partitions(n, b, a, dev) == ref, (n, b, a, mem)
+
+    def test_factors_changes_partitioning(self):
+        """A factorize-only workload (factors=1) fits in half the memory of
+        a selected-inversion workload (factors=2)."""
+        dev = Device(DeviceKind.GPU, "s", memory_bytes=2**24, gemm_tflops=1, bandwidth_gbs=1)
+        p_fact = min_partitions(64, 100, 4, dev, factors=1)
+        p_sinv = min_partitions(64, 100, 4, dev, factors=2)
+        assert p_fact < p_sinv
+        n_local = -(-64 // p_fact)
+        assert dev.fits(bta_memory_bytes(n_local, 100, 4, factors=1))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            min_partitions(0, 3, 1, GH200)
+        with pytest.raises(ValueError):
+            min_partitions(4, 3, 1, GH200, factors=0)

@@ -233,3 +233,63 @@ class TestTraceComm:
 
         run_spmd(2, fn)
         assert stats.counts["allreduce"] == 2
+
+
+class TestPayloadByteAccounting:
+    """_nbytes must count every payload shape the collectives actually carry
+    (scalars, tuples/lists of arrays, dataclasses) — not just bare ndarrays."""
+
+    def test_ndarray_and_numpy_scalar(self):
+        from repro.comm.stats import _nbytes
+
+        assert _nbytes(np.zeros((3, 4))) == 96
+        assert _nbytes(np.float64(1.5)) == 8
+        assert _nbytes(np.int32(7)) == 4
+
+    def test_python_scalars(self):
+        from repro.comm.stats import _nbytes
+
+        assert _nbytes(3.5) == 8
+        assert _nbytes(42) == 8
+        assert _nbytes(True) == 1
+        assert _nbytes(1 + 2j) == 16
+        assert _nbytes(None) == 0
+
+    def test_nested_sequences(self):
+        from repro.comm.stats import _nbytes
+
+        payload = (np.zeros(4), [np.zeros(2), 1.0], (3,))
+        assert _nbytes(payload) == 32 + (16 + 8) + 8
+
+    def test_dataclass_payload(self):
+        """The reduced-system allgather ships BoundaryContribution objects;
+        their block arrays must count toward modeled traffic."""
+        from repro.comm.stats import _nbytes
+        from repro.structured.bta import BTAMatrix, BTAShape
+        from repro.structured.d_pobtaf import partition_matrix, d_pobtaf
+
+        rng = np.random.default_rng(0)
+        A = BTAMatrix.random_spd(BTAShape(n=6, b=3, a=2), rng)
+        slices = partition_matrix(A, 2)
+        stats = CommStats()
+
+        def fn(comm):
+            d_pobtaf(slices[comm.Get_rank()], TraceComm(comm, stats))
+            return None
+
+        run_spmd(2, fn)
+        # Each contribution carries at least the bottom diag block (b*b
+        # doubles) and the tip delta (a*a doubles), gathered across 2 ranks.
+        assert stats.bytes["allgather_obj"] >= 2 * 2 * (3 * 3 + 2 * 2) * 8
+
+    def test_object_allgather_counts_scalars(self):
+        stats = CommStats()
+
+        def fn(comm):
+            tc = TraceComm(comm, stats)
+            tc.allgather(1.25)
+            return None
+
+        run_spmd(2, fn)
+        # Per rank: one 8-byte float gathered from each of the 2 ranks.
+        assert stats.bytes["allgather_obj"] == 2 * 2 * 8

@@ -76,3 +76,24 @@ class TestSelectSolver:
         )
         with pytest.raises(MemoryBudgetError):
             select_solver(BTAShape(n=4, b=100, a=0), device=nano)
+
+
+class TestSelectSolverFactors:
+    def test_factors_flip_dispatch(self):
+        """The same shape can stay sequential for a factorize-only workload
+        (factors=1) yet require S3 partitioning for selected inversion
+        (factors=2) — the workload argument must reach the byte formula."""
+        shape = BTAShape(n=64, b=200, a=4)
+        # Storage: doubles(n=64) = 64*(2*200^2 + 4*200) - 200^2 + 16 doubles.
+        doubles = 64 * (2 * 200**2 + 4 * 200) - 200**2 + 16
+        mem = int(1.5 * doubles * 8 / 0.85)  # fits once, not twice
+        dev = Device(kind=DeviceKind.GPU, name="mid", memory_bytes=mem,
+                     gemm_tflops=1.0, bandwidth_gbs=100.0)
+        assert isinstance(select_solver(shape, device=dev, factors=1), SequentialSolver)
+        s = select_solver(shape, device=dev, factors=2)
+        assert isinstance(s, DistributedSolver)
+
+    def test_batched_flag_threaded(self):
+        s = select_solver(BTAShape(n=10, b=4, a=2), batched=False)
+        assert isinstance(s, SequentialSolver)
+        assert s.batched is False

@@ -1,0 +1,57 @@
+"""Tier-1 smoke wiring for ``benchmarks/bench_batched_kernels.py``.
+
+Runs the benchmark's smoke shape (one mid-sized BTA problem, a few
+seconds) inside the regular test suite so that
+
+- a *correctness* divergence between the batched and per-block kernel
+  paths (> 1e-10) fails every tier-1 run,
+- a *flop-accounting* divergence between the paths fails every tier-1 run,
+- a gross *performance* regression of the batched path (falling toward or
+  below per-block speed) fails every tier-1 run, and
+- with ``pytest --bench-smoke`` the thresholds tighten to the speedups
+  measured on this host (see ``benchmarks/results/batched_kernels.txt``).
+
+The lenient default floors are far below the measured speedups (~2.7x for
+the objective workload, ~3.5x for selected inversion at the smoke shape)
+so machine noise cannot flake tier-1, while a real regression — e.g. the
+batched path silently falling back to per-block dispatch — still trips.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+_BENCH = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "bench_batched_kernels.py"
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location("bench_batched_kernels", _BENCH)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_batched_kernels", mod)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_bench_batched_smoke(request):
+    bench = _load_bench()
+    case = bench.smoke_case(reps=2)
+
+    # Correctness and accounting gates — always strict.
+    assert case.max_err < 1e-10, case.max_err
+    assert case.flops_equal
+
+    strict = request.config.getoption("--bench-smoke")
+    # Default floors are deliberately far below this host's measurements:
+    # they must survive timing noise AND a host whose LAPACK ships blocked
+    # (fast) TRSM kernels, where the per-block reference path narrows the
+    # gap.  They still trip if the batched path degrades to per-block
+    # dispatch (speedup ~1.0x).
+    fs_floor, sinv_floor = (2.2, 2.8) if strict else (1.25, 1.5)
+    assert case.speedup_fact_solve >= fs_floor, (
+        f"batched factorization+solve speedup {case.speedup_fact_solve:.2f}x "
+        f"below floor {fs_floor}x — batched path regressed"
+    )
+    assert case.speedup("sinv") >= sinv_floor, (
+        f"batched selected-inversion speedup {case.speedup('sinv'):.2f}x "
+        f"below floor {sinv_floor}x — batched path regressed"
+    )
