@@ -155,9 +155,12 @@ def format_report(cases) -> str:
     for c in cases:
         lines.append(
             f"{c.n:>5} {c.b:>4} | "
-            f"{c.t_fact[False] * 1e3:>9.2f} {c.t_fact[True] * 1e3:>9.2f} {c.speedup('fact'):>5.2f} | "
-            f"{c.t_fact_solve[False] * 1e3:>9.2f} {c.t_fact_solve[True] * 1e3:>9.2f} {c.speedup('fs'):>5.2f} | "
-            f"{c.t_sinv[False] * 1e3:>9.2f} {c.t_sinv[True] * 1e3:>9.2f} {c.speedup('sinv'):>5.2f} | "
+            f"{c.t_fact[False] * 1e3:>9.2f} {c.t_fact[True] * 1e3:>9.2f} "
+            f"{c.speedup('fact'):>5.2f} | "
+            f"{c.t_fact_solve[False] * 1e3:>9.2f} {c.t_fact_solve[True] * 1e3:>9.2f} "
+            f"{c.speedup('fs'):>5.2f} | "
+            f"{c.t_sinv[False] * 1e3:>9.2f} {c.t_sinv[True] * 1e3:>9.2f} "
+            f"{c.speedup('sinv'):>5.2f} | "
             f"{c.max_err:>8.1e}"
         )
     lines.append(

@@ -11,7 +11,6 @@ Two parts:
    parallel efficiency 79.7% (DALIA) vs 59.3% (INLA_DIST).
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import write_report

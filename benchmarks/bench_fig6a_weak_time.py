@@ -7,9 +7,6 @@ steps / 16 GPUs, 124x at 512 steps against an 8x-smaller R-INLA model,
 superlinear scaling in the S1 regime, and ~90% solver share from 64 steps.
 """
 
-import numpy as np
-import pytest
-
 from benchmarks.conftest import write_report
 from repro.diagnostics import Timer, format_table
 from repro.inla import FobjEvaluator

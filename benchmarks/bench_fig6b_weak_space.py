@@ -8,7 +8,6 @@ at 64 GPUs, eta = 51.2% at 496 GPUs.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import write_report
 from repro.diagnostics import Timer, format_table

@@ -7,9 +7,6 @@ R-INLA.  Measured part: strong scaling of one gradient stencil over S1
 thread workers plus the S3 distributed-solver path on a fixed problem.
 """
 
-import numpy as np
-import pytest
-
 from benchmarks.conftest import write_report
 from repro.diagnostics import Timer, format_table
 from repro.inla import DistributedSolver, FobjEvaluator, SequentialSolver

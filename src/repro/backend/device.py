@@ -12,7 +12,7 @@ the performance model behave exactly like the paper's.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class DeviceKind(enum.Enum):

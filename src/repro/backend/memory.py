@@ -21,28 +21,30 @@ class MemoryBudgetError(RuntimeError):
     """Raised when an allocation plan exceeds the device memory budget."""
 
 
-def bta_memory_bytes(n: int, b: int, a: int, *, factors: int = 2) -> int:
+def bta_memory_bytes(n: int, b: int, a: int, *, factors: float = 2) -> int:
     """Bytes to store a densified BTA matrix (and, by default, its factor).
 
     Storage: ``n`` diagonal blocks ``b x b``, ``n - 1`` off-diagonal blocks,
     ``n`` arrow blocks ``a x b``, and one ``a x a`` tip.  ``factors = 2``
     accounts for the matrix plus one workspace copy, matching the solver's
     in-place-factorization-plus-original layout used during selected
-    inversion.
+    inversion.  Fractional factors express partial side allocations such
+    as the batched path's cached ``L[i,i]^{-1}`` stack (~0.5x, see
+    :data:`repro.inla.solvers.WORKLOAD_FACTORS`).
     """
     if n <= 0 or b <= 0 or a < 0:
         raise ValueError(f"invalid BTA dims n={n}, b={b}, a={a}")
     blocks = n * b * b + max(n - 1, 0) * b * b + n * a * b + a * a
-    return factors * blocks * _F64
+    return int(factors * blocks * _F64)
 
 
-def bt_memory_bytes(n: int, b: int, *, factors: int = 2) -> int:
+def bt_memory_bytes(n: int, b: int, *, factors: float = 2) -> int:
     """Bytes to store a densified BT matrix (no arrowhead)."""
     return bta_memory_bytes(n, b, 0, factors=factors)
 
 
 def min_partitions(
-    n: int, b: int, a: int, device: Device, *, factors: int = 2, headroom: float = 0.85
+    n: int, b: int, a: int, device: Device, *, factors: float = 2, headroom: float = 0.85
 ) -> int:
     """Smallest ``P`` such that an even time-domain slice fits on ``device``.
 
@@ -70,13 +72,13 @@ def min_partitions(
         raise ValueError(f"invalid BTA dims n={n}, b={b}, a={a}")
     if factors < 1:
         raise ValueError(f"factors must be >= 1, got {factors}")
-    budget_doubles = int(headroom * device.memory_bytes) // (factors * _F64)
+    budget_doubles = int(headroom * device.memory_bytes / (factors * _F64))
     per_row = 2 * b * b + a * b
     n_local_max = (budget_doubles + b * b - a * a) // per_row
     if n_local_max < 1:
         raise MemoryBudgetError(
             f"a single {b}x{b} block row does not fit on {device.name}; "
-            f"spatial-domain parallelism (future work in the paper) would be required"
+            "spatial-domain parallelism (future work in the paper) would be required"
         )
     return max(1, -(-n // n_local_max))  # ceil(n / n_local_max)
 

@@ -74,7 +74,9 @@ class RINLAEngine:
         compute_latent: bool = True,
     ) -> INLAResult:
         theta0 = (
-            self.model._reference_theta() if theta0 is None else np.asarray(theta0, dtype=np.float64)
+            self.model._reference_theta()
+            if theta0 is None
+            else np.asarray(theta0, dtype=np.float64)
         )
         opt = bfgs_minimize(self.evaluator, theta0, options)
         H = fd_hessian(self.evaluator, opt.theta, h=hessian_step, f_center=opt.fobj)

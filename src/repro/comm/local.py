@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import queue
 import threading
-from typing import Callable, Sequence
+from typing import Callable
 
 import numpy as np
 

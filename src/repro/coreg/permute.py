@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro.sparse.permutation import SymmetricPermutation, time_major_permutation
+from repro.sparse.permutation import time_major_permutation
 from repro.structured.bta import BTAShape
 
 
@@ -54,6 +54,15 @@ class CoregionalPermutation:
         """Reorder time-major -> variable-major (for reporting posteriors
         per response variable)."""
         return self.perm.undo_vector(x)
+
+    def permute_stack(self, x: np.ndarray) -> np.ndarray:
+        """Reorder every row of a ``(k, N)`` stack variable-major -> time-major."""
+        return self.perm.apply_stack(x)
+
+    def unpermute_stack(self, x: np.ndarray) -> np.ndarray:
+        """Reorder every row of a ``(k, N)`` stack time-major -> variable-major
+        (one fancy-indexing pass for a whole posterior-sample batch)."""
+        return self.perm.undo_stack(x)
 
     def is_bta(self, Q_time_major: sp.spmatrix) -> bool:
         """Check a permuted matrix actually fits the BTA pattern (Fig. 2c)."""

@@ -69,7 +69,9 @@ def bfgs_minimize(
     for it in range(1, opts.max_iter + 1):
         gnorm = float(np.abs(grad).max())
         if gnorm < opts.grad_tol:
-            return BFGSResult(theta, -g, it - 1, True, f"gradient below tolerance ({gnorm:.2e})", trace)
+            return BFGSResult(
+                theta, -g, it - 1, True, f"gradient below tolerance ({gnorm:.2e})", trace
+            )
 
         p = -H @ grad
         slope = float(grad @ p)

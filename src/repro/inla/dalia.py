@@ -8,7 +8,7 @@ marginals for hyperparameters and the latent field.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -16,7 +16,7 @@ from repro.inla.bfgs import BFGSOptions, BFGSResult, bfgs_minimize
 from repro.inla.evaluator import FobjEvaluator
 from repro.inla.hessian import fd_hessian, hyperparameter_precision
 from repro.inla.marginals import HyperMarginals, LatentMarginals, latent_marginals
-from repro.inla.solvers import SequentialSolver, StructuredSolver
+from repro.inla.solvers import StructuredSolver, select_solver
 from repro.model.assembler import CoregionalSTModel
 
 
@@ -45,9 +45,17 @@ class DALIA:
     model:
         The assembled latent Gaussian model.
     solver:
-        Structured solver for the bottleneck operations (sequential by
-        default; pass :class:`repro.inla.solvers.DistributedSolver` for the
-        S3 path).
+        Structured solver for the bottleneck operations.  By default one
+        is selected *per workload* via
+        :func:`repro.inla.solvers.select_solver`: the objective's
+        factorize-in-place logdet/solve sweeps dispatch with
+        ``workload="objective"``, while the posterior marginals — whose
+        selected inversion additionally keeps a full BTA workspace —
+        dispatch with ``workload="marginals"`` (see
+        :data:`repro.inla.solvers.WORKLOAD_FACTORS` for the peak-footprint
+        multipliers), so the same model can run the mode search
+        sequentially and only partition for the variance pass.  An
+        explicit solver is used for every phase.
     s1_workers:
         Parallel width for objective-function batches (strategy S1;
         saturates at ``2 dim(theta) + 1``).
@@ -64,7 +72,9 @@ class DALIA:
         s2_parallel: bool = False,
     ):
         self.model = model
-        self.solver = solver or SequentialSolver()
+        shape = model.permutation.bta_shape
+        self.solver = solver or select_solver(shape, workload="objective")
+        self.marginal_solver = solver or select_solver(shape, workload="marginals")
         self.evaluator = FobjEvaluator(
             model,
             solver=self.solver,
@@ -94,7 +104,9 @@ class DALIA:
         hyper = HyperMarginals(mode=opt.theta.copy(), covariance=cov)
 
         latent = (
-            latent_marginals(self.model, opt.theta, self.solver) if compute_latent else None
+            latent_marginals(self.model, opt.theta, self.marginal_solver)
+            if compute_latent
+            else None
         )
 
         corr = None

@@ -20,6 +20,25 @@ from repro.inla.solvers import StructuredSolver
 from repro.model.assembler import CoregionalSTModel
 
 
+def central_difference_directions(values: np.ndarray, f0: float, h: float) -> np.ndarray:
+    """Directional derivatives from an interleaved ``(+, -)`` value stack.
+
+    ``values`` holds the ``2 d`` stencil values ordered
+    ``[f(+e_0), f(-e_0), f(+e_1), ...]`` — the evaluation order of the
+    stacked stencils built by :meth:`FobjEvaluator.gradient_stencil` and
+    the smart-gradient frame.  Non-finite entries are replaced by the
+    center value ``f0``, zeroing that direction's estimate (the optimizer
+    then relies on its line search to stay feasible).  One vectorized pass
+    replaces the historical per-direction Python loop.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    v = np.where(np.isfinite(v), v, f0)
+    # A non-finite center (infeasible expansion point) makes the whole
+    # estimate nan by design; suppress the elementwise inf-inf warning.
+    with np.errstate(invalid="ignore"):
+        return (v[0::2] - v[1::2]) / (2.0 * h)
+
+
 class FobjEvaluator:
     """Callable objective with batched parallel evaluation and counters."""
 
@@ -63,17 +82,21 @@ class FobjEvaluator:
             futures = [pool.submit(self._eval_one, t) for t in thetas]
             return [f.result() for f in futures]
 
-    def gradient_stencil(self, theta: np.ndarray, h: float) -> list:
-        """The ``2 d + 1`` stencil points of paper Eq. 10 (center last)."""
+    def gradient_stencil(self, theta: np.ndarray, h: float) -> np.ndarray:
+        """The ``2 d + 1`` stencil points of paper Eq. 10 (center last).
+
+        Returned as one stacked ``(2 d + 1, d)`` array — rows interleave
+        ``theta + h e_i`` / ``theta - h e_i`` — built by broadcasting
+        instead of a per-axis Python loop; ``eval_batch`` iterates the
+        rows.
+        """
         theta = np.asarray(theta, dtype=np.float64)
         d = theta.size
-        pts = []
-        for i in range(d):
-            e = np.zeros(d)
-            e[i] = h
-            pts.append(theta + e)
-            pts.append(theta - e)
-        pts.append(theta.copy())
+        pts = np.empty((2 * d + 1, d))
+        steps = h * np.eye(d)
+        pts[0 : 2 * d : 2] = theta + steps
+        pts[1 : 2 * d : 2] = theta - steps
+        pts[-1] = theta
         return pts
 
     def value_and_gradient(self, theta: np.ndarray, *, h: float = 1e-4) -> tuple:
@@ -87,15 +110,7 @@ class FobjEvaluator:
         pts = self.gradient_stencil(theta, h)
         results = self.eval_batch(pts)
         center = results[-1]
-        d = theta.size
-        grad = np.zeros(d)
         f0 = center.value
-        for i in range(d):
-            fp = results[2 * i].value
-            fm = results[2 * i + 1].value
-            if not np.isfinite(fp):
-                fp = f0
-            if not np.isfinite(fm):
-                fm = f0
-            grad[i] = (fp - fm) / (2.0 * h)
+        values = np.array([r.value for r in results[:-1]])
+        grad = central_difference_directions(values, f0, h)
         return f0, grad, center

@@ -29,53 +29,46 @@ def fd_hessian(
     theta = np.asarray(theta, dtype=np.float64)
     d = theta.size
 
-    points = []
+    # The whole stencil is assembled as one stacked (n_points, d) array —
+    # the same row-major stack layout the structured solvers batch RHS
+    # over — instead of a per-pair Python loop.  Rows: optional center,
+    # then interleaved +/- diagonal points, then the (i < j) cross points
+    # in groups of four (++, +-, -+, --).
+    E = h * np.eye(d)
+    iu, ju = np.triu_indices(d, 1)
+    m = iu.size
+    Ei, Ej = E[iu], E[ju]  # (m, d) step stacks of the cross pairs
+    base = (0 if f_center is not None else 1) + 2 * d
+    points = np.empty((base + 4 * m, d))
+    idx = 0
     if f_center is None:
-        points.append(theta.copy())
-    # Diagonal stencils.
-    for i in range(d):
-        e = np.zeros(d)
-        e[i] = h
-        points.append(theta + e)
-        points.append(theta - e)
-    # Cross stencils (i < j).
-    for i in range(d):
-        for j in range(i + 1, d):
-            ei = np.zeros(d)
-            ej = np.zeros(d)
-            ei[i] = h
-            ej[j] = h
-            points.append(theta + ei + ej)
-            points.append(theta + ei - ej)
-            points.append(theta - ei + ej)
-            points.append(theta - ei - ej)
+        points[0] = theta
+        idx = 1
+    points[idx : idx + 2 * d : 2] = theta + E
+    points[idx + 1 : idx + 2 * d : 2] = theta - E
+    points[base + 0 :: 4] = theta + Ei + Ej
+    points[base + 1 :: 4] = theta + Ei - Ej
+    points[base + 2 :: 4] = theta - Ei + Ej
+    points[base + 3 :: 4] = theta - Ei - Ej
 
     results = evaluator.eval_batch(points)
-    values = [r.value for r in results]
-    k = 0
-    if f_center is None:
-        f0 = values[0]
-        k = 1
-    else:
-        f0 = float(f_center)
+    values = np.array([r.value for r in results])
+    f0 = float(values[0]) if f_center is None else float(f_center)
     if not np.isfinite(f0):
         raise FloatingPointError("objective not finite at the expansion point")
     # Stencil points can fall outside the feasible region near a boundary
     # mode; substituting the center value zeroes the associated curvature
     # contribution (the SPD floor in hyperparameter_precision handles the
     # resulting near-flat directions).
-    values = [v if np.isfinite(v) else f0 for v in values]
+    values = np.where(np.isfinite(values), values, f0)
 
     H = np.empty((d, d))
-    for i in range(d):
-        fp, fm = values[k], values[k + 1]
-        k += 2
-        H[i, i] = (fp - 2.0 * f0 + fm) / h**2
-    for i in range(d):
-        for j in range(i + 1, d):
-            fpp, fpm, fmp, fmm = values[k : k + 4]
-            k += 4
-            H[i, j] = H[j, i] = (fpp - fpm - fmp + fmm) / (4.0 * h**2)
+    fp = values[idx : idx + 2 * d : 2]
+    fm = values[idx + 1 : idx + 2 * d : 2]
+    np.fill_diagonal(H, (fp - 2.0 * f0 + fm) / h**2)
+    cross = values[base:].reshape(m, 4)
+    hij = (cross[:, 0] - cross[:, 1] - cross[:, 2] + cross[:, 3]) / (4.0 * h**2)
+    H[iu, ju] = H[ju, iu] = hij
     if not np.all(np.isfinite(H)):
         raise FloatingPointError("non-finite entries in FD Hessian; reduce h or move the mode")
     return H

@@ -52,7 +52,13 @@ class HyperMarginals:
                 "mean_log": mu,
                 "sd_log": sd,
             }
-        return {"mean": mu, "sd": sd, "q025": float(q[0]), "median": float(q[1]), "q975": float(q[2])}
+        return {
+            "mean": mu,
+            "sd": sd,
+            "q025": float(q[0]),
+            "median": float(q[1]),
+            "q975": float(q[2]),
+        }
 
 
 @dataclass
@@ -116,13 +122,16 @@ def latent_marginals(
     theta_mode: np.ndarray,
     solver: StructuredSolver,
 ) -> LatentMarginals:
-    """Compute latent means and selected-inversion variances at the mode."""
+    """Compute latent means and selected-inversion variances at the mode.
+
+    Means and variances come out of *one* factorization of ``Qc``: the
+    solver's fused solve + selected-inversion pass shares the Cholesky
+    factor (and, on the batched path, the backward recursion) between the
+    conditional-mean solve and the Takahashi variance sweep — historically
+    this cost two full factorizations plus a pristine copy of ``Qc``.
+    """
     sys = model.assemble(theta_mode)
-    # The solver factorizes in place; keep a pristine copy of Qc for the
-    # second (selected inversion) pass.
-    qc_copy = sys.qc.copy()
-    _, mu_perm = solver.logdet_and_solve(sys.qc, sys.rhs)
-    var_perm = solver.selected_inverse_diagonal(qc_copy)
+    _, mu_perm, var_perm = solver.solve_and_selected_inverse_diagonal(sys.qc, sys.rhs)
     if np.any(var_perm <= 0):
         raise FloatingPointError("non-positive marginal variance from selected inversion")
     mean = model.permutation.unpermute_vector(mu_perm)

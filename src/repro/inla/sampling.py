@@ -23,8 +23,9 @@ from scipy.stats import norm
 
 from repro.model.assembler import CoregionalSTModel
 from repro.model.design import spacetime_design
+from repro.structured.multirhs import pobtas_lt_stack, pobtas_stack
 from repro.structured.pobtaf import BTACholesky, pobtaf
-from repro.structured.pobtas import pobtas, pobtas_lt
+from repro.structured.pobtas import pobtas
 
 
 @dataclass
@@ -52,15 +53,16 @@ class LatentPosterior:
         """Joint posterior draws, variable-major, shape ``(n_samples, N)``.
 
         ``x = mu + L^{-T} z`` with ``z ~ N(0, I)`` gives exact draws from
-        ``N(mu, Qc^{-1})`` — no dense covariance is ever formed.
+        ``N(mu, Qc^{-1})`` — no dense covariance is ever formed.  The
+        whole batch is one stacked backward sweep (``(b, n_samples)``
+        panels against the cached factor inverses) followed by one
+        stack-wide unpermute, instead of ``n_samples`` per-draw passes.
         """
         if n_samples < 1:
             raise ValueError("n_samples must be >= 1")
-        z = rng.standard_normal((self.model.N, n_samples))
-        x_perm = self.mu_perm[:, None] + pobtas_lt(self.chol, z)
-        return np.stack(
-            [self.model.permutation.unpermute_vector(x_perm[:, k]) for k in range(n_samples)]
-        )
+        z = rng.standard_normal((n_samples, self.model.N))
+        x_perm = self.mu_perm[None, :] + pobtas_lt_stack(self.chol, z)
+        return self.model.permutation.unpermute_stack(x_perm)
 
     def mean(self) -> np.ndarray:
         """Posterior mean, variable-major."""
@@ -104,11 +106,12 @@ class LatentPosterior:
         """
         A = self.predictive_design(coords, time_idx, v)
         mean = np.asarray(A @ self.mean()).ravel()
-        # Exact predictive sd: columns of Qc^{-1} A^T in permuted order.
+        # Exact predictive sd: rows of A* P^T are the (m, N) RHS stack of
+        # Qc^{-1} A*^T — one stacked forward/backward pass for the batch.
         Ap = A[:, self.model.permutation.perm.perm]  # A P^T
-        cols = np.asarray(Ap.todense()).T  # (N, m) right-hand sides
-        X = pobtas(self.chol, cols)
-        var = np.einsum("nm,nm->m", cols, X)
+        stack = np.asarray(Ap.todense())  # (m, N) right-hand-side stack
+        X = pobtas_stack(self.chol, stack)
+        var = np.einsum("mn,mn->m", stack, X)
         out = {"mean": mean, "sd": np.sqrt(np.maximum(var, 0.0))}
         if n_samples > 0:
             if rng is None:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.inla.evaluator import FobjEvaluator
+from repro.inla.evaluator import FobjEvaluator, central_difference_directions
 
 
 def orthonormal_frame(directions: list, dim: int) -> np.ndarray:
@@ -70,24 +70,24 @@ class SmartGradient:
         return orthonormal_frame(list(reversed(self._history)), dim)
 
     def value_and_gradient(self, theta: np.ndarray) -> tuple:
-        """Central differences along the adaptive frame; one S1 batch."""
+        """Central differences along the adaptive frame; one S1 batch.
+
+        The ``2 d + 1`` stencil is built as one stacked array — rows
+        interleave ``theta ± h g_i`` over the frame's columns — and the
+        directional derivatives come out of one vectorized differencing
+        pass (:func:`central_difference_directions`), mirroring the
+        stacked-RHS layout the structured solvers batch over.
+        """
         theta = np.asarray(theta, dtype=np.float64)
         d = theta.size
         G = self.frame(d)
-        pts = []
-        for i in range(d):
-            pts.append(theta + self.h * G[:, i])
-            pts.append(theta - self.h * G[:, i])
-        pts.append(theta.copy())
+        steps = self.h * G.T  # row i is h * (frame column i)
+        pts = np.empty((2 * d + 1, d))
+        pts[0 : 2 * d : 2] = theta + steps
+        pts[1 : 2 * d : 2] = theta - steps
+        pts[-1] = theta
         results = self.evaluator.eval_batch(pts)
         f0 = results[-1].value
-        dirs = np.zeros(d)
-        for i in range(d):
-            fp = results[2 * i].value
-            fm = results[2 * i + 1].value
-            if not np.isfinite(fp):
-                fp = f0
-            if not np.isfinite(fm):
-                fm = f0
-            dirs[i] = (fp - fm) / (2.0 * self.h)
+        values = np.array([r.value for r in results[:-1]])
+        dirs = central_difference_directions(values, f0, self.h)
         return f0, G @ dirs, results[-1]

@@ -25,9 +25,10 @@ from repro.structured.d_pobtaf import d_pobtaf, partition_matrix
 from repro.structured.d_pobtas import d_pobtas
 from repro.structured.d_pobtasi import d_pobtasi
 from repro.structured.kernels import NotPositiveDefiniteError
+from repro.structured.multirhs import as_rhs_stack, d_pobtas_stack, pobtas_stack
 from repro.structured.pobtaf import pobtaf
 from repro.structured.pobtas import pobtas
-from repro.structured.pobtasi import pobtasi
+from repro.structured.pobtasi import pobtasi, pobtasi_with_solve
 
 
 def _run_spmd_spd(P, fn):
@@ -63,6 +64,32 @@ class StructuredSolver(abc.ABC):
     def selected_inverse_diagonal(self, A: BTAMatrix) -> np.ndarray:
         """Diagonal of ``A^{-1}`` via selected inversion."""
 
+    # -- stacked multi-RHS operations --------------------------------------
+    #
+    # Concrete (not abstract) so exotic solver implementations keep working;
+    # subclasses override where a fused / stacked kernel exists.
+
+    def solve_stack(self, A: BTAMatrix, rhs_stack: np.ndarray) -> tuple:
+        """Factorize once and solve a row-major ``(k, N)`` RHS stack.
+
+        Returns ``(logdet, x_stack)`` with ``x_stack`` row-major like the
+        input — all ``k`` right-hand sides ride one loop-carried pass.
+        """
+        rhs_stack = np.asarray(rhs_stack, dtype=np.float64)
+        ld, x = self.logdet_and_solve(A, np.ascontiguousarray(rhs_stack.T))
+        return ld, np.ascontiguousarray(x.T)
+
+    def solve_and_selected_inverse_diagonal(self, A: BTAMatrix, rhs: np.ndarray) -> tuple:
+        """Solve *and* marginal variances from one pipeline.
+
+        Returns ``(logdet, x, var)``.  The generic fallback runs the two
+        operations separately (two factorizations); the sequential and
+        distributed solvers override it to factorize exactly once.
+        """
+        ld, x = self.logdet_and_solve(A.copy(), rhs)
+        var = self.selected_inverse_diagonal(A)
+        return ld, x, var
+
 
 class SequentialSolver(StructuredSolver):
     """Single-device BTA kernels (the INLA_DIST-style solver).
@@ -88,6 +115,19 @@ class SequentialSolver(StructuredSolver):
     def selected_inverse_diagonal(self, A: BTAMatrix) -> np.ndarray:
         chol = pobtaf(A, overwrite=True, batched=self.batched)
         return pobtasi(chol, batched=self.batched).diagonal()
+
+    def solve_stack(self, A: BTAMatrix, rhs_stack: np.ndarray) -> tuple:
+        chol = pobtaf(A, overwrite=True, batched=self.batched)
+        return chol.logdet(batched=self.batched), pobtas_stack(
+            chol, rhs_stack, batched=self.batched
+        )
+
+    def solve_and_selected_inverse_diagonal(self, A: BTAMatrix, rhs: np.ndarray) -> tuple:
+        """One factorization for mean *and* variances (fused backward pass)."""
+        chol = pobtaf(A, overwrite=True, batched=self.batched)
+        ld = chol.logdet(batched=self.batched)
+        X, x = pobtasi_with_solve(chol, rhs, batched=self.batched)
+        return ld, x, X.diagonal()
 
 
 class DistributedSolver(StructuredSolver):
@@ -162,6 +202,84 @@ class DistributedSolver(StructuredSolver):
         out = _run_spmd_spd(P, rank_fn)
         return np.concatenate([o[0] for o in out] + [out[0][1]])
 
+    def solve_stack(self, A: BTAMatrix, rhs_stack: np.ndarray) -> tuple:
+        """Distributed stacked solve: one nested-dissection pipeline — and
+        one Allreduce/Allgather round — for the whole ``(k, N)`` stack."""
+        P = self._nparts(A)
+        if P == 1:
+            return SequentialSolver(batched=self.batched).solve_stack(A, rhs_stack)
+        slices = partition_matrix(A, P, lb=self.lb)
+        # Same normalization contract as the sequential path: a 1-D rhs is
+        # a k=1 stack, squeezed back on return.
+        stack, squeeze = as_rhs_stack(rhs_stack, A.N)
+        b, n = A.b, A.n
+
+        def rank_fn(comm):
+            sl = slices[comm.Get_rank()]
+            f = d_pobtaf(sl, comm, batched=self.batched)
+            ld = f.logdet(comm, batched=self.batched)
+            xl, xt = d_pobtas_stack(
+                f,
+                stack[:, sl.part.start * b : sl.part.stop * b],
+                stack[:, n * b :],
+                comm,
+                batched=self.batched,
+            )
+            return ld, xl, xt
+
+        out = _run_spmd_spd(P, rank_fn)
+        x = np.concatenate([o[1] for o in out] + [out[0][2]], axis=1)
+        return out[0][0], (x[0] if squeeze else x)
+
+    def solve_and_selected_inverse_diagonal(self, A: BTAMatrix, rhs: np.ndarray) -> tuple:
+        """One distributed factorization feeding both the solve and the
+        selected inversion (historically two full pipelines)."""
+        P = self._nparts(A)
+        if P == 1:
+            return SequentialSolver(batched=self.batched).solve_and_selected_inverse_diagonal(
+                A, rhs
+            )
+        slices = partition_matrix(A, P, lb=self.lb)
+        rhs = np.asarray(rhs, dtype=np.float64)
+        b, n = A.b, A.n
+
+        def rank_fn(comm):
+            sl = slices[comm.Get_rank()]
+            f = d_pobtaf(sl, comm, batched=self.batched)
+            ld = f.logdet(comm, batched=self.batched)
+            xl, xt = d_pobtas(
+                f,
+                rhs[sl.part.start * b : sl.part.stop * b],
+                rhs[n * b :],
+                comm,
+                batched=self.batched,
+            )
+            xi = d_pobtasi(f, batched=self.batched)
+            return ld, xl, xt, np.diagonal(xi.diag, axis1=1, axis2=2).ravel(), np.diagonal(xi.tip)
+
+        out = _run_spmd_spd(P, rank_fn)
+        x = np.concatenate([o[1] for o in out] + [out[0][2]])
+        var = np.concatenate([o[3] for o in out] + [out[0][4]])
+        return out[0][0], x, var
+
+
+#: Storage multiplier per INLA workload type (see
+#: :func:`repro.backend.memory.min_partitions`).  Factorize-only sweeps run
+#: in place, but the default batched path additionally caches the stacked
+#: triangular inverses ``L[i,i]^{-1}`` (``n b^2`` doubles, ~0.5x of the
+#: BTA bytes) that the sweeps GEMM against — hence the extra 0.5 on every
+#: workload.  The objective's logdet+solve adds only O(N k) RHS storage on
+#: top; selected inversion (and the fused mean+variances pass behind the
+#: marginals) further keeps a full BTA workspace for the inverse blocks.
+WORKLOAD_FACTORS = {
+    "logdet": 1.5,
+    "objective": 1.5,
+    "solve": 1.5,
+    "sampling": 1.5,
+    "selected_inversion": 2.5,
+    "marginals": 2.5,
+}
+
 
 def select_solver(
     A_shape,
@@ -169,18 +287,35 @@ def select_solver(
     device: Device | None = None,
     max_ranks: int = 16,
     lb: float = 1.6,
-    factors: int = 2,
+    factors: int | None = None,
+    workload: str | None = None,
     batched: bool | None = None,
 ) -> StructuredSolver:
     """Paper Sec. V-D dispatch: sequential while the block-dense matrix
     fits on one device, otherwise the smallest feasible S3 partitioning.
 
-    ``factors`` is the workload's storage multiplier (see
-    :func:`repro.backend.memory.min_partitions`): factorize-only ``logdet``
-    sweeps run in place (``factors=1``), selected inversion keeps the
-    factor plus a workspace copy (``factors=2``, the default) — the same
-    shape can be sequential for the former and partitioned for the latter.
+    ``workload`` names the INLA operation the solver is selected for (a
+    key of :data:`WORKLOAD_FACTORS`); it resolves the storage multiplier
+    ``factors`` (see :func:`repro.backend.memory.min_partitions`) from the
+    workload's actual peak footprint: the objective's factorize-in-place
+    logdet/solve sweeps need ``factors=1.5`` (in-place factor + cached
+    inverse stack), selected inversion additionally keeps a full BTA
+    workspace (``factors=2.5``) — the same shape can be sequential for
+    the former and partitioned for the latter.  An explicit ``factors``
+    overrides; with neither given, the conservative ``factors=2`` is
+    assumed.
     """
+    if factors is None:
+        if workload is not None:
+            try:
+                factors = WORKLOAD_FACTORS[workload]
+            except KeyError:
+                raise ValueError(
+                    f"unknown workload {workload!r}; expected one of "
+                    f"{sorted(WORKLOAD_FACTORS)}"
+                ) from None
+        else:
+            factors = 2
     device = device or default_device()
     n, b, a = A_shape.n, A_shape.b, A_shape.a
     if device.fits(bta_memory_bytes(n, b, a, factors=factors)):

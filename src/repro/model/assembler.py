@@ -250,7 +250,9 @@ class CoregionalSTModel:
         stride = self.dim_process
         for v in range(self.nv):
             seg = x[v * stride : (v + 1) * stride]
-            out.append((seg[: self.ns * self.nt].reshape(self.nt, self.ns), seg[self.ns * self.nt :]))
+            out.append(
+                (seg[: self.ns * self.nt].reshape(self.nt, self.ns), seg[self.ns * self.nt :])
+            )
         return out
 
 

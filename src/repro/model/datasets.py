@@ -9,11 +9,11 @@ hyperparameters, so recovery can be verified.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.coreg.lmc import lambda_matrix, n_couplings
+from repro.coreg.lmc import n_couplings
 from repro.meshes.mesh2d import mesh_with_n_nodes, NORTHERN_ITALY_EXTENT
 from repro.meshes.temporal import TemporalMesh
 from repro.model.assembler import CoregionalSTModel, ResponseData
@@ -60,7 +60,9 @@ class GroundTruth:
     layout: ThetaLayout
 
 
-def default_ground_truth(layout: ThetaLayout, *, extent=NORTHERN_ITALY_EXTENT, nt: int = 8) -> GroundTruth:
+def default_ground_truth(
+    layout: ThetaLayout, *, extent=NORTHERN_ITALY_EXTENT, nt: int = 8
+) -> GroundTruth:
     """Reasonable ground-truth hyperparameters for a given model shape."""
     (x0, x1), (y0, y1) = extent
     rs = 0.35 * max(x1 - x0, y1 - y0)
@@ -74,7 +76,9 @@ def default_ground_truth(layout: ThetaLayout, *, extent=NORTHERN_ITALY_EXTENT, n
     return GroundTruth(theta=layout.pack(taus, ranges, sigmas, lambdas), layout=layout)
 
 
-def _simulate_latent(model: CoregionalSTModel, theta: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+def _simulate_latent(
+    model: CoregionalSTModel, theta: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
     """Exact draw from the model prior ``N(0, Qp^{-1})`` (variable-major)."""
     from repro.structured.pobtaf import pobtaf
     from repro.structured.pobtas import pobtas_lt

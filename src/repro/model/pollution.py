@@ -128,7 +128,9 @@ def make_pollution_dataset(
     X = np.column_stack([np.ones(len(coords_all)), elevation_km(coords_all)])
 
     responses = [
-        ResponseData(coords=coords_all, time_idx=time_idx, covariates=X, y=np.zeros(len(coords_all)))
+        ResponseData(
+            coords=coords_all, time_idx=time_idx, covariates=X, y=np.zeros(len(coords_all))
+        )
         for _ in range(3)
     ]
     model = CoregionalSTModel(mesh, tmesh, responses)

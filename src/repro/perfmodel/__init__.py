@@ -24,7 +24,11 @@ from repro.perfmodel.flops import (
     bta_solve_flops,
     partition_factorization_flops,
 )
-from repro.perfmodel.calibrate import calibrated_host_machine, fit_efficiency_law, measure_factorization
+from repro.perfmodel.calibrate import (
+    calibrated_host_machine,
+    fit_efficiency_law,
+    measure_factorization,
+)
 from repro.perfmodel.machine import MachineModel, GH200_MACHINE, CPU_BASELINE_MACHINE
 from repro.perfmodel.scaling import (
     DaliaPerfModel,

@@ -52,21 +52,45 @@ def bta_factorization_flops(n: int, b: int, a: int, *, batched: bool = False) ->
     return n * per_block + potrf_flops(a)
 
 
-def bta_solve_flops(n: int, b: int, a: int, k: int = 1, *, batched: bool = False) -> float:
+def bta_solve_flops(
+    n: int, b: int, a: int, k: int = 1, *, batched: bool = False, stacked: bool = False
+) -> float:
     """``pobtas``: two triangular sweeps, ``O(n b^2 k)``.
 
     Identical for both paths: the batched path realizes each per-block
     diagonal solve as a GEMM against a precomputed triangular inverse,
     which is the same modeled TRSM work (the inversion itself is counted
     with the factorization's TRSM budget it replaces).
+
+    ``k`` is the number of right-hand sides.  The count is *linear in k
+    by contract* whether the k solves run as one stacked ``(b, k)``-panel
+    pass (``pobtas_stack``) or as k looped per-RHS sweeps — stacking
+    amortizes loop-carried passes and kernel dispatch, not arithmetic —
+    so a calibration run is comparable regardless of which multi-RHS
+    strategy produced it (``stacked`` exists to make that contract
+    explicit and testable, like ``batched``).
     """
-    del batched
+    del batched, stacked
     per_block = 2.0 * (
         trsm_flops(b, k)  # diagonal solves (fwd + bwd counted via factor 2)
         + gemm_flops(b, b, k)  # neighbor update
         + gemm_flops(a, b, k)  # arrow update
     )
     return n * per_block + 2.0 * trsm_flops(a, k)
+
+
+def bta_solve_lt_flops(
+    n: int, b: int, a: int, k: int = 1, *, batched: bool = False, stacked: bool = False
+) -> float:
+    """``pobtas_lt`` / ``pobtas_lt_stack``: the backward-only sampling sweep.
+
+    Exactly half a full solve — one triangular sweep with the same
+    per-block kernel mix — linear in ``k`` under the same stacked/looped
+    contract as :func:`bta_solve_flops`.
+    """
+    del batched, stacked
+    per_block = trsm_flops(b, k) + gemm_flops(b, b, k) + gemm_flops(a, b, k)
+    return n * per_block + trsm_flops(a, k)
 
 
 def bta_selected_inversion_flops(n: int, b: int, a: int, *, batched: bool = False) -> float:
@@ -79,6 +103,20 @@ def bta_selected_inversion_flops(n: int, b: int, a: int, *, batched: bool = Fals
         + gemm_flops(a, a, b)
     )
     return n * per_block + gemm_flops(a, a, a)
+
+
+def bta_solve_and_selected_inversion_flops(n: int, b: int, a: int, k: int = 1) -> float:
+    """``pobtasi_with_solve``: fused mean + marginal-variance pass.
+
+    The fusion shares the Cholesky factor, its cached triangular
+    inverses, and the backward recursion's loop between the solve and the
+    Takahashi sweep — dispatch savings, not arithmetic savings — so the
+    count is exactly solve + selected inversion.  The factorization it
+    avoids repeating is counted once by the caller
+    (:func:`bta_factorization_flops`); the historical two-pass marginals
+    paid it twice.
+    """
+    return bta_solve_flops(n, b, a, k) + bta_selected_inversion_flops(n, b, a)
 
 
 def partition_factorization_flops(n_local: int, b: int, a: int, *, first: bool) -> float:

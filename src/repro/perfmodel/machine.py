@@ -65,7 +65,11 @@ class MachineModel:
 
         steps = 2 * (nranks - 1)
         vol = 2.0 * (nranks - 1) / nranks * nbytes
-        return steps * self.link_latency_s + vol / self.link_bandwidth + math.log2(nranks) * self.link_latency_s
+        return (
+            steps * self.link_latency_s
+            + vol / self.link_bandwidth
+            + math.log2(nranks) * self.link_latency_s
+        )
 
 
 #: GH200 on the Alps interconnect (Slingshot-11 + NVLink inside a node).

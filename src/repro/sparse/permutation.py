@@ -57,6 +57,19 @@ class SymmetricPermutation:
         """Inverse-permute back to the original ordering."""
         return np.asarray(x)[self.inverse]
 
+    def apply_stack(self, x: np.ndarray) -> np.ndarray:
+        """Permute the *last* axis of a row-major ``(..., n)`` stack.
+
+        The multi-RHS layout: each row of a ``(k, n)`` stack is one vector
+        (a posterior draw, a stencil right-hand side); one fancy-indexing
+        pass permutes all ``k`` at once.
+        """
+        return np.asarray(x)[..., self.perm]
+
+    def undo_stack(self, x: np.ndarray) -> np.ndarray:
+        """Inverse-permute the last axis of a row-major stack."""
+        return np.asarray(x)[..., self.inverse]
+
     # -- matrices ----------------------------------------------------------
 
     def apply_matrix(self, A: sp.spmatrix) -> sp.csr_matrix:

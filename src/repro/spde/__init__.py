@@ -16,7 +16,11 @@ Gaussian fields (paper refs. [24], [25]):
 """
 
 from repro.spde.matern import matern_precision, spatial_operators
-from repro.spde.params import SpatioTemporalParams, gammas_from_interpretable, interpretable_from_gammas
+from repro.spde.params import (
+    SpatioTemporalParams,
+    gammas_from_interpretable,
+    interpretable_from_gammas,
+)
 from repro.spde.priors import GaussianPrior, PriorCollection
 from repro.spde.spatiotemporal import SpatioTemporalSPDE
 

@@ -91,7 +91,9 @@ def gammas_from_interpretable(params: SpatioTemporalParams) -> tuple:
     return float(gamma_s), float(gamma_t), float(gamma_e)
 
 
-def interpretable_from_gammas(gamma_s: float, gamma_t: float, gamma_e: float) -> SpatioTemporalParams:
+def interpretable_from_gammas(
+    gamma_s: float, gamma_t: float, gamma_e: float
+) -> SpatioTemporalParams:
     """Inverse of :func:`gammas_from_interpretable` (used in tests)."""
     if min(gamma_s, gamma_t, gamma_e) <= 0:
         raise ValueError("gammas must be positive")

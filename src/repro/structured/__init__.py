@@ -21,6 +21,13 @@ per-call ``batched=`` argument): the per-block reference kernels of
 :mod:`repro.structured.kernels`, and the stacked/fused kernels of
 :mod:`repro.structured.batched` (default) — see ``README.md`` in this
 package for the layering and the measured crossover.
+
+Sampling / smart-gradient workloads that drive many right-hand sides
+through one factor use the stacked multi-RHS interface of
+:mod:`repro.structured.multirhs` (``pobtas_stack`` / ``pobtas_lt_stack``
+/ ``d_pobtas_stack``) so ``k`` right-hand sides cost one loop-carried
+pass, and the fused ``pobtasi_with_solve`` when means and marginal
+variances are needed from the same factor.
 """
 
 from repro.structured.batched import batched_enabled
@@ -28,7 +35,8 @@ from repro.structured.bta import BTAMatrix, BTAShape
 from repro.structured.partition import Partition, balanced_partitions, partition_counts
 from repro.structured.pobtaf import pobtaf
 from repro.structured.pobtas import pobtas
-from repro.structured.pobtasi import pobtasi
+from repro.structured.pobtasi import pobtasi, pobtasi_with_solve
+from repro.structured.multirhs import d_pobtas_stack, pobtas_lt_stack, pobtas_stack
 from repro.structured.d_pobtaf import DistributedFactors, d_pobtaf
 from repro.structured.d_pobtas import d_pobtas
 from repro.structured.d_pobtasi import d_pobtasi
@@ -43,10 +51,14 @@ __all__ = [
     "partition_counts",
     "pobtaf",
     "pobtas",
+    "pobtas_stack",
+    "pobtas_lt_stack",
     "pobtasi",
+    "pobtasi_with_solve",
     "DistributedFactors",
     "d_pobtaf",
     "d_pobtas",
+    "d_pobtas_stack",
     "d_pobtasi",
     "ReducedSystem",
 ]

@@ -32,6 +32,8 @@ them (see :func:`repro.backend.array_module.batched_enabled`).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 from scipy.linalg.lapack import dpotrf as _dpotrf, dtrtri as _dtrtri, dtrtrs as _dtrtrs
 
@@ -64,10 +66,25 @@ __all__ = [
 _SUBST_RATIO = 4
 _SUBST_MIN = 32
 
-# Above this block size, one level of recursive splitting beats LAPACK's
-# unblocked reference ``dtrtri`` (two half-size inversions + two GEMMs run
-# the off-diagonal work at GEMM speed instead of Level-2 speed).
+# At or above this block size, recursive 2x2 splitting beats LAPACK's
+# ``dtrtri`` (the half-size inversions recurse; the off-diagonal work runs
+# as GEMM instead of Level-2 substitution).  The recursion is *full*: each
+# half splits again until it falls under the threshold.
 _TRTRI_SPLIT_MIN = 48
+
+# At or above this block size, the recursive blocked POTRF(+TRTRI) beats
+# the direct LAPACK calls.  Measured on this host (OpenBLAS, whose
+# ``dpotrf`` is already blocked): the fused factor+inverse recursion wins
+# 1.1-1.3x for b >= 128 and loses below; on hosts shipping the unblocked
+# reference kernels (~2-3 GF/s vs ~50 GF/s GEMM) the crossover sits far
+# lower, so the threshold is environment-overridable.
+_POTRF_SPLIT_MIN = 128
+
+
+def _potrf_split_min() -> int:
+    """Recursive-POTRF threshold (``REPRO_POTRF_SPLIT`` overrides)."""
+    raw = os.environ.get("REPRO_POTRF_SPLIT", "").strip()
+    return int(raw) if raw else _POTRF_SPLIT_MIN
 
 
 # ---------------------------------------------------------------------------
@@ -91,18 +108,84 @@ def batched_chol_lower(stack):
         raise NotPositiveDefiniteError(str(exc)) from exc
 
 
+def _dpotrf_checked(a, off=0):
+    """``dpotrf`` with the NotPositiveDefinite diagnostic; ``off`` shifts
+    the reported minor order so recursion leaves name the offending pivot
+    of the *full* block, not the leaf submatrix."""
+    c, info = _dpotrf(a, lower=1, clean=1)
+    if info != 0:
+        raise NotPositiveDefiniteError(
+            f"leading minor of order {info + off} is not positive definite"
+        )
+    return c
+
+
+def _chol_host(a, split, off=0):
+    """Recursive blocked host POTRF.
+
+    ``chol([[A11, .], [A21, A22]])``: factorize ``A11``, solve
+    ``L21 = A21 L11^{-T}`` (one Level-3 TRSM), Schur-complement ``A22``
+    with a GEMM, recurse on both halves.  Below ``split`` the direct
+    LAPACK call is the leaf.  This moves the O(b^3) off-diagonal work of
+    large blocks to GEMM speed, which lifts the factorization floor on
+    hosts whose LAPACK ships unblocked reference kernels.
+    """
+    b = a.shape[0]
+    if b < split:
+        return _dpotrf_checked(a, off)
+    h = b // 2
+    l11 = _chol_host(a[:h, :h], split, off)
+    # L21 = A21 L11^{-T}, via L11^{-1} A21^T = L21^T (only the lower
+    # triangle of ``a`` is read, matching the LAPACK lower=1 contract).
+    l21 = _trtrs_block(l11, np.ascontiguousarray(a[h:, :h].T), trans=0).T
+    l22 = _chol_host(a[h:, h:] - l21 @ l21.T, split, off + h)
+    out = np.zeros_like(a)
+    out[:h, :h] = l11
+    out[h:, :h] = l21
+    out[h:, h:] = l22
+    return out
+
+
+def _chol_and_inverse_host(a, split, off=0):
+    """Recursive blocked host ``(L, L^{-1})`` — factor and inverse together.
+
+    The fused recursion shares the half-size factors between the POTRF
+    and TRTRI recurrences::
+
+        L   = [[L11, 0], [L21, L22]],  L21 = A21 I11^T
+        L^-1= [[I11, 0], [-I22 (L21 I11), I22]]
+
+    so every off-diagonal flop is GEMM.  Measured on this host the fusion
+    beats ``dpotrf`` + ``dtrtri`` by 1.1-1.3x from ``b = 128`` up; the
+    unblocked-reference-LAPACK regime the paper targets crosses over far
+    earlier (see ``README.md``).
+    """
+    b = a.shape[0]
+    if b < split:
+        c = _dpotrf_checked(a, off)
+        return c, _tri_inverse_host(c)
+    h = b // 2
+    l11, i11 = _chol_and_inverse_host(a[:h, :h], split, off)
+    l21 = a[h:, :h] @ i11.T
+    l22, i22 = _chol_and_inverse_host(a[h:, h:] - l21 @ l21.T, split, off + h)
+    out = np.zeros_like(a)
+    out[:h, :h] = l11
+    out[h:, :h] = l21
+    out[h:, h:] = l22
+    inv = np.zeros_like(a)
+    inv[:h, :h] = i11
+    inv[h:, h:] = i22
+    inv[h:, :h] = -(i22 @ (l21 @ i11))
+    return out, inv
+
+
 def chol_lower_block(a):
     """Single-block ``chol`` for the loop-carried chains (low call overhead)."""
     xp = get_array_module(a)
     if is_host_module(xp):
         if a.shape[0] == 0:
             return a.copy()
-        c, info = _dpotrf(a, lower=1, clean=1)
-        if info != 0:
-            raise NotPositiveDefiniteError(
-                f"leading minor of order {info} is not positive definite"
-            )
-        return c
+        return _chol_host(a, _potrf_split_min())
     return batched_chol_lower(a)
 
 
@@ -123,12 +206,7 @@ def chol_and_inverse_block(a):
     if is_host_module(xp):
         if a.shape[0] == 0:
             return a.copy(), a.copy()
-        c, info = _dpotrf(a, lower=1, clean=1)
-        if info != 0:
-            raise NotPositiveDefiniteError(
-                f"leading minor of order {info} is not positive definite"
-            )
-        return c, _tri_inverse_host(c)
+        return _chol_and_inverse_host(a, _potrf_split_min())
     c = batched_chol_lower(a)
     return c, batched_tri_inverse_lower(c[None])[0]
 
@@ -230,8 +308,10 @@ def batched_right_solve_lower_t(l, rhs):
 def _tri_inverse_host(l):
     """``L^{-1}`` of one clean lower-triangular host block.
 
-    Reference ``dtrtri`` is unblocked (Level-2); above ``_TRTRI_SPLIT_MIN``
-    one level of 2x2 block splitting moves the off-diagonal work to GEMM:
+    Fully recursive 2x2 block splitting: above ``_TRTRI_SPLIT_MIN`` each
+    half splits again until it falls under the threshold, so all
+    off-diagonal work runs as GEMM and only threshold-sized diagonal
+    leaves hit ``dtrtri``:
 
         inv([[L11, 0], [L21, L22]]) = [[I11, 0], [-I22 (L21 I11), I22]]
     """

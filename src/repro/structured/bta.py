@@ -225,7 +225,9 @@ class BTAMatrix:
 
     def diagonal(self) -> np.ndarray:
         """Scalar diagonal of the matrix (length ``N``)."""
-        d = np.concatenate([np.diagonal(self.diag, axis1=1, axis2=2).ravel(), np.diagonal(self.tip)])
+        d = np.concatenate(
+            [np.diagonal(self.diag, axis1=1, axis2=2).ravel(), np.diagonal(self.tip)]
+        )
         return np.ascontiguousarray(d)
 
     def add_diagonal(self, values: np.ndarray) -> None:

@@ -25,7 +25,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.backend.array_module import batched_enabled
-from repro.structured import batched as bk
 from repro.structured.d_pobtaf import DistributedFactors, LocalBTASlice
 from repro.structured.kernels import right_solve_lower, solve_lower_t
 from repro.structured.pobtasi import pobtasi

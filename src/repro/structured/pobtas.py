@@ -9,13 +9,19 @@ factorization itself (paper Sec. V-C).
 
 ``rhs`` may be a vector of length ``N`` or a block of ``k`` right-hand
 sides ``(N, k)``; block solves are used by the predictive-sampling helpers.
+Row-major ``(k, N)`` stacks — the sampling / smart-gradient layout — go
+through :mod:`repro.structured.multirhs`, which drives the *same* panel
+sweeps defined here, so the stacked and unstacked paths are bit-for-bit
+identical at ``k = 1``.
 
 On the batched path the per-block triangular solves become GEMMs against
 the cached stacked inverses ``L[i,i]^{-1}`` (see
 :meth:`repro.structured.pobtaf.BTACholesky.diag_inverses`), and the
 arrow-row eliminations — which touch only the tip entry — are hoisted out
 of the sweeps into single batched ``einsum``/GEMM updates over the whole
-block stack.
+block stack.  With ``k`` right-hand sides every per-block operand widens
+from a ``(b,)`` vector to a ``(b, k)`` panel, so the whole stack costs one
+loop-carried pass instead of ``k``.
 """
 
 from __future__ import annotations
@@ -65,11 +71,14 @@ def _pobtas_blocked(L, xb, xt, a: int, n: int) -> None:
         xb[i] = solve_lower_t(L.diag[i], xb[i])
 
 
-def _backward_sweep_batched(chol: BTACholesky, xb, xt, a: int, n: int) -> None:
-    """``L^T x = z`` with GEMMs against the cached inverses.
+def backward_sweep_panels(chol: BTACholesky, xb, xt, a: int, n: int) -> None:
+    """``L^T x = z`` with GEMMs against the cached inverses (in place).
 
-    The tip back-propagation reads only the (final) tip solution, so it
-    runs as one flat GEMM instead of n per-block vector updates.
+    ``xb`` is the ``(n, b, k)`` panel view of the right-hand sides and
+    ``xt`` the ``(a, k)`` tip panel; ``k`` is arbitrary, so a whole RHS
+    stack rides one loop-carried pass.  The tip back-propagation reads
+    only the (final) tip solution, so it runs as one flat GEMM instead of
+    n per-block panel updates.
     """
     L = chol.factor
     inv = chol.diag_inverses()
@@ -85,14 +94,13 @@ def _backward_sweep_batched(chol: BTACholesky, xb, xt, a: int, n: int) -> None:
         xb[i] = cur
 
 
-def _pobtas_batched(chol: BTACholesky, xb, xt, a: int, n: int) -> None:
-    """Batched sweeps: GEMM against cached ``L[i,i]^{-1}``; arrow terms
-    applied as single stacked updates outside the loop-carried chain."""
+def forward_sweep_panels(chol: BTACholesky, xb, xt, a: int, n: int) -> None:
+    """``L z = rhs`` on ``(b, k)`` panels (in place): GEMM against cached
+    ``L[i,i]^{-1}``; arrow terms applied as single stacked updates outside
+    the loop-carried chain."""
     L = chol.factor
     inv = chol.diag_inverses()
     lw = L.lower
-
-    # ---- forward sweep: L z = rhs --------------------------------------
     cur = inv[0] @ xb[0]
     xb[0] = cur
     for i in range(1, n):
@@ -104,8 +112,11 @@ def _pobtas_batched(chol: BTACholesky, xb, xt, a: int, n: int) -> None:
         xt -= chol.arrow_flat() @ xb.reshape(n * L.b, -1)
         xt[...] = bk.solve_lower_block(L.tip, xt)
 
-    # ---- backward sweep: L^T x = z --------------------------------------
-    _backward_sweep_batched(chol, xb, xt, a, n)
+
+def _pobtas_batched(chol: BTACholesky, xb, xt, a: int, n: int) -> None:
+    """Batched sweeps: one forward + one backward panel pass."""
+    forward_sweep_panels(chol, xb, xt, a, n)
+    backward_sweep_panels(chol, xb, xt, a, n)
 
 
 def pobtas(
@@ -136,7 +147,7 @@ def pobtas_lt(
     L, x, xb, xt, squeeze = _prepare(chol, rhs)
     n, a = L.n, L.a
     if batched_enabled(batched):
-        _backward_sweep_batched(chol, xb, xt, a, n)
+        backward_sweep_panels(chol, xb, xt, a, n)
         return x[:, 0] if squeeze else x
     if a:
         xt[...] = solve_lower_t(L.tip, xt)

@@ -84,22 +84,40 @@ def _pobtasi_blocked(chol: BTACholesky, X: BTAMatrix) -> None:
         X.diag[i] = 0.5 * (X.diag[i] + X.diag[i].T)
 
 
-def _pobtasi_batched(chol: BTACholesky, X: BTAMatrix) -> None:
+def _pobtasi_batched(chol: BTACholesky, X: BTAMatrix, xb=None, xt=None) -> None:
     """Backward recursion where every right-division is a GEMM against the
-    cached ``L[i,i]^{-1}`` stack (see ``BTACholesky.diag_inverses``)."""
+    cached ``L[i,i]^{-1}`` stack (see ``BTACholesky.diag_inverses``).
+
+    When solve panels are given (``xb`` the ``(n, b, k)`` right-hand-side
+    panels already forward-swept, ``xt`` the ``(a, k)`` tip panel), the
+    backward substitution ``L^T x = z`` rides the same ``i = n-1..0``
+    loop and the same cached-inverse operands — this is the fused path
+    behind :func:`pobtasi_with_solve`.
+    """
     L = chol.factor
     n, a = L.n, L.a
     inv = chol.diag_inverses()
+    fused = xb is not None
 
     if a:
         tip_inv = bk.tri_inverse_lower_block(L.tip)
         X.tip[...] = tip_inv.T @ tip_inv
+        if fused:
+            # Solve's tip back-propagation: one flat GEMM over the stack.
+            xt[...] = bk.solve_lower_t_block(L.tip, xt)
+            x_flat = xb.reshape(n * L.b, -1)
+            x_flat -= chol.arrow_flat().T @ xt
 
+    cur = None  # backward-solve carry (solution panel of block i + 1)
     for i in range(n - 1, -1, -1):
         inv_i = inv[i]
         has_next = i + 1 < n
         lo = L.lower[i] if has_next else None
         ar = L.arrow[i] if a else None
+
+        if fused:
+            cur = inv_i.T @ (xb[i] - lo.T @ cur) if has_next else inv_i.T @ xb[i]
+            xb[i] = cur
 
         if has_next:
             acc_next = X.diag[i + 1] @ lo
@@ -132,6 +150,41 @@ def pobtasi(chol: BTACholesky, *, batched: bool | None = None) -> BTAMatrix:
     else:
         _pobtasi_blocked(chol, X)
     return X
+
+
+def pobtasi_with_solve(
+    chol: BTACholesky, rhs: np.ndarray, *, batched: bool | None = None
+) -> tuple:
+    """Selected inverse *and* ``A^{-1} rhs`` from one factor, fused.
+
+    The INLA marginals need both the conditional means (a solve) and the
+    marginal variances (a selected inversion) at the mode; historically
+    that cost two factorizations of ``Qc``.  This entry point reuses one
+    :class:`BTACholesky` for both: the forward sweep runs first, then the
+    backward substitution rides the same ``i = n-1..0`` recursion (and the
+    same cached ``L[i,i]^{-1}`` GEMM operands) as the selected-inversion
+    backward pass.  ``rhs`` may be a vector ``(N,)`` or columns ``(N, k)``
+    (for row-major ``(k, N)`` stacks go through
+    :mod:`repro.structured.multirhs` and transpose).
+
+    Returns ``(X, x)`` — the selected inverse and the solution in the
+    layout of ``rhs``.  The reference path (``batched=False``) runs the
+    two per-block passes separately; agreement is regression-tested to
+    1e-10.
+    """
+    from repro.structured.pobtas import _prepare, forward_sweep_panels
+
+    if not batched_enabled(batched):
+        from repro.structured.pobtas import pobtas
+
+        return pobtasi(chol, batched=False), pobtas(chol, rhs, batched=False)
+
+    L = chol.factor
+    _, x, xb, xt, squeeze = _prepare(chol, rhs)
+    forward_sweep_panels(chol, xb, xt, L.a, L.n)
+    X = BTAMatrix.zeros(chol.factor.shape3)
+    _pobtasi_batched(chol, X, xb=xb, xt=xt)
+    return X, (x[:, 0] if squeeze else x)
 
 
 def selected_inverse_diagonal(chol: BTACholesky, *, batched: bool | None = None) -> np.ndarray:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.comm import run_spmd
-from repro.comm.groups import GridComms, ProcessGrid, plan_process_grid, split_process_grid
+from repro.comm.groups import ProcessGrid, plan_process_grid, split_process_grid
 
 
 class TestProcessGrid:

@@ -168,7 +168,9 @@ class TestCoregionalPermutation:
         perm.plan_for(M)
         M2 = M.copy()
         M2.data = rng.standard_normal(M2.nnz)
-        assert np.allclose(perm.apply(M2).toarray(), M2.toarray()[np.ix_(perm.perm.perm, perm.perm.perm)])
+        assert np.allclose(
+            perm.apply(M2).toarray(), M2.toarray()[np.ix_(perm.perm.perm, perm.perm.perm)]
+        )
 
     def test_bta_shape_metadata(self):
         perm = CoregionalPermutation(3, 5, 4, 2)

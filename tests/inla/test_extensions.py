@@ -29,7 +29,9 @@ class TestLatentPosterior:
         draws = post.sample(6000, rng)
         _, qc, _, _ = model.assemble_sparse(gt.theta)
         cov = np.linalg.inv(qc.toarray())
-        assert np.allclose(draws.mean(axis=0), post.mean(), atol=4 * np.sqrt(cov.max() / 6000) + 0.05)
+        assert np.allclose(
+            draws.mean(axis=0), post.mean(), atol=4 * np.sqrt(cov.max() / 6000) + 0.05
+        )
         emp_var = draws.var(axis=0)
         assert np.allclose(emp_var, np.diag(cov), rtol=0.25)
 

@@ -9,7 +9,6 @@ linear algebra.
 """
 
 import numpy as np
-import pytest
 
 from repro.inla import DistributedSolver, SequentialSolver, evaluate_fobj
 from repro.inla.marginals import latent_marginals

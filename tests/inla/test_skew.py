@@ -1,11 +1,10 @@
 """Skewness-corrected hyperparameter marginals."""
 
 import numpy as np
-import pytest
 
 from repro.inla import FobjEvaluator
 from repro.inla.hessian import fd_hessian
-from repro.inla.skew import SkewMarginal, _scale_from_drop, skew_corrected_marginals
+from repro.inla.skew import _scale_from_drop, skew_corrected_marginals
 
 
 class _QuadraticEvaluator:

@@ -42,7 +42,14 @@ class TestThetaLayout:
     def test_slices_disjoint_cover(self):
         lay = ThetaLayout(2)
         covered = set()
-        for s in [lay.tau_slice(), lay.range_slice(0), lay.range_slice(1), lay.sigma_slice(), lay.lambda_slice()]:
+        slices = [
+            lay.tau_slice(),
+            lay.range_slice(0),
+            lay.range_slice(1),
+            lay.sigma_slice(),
+            lay.lambda_slice(),
+        ]
+        for s in slices:
             idx = set(range(*s.indices(lay.dim)))
             assert not (covered & idx)
             covered |= idx

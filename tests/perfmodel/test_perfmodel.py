@@ -5,7 +5,6 @@ speedup orders, efficiency declines, load-balancing behaviour, crossover
 regimes.  Absolute GH200 seconds are calibration, not assertions.
 """
 
-import numpy as np
 import pytest
 
 from repro.perfmodel import (
@@ -19,18 +18,20 @@ from repro.perfmodel import (
     partition_factorization_flops,
 )
 from repro.perfmodel.flops import (
+    bta_solve_and_selected_inversion_flops,
+    bta_solve_lt_flops,
     d_pobtaf_critical_flops,
     d_pobtas_critical_flops,
     reduced_system_blocks,
 )
-from repro.perfmodel.machine import MachineModel
 from repro.perfmodel.scaling import ModelShape, ScalingPoint
 from repro.structured.partition import partition_counts
 
 
 class TestFlopCounts:
     def test_factorization_cubic_in_b(self):
-        assert bta_factorization_flops(10, 40, 0) / bta_factorization_flops(10, 20, 0) == pytest.approx(8, rel=0.05)
+        ratio = bta_factorization_flops(10, 40, 0) / bta_factorization_flops(10, 20, 0)
+        assert ratio == pytest.approx(8, rel=0.05)
 
     def test_factorization_linear_in_n(self):
         assert bta_factorization_flops(20, 32, 4) == pytest.approx(
@@ -56,6 +57,35 @@ class TestFlopCounts:
     def test_reduced_system_size(self):
         assert reduced_system_blocks(4) == 7
         assert reduced_system_blocks(1) == 1
+
+    def test_multi_rhs_counts_linear_in_k(self):
+        """Stacked and looped strategies count identically: k x single-RHS."""
+        n, b, a = 96, 32, 4
+        for k in (2, 8, 64):
+            assert bta_solve_flops(n, b, a, k, stacked=True) == bta_solve_flops(
+                n, b, a, k, stacked=False
+            )
+            assert bta_solve_flops(n, b, a, k) == k * bta_solve_flops(n, b, a, 1)
+            assert bta_solve_lt_flops(n, b, a, k) == k * bta_solve_lt_flops(n, b, a, 1)
+
+    def test_lt_sweep_is_half_a_solve(self):
+        n, b, a, k = 64, 48, 6, 8
+        assert bta_solve_lt_flops(n, b, a, k) == pytest.approx(
+            0.5 * bta_solve_flops(n, b, a, k), rel=1e-12
+        )
+
+    def test_fused_solve_sinv_counts_sum(self):
+        """Fusion saves a factorization (counted by the caller), not flops."""
+        n, b, a, k = 64, 32, 4, 3
+        assert bta_solve_and_selected_inversion_flops(n, b, a, k) == pytest.approx(
+            bta_solve_flops(n, b, a, k) + bta_selected_inversion_flops(n, b, a), rel=1e-12
+        )
+
+    def test_distributed_solve_critical_path_linear_in_k(self):
+        counts = partition_counts(64, 4, lb=1.6)
+        one = d_pobtas_critical_flops(counts, 32, 4, 1)
+        eight = d_pobtas_critical_flops(counts, 32, 4, 8)
+        assert eight == pytest.approx(8 * one, rel=1e-12)
 
     def test_load_balancing_reduces_critical_path(self):
         """Fig. 5's headline effect: lb = 1.6 cuts the 2-partition makespan."""

@@ -40,7 +40,9 @@ class TestKron:
         pat = KronSumPattern([(T1, S1), (T2, S2)])
         for c1, c2 in [(1.0, 1.0), (0.3, -2.0), (0.0, 5.0)]:
             out = pat.assemble([c1, c2])
-            ref = c1 * np.kron(T1.toarray(), S1.toarray()) + c2 * np.kron(T2.toarray(), S2.toarray())
+            ref = c1 * np.kron(T1.toarray(), S1.toarray()) + c2 * np.kron(
+                T2.toarray(), S2.toarray()
+            )
             assert np.allclose(out.toarray(), ref)
 
     def test_kron_sum_pattern_inplace_reuse(self, rng):

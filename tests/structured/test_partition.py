@@ -1,6 +1,5 @@
 """Time-domain partitioning and load balancing."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

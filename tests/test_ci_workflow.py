@@ -1,0 +1,195 @@
+"""Schema lint for ``.github/workflows/ci.yml``.
+
+The repo has no way to execute GitHub Actions locally, so this test *is*
+the actions-schema lint gate: it validates the workflow file against the
+(subset of the) official workflow JSON schema the file uses, plus the
+semantic invariants CI must keep — the tier-1 command of ``ROADMAP.md``,
+the ``REPRO_BATCHED=0/1`` dual-path matrix over two python versions, and
+the benchmark smoke job.  A malformed workflow therefore fails tier-1 on
+this host before it ever reaches GitHub.
+"""
+
+import pathlib
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+jsonschema = pytest.importorskip("jsonschema")
+
+WORKFLOW = pathlib.Path(__file__).resolve().parent.parent / ".github" / "workflows" / "ci.yml"
+
+# The subset of the github-workflow JSON schema
+# (https://json.schemastore.org/github-workflow.json) that covers the
+# constructs this repo's workflow uses.  Kept strict where it matters:
+# every job needs runs-on + steps, every step needs run or uses, matrix
+# values must be lists of scalars.
+WORKFLOW_SCHEMA = {
+    "type": "object",
+    "required": ["on", "jobs"],
+    "properties": {
+        "name": {"type": "string"},
+        "on": {
+            "anyOf": [
+                {"type": "string"},
+                {"type": "array", "items": {"type": "string"}},
+                {
+                    "type": "object",
+                    "additionalProperties": {
+                        "anyOf": [
+                            {"type": "null"},
+                            {
+                                "type": "object",
+                                "properties": {
+                                    "branches": {
+                                        "type": "array",
+                                        "items": {"type": "string"},
+                                    }
+                                },
+                                "additionalProperties": True,
+                            },
+                        ]
+                    },
+                },
+            ]
+        },
+        "env": {"type": "object"},
+        "jobs": {
+            "type": "object",
+            "minProperties": 1,
+            "patternProperties": {
+                "^[a-zA-Z_][a-zA-Z0-9_-]*$": {
+                    "type": "object",
+                    "required": ["runs-on", "steps"],
+                    "properties": {
+                        "name": {"type": "string"},
+                        "runs-on": {"type": "string"},
+                        "continue-on-error": {"type": "boolean"},
+                        "needs": {
+                            "anyOf": [
+                                {"type": "string"},
+                                {"type": "array", "items": {"type": "string"}},
+                            ]
+                        },
+                        "env": {
+                            "type": "object",
+                            "additionalProperties": {"type": ["string", "number", "boolean"]},
+                        },
+                        "strategy": {
+                            "type": "object",
+                            "properties": {
+                                "fail-fast": {"type": "boolean"},
+                                "matrix": {
+                                    "type": "object",
+                                    "additionalProperties": {
+                                        "type": "array",
+                                        "minItems": 1,
+                                        "items": {"type": ["string", "number", "boolean"]},
+                                    },
+                                },
+                            },
+                        },
+                        "steps": {
+                            "type": "array",
+                            "minItems": 1,
+                            "items": {
+                                "type": "object",
+                                "anyOf": [{"required": ["run"]}, {"required": ["uses"]}],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "run": {"type": "string"},
+                                    "uses": {"type": "string"},
+                                    "with": {"type": "object"},
+                                    "env": {"type": "object"},
+                                },
+                                "additionalProperties": False,
+                            },
+                        },
+                    },
+                    "additionalProperties": False,
+                }
+            },
+            "additionalProperties": False,
+        },
+    },
+    "additionalProperties": False,
+}
+
+
+def _load_workflow() -> dict:
+    doc = yaml.safe_load(WORKFLOW.read_text())
+    # YAML 1.1 parses the bare key `on` as boolean True; normalize it back
+    # so the schema sees what GitHub sees.
+    if True in doc:
+        doc["on"] = doc.pop(True)
+    return doc
+
+
+def _runs(doc) -> list:
+    return [
+        step["run"]
+        for job in doc["jobs"].values()
+        for step in job["steps"]
+        if "run" in step
+    ]
+
+
+class TestWorkflowSchema:
+    def test_exists(self):
+        assert WORKFLOW.is_file(), "CI workflow missing"
+
+    def test_schema_valid(self):
+        jsonschema.validate(_load_workflow(), WORKFLOW_SCHEMA)
+
+    def test_needed_jobs_exist(self):
+        doc = _load_workflow()
+        for job in doc["jobs"].values():
+            needs = job.get("needs", [])
+            needs = [needs] if isinstance(needs, str) else needs
+            for n in needs:
+                assert n in doc["jobs"], f"needs references unknown job {n!r}"
+
+    def test_uses_pinned_actions(self):
+        doc = _load_workflow()
+        for job in doc["jobs"].values():
+            for step in job["steps"]:
+                if "uses" in step:
+                    assert "@" in step["uses"], f"unpinned action {step['uses']!r}"
+
+
+class TestWorkflowSemantics:
+    """The commands CI runs are the ones this repo documents and tests."""
+
+    def test_runs_tier1_command(self):
+        roadmap = (WORKFLOW.parent.parent.parent / "ROADMAP.md").read_text()
+        assert "python -m pytest -x -q" in roadmap  # the documented tier-1 line
+        assert any("python -m pytest -x -q" in r for r in _runs(_load_workflow()))
+
+    def test_dual_path_matrix(self):
+        doc = _load_workflow()
+        tests = doc["jobs"]["tests"]
+        matrix = tests["strategy"]["matrix"]
+        assert sorted(matrix["repro-batched"]) == ["0", "1"], "REPRO_BATCHED matrix incomplete"
+        assert len(matrix["python-version"]) >= 2, "need at least two python versions"
+        assert tests["env"]["REPRO_BATCHED"] == "${{ matrix.repro-batched }}"
+
+    def test_bench_smoke_job(self):
+        doc = _load_workflow()
+        runs = [
+            step["run"] for step in doc["jobs"]["bench-smoke"]["steps"] if "run" in step
+        ]
+        assert any("--bench-smoke" in r for r in runs)
+        assert any("bench_multirhs" in r for r in runs)
+
+    def test_lint_job_first(self):
+        doc = _load_workflow()
+        jobs = doc["jobs"]
+        assert "lint" in jobs
+        lint_runs = " ".join(s.get("run", "") for s in jobs["lint"]["steps"])
+        assert "ruff check" in lint_runs and "ruff format --check" in lint_runs
+        # Every other job gates on lint, making it the first CI stage.
+        for name, job in jobs.items():
+            if name == "lint":
+                continue
+            needs = job.get("needs", [])
+            needs = [needs] if isinstance(needs, str) else needs
+            assert "lint" in needs, f"job {name!r} does not gate on lint"

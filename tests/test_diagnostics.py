@@ -2,8 +2,6 @@
 
 import time
 
-import pytest
-
 from repro.diagnostics import Timer, TimingRecords, format_table
 
 
