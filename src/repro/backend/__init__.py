@@ -1,12 +1,18 @@
 """Array backend abstraction.
 
-DALIA runs the same code on NumPy (CPU) and CuPy (GPU).  CuPy is not
-available in this environment, so the backend exposes a single entry point,
-:func:`get_array_module`, mirroring ``cupy.get_array_module`` semantics, a
-:class:`Device` abstraction with a memory budget (which is what forces the
-S3 time-domain partitioning in the paper once the block-dense matrix no
-longer fits on one accelerator), and a :class:`MemoryTracker` used to decide
-when a model must be distributed.
+DALIA runs the same code on NumPy (CPU) and CuPy (GPU).  The formal seam
+is the :class:`Backend` protocol (:mod:`repro.backend.protocol`): the
+array module ``xp``, capability flags the batched kernel layer consults
+(``has_lapack``/``has_batched_trsm``/...), and allocator hooks.
+:data:`NUMPY_BACKEND` is the default instance; :func:`register_backend`
+is where the ROADMAP CuPy backend drops in without touching solver code.
+:func:`get_array_module` mirrors ``cupy.get_array_module`` semantics on
+top of the registry for legacy call sites.
+
+The package also exposes a :class:`Device` abstraction with a memory
+budget (which is what forces the S3 time-domain partitioning in the paper
+once the block-dense matrix no longer fits on one accelerator) and a
+:class:`MemoryTracker` used to decide when a model must be distributed.
 """
 
 from repro.backend.array_module import (
@@ -17,8 +23,24 @@ from repro.backend.array_module import (
 )
 from repro.backend.device import Device, DeviceKind, default_device
 from repro.backend.memory import MemoryBudgetError, MemoryTracker, bta_memory_bytes
+from repro.backend.protocol import (
+    NUMPY_BACKEND,
+    Backend,
+    NumpyBackend,
+    available_backends,
+    backend_for,
+    get_backend,
+    register_backend,
+)
 
 __all__ = [
+    "Backend",
+    "NumpyBackend",
+    "NUMPY_BACKEND",
+    "available_backends",
+    "backend_for",
+    "get_backend",
+    "register_backend",
     "get_array_module",
     "asarray",
     "empty_blocks",

@@ -1,10 +1,13 @@
-"""NumPy/CuPy array-module shim.
+"""NumPy/CuPy array-module shim (thin veneer over :mod:`repro.backend.protocol`).
 
 The DALIA paper implements every dense block kernel through the CuPy/NumPy
-compatible API so the same code drives both host and device execution.  In
-this reproduction only NumPy is available; we keep the indirection so all
-block kernels are written backend-agnostically, and so flop accounting can
-be layered on top (see :mod:`repro.perfmodel`).
+compatible API so the same code drives both host and device execution.
+The formal contract now lives in :mod:`repro.backend.protocol` (the
+:class:`~repro.backend.protocol.Backend` protocol with capability flags
+and allocator hooks); this module keeps the historical free-function
+entry points as delegating wrappers so existing call sites — and the
+flop accounting layered on top (see :mod:`repro.perfmodel`) — keep
+working unchanged.
 
 The shim also owns the ``REPRO_BATCHED`` execution-policy switch consulted
 by the structured solvers: ``1`` (default) routes them through the stacked
@@ -17,6 +20,8 @@ from __future__ import annotations
 import os
 
 import numpy as np
+
+from repro.backend.protocol import NUMPY_BACKEND, backend_for, get_backend
 
 _DEFAULT_DTYPE = np.float64
 
@@ -42,18 +47,19 @@ def is_host_module(xp) -> bool:
 
 
 def get_array_module(*arrays) -> "module":
-    """Return the array module (always NumPy here).
+    """Return the array module that owns the given arrays.
 
     Mirrors ``cupy.get_array_module``: inspects the arguments and returns
-    the module that created them.  Kept for source compatibility with the
-    GPU code path described in the paper.
+    the module that created them.  Resolution goes through the backend
+    registry (:func:`repro.backend.protocol.backend_for`), so registering
+    a device backend makes device arrays route here without code changes.
     """
-    return np
+    return backend_for(*arrays).xp
 
 
 def asarray(a, dtype=None):
-    """Convert ``a`` to a backend array without copying when possible."""
-    return np.asarray(a, dtype=dtype or _DEFAULT_DTYPE)
+    """Convert ``a`` to a default-backend array without copying when possible."""
+    return get_backend().asarray(a, dtype=dtype)
 
 
 def empty_blocks(n: int, b: int, *, dtype=None) -> np.ndarray:
@@ -63,13 +69,9 @@ def empty_blocks(n: int, b: int, *, dtype=None) -> np.ndarray:
     per-block LAPACK calls hit contiguous memory (guide: beware of cache
     effects; smaller strides are faster).
     """
-    if n < 0 or b < 0:
-        raise ValueError(f"negative block-stack shape: n={n}, b={b}")
-    return np.empty((n, b, b), dtype=dtype or _DEFAULT_DTYPE, order="C")
+    return NUMPY_BACKEND.empty_blocks(n, b, dtype=dtype)
 
 
 def zeros_blocks(n: int, b: int, *, dtype=None) -> np.ndarray:
     """Allocate a zeroed C-contiguous stack of ``n`` ``b x b`` blocks."""
-    if n < 0 or b < 0:
-        raise ValueError(f"negative block-stack shape: n={n}, b={b}")
-    return np.zeros((n, b, b), dtype=dtype or _DEFAULT_DTYPE, order="C")
+    return NUMPY_BACKEND.zeros_blocks(n, b, dtype=dtype)

@@ -1,0 +1,183 @@
+"""The ``Backend`` protocol — the formal seam between solvers and runtimes.
+
+DALIA runs the same solver source on NumPy (host) and CuPy (device).  The
+historical shim (:func:`repro.backend.array_module.get_array_module`) only
+answered "which array module?"; the structured kernels additionally need
+to know *what the runtime can do* (is there a direct LAPACK path?  a
+batched TRSM?  how should block stacks be allocated?).  This module
+formalizes that contract:
+
+- :class:`Backend` — the protocol every runtime implements: the array
+  module ``xp``, capability flags consulted by
+  :mod:`repro.structured.batched` when choosing between the looped-LAPACK
+  host path and the vectorized-substitution device path, and allocator
+  hooks for block stacks;
+- :class:`NumpyBackend` — the default host instance (:data:`NUMPY_BACKEND`);
+- :func:`register_backend` / :func:`get_backend` / :func:`backend_for` —
+  the registration point where the ROADMAP CuPy backend drops in without
+  touching solver code: register an instance whose ``owns()`` recognizes
+  ``cupy.ndarray`` and every factor built from device arrays routes its
+  sweeps through it.
+
+Factors (:class:`repro.structured.factor.BTAFactor`) carry their backend
+explicitly, so the sweeps never have to re-infer it per call.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+_DEFAULT_DTYPE = np.float64
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Runtime contract consumed by the structured solvers.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"numpy"``, ``"cupy"``, ...).
+    is_host:
+        True when arrays live in host memory (enables SciPy interop).
+    has_lapack:
+        Direct LAPACK block kernels (``dpotrf``/``dtrtri``/``dtrtrs``)
+        are available for this backend's arrays.  When False the batched
+        layer uses the vectorized-substitution fallback everywhere.
+    has_batched_trsm:
+        A genuinely batched triangular solve exists (``trsmBatched``):
+        stacked solves should always take the batched kernel rather than
+        the per-block loop.
+    has_batched_potrf:
+        A genuinely batched Cholesky exists (``potrfBatched``).
+    """
+
+    name: str
+    is_host: bool
+    has_lapack: bool
+    has_batched_trsm: bool
+    has_batched_potrf: bool
+
+    @property
+    def xp(self):
+        """The array module (``numpy``-compatible API)."""
+        ...
+
+    def owns(self, array) -> bool:
+        """True when ``array`` belongs to this backend's runtime."""
+        ...
+
+    def asarray(self, a, dtype=None):
+        """Convert to a backend array without copying when possible."""
+        ...
+
+    def empty_blocks(self, n: int, b: int, *, dtype=None):
+        """Uninitialized C-contiguous ``(n, b, b)`` block stack."""
+        ...
+
+    def zeros_blocks(self, n: int, b: int, *, dtype=None):
+        """Zeroed C-contiguous ``(n, b, b)`` block stack."""
+        ...
+
+    def to_host(self, a) -> np.ndarray:
+        """Copy an array to host memory (no-op for host backends)."""
+        ...
+
+
+class NumpyBackend:
+    """The default host backend (NumPy + SciPy LAPACK fast paths)."""
+
+    name = "numpy"
+    is_host = True
+    has_lapack = True
+    # No cublas-style batched TRSM/POTRF on the host: tall stacks use the
+    # vectorized substitution, short stacks the looped LAPACK path (see
+    # repro.structured.batched._use_substitution).
+    has_batched_trsm = False
+    has_batched_potrf = False
+
+    @property
+    def xp(self):
+        return np
+
+    def owns(self, array) -> bool:
+        return isinstance(array, np.ndarray)
+
+    def asarray(self, a, dtype=None):
+        return np.asarray(a, dtype=dtype or _DEFAULT_DTYPE)
+
+    def empty_blocks(self, n: int, b: int, *, dtype=None) -> np.ndarray:
+        if n < 0 or b < 0:
+            raise ValueError(f"negative block-stack shape: n={n}, b={b}")
+        return np.empty((n, b, b), dtype=dtype or _DEFAULT_DTYPE, order="C")
+
+    def zeros_blocks(self, n: int, b: int, *, dtype=None) -> np.ndarray:
+        if n < 0 or b < 0:
+            raise ValueError(f"negative block-stack shape: n={n}, b={b}")
+        return np.zeros((n, b, b), dtype=dtype or _DEFAULT_DTYPE, order="C")
+
+    def to_host(self, a) -> np.ndarray:
+        return np.asarray(a)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<NumpyBackend host lapack={self.has_lapack}>"
+
+
+#: The process-wide default backend instance.
+NUMPY_BACKEND = NumpyBackend()
+
+_REGISTRY: dict = {NUMPY_BACKEND.name: NUMPY_BACKEND}
+
+
+def register_backend(backend: Backend) -> Backend:
+    """Register a backend instance under ``backend.name``.
+
+    This is the CuPy drop-in point: registering an instance whose
+    ``owns()`` recognizes device arrays makes :func:`backend_for` (and
+    therefore every structured kernel) route device factors through it —
+    no solver code changes.  Re-registering a name replaces the instance.
+    """
+    if not isinstance(backend, Backend):
+        raise TypeError(f"not a Backend: {backend!r}")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def available_backends() -> tuple:
+    """Registered backend names (``"numpy"`` is always present)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str | None = None) -> Backend:
+    """Resolve a backend by name.
+
+    ``None`` consults the ``REPRO_BACKEND`` environment variable and
+    falls back to ``"numpy"`` — the hook batch jobs use to flip a whole
+    run onto a registered device backend without touching call sites.
+    """
+    if name is None:
+        name = os.environ.get("REPRO_BACKEND", "").strip() or NUMPY_BACKEND.name
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; registered: {', '.join(available_backends())}"
+        ) from None
+
+
+def backend_for(*arrays) -> Backend:
+    """The backend owning the given arrays (mirrors ``cupy.get_array_module``).
+
+    Non-default backends are consulted first so a device array wins over
+    host scalars in mixed argument lists; with no match (or no arguments)
+    the default host backend is returned.
+    """
+    for backend in _REGISTRY.values():
+        if backend is NUMPY_BACKEND:
+            continue
+        if any(backend.owns(a) for a in arrays):
+            return backend
+    return NUMPY_BACKEND

@@ -6,7 +6,12 @@ user reaches for first:
 - ``fit``        — synthesize (or reuse) a dataset of a given shape and run
                    the full INLA pipeline, printing posterior summaries;
 - ``solver``     — micro-benchmark the structured solver routines
-                   (sequential and distributed) on a random BTA matrix;
+                   (sequential and distributed) on a random BTA matrix,
+                   including factor-reuse timings: factorize once, then
+                   logdet + solve + selected inversion from the handle
+                   next to the legacy one-shot numbers;
+- ``calibrate``  — measure the blocked-POTRF crossover on this host and
+                   print the recommended ``REPRO_POTRF_SPLIT`` setting;
 - ``predict``    — paper-scale runtime predictions from the performance
                    model for a given model shape and GPU count;
 - ``datasets``   — print the paper's Table IV configurations.
@@ -53,6 +58,7 @@ def _cmd_fit(args) -> int:
 def _cmd_solver(args) -> int:
     from repro.comm import run_spmd
     from repro.diagnostics import Timer
+    from repro.inla.solvers import SequentialSolver
     from repro.structured import BTAMatrix, BTAShape, pobtaf, pobtas, pobtasi
     from repro.structured.d_pobtaf import d_pobtaf, partition_matrix
     from repro.structured.d_pobtas import d_pobtas
@@ -69,6 +75,23 @@ def _cmd_solver(args) -> int:
         pobtasi(chol)
     print(f"sequential: pobtaf {tf.elapsed * 1e3:.1f} ms, pobtas {ts.elapsed * 1e3:.1f} ms, "
           f"pobtasi {ti.elapsed * 1e3:.1f} ms")
+
+    # Factor reuse: the logdet + solve + selected-inverse triple once
+    # through the legacy one-shot surface (one factorization per call)
+    # and once through a single BTAFactor handle.
+    solver = SequentialSolver()
+    with Timer() as tl:
+        solver.logdet(A.copy())
+        solver.logdet_and_solve(A.copy(), rhs)
+        solver.selected_inverse_diagonal(A.copy())
+    with Timer() as th:
+        f = solver.factorize(A.copy())
+        f.logdet()
+        f.solve(rhs)
+        f.selected_inverse_diagonal()
+    print(f"triple (logdet + solve + selected inverse): one-shot x3 "
+          f"{tl.elapsed * 1e3:.1f} ms, one BTAFactor {th.elapsed * 1e3:.1f} ms "
+          f"({tl.elapsed / th.elapsed:.2f}x)")
     if args.ranks > 1:
         slices = partition_matrix(A, args.ranks, lb=args.lb)
 
@@ -84,6 +107,18 @@ def _cmd_solver(args) -> int:
             run_spmd(args.ranks, rank_fn)
         print(f"distributed (P={args.ranks}, lb={args.lb}): full pipeline "
               f"{td.elapsed * 1e3:.1f} ms")
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from repro.perfmodel.calibrate import print_potrf_recommendation
+
+    sizes = tuple(int(s) for s in args.sizes.split(",")) if args.sizes else None
+    kwargs = {"repeats": args.repeats}
+    if sizes:
+        print_potrf_recommendation(sizes, **kwargs)
+    else:
+        print_potrf_recommendation(**kwargs)
     return 0
 
 
@@ -142,6 +177,14 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--lb", type=float, default=1.6)
     s.add_argument("--seed", type=int, default=0)
     s.set_defaults(func=_cmd_solver)
+
+    c = sub.add_parser(
+        "calibrate", help="measure the blocked-POTRF crossover on this host"
+    )
+    c.add_argument("--repeats", type=int, default=5)
+    c.add_argument("--sizes", type=str, default="",
+                   help="comma-separated block sizes (default 32..256)")
+    c.set_defaults(func=_cmd_calibrate)
 
     pr = sub.add_parser("predict", help="paper-scale runtime prediction")
     pr.add_argument("--nv", type=int, default=3)

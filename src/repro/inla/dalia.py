@@ -15,7 +15,8 @@ import numpy as np
 from repro.inla.bfgs import BFGSOptions, BFGSResult, bfgs_minimize
 from repro.inla.evaluator import FobjEvaluator
 from repro.inla.hessian import fd_hessian, hyperparameter_precision
-from repro.inla.marginals import HyperMarginals, LatentMarginals, latent_marginals
+from repro.inla.marginals import HyperMarginals, LatentMarginals
+from repro.inla.sampling import LatentPosterior
 from repro.inla.solvers import StructuredSolver, select_solver
 from repro.model.assembler import CoregionalSTModel
 
@@ -75,6 +76,9 @@ class DALIA:
         shape = model.permutation.bta_shape
         self.solver = solver or select_solver(shape, workload="objective")
         self.marginal_solver = solver or select_solver(shape, workload="marginals")
+        #: Factorization handle of Qc at the mode (set by fit(); shared by
+        #: the latent marginals and posterior sampling).
+        self._mode_posterior: LatentPosterior | None = None
         self.evaluator = FobjEvaluator(
             model,
             solver=self.solver,
@@ -103,11 +107,16 @@ class DALIA:
         cov = np.linalg.inv(precision)
         hyper = HyperMarginals(mode=opt.theta.copy(), covariance=cov)
 
-        latent = (
-            latent_marginals(self.model, opt.theta, self.marginal_solver)
-            if compute_latent
-            else None
-        )
+        latent = None
+        if compute_latent:
+            # One assembly + one factorization of Qc(theta*) serve the
+            # conditional-mean solve, the Takahashi variances, and — via
+            # `posterior()` — any later joint sampling: the handle is
+            # cached on the engine.
+            self._mode_posterior = LatentPosterior.at(
+                self.model, opt.theta, solver=self.marginal_solver
+            )
+            latent = self._mode_posterior.marginals()
 
         corr = None
         if self.model.nv > 1:
@@ -123,6 +132,26 @@ class DALIA:
             n_fobj_evaluations=self.evaluator.n_evaluations,
             response_correlations=corr,
         )
+
+    def posterior(self, result: INLAResult | None = None) -> LatentPosterior:
+        """The Gaussian approximation at the mode, ready to sample.
+
+        Reuses the factorization handle built by :meth:`fit` (one
+        ``pobtaf`` of ``Qc(theta*)`` shared by the marginals, joint
+        draws, predictive sd and exceedance probabilities).  When ``fit``
+        ran with ``compute_latent=False`` — or for a different mode — a
+        handle is built on demand with the marginal-workload solver.
+        """
+        theta = None if result is None else result.theta_mode
+        cached = self._mode_posterior
+        if cached is not None and (theta is None or np.array_equal(cached.theta, theta)):
+            return cached
+        if theta is None:
+            raise ValueError("no cached mode posterior; pass the INLAResult")
+        self._mode_posterior = LatentPosterior.at(
+            self.model, theta, solver=self.marginal_solver
+        )
+        return self._mode_posterior
 
     def predict_st(
         self,

@@ -40,7 +40,16 @@ def central_difference_directions(values: np.ndarray, f0: float, h: float) -> np
 
 
 class FobjEvaluator:
-    """Callable objective with batched parallel evaluation and counters."""
+    """Callable objective with batched parallel evaluation and counters.
+
+    Each stencil point factorizes its two precision matrices exactly once
+    through the solver's handle API (``solver.factorize``): the ``Qc``
+    handle serves both the logdet and the conditional-mean solve, so a
+    batch of ``2 d + 1`` points costs exactly ``2 (2 d + 1)`` ``pobtaf``
+    calls — asserted against
+    :data:`repro.structured.pobtaf.FACTORIZATIONS` by the objective
+    tests.
+    """
 
     def __init__(
         self,

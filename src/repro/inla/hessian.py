@@ -3,7 +3,10 @@
 The negative Hessian of ``fobj`` at ``theta*`` is the precision of the
 Gaussian approximation to ``p(theta | y)``.  Second-order central
 differences need ``2 d^2 + 1`` extra evaluations, all independent — they
-are dispatched as one parallel S1 batch.
+are dispatched as one parallel S1 batch, and every point runs one
+factorization handle per precision matrix (see
+:mod:`repro.inla.objective`); the stencil matrices differ per point, so
+nothing further amortizes across the batch.
 """
 
 from __future__ import annotations

@@ -121,17 +121,24 @@ def latent_marginals(
     model: CoregionalSTModel,
     theta_mode: np.ndarray,
     solver: StructuredSolver,
+    *,
+    factor=None,
 ) -> LatentMarginals:
     """Compute latent means and selected-inversion variances at the mode.
 
     Means and variances come out of *one* factorization of ``Qc``: the
-    solver's fused solve + selected-inversion pass shares the Cholesky
-    factor (and, on the batched path, the backward recursion) between the
-    conditional-mean solve and the Takahashi variance sweep — historically
-    this cost two full factorizations plus a pristine copy of ``Qc``.
+    handle from ``solver.factorize`` shares the Cholesky factor (and, on
+    the batched path, the backward recursion) between the
+    conditional-mean solve and the Takahashi variance sweep —
+    historically this cost two full factorizations plus a pristine copy
+    of ``Qc``.  An existing ``factor`` (a handle for ``Qc(theta_mode)``,
+    e.g. the one :class:`repro.inla.sampling.LatentPosterior` holds)
+    skips even that single factorization.
     """
     sys = model.assemble(theta_mode)
-    _, mu_perm, var_perm = solver.solve_and_selected_inverse_diagonal(sys.qc, sys.rhs)
+    if factor is None:
+        factor = solver.factorize(sys.qc, overwrite=True)
+    mu_perm, var_perm = factor.solve_and_selected_inverse_diagonal(sys.rhs)
     if np.any(var_perm <= 0):
         raise FloatingPointError("non-positive marginal variance from selected inversion")
     mean = model.permutation.unpermute_vector(mu_perm)

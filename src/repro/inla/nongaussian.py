@@ -23,9 +23,8 @@ import scipy.sparse as sp
 from scipy.special import gammaln
 
 from repro.model.assembler import CoregionalSTModel
+from repro.structured.factor import factorize
 from repro.structured.kernels import NotPositiveDefiniteError
-from repro.structured.pobtaf import pobtaf
-from repro.structured.pobtas import pobtas
 from repro.inla.objective import FobjResult
 
 
@@ -94,7 +93,7 @@ class GaussianApproximation:
     logdet_qc: float
     n_newton: int
     converged: bool
-    qc_perm_bta: object  # factorized BTA of Qc at the mode (BTACholesky)
+    qc_perm_bta: object  # factorization handle of Qc at the mode (BTAFactor)
 
 
 def gaussian_approximation(
@@ -117,7 +116,6 @@ def gaussian_approximation(
     x = np.zeros(model.N)
     eta = np.zeros(lik.m)
     obj_old = -np.inf
-    chol = None
     logdet = np.nan
     converged = False
     it = 0
@@ -128,12 +126,14 @@ def gaussian_approximation(
         qc_var = model._align_c.align(qp_var + (A.T @ sp.diags(d) @ A))
         qc_perm = model._perm_c.apply(qc_var)
         qc_bta = model._map_c.map(qc_perm)
-        chol = pobtaf(qc_bta, overwrite=True)
-        logdet = chol.logdet()
+        # One factorization handle per Newton step: logdet + Newton solve
+        # share the same pobtaf (each iterate has a fresh linearization).
+        factor = factorize(qc_bta, overwrite=True)
+        logdet = factor.logdet()
         # Newton right-hand side at the current linearization point:
         # Qc x_new = A^T (D eta + grad loglik)   (prior mean is zero).
         rhs = np.asarray(A.T @ (d * eta + lik.gradient(eta))).ravel()
-        x_new_perm = pobtas(chol, model.permutation.permute_vector(rhs))
+        x_new_perm = factor.solve(model.permutation.permute_vector(rhs))
         x_new = model.permutation.unpermute_vector(x_new_perm)
 
         # Damped update with objective monitoring.
@@ -155,13 +155,13 @@ def gaussian_approximation(
     d = lik.neg_hessian_diag(eta)
     qc_var = model._align_c.align(qp_var + (A.T @ sp.diags(d) @ A))
     qc_bta = model._map_c.map(model._perm_c.apply(qc_var))
-    chol = pobtaf(qc_bta, overwrite=True)
+    factor = factorize(qc_bta, overwrite=True)
     return GaussianApproximation(
         x_mode=x,
-        logdet_qc=chol.logdet(),
+        logdet_qc=factor.logdet(),
         n_newton=it,
         converged=converged,
-        qc_perm_bta=chol,
+        qc_perm_bta=factor,
     )
 
 
@@ -182,7 +182,7 @@ def evaluate_fobj_nongaussian(
     try:
         qp_var = model._align_p.align(model._joint_prior(theta))
         qp_bta = model._map_p.map(model._perm_p.apply(qp_var))
-        logdet_p = pobtaf(qp_bta, overwrite=True).logdet()
+        logdet_p = factorize(qp_bta, overwrite=True).logdet()
         approx = gaussian_approximation(model, theta, lik, max_newton=max_newton)
     except (NotPositiveDefiniteError, ValueError, OverflowError, FloatingPointError):
         return FobjResult(theta=theta, value=-np.inf)

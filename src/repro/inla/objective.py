@@ -10,8 +10,12 @@ available in closed form at the conditional mean ``mu``::
                                                         its own mean)
 
 (the ``n/2 log 2 pi`` constants of the two Gaussian densities cancel).
-Each evaluation requires two factorizations (``Qp``, ``Qc``) and one
-triangular solve — the quantities strategies S2/S3 parallelize.
+Each evaluation requires exactly two factorizations — one per precision
+matrix (``Qp``, ``Qc``), obtained as handles via ``solver.factorize`` —
+and one triangular solve against the ``Qc`` handle; the quantities
+strategies S2/S3 parallelize.  The handle keeps ``logdet`` and the
+conditional-mean solve on one ``pobtaf`` (asserted by the
+factorization-count test in ``tests/inla/test_objective.py``).
 
 Hyperparameter configurations for which a precision matrix is not
 positive definite yield ``fobj = -inf`` so the optimizer backtracks.
@@ -70,16 +74,28 @@ def evaluate_fobj(
         # such configurations as infeasible so BFGS backtracks.
         return FobjResult(theta=theta, value=-np.inf)
 
+    # One factorization handle per precision matrix: Qp serves only the
+    # logdet, but the Qc handle is shared by the logdet *and* the
+    # conditional-mean solve (and stays reusable for any further
+    # consumer at this theta).  `overwrite=True` reuses the assembled
+    # block storage — Qp/Qc are rebuilt every evaluation anyway.
+    def factor_qp():
+        return solver.factorize(sys.qp, overwrite=True).logdet()
+
+    def factor_qc():
+        f = solver.factorize(sys.qc, overwrite=True)
+        return f.logdet(), f.solve(sys.rhs)
+
     try:
         if s2_parallel:
             with ThreadPoolExecutor(max_workers=2) as pool:
-                fut_p = pool.submit(solver.logdet, sys.qp)
-                fut_c = pool.submit(solver.logdet_and_solve, sys.qc, sys.rhs)
+                fut_p = pool.submit(factor_qp)
+                fut_c = pool.submit(factor_qc)
                 logdet_p = fut_p.result()
                 logdet_c, mu_perm = fut_c.result()
         else:
-            logdet_p = solver.logdet(sys.qp)
-            logdet_c, mu_perm = solver.logdet_and_solve(sys.qc, sys.rhs)
+            logdet_p = factor_qp()
+            logdet_c, mu_perm = factor_qc()
     except NotPositiveDefiniteError:
         return FobjResult(theta=theta, value=-np.inf)
 

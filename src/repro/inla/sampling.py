@@ -21,33 +21,83 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.stats import norm
 
+from repro.inla.marginals import LatentMarginals
+from repro.inla.solvers import StructuredSolver
 from repro.model.assembler import CoregionalSTModel
 from repro.model.design import spacetime_design
-from repro.structured.multirhs import pobtas_lt_stack, pobtas_stack
-from repro.structured.pobtaf import BTACholesky, pobtaf
-from repro.structured.pobtas import pobtas
+from repro.structured.factor import BTAFactor, factorize
 
 
 @dataclass
 class LatentPosterior:
     """The Gaussian approximation at fixed hyperparameters, ready to sample.
 
-    Holds the Cholesky factor of ``Qc(theta)`` and the permuted mean, so
-    repeated sampling costs only backward solves (``O(n b^2)`` each).
+    Holds the factorization handle of ``Qc(theta)`` and the permuted
+    mean, so repeated sampling costs only backward solves (``O(n b^2)``
+    each) against the one cached factor — and the marginal variances,
+    exceedance probabilities and predictive sd all reuse it too.
     """
 
     model: CoregionalSTModel
     theta: np.ndarray
-    chol: BTACholesky
+    factor: BTAFactor
     mu_perm: np.ndarray
 
+    @property
+    def chol(self):
+        """The underlying Cholesky factor (legacy accessor).
+
+        Only the sequential handle has one; the distributed handle's
+        factors live per rank.
+        """
+        chol = getattr(self.factor, "chol", None)
+        if chol is None:
+            raise AttributeError(
+                "the distributed handle has no single-device Cholesky factor; "
+                "use .factor (a DistributedBTAFactor) directly"
+            )
+        return chol
+
+    def marginals(self) -> "LatentMarginals":
+        """Latent marginal means and sds from the held factorization.
+
+        Zero further factorizations (and zero re-assembly): the mean was
+        solved at construction and the variances come from the handle's
+        cached diagonal-only selected inversion.
+        """
+        var_perm = self.factor.selected_inverse_diagonal()
+        if np.any(var_perm <= 0):
+            raise FloatingPointError(
+                "non-positive marginal variance from selected inversion"
+            )
+        mean = self.model.permutation.unpermute_vector(self.mu_perm)
+        sd = np.sqrt(self.model.permutation.unpermute_vector(var_perm))
+        return LatentMarginals(mean=mean, sd=sd, model=self.model)
+
     @classmethod
-    def at(cls, model: CoregionalSTModel, theta: np.ndarray) -> "LatentPosterior":
-        """Factorize ``Qc(theta)`` once and solve for the conditional mean."""
+    def at(
+        cls,
+        model: CoregionalSTModel,
+        theta: np.ndarray,
+        *,
+        solver: StructuredSolver | None = None,
+    ) -> "LatentPosterior":
+        """Factorize ``Qc(theta)`` once and solve for the conditional mean.
+
+        ``solver`` selects the execution path for the handle (e.g. an S3
+        :class:`~repro.inla.solvers.DistributedSolver`); the default is
+        the sequential factorization.
+        """
         sys = model.assemble(theta)
-        chol = pobtaf(sys.qc, overwrite=True)
-        mu_perm = pobtas(chol, sys.rhs)
-        return cls(model=model, theta=np.asarray(theta, float), chol=chol, mu_perm=mu_perm)
+        factor = (
+            solver.factorize(sys.qc, overwrite=True)
+            if solver is not None
+            else factorize(sys.qc, overwrite=True)
+        )
+        mu_perm = factor.solve(sys.rhs)
+        return cls(
+            model=model, theta=np.asarray(theta, float), factor=factor, mu_perm=mu_perm
+        )
 
     def sample(self, n_samples: int, rng: np.random.Generator) -> np.ndarray:
         """Joint posterior draws, variable-major, shape ``(n_samples, N)``.
@@ -55,13 +105,13 @@ class LatentPosterior:
         ``x = mu + L^{-T} z`` with ``z ~ N(0, I)`` gives exact draws from
         ``N(mu, Qc^{-1})`` — no dense covariance is ever formed.  The
         whole batch is one stacked backward sweep (``(b, n_samples)``
-        panels against the cached factor inverses) followed by one
-        stack-wide unpermute, instead of ``n_samples`` per-draw passes.
+        panels against the cached factor inverses and the handle's
+        preallocated workspace) followed by one stack-wide unpermute,
+        instead of ``n_samples`` per-draw passes.
         """
         if n_samples < 1:
             raise ValueError("n_samples must be >= 1")
-        z = rng.standard_normal((n_samples, self.model.N))
-        x_perm = self.mu_perm[None, :] + pobtas_lt_stack(self.chol, z)
+        x_perm = self.factor.sample(n_samples, rng, mean=self.mu_perm)
         return self.model.permutation.unpermute_stack(x_perm)
 
     def mean(self) -> np.ndarray:
@@ -110,7 +160,7 @@ class LatentPosterior:
         # Qc^{-1} A*^T — one stacked forward/backward pass for the batch.
         Ap = A[:, self.model.permutation.perm.perm]  # A P^T
         stack = np.asarray(Ap.todense())  # (m, N) right-hand-side stack
-        X = pobtas_stack(self.chol, stack)
+        X = self.factor.solve_stack(stack)
         var = np.einsum("mn,mn->m", stack, X)
         out = {"mean": mean, "sd": np.sqrt(np.maximum(var, 0.0))}
         if n_samples > 0:
@@ -129,8 +179,6 @@ class LatentPosterior:
         """
         mean = self.mean()
         if sd is None:
-            from repro.structured.pobtasi import pobtasi
-
-            var_perm = pobtasi(self.chol).diagonal()
+            var_perm = self.factor.selected_inverse_diagonal()
             sd = np.sqrt(self.model.permutation.unpermute_vector(var_perm))
         return norm.sf(threshold, loc=mean, scale=np.maximum(sd, 1e-300))

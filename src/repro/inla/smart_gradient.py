@@ -11,7 +11,10 @@ The implementation keeps a sliding window of BFGS steps, builds the
 orthonormal frame ``G`` by modified Gram-Schmidt (newest direction
 first, completed with canonical axes), evaluates the central-difference
 directional derivatives along ``G``'s columns, and maps them back with
-``grad = G d``.
+``grad = G d``.  Each stencil point goes through the evaluator's
+handle-based objective (one factorization per precision matrix per
+point — the frame changes the *directions*, not the factorization
+count).
 """
 
 from __future__ import annotations

@@ -1,7 +1,25 @@
 """Structured-solver dispatch (sequential vs. distributed S3 path).
 
-A :class:`StructuredSolver` performs the three bottleneck operations on a
-BTA matrix.  :class:`SequentialSolver` calls the single-device kernels;
+A :class:`StructuredSolver` produces **factorization handles**: the
+primary entry point is :meth:`StructuredSolver.factorize`, which runs one
+``pobtaf`` (or one collective ``d_pobtaf`` pipeline) and returns a
+:class:`~repro.structured.factor.BTAFactor` /
+:class:`~repro.structured.factor.DistributedBTAFactor` whose methods —
+``logdet``, ``solve``, ``solve_stack``, ``solve_lt_stack``,
+``selected_inverse_diagonal``, ``sample`` — all reuse that single
+factorization.  This is the paper's amortization pattern: DALIA computes
+the objective, the conditional mean, the Takahashi variances *and*
+posterior draws from one Cholesky per precision matrix.
+
+The historical one-shot methods (``logdet``, ``logdet_and_solve``,
+``selected_inverse_diagonal``, ``solve_stack``,
+``solve_and_selected_inverse_diagonal``) remain as thin
+factorize-then-call wrappers with bit-identical results.  They are
+**deprecated** for new code: each call factorizes from scratch, which is
+exactly the redundancy the handle API removes — see the migration notes
+in ``structured/README.md``.
+
+:class:`SequentialSolver` calls the single-device kernels;
 :class:`DistributedSolver` executes the full nested-dissection pipeline
 over ``P`` SPMD thread-ranks (paper strategy S3), exactly as the MPI+NCCL
 version would, including the reduced-system collectives.
@@ -19,75 +37,91 @@ import numpy as np
 
 from repro.backend.device import Device, default_device
 from repro.backend.memory import bta_memory_bytes, min_partitions
-from repro.comm import run_spmd
 from repro.structured.bta import BTAMatrix
-from repro.structured.d_pobtaf import d_pobtaf, partition_matrix
-from repro.structured.d_pobtas import d_pobtas
-from repro.structured.d_pobtasi import d_pobtasi
-from repro.structured.kernels import NotPositiveDefiniteError
-from repro.structured.multirhs import as_rhs_stack, d_pobtas_stack, pobtas_stack
-from repro.structured.pobtaf import pobtaf
-from repro.structured.pobtas import pobtas
-from repro.structured.pobtasi import pobtasi, pobtasi_with_solve
+from repro.structured.factor import (
+    BTAFactor,
+    DistributedBTAFactor,
+    _run_spmd_spd,
+    d_factorize,
+    factorize,
+)
 
+__all__ = [
+    "StructuredSolver",
+    "SequentialSolver",
+    "DistributedSolver",
+    "WORKLOAD_FACTORS",
+    "select_solver",
+]
 
-def _run_spmd_spd(P, fn):
-    """``run_spmd`` that surfaces per-rank positive-definiteness failures.
-
-    An infeasible hyperparameter configuration makes a rank's Cholesky
-    fail; the objective layer must see ``NotPositiveDefiniteError`` (so
-    the optimizer backtracks) rather than a generic SPMD error.
-    """
-    try:
-        return run_spmd(P, fn)
-    except RuntimeError as exc:
-        cause = exc.__cause__
-        while cause is not None:
-            if isinstance(cause, NotPositiveDefiniteError):
-                raise NotPositiveDefiniteError(str(cause)) from exc
-            cause = cause.__cause__
-        raise
+# Re-exported for the historical import path (the helper moved next to
+# the handles it guards).
+_run_spmd_spd = _run_spmd_spd
 
 
 class StructuredSolver(abc.ABC):
-    """The three INLA bottleneck operations on one BTA matrix."""
+    """Factory of factorization handles for one BTA matrix.
+
+    Subclasses implement :meth:`factorize`; every other operation is
+    derived from the handle.  The one-shot wrappers below keep the
+    legacy stateless surface alive (bit-identical results) but pay one
+    full factorization per call — prefer holding the handle.
+    """
 
     @abc.abstractmethod
+    def factorize(self, A: BTAMatrix, *, overwrite: bool = False):
+        """Factorize ``A`` once, returning a reusable handle.
+
+        ``overwrite=True`` lets the sequential path reuse ``A``'s storage
+        for the factor (the caller's matrix is destroyed) — the
+        memory-lean mode of the INLA objective.
+        """
+
+    # -- legacy one-shot surface (deprecated thin wrappers) -----------------
+
     def logdet(self, A: BTAMatrix) -> float:
-        """Cholesky factorization, returning ``log det A``."""
+        """``log det A``.  Deprecated: ``factorize(A).logdet()``.
 
-    @abc.abstractmethod
+        Note the factor reuses ``A``'s storage (the historical in-place
+        contract of the one-shot calls): ``A`` is destroyed.
+        """
+        return self.factorize(A, overwrite=True).logdet()
+
     def logdet_and_solve(self, A: BTAMatrix, rhs: np.ndarray) -> tuple:
-        """Factorize and solve ``A x = rhs``; returns ``(logdet, x)``."""
+        """``(logdet, x)``.  Deprecated: hold the handle instead."""
+        f = self.factorize(A, overwrite=True)
+        return f.logdet(), f.solve(rhs)
 
-    @abc.abstractmethod
     def selected_inverse_diagonal(self, A: BTAMatrix) -> np.ndarray:
-        """Diagonal of ``A^{-1}`` via selected inversion."""
-
-    # -- stacked multi-RHS operations --------------------------------------
-    #
-    # Concrete (not abstract) so exotic solver implementations keep working;
-    # subclasses override where a fused / stacked kernel exists.
+        """Diagonal of ``A^{-1}``.  Deprecated: use the handle."""
+        return self.factorize(A, overwrite=True).selected_inverse_diagonal()
 
     def solve_stack(self, A: BTAMatrix, rhs_stack: np.ndarray) -> tuple:
-        """Factorize once and solve a row-major ``(k, N)`` RHS stack.
+        """``(logdet, x_stack)`` for a row-major ``(k, N)`` RHS stack.
 
-        Returns ``(logdet, x_stack)`` with ``x_stack`` row-major like the
-        input — all ``k`` right-hand sides ride one loop-carried pass.
+        Deprecated: ``f = factorize(A)`` then ``f.solve_stack(...)`` —
+        the handle amortizes the factorization over further stacks.
         """
-        rhs_stack = np.asarray(rhs_stack, dtype=np.float64)
-        ld, x = self.logdet_and_solve(A, np.ascontiguousarray(rhs_stack.T))
-        return ld, np.ascontiguousarray(x.T)
+        f = self.factorize(A, overwrite=True)
+        return f.logdet(), f.solve_stack(rhs_stack)
+
+    def solve_lt_stack(self, A: BTAMatrix, rhs_stack: np.ndarray) -> np.ndarray:
+        """Backward-only ``L^T`` solve of a ``(k, N)`` stack (sampling).
+
+        Deprecated: use the handle; repeated sampling from one
+        factorization is the whole point of ``BTAFactor.sample``.
+        """
+        return self.factorize(A, overwrite=True).solve_lt_stack(rhs_stack)
 
     def solve_and_selected_inverse_diagonal(self, A: BTAMatrix, rhs: np.ndarray) -> tuple:
-        """Solve *and* marginal variances from one pipeline.
+        """``(logdet, x, var)`` from one factorization (fused backward pass).
 
-        Returns ``(logdet, x, var)``.  The generic fallback runs the two
-        operations separately (two factorizations); the sequential and
-        distributed solvers override it to factorize exactly once.
+        Deprecated: ``f.solve_and_selected_inverse_diagonal(rhs)`` on the
+        handle.
         """
-        ld, x = self.logdet_and_solve(A.copy(), rhs)
-        var = self.selected_inverse_diagonal(A)
+        f = self.factorize(A, overwrite=True)
+        ld = f.logdet()
+        x, var = f.solve_and_selected_inverse_diagonal(rhs)
         return ld, x, var
 
 
@@ -101,42 +135,18 @@ class SequentialSolver(StructuredSolver):
     def __init__(self, *, batched: bool | None = None):
         self.batched = batched
 
-    def logdet(self, A: BTAMatrix) -> float:
-        return pobtaf(A, overwrite=True, batched=self.batched).logdet(
-            batched=self.batched
-        )
-
-    def logdet_and_solve(self, A: BTAMatrix, rhs: np.ndarray) -> tuple:
-        chol = pobtaf(A, overwrite=True, batched=self.batched)
-        return chol.logdet(batched=self.batched), pobtas(
-            chol, rhs, batched=self.batched
-        )
-
-    def selected_inverse_diagonal(self, A: BTAMatrix) -> np.ndarray:
-        chol = pobtaf(A, overwrite=True, batched=self.batched)
-        return pobtasi(chol, batched=self.batched).diagonal()
-
-    def solve_stack(self, A: BTAMatrix, rhs_stack: np.ndarray) -> tuple:
-        chol = pobtaf(A, overwrite=True, batched=self.batched)
-        return chol.logdet(batched=self.batched), pobtas_stack(
-            chol, rhs_stack, batched=self.batched
-        )
-
-    def solve_and_selected_inverse_diagonal(self, A: BTAMatrix, rhs: np.ndarray) -> tuple:
-        """One factorization for mean *and* variances (fused backward pass)."""
-        chol = pobtaf(A, overwrite=True, batched=self.batched)
-        ld = chol.logdet(batched=self.batched)
-        X, x = pobtasi_with_solve(chol, rhs, batched=self.batched)
-        return ld, x, X.diagonal()
+    def factorize(self, A: BTAMatrix, *, overwrite: bool = False) -> BTAFactor:
+        return factorize(A, overwrite=overwrite, batched=self.batched)
 
 
 class DistributedSolver(StructuredSolver):
     """Time-domain distributed solver over ``P`` SPMD ranks (strategy S3).
 
-    Each public call launches the collective pipeline on ``P``
-    thread-ranks: slice -> ``d_pobtaf`` -> (``d_pobtas`` | ``d_pobtasi``)
-    -> gather.  The load-balancing factor ``lb`` gives partition 0 extra
-    blocks (paper Fig. 5 uses 1.6).
+    ``factorize`` launches the collective pipeline on ``P`` thread-ranks
+    (slice -> ``d_pobtaf`` -> gather) and returns a
+    :class:`DistributedBTAFactor` retaining every rank's factors; each
+    handle method then costs one collective round.  The load-balancing
+    factor ``lb`` gives partition 0 extra blocks (paper Fig. 5 uses 1.6).
     """
 
     def __init__(self, P: int, *, lb: float = 1.6, batched: bool | None = None):
@@ -151,116 +161,19 @@ class DistributedSolver(StructuredSolver):
         # (later partitions need two boundary blocks).
         return max(1, min(self.P, (A.n - 1) // 2 + 1 if A.n > 1 else 1))
 
-    def logdet(self, A: BTAMatrix) -> float:
+    def factorize(
+        self, A: BTAMatrix, *, overwrite: bool = False
+    ) -> BTAFactor | DistributedBTAFactor:
+        """One ``d_pobtaf`` collective; falls back to the sequential
+        handle when the matrix is too small to split (``P`` clamps to 1).
+
+        ``overwrite`` is accepted for interface compatibility; the
+        distributed path always slices a copy.
+        """
         P = self._nparts(A)
         if P == 1:
-            return SequentialSolver(batched=self.batched).logdet(A)
-        slices = partition_matrix(A, P, lb=self.lb)
-
-        def rank_fn(comm):
-            f = d_pobtaf(slices[comm.Get_rank()], comm, batched=self.batched)
-            return f.logdet(comm, batched=self.batched)
-
-        return _run_spmd_spd(P, rank_fn)[0]
-
-    def logdet_and_solve(self, A: BTAMatrix, rhs: np.ndarray) -> tuple:
-        P = self._nparts(A)
-        if P == 1:
-            return SequentialSolver(batched=self.batched).logdet_and_solve(A, rhs)
-        slices = partition_matrix(A, P, lb=self.lb)
-        rhs = np.asarray(rhs, dtype=np.float64)
-        b, n = A.b, A.n
-
-        def rank_fn(comm):
-            sl = slices[comm.Get_rank()]
-            f = d_pobtaf(sl, comm, batched=self.batched)
-            ld = f.logdet(comm, batched=self.batched)
-            xl, xt = d_pobtas(
-                f,
-                rhs[sl.part.start * b : sl.part.stop * b],
-                rhs[n * b :],
-                comm,
-                batched=self.batched,
-            )
-            return ld, xl, xt
-
-        out = _run_spmd_spd(P, rank_fn)
-        x = np.concatenate([o[1] for o in out] + [out[0][2]])
-        return out[0][0], x
-
-    def selected_inverse_diagonal(self, A: BTAMatrix) -> np.ndarray:
-        P = self._nparts(A)
-        if P == 1:
-            return SequentialSolver(batched=self.batched).selected_inverse_diagonal(A)
-        slices = partition_matrix(A, P, lb=self.lb)
-
-        def rank_fn(comm):
-            f = d_pobtaf(slices[comm.Get_rank()], comm, batched=self.batched)
-            xi = d_pobtasi(f, batched=self.batched)
-            return np.diagonal(xi.diag, axis1=1, axis2=2).ravel(), np.diagonal(xi.tip)
-
-        out = _run_spmd_spd(P, rank_fn)
-        return np.concatenate([o[0] for o in out] + [out[0][1]])
-
-    def solve_stack(self, A: BTAMatrix, rhs_stack: np.ndarray) -> tuple:
-        """Distributed stacked solve: one nested-dissection pipeline — and
-        one Allreduce/Allgather round — for the whole ``(k, N)`` stack."""
-        P = self._nparts(A)
-        if P == 1:
-            return SequentialSolver(batched=self.batched).solve_stack(A, rhs_stack)
-        slices = partition_matrix(A, P, lb=self.lb)
-        # Same normalization contract as the sequential path: a 1-D rhs is
-        # a k=1 stack, squeezed back on return.
-        stack, squeeze = as_rhs_stack(rhs_stack, A.N)
-        b, n = A.b, A.n
-
-        def rank_fn(comm):
-            sl = slices[comm.Get_rank()]
-            f = d_pobtaf(sl, comm, batched=self.batched)
-            ld = f.logdet(comm, batched=self.batched)
-            xl, xt = d_pobtas_stack(
-                f,
-                stack[:, sl.part.start * b : sl.part.stop * b],
-                stack[:, n * b :],
-                comm,
-                batched=self.batched,
-            )
-            return ld, xl, xt
-
-        out = _run_spmd_spd(P, rank_fn)
-        x = np.concatenate([o[1] for o in out] + [out[0][2]], axis=1)
-        return out[0][0], (x[0] if squeeze else x)
-
-    def solve_and_selected_inverse_diagonal(self, A: BTAMatrix, rhs: np.ndarray) -> tuple:
-        """One distributed factorization feeding both the solve and the
-        selected inversion (historically two full pipelines)."""
-        P = self._nparts(A)
-        if P == 1:
-            return SequentialSolver(batched=self.batched).solve_and_selected_inverse_diagonal(
-                A, rhs
-            )
-        slices = partition_matrix(A, P, lb=self.lb)
-        rhs = np.asarray(rhs, dtype=np.float64)
-        b, n = A.b, A.n
-
-        def rank_fn(comm):
-            sl = slices[comm.Get_rank()]
-            f = d_pobtaf(sl, comm, batched=self.batched)
-            ld = f.logdet(comm, batched=self.batched)
-            xl, xt = d_pobtas(
-                f,
-                rhs[sl.part.start * b : sl.part.stop * b],
-                rhs[n * b :],
-                comm,
-                batched=self.batched,
-            )
-            xi = d_pobtasi(f, batched=self.batched)
-            return ld, xl, xt, np.diagonal(xi.diag, axis1=1, axis2=2).ravel(), np.diagonal(xi.tip)
-
-        out = _run_spmd_spd(P, rank_fn)
-        x = np.concatenate([o[1] for o in out] + [out[0][2]])
-        var = np.concatenate([o[3] for o in out] + [out[0][4]])
-        return out[0][0], x, var
+            return factorize(A, overwrite=overwrite, batched=self.batched)
+        return d_factorize(A, P, lb=self.lb, batched=self.batched)
 
 
 #: Storage multiplier per INLA workload type (see

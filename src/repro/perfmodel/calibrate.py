@@ -11,6 +11,15 @@ This serves two purposes: (a) it validates that the efficiency *form*
 used for extrapolation actually describes a real machine, and (b) it
 yields a host-calibrated :class:`MachineModel` so the measured and
 modeled benchmark numbers are mutually consistent.
+
+The module also calibrates the ``REPRO_POTRF_SPLIT`` threshold of the
+batched kernel layer (:mod:`repro.structured.batched`): the block size
+from which the recursive blocked POTRF(+TRTRI) beats the direct LAPACK
+calls depends on the host's LAPACK build (OpenBLAS's ``dpotrf`` is
+already blocked; reference LAPACK crosses over far lower).
+:func:`print_potrf_recommendation` measures the crossover on the current
+host and prints the recommended environment setting — run it via
+``python -m repro.cli calibrate``.
 """
 
 from __future__ import annotations
@@ -90,6 +99,100 @@ def fit_efficiency_law(samples: list) -> tuple:
         if resid < best[0]:
             best = (resid, peak, float(b_half))
     return best[1], best[2]
+
+
+@dataclass
+class PotrfSplitSample:
+    """Direct-vs-blocked POTRF(+TRTRI) timing at one block size."""
+
+    b: int
+    t_direct: float
+    t_split: float
+
+    @property
+    def speedup(self) -> float:
+        """Direct time over one-split time (> 1 means splitting wins)."""
+        return self.t_direct / self.t_split
+
+
+def measure_potrf_split(
+    block_sizes=(32, 48, 64, 96, 128, 192, 256),
+    *,
+    repeats: int = 5,
+    rng: np.random.Generator | None = None,
+) -> list:
+    """Time the fused ``(L, L^{-1})`` kernel with and without one split.
+
+    For each block size the direct LAPACK leaf (``dpotrf`` + ``dtrtri``)
+    is raced against a single 2x2 recursive split whose halves are direct
+    leaves — the local criterion the global threshold is built from: if
+    one split wins at ``b``, the recursion wins at every multiple of
+    ``b`` too (the halves recurse in turn).  Best-of-``repeats`` per
+    strategy.
+    """
+    from repro.structured.batched import _chol_and_inverse_host
+
+    rng = rng or np.random.default_rng(0)
+    samples = []
+    for b in block_sizes:
+        b = int(b)
+        g = rng.standard_normal((b, b))
+        a = g @ g.T + b * np.eye(b)
+        t_direct = t_split = np.inf
+        for _ in range(max(repeats, 1)):
+            with Timer() as t:
+                _chol_and_inverse_host(a, b + 1)  # b < split: direct leaf
+            t_direct = min(t_direct, t.elapsed)
+            with Timer() as t:
+                _chol_and_inverse_host(a, b)  # one split, direct halves
+            t_split = min(t_split, t.elapsed)
+        samples.append(PotrfSplitSample(b=b, t_direct=t_direct, t_split=t_split))
+    return samples
+
+
+def recommend_potrf_split(samples, *, min_speedup: float = 1.02) -> int | None:
+    """Smallest measured block size from which splitting keeps winning.
+
+    Requires the win to persist at every larger measured size (a single
+    noisy crossover does not set the threshold) and to clear
+    ``min_speedup`` so borderline noise does not flip the default.
+    Returns None when splitting never wins in the measured range (the
+    built-in default should stand).
+    """
+    samples = sorted(samples, key=lambda s: s.b)
+    for i, s in enumerate(samples):
+        if all(t.speedup >= min_speedup for t in samples[i:]):
+            return s.b
+    return None
+
+
+def print_potrf_recommendation(
+    block_sizes=(32, 48, 64, 96, 128, 192, 256), *, repeats: int = 5
+) -> int | None:
+    """Measure, print the table, and print the recommended env setting.
+
+    Returns the recommended threshold (None = keep the built-in default).
+    """
+    from repro.structured.batched import _POTRF_SPLIT_MIN, _potrf_split_min
+
+    samples = measure_potrf_split(block_sizes, repeats=repeats)
+    print("blocked-POTRF crossover on this host (fused chol+inverse, best of reps)")
+    print(f"{'b':>6} {'direct ms':>10} {'split ms':>10} {'x':>6}")
+    for s in samples:
+        print(
+            f"{s.b:>6} {s.t_direct * 1e3:>10.3f} {s.t_split * 1e3:>10.3f} "
+            f"{s.speedup:>6.2f}"
+        )
+    rec = recommend_potrf_split(samples)
+    active = _potrf_split_min()
+    if rec is None:
+        print(
+            f"splitting never won up to b={samples[-1].b}; keep the default "
+            f"(built-in {_POTRF_SPLIT_MIN}, active {active})"
+        )
+    else:
+        print(f"recommended: export REPRO_POTRF_SPLIT={rec}  (active: {active})")
+    return rec
 
 
 def calibrated_host_machine(

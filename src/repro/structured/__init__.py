@@ -25,32 +25,55 @@ package for the layering and the measured crossover.
 Sampling / smart-gradient workloads that drive many right-hand sides
 through one factor use the stacked multi-RHS interface of
 :mod:`repro.structured.multirhs` (``pobtas_stack`` / ``pobtas_lt_stack``
-/ ``d_pobtas_stack``) so ``k`` right-hand sides cost one loop-carried
-pass, and the fused ``pobtasi_with_solve`` when means and marginal
-variances are needed from the same factor.
+/ ``d_pobtas_stack`` / ``d_pobtas_lt_stack``) so ``k`` right-hand sides
+cost one loop-carried pass, and the fused ``pobtasi_with_solve`` when
+means and marginal variances are needed from the same factor.
+
+Consumers that derive several quantities from one matrix should hold a
+**factorization handle** (:mod:`repro.structured.factor`):
+``factorize(A)`` / ``d_factorize(A, P)`` run the factorization once and
+the returned :class:`BTAFactor` / :class:`DistributedBTAFactor` serves
+``logdet`` / solves / selected inversion / sampling from it.
 """
 
 from repro.structured.batched import batched_enabled
 from repro.structured.bta import BTAMatrix, BTAShape
 from repro.structured.partition import Partition, balanced_partitions, partition_counts
-from repro.structured.pobtaf import pobtaf
-from repro.structured.pobtas import pobtas
+from repro.structured.pobtaf import FACTORIZATIONS, pobtaf
+from repro.structured.pobtas import pobtas, pobtas_lt
 from repro.structured.pobtasi import pobtasi, pobtasi_with_solve
-from repro.structured.multirhs import d_pobtas_stack, pobtas_lt_stack, pobtas_stack
+from repro.structured.multirhs import (
+    d_pobtas_lt_stack,
+    d_pobtas_stack,
+    pobtas_lt_stack,
+    pobtas_stack,
+)
+from repro.structured.factor import (
+    BTAFactor,
+    DistributedBTAFactor,
+    d_factorize,
+    factorize,
+)
 from repro.structured.d_pobtaf import DistributedFactors, d_pobtaf
-from repro.structured.d_pobtas import d_pobtas
+from repro.structured.d_pobtas import d_pobtas, d_pobtas_lt
 from repro.structured.d_pobtasi import d_pobtasi
 from repro.structured.reduced_system import ReducedSystem
 
 __all__ = [
     "BTAMatrix",
     "BTAShape",
+    "BTAFactor",
+    "DistributedBTAFactor",
+    "FACTORIZATIONS",
     "batched_enabled",
+    "factorize",
+    "d_factorize",
     "Partition",
     "balanced_partitions",
     "partition_counts",
     "pobtaf",
     "pobtas",
+    "pobtas_lt",
     "pobtas_stack",
     "pobtas_lt_stack",
     "pobtasi",
@@ -58,7 +81,9 @@ __all__ = [
     "DistributedFactors",
     "d_pobtaf",
     "d_pobtas",
+    "d_pobtas_lt",
     "d_pobtas_stack",
+    "d_pobtas_lt_stack",
     "d_pobtasi",
     "ReducedSystem",
 ]

@@ -5,8 +5,13 @@ through the batched NumPy/CuPy-compatible API, so the same solver source
 drives host and device execution and never pays per-block dispatch
 overhead in Python.  This module is that layer: every primitive operates
 on a *stack* of blocks ``(m, b, b)`` (or ``(m, a, b)`` / ``(m, b, k)``)
-and is routed through :func:`repro.backend.array_module.get_array_module`,
-so a CuPy array stack would take the device path unchanged.
+and resolves its execution strategy from a
+:class:`repro.backend.protocol.Backend` — passed explicitly by factors
+(``backend=``) or inferred from the arrays via
+:func:`repro.backend.protocol.backend_for` — so a registered CuPy backend
+takes the device path unchanged.  The capability flags
+(``has_lapack``/``has_batched_trsm``) decide between the looped-LAPACK
+host path and the vectorized substitution below.
 
 Two implementation strategies per triangular primitive:
 
@@ -37,7 +42,8 @@ import os
 import numpy as np
 from scipy.linalg.lapack import dpotrf as _dpotrf, dtrtri as _dtrtri, dtrtrs as _dtrtrs
 
-from repro.backend.array_module import batched_enabled, get_array_module, is_host_module
+from repro.backend.array_module import batched_enabled, get_array_module
+from repro.backend.protocol import Backend, backend_for
 from repro.structured.kernels import NotPositiveDefiniteError
 
 __all__ = [
@@ -82,9 +88,28 @@ _POTRF_SPLIT_MIN = 128
 
 
 def _potrf_split_min() -> int:
-    """Recursive-POTRF threshold (``REPRO_POTRF_SPLIT`` overrides)."""
+    """Recursive-POTRF threshold (``REPRO_POTRF_SPLIT`` overrides).
+
+    :func:`repro.perfmodel.calibrate.recommend_potrf_split` measures the
+    crossover on the current host and prints the recommended setting.
+    """
     raw = os.environ.get("REPRO_POTRF_SPLIT", "").strip()
     return int(raw) if raw else _POTRF_SPLIT_MIN
+
+
+def _resolve(backend: Backend | None, *arrays) -> Backend:
+    """Explicit backend wins; otherwise infer from the array arguments.
+
+    Factors thread their backend through every sweep (see
+    :class:`repro.structured.factor.BTAFactor`), so per-call inference is
+    only the fallback for direct kernel use.
+    """
+    return backend if backend is not None else backend_for(*arrays)
+
+
+def _lapack_path(be: Backend) -> bool:
+    """True when the looped direct-LAPACK host path is available."""
+    return be.is_host and be.has_lapack
 
 
 # ---------------------------------------------------------------------------
@@ -92,14 +117,14 @@ def _potrf_split_min() -> int:
 # ---------------------------------------------------------------------------
 
 
-def batched_chol_lower(stack):
+def batched_chol_lower(stack, *, backend: Backend | None = None):
     """Lower Cholesky factors of a stack of SPD blocks ``(m, b, b)``.
 
     Dispatches to the array module's stacked ``cholesky`` (one C-level loop
     for NumPy, one batched kernel for CuPy).  Raises
     :class:`NotPositiveDefiniteError` if *any* block fails.
     """
-    xp = get_array_module(stack)
+    xp = _resolve(backend, stack).xp
     if stack.shape[-1] == 0 or stack.shape[0] == 0:
         return stack.copy()
     try:
@@ -179,17 +204,17 @@ def _chol_and_inverse_host(a, split, off=0):
     return out, inv
 
 
-def chol_lower_block(a):
+def chol_lower_block(a, *, backend: Backend | None = None):
     """Single-block ``chol`` for the loop-carried chains (low call overhead)."""
-    xp = get_array_module(a)
-    if is_host_module(xp):
+    be = _resolve(backend, a)
+    if _lapack_path(be):
         if a.shape[0] == 0:
             return a.copy()
         return _chol_host(a, _potrf_split_min())
-    return batched_chol_lower(a)
+    return batched_chol_lower(a, backend=be)
 
 
-def chol_and_inverse_block(a):
+def chol_and_inverse_block(a, *, backend: Backend | None = None):
     """``(L, L^{-1})`` of one SPD block — the batched chain's work-horse.
 
     The loop-carried Schur recurrences factorize one block and then apply
@@ -202,13 +227,13 @@ def chol_and_inverse_block(a):
     the strict upper triangle, so ``dtrtri``'s output is clean for GEMM
     use without an extra ``tril`` pass.
     """
-    xp = get_array_module(a)
-    if is_host_module(xp):
+    be = _resolve(backend, a)
+    if _lapack_path(be):
         if a.shape[0] == 0:
             return a.copy(), a.copy()
         return _chol_and_inverse_host(a, _potrf_split_min())
-    c = batched_chol_lower(a)
-    return c, batched_tri_inverse_lower(c[None])[0]
+    c = batched_chol_lower(a, backend=be)
+    return c, batched_tri_inverse_lower(c[None], backend=be)[0]
 
 
 # ---------------------------------------------------------------------------
@@ -264,13 +289,25 @@ def _use_substitution(m: int, b: int) -> bool:
     return m >= _SUBST_MIN and m >= _SUBST_RATIO * b
 
 
-def batched_solve_lower(l, rhs):
+def _stacked_trsm_path(be: Backend, m: int, b: int) -> bool:
+    """Use the vectorized/batched substitution instead of looped LAPACK.
+
+    Backends with a genuine batched TRSM always take it; hosts with
+    LAPACK take it only for tall stacks where the ``O(b)`` Python steps
+    amortize across the stack height.
+    """
+    if be.has_batched_trsm or not _lapack_path(be):
+        return True
+    return _use_substitution(m, b)
+
+
+def batched_solve_lower(l, rhs, *, backend: Backend | None = None):
     """``L_i^{-1} B_i`` for stacks ``l: (m, b, b)``, ``rhs: (m, b, k)``."""
-    xp = get_array_module(l, rhs)
+    be = _resolve(backend, l, rhs)
     m, b = l.shape[0], l.shape[-1]
     if m == 0 or b == 0 or rhs.shape[-1] == 0:
         return rhs.copy()
-    if is_host_module(xp) and not _use_substitution(m, b):
+    if not _stacked_trsm_path(be, m, b):
         out = np.empty_like(rhs)
         for i in range(m):
             out[i] = _trtrs_block(l[i], rhs[i], trans=0)
@@ -278,13 +315,13 @@ def batched_solve_lower(l, rhs):
     return _subst_solve_lower(l, rhs)
 
 
-def batched_solve_lower_t(l, rhs):
+def batched_solve_lower_t(l, rhs, *, backend: Backend | None = None):
     """``L_i^{-T} B_i`` for stacks."""
-    xp = get_array_module(l, rhs)
+    be = _resolve(backend, l, rhs)
     m, b = l.shape[0], l.shape[-1]
     if m == 0 or b == 0 or rhs.shape[-1] == 0:
         return rhs.copy()
-    if is_host_module(xp) and not _use_substitution(m, b):
+    if not _stacked_trsm_path(be, m, b):
         out = np.empty_like(rhs)
         for i in range(m):
             out[i] = _trtrs_block(l[i], rhs[i], trans=1)
@@ -292,16 +329,16 @@ def batched_solve_lower_t(l, rhs):
     return _subst_solve_lower_t(l, rhs)
 
 
-def batched_right_solve_lower(l, rhs):
+def batched_right_solve_lower(l, rhs, *, backend: Backend | None = None):
     """``B_i L_i^{-1}`` for stacks ``rhs: (m, p, b)`` (right division)."""
     # (B L^{-1})^T = L^{-T} B^T, batched via the transposed stacks.
-    out = batched_solve_lower_t(l, rhs.transpose(0, 2, 1))
+    out = batched_solve_lower_t(l, rhs.transpose(0, 2, 1), backend=backend)
     return out.transpose(0, 2, 1)
 
 
-def batched_right_solve_lower_t(l, rhs):
+def batched_right_solve_lower_t(l, rhs, *, backend: Backend | None = None):
     """``B_i L_i^{-T}`` for stacks ``rhs: (m, p, b)``."""
-    out = batched_solve_lower(l, rhs.transpose(0, 2, 1))
+    out = batched_solve_lower(l, rhs.transpose(0, 2, 1), backend=backend)
     return out.transpose(0, 2, 1)
 
 
@@ -333,7 +370,7 @@ def _tri_inverse_host(l):
     return inv
 
 
-def batched_tri_inverse_lower(l):
+def batched_tri_inverse_lower(l, *, backend: Backend | None = None):
     """Explicit ``L_i^{-1}`` for a stack of lower-triangular blocks.
 
     The stacked inverse turns every downstream triangular solve of the
@@ -341,16 +378,17 @@ def batched_tri_inverse_lower(l):
     paper makes on the GPU, where TRSM is latency-bound but GEMM saturates
     the tensor cores.  Output blocks are cleanly lower-triangular.
     """
-    xp = get_array_module(l)
+    be = _resolve(backend, l)
     m, b = l.shape[0], l.shape[-1]
     if m == 0 or b == 0:
         return l.copy()
-    if is_host_module(xp):
+    if _lapack_path(be):
         out = np.empty_like(l)
         for i in range(m):
             out[i] = _tri_inverse_host(l[i])
         # dtrtri leaves the strict upper triangle of its input in place.
         return np.tril(out)
+    xp = be.xp
     eye = xp.broadcast_to(xp.eye(b, dtype=l.dtype), l.shape)
     return _subst_solve_lower(l, eye)
 
@@ -360,39 +398,39 @@ def batched_tri_inverse_lower(l):
 # ---------------------------------------------------------------------------
 
 
-def solve_lower_block(l, rhs):
+def solve_lower_block(l, rhs, *, backend: Backend | None = None):
     """``L^{-1} B`` for one block (fused operands welcome)."""
-    xp = get_array_module(l, rhs)
-    if is_host_module(xp):
+    be = _resolve(backend, l, rhs)
+    if _lapack_path(be):
         if l.shape[0] == 0 or rhs.shape[-1] == 0:
             return rhs.copy()
         return _trtrs_block(l, rhs, trans=0)
-    return batched_solve_lower(l[None], rhs[None])[0]
+    return batched_solve_lower(l[None], rhs[None], backend=be)[0]
 
 
-def solve_lower_t_block(l, rhs):
+def solve_lower_t_block(l, rhs, *, backend: Backend | None = None):
     """``L^{-T} B`` for one block."""
-    xp = get_array_module(l, rhs)
-    if is_host_module(xp):
+    be = _resolve(backend, l, rhs)
+    if _lapack_path(be):
         if l.shape[0] == 0 or rhs.shape[-1] == 0:
             return rhs.copy()
         return _trtrs_block(l, rhs, trans=1)
-    return batched_solve_lower_t(l[None], rhs[None])[0]
+    return batched_solve_lower_t(l[None], rhs[None], backend=be)[0]
 
 
-def right_solve_lower_block(l, rhs):
+def right_solve_lower_block(l, rhs, *, backend: Backend | None = None):
     """``B L^{-1}`` for one block."""
-    return solve_lower_t_block(l, rhs.T).T
+    return solve_lower_t_block(l, rhs.T, backend=backend).T
 
 
-def right_solve_lower_t_block(l, rhs):
+def right_solve_lower_t_block(l, rhs, *, backend: Backend | None = None):
     """``B L^{-T}`` for one block."""
-    return solve_lower_block(l, rhs.T).T
+    return solve_lower_block(l, rhs.T, backend=backend).T
 
 
-def tri_inverse_lower_block(l):
+def tri_inverse_lower_block(l, *, backend: Backend | None = None):
     """``L^{-1}`` of one lower-triangular block."""
-    return batched_tri_inverse_lower(l[None])[0]
+    return batched_tri_inverse_lower(l[None], backend=backend)[0]
 
 
 # ---------------------------------------------------------------------------
@@ -400,10 +438,9 @@ def tri_inverse_lower_block(l):
 # ---------------------------------------------------------------------------
 
 
-def batched_gemm(a, b):
+def batched_gemm(a, b, *, backend: Backend | None = None):
     """Stacked matrix product (``cublas`` GEMM-batched on device)."""
-    xp = get_array_module(a, b)
-    return xp.matmul(a, b)
+    return _resolve(backend, a, b).xp.matmul(a, b)
 
 
 def symmetrize(stack):
@@ -411,7 +448,7 @@ def symmetrize(stack):
     return 0.5 * (stack + stack.swapaxes(-1, -2))
 
 
-def batched_logdet_from_chol_diag(l) -> float:
+def batched_logdet_from_chol_diag(l, *, backend: Backend | None = None) -> float:
     """``2 sum log diag(L_i)`` over a whole factor stack, single pass.
 
     Unlike the historical per-block kernel (which scanned the diagonal for
@@ -420,7 +457,7 @@ def batched_logdet_from_chol_diag(l) -> float:
     non-finite logs, detected on the already-reduced scalar.  Raises the
     same :class:`NotPositiveDefiniteError` as the per-block path.
     """
-    xp = get_array_module(l)
+    xp = _resolve(backend, l).xp
     d = xp.diagonal(l, axis1=-2, axis2=-1)
     with np.errstate(invalid="ignore", divide="ignore"):
         total = float(xp.sum(xp.log(d)))

@@ -33,7 +33,7 @@ from repro.comm.communicator import Communicator
 from repro.structured import batched as bk
 from repro.structured.d_pobtaf import DistributedFactors
 from repro.structured.kernels import solve_lower, solve_lower_t
-from repro.structured.pobtas import pobtas
+from repro.structured.pobtas import pobtas, pobtas_lt
 
 
 def _forward_blocked(factors: DistributedFactors, rb, tip_delta, a: int, m: int) -> None:
@@ -167,6 +167,35 @@ def d_pobtas(
         comm.Allreduce(tip_delta)  # keep the collective schedule uniform
         rt = np.zeros((0, k))
 
+    r_red = _gather_reduced_rhs(factors, rb, rt, comm)
+
+    x_red = pobtas(factors.reduced_chol, r_red, batched=use_batched)
+
+    # ---- backward: recover interior unknowns -----------------------------
+    x = rb  # solve in place; boundary slots receive the reduced solution
+    x_tip = _scatter_reduced_solution(factors, x, x_red)
+
+    if use_batched:
+        _backward_batched(factors, x, x_tip, a, m)
+    else:
+        _backward_blocked(factors, x, x_tip, a, m)
+
+    x_local = x.reshape(nl * b, k)
+    if squeeze:
+        return x_local[:, 0], x_tip[:, 0]
+    return x_local, x_tip
+
+
+def _gather_reduced_rhs(
+    factors: DistributedFactors, rb: np.ndarray, rt: np.ndarray, comm: Communicator
+) -> np.ndarray:
+    """Allgather the per-rank boundary entries into the reduced RHS.
+
+    ``rb`` is this rank's ``(nl, b, k)`` right-hand-side panels (boundary
+    slots carry the boundary entries) and ``rt`` the ``(a, k)`` tip RHS
+    (identical on every rank).  One collective per call, whatever ``k``.
+    """
+    b, a = factors.b, factors.a
     pos_top, pos_bottom = factors.positions
     if pos_top is None or pos_top == pos_bottom:
         mine = rb[-1]
@@ -175,7 +204,7 @@ def d_pobtas(
     gathered = comm.Allgather(np.ascontiguousarray(mine))
 
     mr = factors.reduced.m
-    r_red = np.zeros((mr * b + a, k))
+    r_red = np.zeros((mr * b + a, rb.shape[-1]))
     for p, piece in enumerate(gathered):
         top, bottom = factors.reduced.positions[p]
         if top is None or top == bottom:
@@ -185,16 +214,79 @@ def d_pobtas(
             r_red[bottom * b : (bottom + 1) * b] = piece[b:]
     if a:
         r_red[mr * b :] = rt
+    return r_red
 
-    x_red = pobtas(factors.reduced_chol, r_red, batched=use_batched)
-    x_tip = x_red[mr * b :]
 
-    # ---- backward: recover interior unknowns -----------------------------
-    x = rb  # solve in place; boundary slots receive the reduced solution
+def _scatter_reduced_solution(
+    factors: DistributedFactors, x: np.ndarray, x_red: np.ndarray
+) -> np.ndarray:
+    """Place this rank's boundary slots from the reduced solution.
+
+    Writes the top/bottom boundary panels of ``x`` in place and returns
+    the ``(a, k)`` tip solution (identical on every rank).
+    """
+    b = factors.b
+    pos_top, pos_bottom = factors.positions
     if pos_top is not None:
         x[0] = x_red[pos_top * b : (pos_top + 1) * b]
     x[-1] = x_red[pos_bottom * b : (pos_bottom + 1) * b]
+    return x_red[factors.reduced.m * b :]
 
+
+def d_pobtas_lt(
+    factors: DistributedFactors,
+    rhs_local: np.ndarray,
+    rhs_tip: np.ndarray,
+    comm: Communicator,
+    *,
+    batched: bool | None = None,
+) -> tuple:
+    """Backward-only distributed solve ``L^T x = rhs`` (collective).
+
+    The distributed sampling primitive (paper's S3-scale analogue of
+    :func:`repro.structured.pobtas.pobtas_lt`): with ``z ~ N(0, I)`` the
+    solution ``x = L^{-T} z`` is an exact draw from ``N(0, A^{-1})``.
+    Here ``L`` is the *nested-dissection* Cholesky factor of the
+    symmetrically permuted matrix (interiors first, boundaries last), so
+    the solution differs sample-by-sample from the sequential
+    ``pobtas_lt`` — but its covariance is exactly ``A^{-1}``, which is the
+    sampling contract (``x^T A x = z^T z`` holds identically; see
+    ``tests/structured/test_distributed_lt.py``).
+
+    The sweep needs a single ``Allgather`` (of the boundary right-hand
+    sides) per call — one collective round for a whole ``(nl b, k)``
+    stack: in the permuted ordering ``L^T`` is upper-triangular with the
+    boundary block last, so the reduced system solves first
+    (redundantly, via the sequential ``pobtas_lt``) and the interiors
+    back-substitute without further communication.
+
+    Parameters mirror :func:`d_pobtas`; returns ``(x_local, x_tip)``.
+    """
+    part, b, a = factors.part, factors.b, factors.a
+    nl = part.n_blocks
+    m = factors.n_interior
+    use_batched = batched_enabled(batched)
+
+    rhs_local = np.asarray(rhs_local, dtype=np.float64)
+    rhs_tip = np.asarray(rhs_tip, dtype=np.float64)
+    squeeze = rhs_local.ndim == 1
+    if rhs_local.shape[0] != nl * b:
+        raise ValueError(f"rhs_local leading dim {rhs_local.shape[0]} != {nl * b}")
+    r = np.array(rhs_local.reshape(nl * b, -1), copy=True)
+    k = r.shape[1]
+    rb = r.reshape(nl, b, k)
+    rt = rhs_tip.reshape(a, -1) if a else np.zeros((0, k))
+
+    # ---- reduced system first: (L^T)[B, B] = L_red^T is the trailing
+    # block of the permuted upper-triangular system, so the boundary/tip
+    # unknowns close without any interior contribution.
+    r_red = _gather_reduced_rhs(factors, rb, rt, comm)
+    x_red = pobtas_lt(factors.reduced_chol, r_red, batched=use_batched)
+
+    # ---- interiors: pure local back-substitution against the boundary
+    # and tip solutions (no further collectives).
+    x = rb
+    x_tip = _scatter_reduced_solution(factors, x, x_red)
     if use_batched:
         _backward_batched(factors, x, x_tip, a, m)
     else:

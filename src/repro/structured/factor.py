@@ -1,0 +1,418 @@
+"""Factorization handles — one ``pobtaf`` amortized over every consumer.
+
+The DALIA pipeline computes *several* quantities from each factorized
+precision matrix: the log-determinant for the objective, conditional-mean
+solves, Takahashi selected inversion for the marginal variances, and
+``L^{-T} z`` sampling sweeps.  The historical ``StructuredSolver`` API was
+stateless — every call took a raw :class:`~repro.structured.bta.BTAMatrix`
+and refactorized — so consumers either paid redundant ``O(n b^3)``
+factorizations or reached for ad-hoc fused entry points
+(``pobtasi_with_solve``).
+
+This module makes the factorization a first-class object:
+
+- :class:`BTAFactor` — the sequential handle returned by
+  :func:`factorize` / ``SequentialSolver.factorize``.  It owns the
+  Cholesky block stacks, the cached per-factor triangular inverses and
+  flat arrow row (computed once, GEMMed against by every sweep), the
+  cached log-determinant and selected-inverse diagonal, and preallocated
+  ``(N, k)`` sweep workspaces — so ``logdet()``, ``solve()``,
+  ``solve_stack()``, ``solve_lt_stack()``, ``selected_inverse_diagonal()``
+  and ``sample()`` all reuse the one factorization with zero per-call
+  block allocation.
+- :class:`DistributedBTAFactor` — the rank-partitioned handle returned by
+  ``DistributedSolver.factorize``.  It retains every rank's
+  :class:`~repro.structured.d_pobtaf.DistributedFactors` (interior factor
+  stacks, cached interior inverses, the redundantly factorized reduced
+  system) across SPMD epochs: each method launches one collective round
+  against the stored factors instead of re-running ``d_pobtaf``.
+
+Results are bit-identical to the legacy one-shot calls (which are now
+thin ``factorize``-then-call wrappers); handles are *not* safe for
+concurrent method calls from multiple threads — each S1 worker builds its
+own factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.backend.protocol import Backend
+from repro.comm import run_spmd
+from repro.structured.bta import BTAMatrix, BTAShape
+from repro.structured.d_pobtaf import DistributedFactors, d_pobtaf, partition_matrix
+from repro.structured.d_pobtas import d_pobtas
+from repro.structured.d_pobtasi import d_pobtasi
+from repro.structured.kernels import NotPositiveDefiniteError
+from repro.structured.multirhs import (
+    as_rhs_stack,
+    d_pobtas_lt_stack,
+    d_pobtas_stack,
+    pobtas_lt_stack,
+    pobtas_stack,
+)
+from repro.structured.pobtaf import BTACholesky, pobtaf
+from repro.structured.pobtas import pobtas, pobtas_lt
+from repro.structured.pobtasi import (
+    pobtasi,
+    selected_inverse_diagonal,
+    solve_and_selected_inverse_diagonal,
+)
+
+__all__ = [
+    "BTAFactor",
+    "DistributedBTAFactor",
+    "factorize",
+    "d_factorize",
+]
+
+# Sweep workspaces cached per stack width k; factors drop the least
+# recently added buffer beyond this many distinct widths (consumers use a
+# handful: sample counts, stencil widths, prediction batch sizes).
+_MAX_WORKSPACES = 8
+
+
+def _run_spmd_spd(P: int, fn):
+    """``run_spmd`` that surfaces per-rank positive-definiteness failures.
+
+    An infeasible hyperparameter configuration makes a rank's Cholesky
+    fail; the objective layer must see ``NotPositiveDefiniteError`` (so
+    the optimizer backtracks) rather than a generic SPMD error.
+    """
+    try:
+        return run_spmd(P, fn)
+    except RuntimeError as exc:
+        cause = exc.__cause__
+        while cause is not None:
+            if isinstance(cause, NotPositiveDefiniteError):
+                raise NotPositiveDefiniteError(str(cause)) from exc
+            cause = cause.__cause__
+        raise
+
+
+@dataclass
+class BTAFactor:
+    """Sequential factorization handle over one :class:`BTACholesky`.
+
+    Every method reuses the one factorization; scalar/diagonal results
+    are cached on first computation.  Obtain via :func:`factorize` or
+    ``StructuredSolver.factorize``.
+    """
+
+    chol: BTACholesky
+    #: Execution-path pin (None follows ``REPRO_BATCHED``), matching the
+    #: ``batched=`` argument of the solver that produced the handle.
+    batched: bool | None = None
+    _logdet: float | None = field(default=None, repr=False)
+    _selinv_diag: np.ndarray | None = field(default=None, repr=False)
+    _workspaces: dict = field(default_factory=dict, repr=False)
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def shape3(self) -> BTAShape:
+        return self.chol.factor.shape3
+
+    @property
+    def n(self) -> int:
+        return self.chol.n
+
+    @property
+    def b(self) -> int:
+        return self.chol.b
+
+    @property
+    def a(self) -> int:
+        return self.chol.a
+
+    @property
+    def N(self) -> int:
+        return self.chol.N
+
+    @property
+    def backend(self) -> Backend:
+        """The :class:`Backend` the factor's block stacks live on."""
+        return self.chol.get_backend()
+
+    def _workspace(self, k: int) -> np.ndarray:
+        """Preallocated C-contiguous ``(N, k)`` sweep buffer, kept per k."""
+        ws = self._workspaces.get(k)
+        if ws is None:
+            if len(self._workspaces) >= _MAX_WORKSPACES:
+                self._workspaces.pop(next(iter(self._workspaces)))
+            ws = self._workspaces[k] = np.empty((self.N, k), order="C")
+        return ws
+
+    # -- the amortized operations ------------------------------------------
+
+    def logdet(self) -> float:
+        """``log det A`` from the factor diagonal (cached)."""
+        if self._logdet is None:
+            self._logdet = self.chol.logdet(batched=self.batched)
+        return self._logdet
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A x = rhs`` (vector ``(N,)`` or columns ``(N, k)``)."""
+        return pobtas(self.chol, rhs, batched=self.batched)
+
+    def solve_stack(self, rhs_stack: np.ndarray) -> np.ndarray:
+        """Solve a row-major ``(k, N)`` RHS stack in one panel pass."""
+        rhs_stack = np.asarray(rhs_stack, dtype=np.float64)
+        k = 1 if rhs_stack.ndim == 1 else rhs_stack.shape[0]
+        return pobtas_stack(
+            self.chol, rhs_stack, batched=self.batched, workspace=self._workspace(k)
+        )
+
+    def solve_lt(self, rhs: np.ndarray) -> np.ndarray:
+        """Backward-only solve ``L^T x = rhs`` (the sampling primitive)."""
+        return pobtas_lt(self.chol, rhs, batched=self.batched)
+
+    def solve_lt_stack(self, rhs_stack: np.ndarray) -> np.ndarray:
+        """Backward-only solve for a row-major ``(k, N)`` stack."""
+        rhs_stack = np.asarray(rhs_stack, dtype=np.float64)
+        k = 1 if rhs_stack.ndim == 1 else rhs_stack.shape[0]
+        return pobtas_lt_stack(
+            self.chol, rhs_stack, batched=self.batched, workspace=self._workspace(k)
+        )
+
+    def selected_inverse(self) -> BTAMatrix:
+        """Selected entries of ``A^{-1}`` (full BTA block pattern)."""
+        return pobtasi(self.chol, batched=self.batched)
+
+    def selected_inverse_diagonal(self) -> np.ndarray:
+        """Diagonal of ``A^{-1}`` — the marginal variances (cached).
+
+        Runs the diagonal-only Takahashi recursion (no full-``X``
+        materialization) on the batched path.
+        """
+        if self._selinv_diag is None:
+            self._selinv_diag = selected_inverse_diagonal(self.chol, batched=self.batched)
+        return self._selinv_diag.copy()
+
+    def solve_and_selected_inverse_diagonal(self, rhs: np.ndarray) -> tuple:
+        """``(x, var)`` from one fused backward recursion.
+
+        The conditional-mean solve rides the diagonal-only
+        selected-inversion backward pass
+        (:func:`repro.structured.pobtasi.solve_and_selected_inverse_diagonal`)
+        — the INLA marginals' hot pair.
+        """
+        x, var = solve_and_selected_inverse_diagonal(
+            self.chol, rhs, batched=self.batched
+        )
+        if self._selinv_diag is None:
+            self._selinv_diag = var.copy()
+        return x, var
+
+    def sample(self, k: int, rng: np.random.Generator, *, mean: np.ndarray | None = None):
+        """``k`` exact draws from ``N(mean, A^{-1})``, row-major ``(k, N)``.
+
+        One stacked backward sweep (``x = mean + L^{-T} z``); no dense
+        covariance is ever formed.
+        """
+        if k < 1:
+            raise ValueError(f"need k >= 1 samples, got {k}")
+        z = rng.standard_normal((k, self.N))
+        x = self.solve_lt_stack(z)
+        if mean is not None:
+            x += np.asarray(mean, dtype=np.float64)[None, :]
+        return x
+
+
+@dataclass
+class DistributedBTAFactor:
+    """Rank-partitioned factorization handle (strategy S3).
+
+    Holds every rank's :class:`DistributedFactors` from one ``d_pobtaf``
+    collective; each method launches a single SPMD epoch over the stored
+    factors — the factorization itself (and its cached interior
+    inverses and reduced-system factor) is never recomputed.  Built by
+    :func:`d_factorize` / ``DistributedSolver.factorize``.
+    """
+
+    shape3: BTAShape
+    factors: list
+    batched: bool | None = None
+    _logdet: float | None = field(default=None, repr=False)
+    _selinv_diag: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def P(self) -> int:
+        return len(self.factors)
+
+    @property
+    def n(self) -> int:
+        return self.shape3.n
+
+    @property
+    def b(self) -> int:
+        return self.shape3.b
+
+    @property
+    def a(self) -> int:
+        return self.shape3.a
+
+    @property
+    def N(self) -> int:
+        return self.shape3.N
+
+    def _rank_factors(self, comm) -> DistributedFactors:
+        return self.factors[comm.Get_rank()]
+
+    def _local(self, arr: np.ndarray, f: DistributedFactors) -> np.ndarray:
+        """This rank's slice of a leading-``N`` array (blocks, then tip)."""
+        b = self.b
+        return arr[f.part.start * b : f.part.stop * b]
+
+    def logdet(self) -> float:
+        """Global ``log det A`` (one Allreduce round; cached)."""
+        if self._logdet is None:
+
+            def rank_fn(comm):
+                f = self._rank_factors(comm)
+                return f.logdet(comm, batched=self.batched)
+
+            self._logdet = _run_spmd_spd(self.P, rank_fn)[0]
+        return self._logdet
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A x = rhs`` with the stored factors (one pipeline)."""
+        rhs = np.asarray(rhs, dtype=np.float64)
+        tip = rhs[self.n * self.b :]
+
+        def rank_fn(comm):
+            f = self._rank_factors(comm)
+            return d_pobtas(f, self._local(rhs, f), tip, comm, batched=self.batched)
+
+        out = _run_spmd_spd(self.P, rank_fn)
+        return np.concatenate([o[0] for o in out] + [out[0][1]])
+
+    def solve_stack(self, rhs_stack: np.ndarray) -> np.ndarray:
+        """Row-major ``(k, N)`` stack: one collective round for the lot."""
+        stack, squeeze = as_rhs_stack(rhs_stack, self.N)
+        tip = stack[:, self.n * self.b :]
+
+        def rank_fn(comm):
+            f = self._rank_factors(comm)
+            b = self.b
+            return d_pobtas_stack(
+                f,
+                stack[:, f.part.start * b : f.part.stop * b],
+                tip,
+                comm,
+                batched=self.batched,
+            )
+
+        out = _run_spmd_spd(self.P, rank_fn)
+        x = np.concatenate([o[0] for o in out] + [out[0][1]], axis=1)
+        return x[0] if squeeze else x
+
+    def solve_lt_stack(self, rhs_stack: np.ndarray) -> np.ndarray:
+        """Backward-only ``L^T`` solve for a ``(k, N)`` stack.
+
+        ``L`` is the nested-dissection factor of the permuted matrix, so
+        individual solutions differ from the sequential ``pobtas_lt`` —
+        but ``x = L^{-T} z`` has covariance exactly ``A^{-1}``, which is
+        the sampling contract (see
+        :func:`repro.structured.d_pobtas.d_pobtas_lt`).  One Allgather
+        round per stack.
+        """
+        stack, squeeze = as_rhs_stack(rhs_stack, self.N)
+        tip = stack[:, self.n * self.b :]
+
+        def rank_fn(comm):
+            f = self._rank_factors(comm)
+            b = self.b
+            return d_pobtas_lt_stack(
+                f,
+                stack[:, f.part.start * b : f.part.stop * b],
+                tip,
+                comm,
+                batched=self.batched,
+            )
+
+        out = _run_spmd_spd(self.P, rank_fn)
+        x = np.concatenate([o[0] for o in out] + [out[0][1]], axis=1)
+        return x[0] if squeeze else x
+
+    def selected_inverse_diagonal(self) -> np.ndarray:
+        """Diagonal of ``A^{-1}`` (communication-free per rank; cached)."""
+        if self._selinv_diag is None:
+
+            def rank_fn(comm):
+                xi = d_pobtasi(self._rank_factors(comm), batched=self.batched)
+                return np.diagonal(xi.diag, axis1=1, axis2=2).ravel(), np.diagonal(xi.tip)
+
+            out = _run_spmd_spd(self.P, rank_fn)
+            self._selinv_diag = np.concatenate([o[0] for o in out] + [out[0][1]])
+        return self._selinv_diag.copy()
+
+    def solve_and_selected_inverse_diagonal(self, rhs: np.ndarray) -> tuple:
+        """``(x, var)`` from one SPMD epoch over the stored factors."""
+        rhs = np.asarray(rhs, dtype=np.float64)
+        tip = rhs[self.n * self.b :]
+
+        def rank_fn(comm):
+            f = self._rank_factors(comm)
+            xl, xt = d_pobtas(f, self._local(rhs, f), tip, comm, batched=self.batched)
+            xi = d_pobtasi(f, batched=self.batched)
+            return xl, xt, np.diagonal(xi.diag, axis1=1, axis2=2).ravel(), np.diagonal(xi.tip)
+
+        out = _run_spmd_spd(self.P, rank_fn)
+        x = np.concatenate([o[0] for o in out] + [out[0][1]])
+        var = np.concatenate([o[2] for o in out] + [out[0][3]])
+        if self._selinv_diag is None:
+            self._selinv_diag = var.copy()
+        return x, var
+
+    def sample(self, k: int, rng: np.random.Generator, *, mean: np.ndarray | None = None):
+        """``k`` exact draws from ``N(mean, A^{-1})``, row-major ``(k, N)``."""
+        if k < 1:
+            raise ValueError(f"need k >= 1 samples, got {k}")
+        z = rng.standard_normal((k, self.N))
+        x = self.solve_lt_stack(z)
+        if mean is not None:
+            x += np.asarray(mean, dtype=np.float64)[None, :]
+        return x
+
+
+def factorize(
+    A: BTAMatrix, *, overwrite: bool = False, batched: bool | None = None
+) -> BTAFactor:
+    """Factorize ``A = L L^T`` and return the sequential handle.
+
+    ``overwrite=True`` reuses ``A``'s storage for the factor (the
+    caller's matrix is destroyed) — the memory-lean mode of the INLA
+    objective, where precision matrices are rebuilt every evaluation.
+    """
+    return BTAFactor(chol=pobtaf(A, overwrite=overwrite, batched=batched), batched=batched)
+
+
+def d_factorize(
+    A: BTAMatrix, P: int, *, lb: float = 1.6, batched: bool | None = None
+) -> DistributedBTAFactor:
+    """Distributed factorization over ``P`` SPMD ranks, returning the handle.
+
+    One collective ``d_pobtaf`` epoch; the per-rank factors (and the
+    redundantly factorized reduced system) persist on the handle for
+    every later solve / selected-inversion / sampling round.  The global
+    log-determinant is computed in the same epoch — it costs one scalar
+    Allreduce against the already-synchronized ranks — and cached.
+    """
+    if P < 1:
+        raise ValueError(f"P must be >= 1, got {P}")
+    slices = partition_matrix(A, P, lb=lb)
+
+    def rank_fn(comm):
+        f = d_pobtaf(slices[comm.Get_rank()], comm, batched=batched)
+        return f, f.logdet(comm, batched=batched)
+
+    out = _run_spmd_spd(P, rank_fn)
+    return DistributedBTAFactor(
+        shape3=A.shape3,
+        factors=[o[0] for o in out],
+        batched=batched,
+        _logdet=out[0][1],
+    )

@@ -38,7 +38,7 @@ import numpy as np
 from repro.backend.array_module import batched_enabled
 from repro.comm.communicator import Communicator
 from repro.structured.d_pobtaf import DistributedFactors
-from repro.structured.d_pobtas import d_pobtas
+from repro.structured.d_pobtas import d_pobtas, d_pobtas_lt
 from repro.structured.pobtaf import BTACholesky
 from repro.structured.pobtas import (
     backward_sweep_panels,
@@ -52,6 +52,7 @@ __all__ = [
     "pobtas_stack",
     "pobtas_lt_stack",
     "d_pobtas_stack",
+    "d_pobtas_lt_stack",
 ]
 
 
@@ -72,31 +73,53 @@ def as_rhs_stack(stack: np.ndarray, N: int) -> tuple:
     return stack, squeeze
 
 
-def _to_panels(chol: BTACholesky, stack: np.ndarray) -> tuple:
+def _to_panels(chol: BTACholesky, stack: np.ndarray, workspace: np.ndarray | None) -> tuple:
     """``(k, N)`` stack -> contiguous ``(N, k)`` columns + panel views.
 
-    Always copies: the sweeps run in place on the returned buffer, and for
-    degenerate shapes (``k = 1``) ``ascontiguousarray(stack.T)`` would
-    alias the caller's memory.
+    Always copies the stack out of the caller's memory: the sweeps run in
+    place on the returned buffer, and for degenerate shapes (``k = 1``)
+    ``ascontiguousarray(stack.T)`` would alias it.  A ``workspace`` — a
+    C-contiguous ``(N, k)`` buffer owned by a factor handle — is reused
+    as that buffer, making the sweep allocation-free per call; results
+    are copied out before return, so the buffer never escapes.
     """
     L = chol.factor
     n, b = L.n, L.b
-    cols = np.array(stack.T, order="C", copy=True)
+    if workspace is not None and workspace.shape == (stack.shape[1], stack.shape[0]):
+        cols = workspace
+        cols[...] = stack.T
+    else:
+        cols = np.array(stack.T, order="C", copy=True)
     return cols, cols[: n * b].reshape(n, b, -1), cols[n * b :]
 
 
-def _from_panels(cols: np.ndarray, squeeze: bool) -> np.ndarray:
-    return cols[:, 0] if squeeze else np.ascontiguousarray(cols.T)
+def _from_panels(cols: np.ndarray, squeeze: bool, *, owned: bool) -> np.ndarray:
+    if squeeze:
+        # cols[:, 0] aliases the sweep buffer; only safe to hand out when
+        # the buffer was allocated for this call.
+        return cols[:, 0] if owned else cols[:, 0].copy()
+    if owned:
+        return np.ascontiguousarray(cols.T)
+    # A reused workspace must never escape: for k = 1 the transposed
+    # (1, N) view is already flagged contiguous, so ascontiguousarray
+    # would return the alias — force the copy.
+    return np.array(cols.T, order="C", copy=True)
 
 
 def pobtas_stack(
-    chol: BTACholesky, stack: np.ndarray, *, batched: bool | None = None
+    chol: BTACholesky,
+    stack: np.ndarray,
+    *,
+    batched: bool | None = None,
+    workspace: np.ndarray | None = None,
 ) -> np.ndarray:
     """Solve ``A X^T = stack^T`` for a row-major ``(k, N)`` RHS stack.
 
     Returns the solutions in the same row-major layout.  On the batched
     path all ``k`` right-hand sides share one forward + one backward
     loop-carried pass; the reference path loops the per-RHS solver.
+    ``workspace`` optionally supplies the ``(N, k)`` sweep buffer (see
+    :class:`repro.structured.factor.BTAFactor`).
     """
     L = chol.factor
     stack, squeeze = as_rhs_stack(stack, L.N)
@@ -105,14 +128,18 @@ def pobtas_stack(
     if not batched_enabled(batched):
         out = np.stack([pobtas(chol, stack[j], batched=False) for j in range(stack.shape[0])])
         return out[0] if squeeze else out
-    cols, xb, xt = _to_panels(chol, stack)
+    cols, xb, xt = _to_panels(chol, stack, workspace)
     forward_sweep_panels(chol, xb, xt, L.a, L.n)
     backward_sweep_panels(chol, xb, xt, L.a, L.n)
-    return _from_panels(cols, squeeze)
+    return _from_panels(cols, squeeze, owned=cols is not workspace)
 
 
 def pobtas_lt_stack(
-    chol: BTACholesky, stack: np.ndarray, *, batched: bool | None = None
+    chol: BTACholesky,
+    stack: np.ndarray,
+    *,
+    batched: bool | None = None,
+    workspace: np.ndarray | None = None,
 ) -> np.ndarray:
     """Backward-only stacked solve ``L^T X^T = stack^T`` (row-major).
 
@@ -129,9 +156,9 @@ def pobtas_lt_stack(
             [pobtas_lt(chol, stack[j], batched=False) for j in range(stack.shape[0])]
         )
         return out[0] if squeeze else out
-    cols, xb, xt = _to_panels(chol, stack)
+    cols, xb, xt = _to_panels(chol, stack, workspace)
     backward_sweep_panels(chol, xb, xt, L.a, L.n)
-    return _from_panels(cols, squeeze)
+    return _from_panels(cols, squeeze, owned=cols is not workspace)
 
 
 def d_pobtas_stack(
@@ -159,6 +186,43 @@ def d_pobtas_stack(
             f"tip stack height {stack_tip.shape[0]} != rhs stack height {stack_local.shape[0]}"
         )
     xl, xt = d_pobtas(
+        factors,
+        np.ascontiguousarray(stack_local.T),
+        np.ascontiguousarray(stack_tip.T),
+        comm,
+        batched=batched,
+    )
+    if squeeze:
+        return xl[:, 0], xt[:, 0]
+    return np.ascontiguousarray(xl.T), np.ascontiguousarray(xt.T)
+
+
+def d_pobtas_lt_stack(
+    factors: DistributedFactors,
+    stack_local: np.ndarray,
+    stack_tip: np.ndarray,
+    comm: Communicator,
+    *,
+    batched: bool | None = None,
+) -> tuple:
+    """Row-major stacked interface to the distributed ``L^T`` solve.
+
+    The S3-scale sampling primitive: ``k`` standard-normal rows become
+    ``k`` exact draws from ``N(0, A^{-1})`` (``L`` is the
+    nested-dissection factor — see
+    :func:`repro.structured.d_pobtas.d_pobtas_lt`) with **one**
+    ``Allgather`` round for the whole stack instead of one per draw.
+    ``stack_local`` is ``(k, nl b)`` — this rank's slice of every RHS —
+    and ``stack_tip`` the replicated ``(k, a)`` tip stack.
+    """
+    nl_b = factors.part.n_blocks * factors.b
+    stack_local, squeeze = as_rhs_stack(stack_local, nl_b)
+    stack_tip, _ = as_rhs_stack(stack_tip, factors.a)
+    if stack_tip.shape[0] != stack_local.shape[0]:
+        raise ValueError(
+            f"tip stack height {stack_tip.shape[0]} != rhs stack height {stack_local.shape[0]}"
+        )
+    xl, xt = d_pobtas_lt(
         factors,
         np.ascontiguousarray(stack_local.T),
         np.ascontiguousarray(stack_tip.T),

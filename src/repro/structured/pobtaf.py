@@ -30,11 +30,13 @@ Two execution paths (same math, same flop count — see
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.backend.array_module import batched_enabled
+from repro.backend.protocol import Backend, backend_for
 from repro.structured import batched as bk
 from repro.structured.bta import BTAMatrix
 from repro.structured.kernels import (
@@ -42,6 +44,35 @@ from repro.structured.kernels import (
     logdet_from_chol_diag,
     right_solve_lower_t,
 )
+
+
+class _FactorizationCounter:
+    """Thread-safe count of ``pobtaf`` calls (factorizations).
+
+    The handle API's amortization contract — one factorization feeding
+    logdet, solves, selected inversion and sampling — is asserted by
+    tests through this counter (e.g. ``FobjEvaluator`` performs exactly
+    one ``pobtaf`` per precision matrix per theta).  The lock matters:
+    S1/S2 evaluate objectives from a thread pool.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def increment(self) -> None:
+        with self._lock:
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+
+#: Process-wide ``pobtaf`` call counter (monotonic; diff around a region
+#: to count the factorizations it performed).
+FACTORIZATIONS = _FactorizationCounter()
 
 
 def _flatten_arrow(arrow: np.ndarray) -> np.ndarray:
@@ -61,6 +92,15 @@ class BTACholesky:
     factor: BTAMatrix
     _diag_inv: np.ndarray | None = field(default=None, repr=False, compare=False)
     _arrow_flat: np.ndarray | None = field(default=None, repr=False, compare=False)
+    #: Backend the factor's block stacks live on (resolved lazily from the
+    #: arrays when not set at construction); threaded through every
+    #: batched sweep so kernels never re-infer it per call.
+    backend: Backend | None = field(default=None, repr=False, compare=False)
+
+    def get_backend(self) -> Backend:
+        if self.backend is None:
+            self.backend = backend_for(self.factor.diag)
+        return self.backend
 
     @property
     def n(self) -> int:
@@ -85,7 +125,9 @@ class BTACholesky:
         every per-block triangular solve as a batched GEMM.
         """
         if self._diag_inv is None:
-            self._diag_inv = bk.batched_tri_inverse_lower(self.factor.diag)
+            self._diag_inv = bk.batched_tri_inverse_lower(
+                self.factor.diag, backend=self.get_backend()
+            )
         return self._diag_inv
 
     def arrow_flat(self) -> np.ndarray:
@@ -103,9 +145,10 @@ class BTACholesky:
         """``log det A = 2 sum_i log diag(L)_i`` — the quantity INLA needs
         for every GMRF log-density evaluation (paper Eq. 1/3)."""
         if bk.batched_enabled(batched):
-            total = bk.batched_logdet_from_chol_diag(self.factor.diag)
+            be = self.get_backend()
+            total = bk.batched_logdet_from_chol_diag(self.factor.diag, backend=be)
             if self.a:
-                total += bk.batched_logdet_from_chol_diag(self.factor.tip)
+                total += bk.batched_logdet_from_chol_diag(self.factor.tip, backend=be)
             return total
         total = 0.0
         for i in range(self.n):
@@ -239,9 +282,13 @@ def pobtaf(
     NotPositiveDefiniteError
         If any Schur-complemented diagonal block is not positive definite.
     """
+    FACTORIZATIONS.increment()
+    backend = backend_for(A.diag)
     L = A if overwrite else A.copy()
     if batched_enabled(batched):
         inv, arrow_flat = _pobtaf_batched(L)
-        return BTACholesky(factor=L, _diag_inv=inv, _arrow_flat=arrow_flat)
+        return BTACholesky(
+            factor=L, _diag_inv=inv, _arrow_flat=arrow_flat, backend=backend
+        )
     _pobtaf_blocked(L)
-    return BTACholesky(factor=L)
+    return BTACholesky(factor=L, backend=backend)

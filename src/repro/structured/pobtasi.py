@@ -138,6 +138,75 @@ def _pobtasi_batched(chol: BTACholesky, X: BTAMatrix, xb=None, xt=None) -> None:
         X.diag[i] = bk.symmetrize(acc_diag @ inv_i)
 
 
+def _pobtasi_batched_diag(chol: BTACholesky, xb=None, xt=None) -> np.ndarray:
+    """Diagonal-only Takahashi recursion (carry-based, no ``X`` stacks).
+
+    Every production consumer of the selected inverse — marginal
+    variances, exceedance probabilities, the fused mean+variance pass —
+    reads only ``diag(A^{-1})``; the full block pattern is needed for
+    validation only.  This variant runs the *same* per-step operations as
+    :func:`_pobtasi_batched` (same expressions, same order — the
+    returned diagonal is bit-identical) but keeps the ``X[i+1, i+1]`` /
+    ``X[t, i+1]`` blocks as loop carries instead of materializing the
+    full ``O(n b^2)`` inverse: no block-stack allocation, and the working
+    set per step stays cache-resident.  Flop count is unchanged
+    (:func:`repro.perfmodel.flops.bta_selected_inversion_flops`).
+
+    Optional ``xb``/``xt`` fuse the backward substitution of a solve
+    into the recursion, exactly like :func:`_pobtasi_batched`.
+    """
+    L = chol.factor
+    n, b, a = L.n, L.b, L.a
+    inv = chol.diag_inverses()
+    fused = xb is not None
+    out = np.empty(L.N)
+
+    tt = None
+    if a:
+        tip_inv = bk.tri_inverse_lower_block(L.tip)
+        tt = tip_inv.T @ tip_inv
+        out[n * b :] = np.diagonal(tt)
+        if fused:
+            xt[...] = bk.solve_lower_t_block(L.tip, xt)
+            x_flat = xb.reshape(n * b, -1)
+            x_flat -= chol.arrow_flat().T @ xt
+
+    cur = None  # backward-solve carry (solution panel of block i + 1)
+    x_next = None  # X[i+1, i+1] carry
+    xa_next = None  # X[t, i+1] carry
+    for i in range(n - 1, -1, -1):
+        inv_i = inv[i]
+        has_next = i + 1 < n
+        lo = L.lower[i] if has_next else None
+        ar = L.arrow[i] if a else None
+
+        if fused:
+            cur = inv_i.T @ (xb[i] - lo.T @ cur) if has_next else inv_i.T @ xb[i]
+            xb[i] = cur
+
+        x_off = None
+        if has_next:
+            acc_next = x_next @ lo
+            if a:
+                acc_next += xa_next.T @ ar
+            x_off = -(acc_next @ inv_i)
+            if a:
+                xa = -((xa_next @ lo + tt @ ar) @ inv_i)
+        elif a:
+            xa = -(tt @ ar @ inv_i)
+
+        acc_diag = inv_i.T.copy()
+        if has_next:
+            acc_diag -= x_off.T @ lo
+        if a:
+            acc_diag -= xa.T @ ar
+        x_next = bk.symmetrize(acc_diag @ inv_i)
+        if a:
+            xa_next = xa
+        out[i * b : (i + 1) * b] = np.diagonal(x_next)
+    return out
+
+
 def pobtasi(chol: BTACholesky, *, batched: bool | None = None) -> BTAMatrix:
     """Selected inverse of the BTA matrix factorized in ``chol``.
 
@@ -188,5 +257,42 @@ def pobtasi_with_solve(
 
 
 def selected_inverse_diagonal(chol: BTACholesky, *, batched: bool | None = None) -> np.ndarray:
-    """Scalar diagonal of ``A^{-1}`` (the posterior marginal variances)."""
-    return pobtasi(chol, batched=batched).diagonal()
+    """Scalar diagonal of ``A^{-1}`` (the posterior marginal variances).
+
+    On the batched path this runs the carry-based diagonal-only recursion
+    (:func:`_pobtasi_batched_diag`) — bit-identical values to
+    ``pobtasi(chol).diagonal()`` without materializing the full selected
+    inverse.  The reference path keeps the full per-block recursion as
+    ground truth.
+    """
+    if batched_enabled(batched):
+        return _pobtasi_batched_diag(chol)
+    return pobtasi(chol, batched=False).diagonal()
+
+
+def solve_and_selected_inverse_diagonal(
+    chol: BTACholesky, rhs: np.ndarray, *, batched: bool | None = None
+) -> tuple:
+    """``(x, var)`` — conditional mean and marginal variances, fused.
+
+    The INLA marginals' hot pair, via the diagonal-only Takahashi
+    recursion with the solve's backward substitution riding the same
+    loop (the carry-based analogue of :func:`pobtasi_with_solve`).
+    ``rhs`` may be a vector ``(N,)`` or columns ``(N, k)``.  The
+    reference path runs the two per-block passes separately.
+    """
+    from repro.structured.pobtas import _prepare, forward_sweep_panels
+
+    if not batched_enabled(batched):
+        from repro.structured.pobtas import pobtas
+
+        return (
+            pobtas(chol, rhs, batched=False),
+            pobtasi(chol, batched=False).diagonal(),
+        )
+
+    L = chol.factor
+    _, x, xb, xt, squeeze = _prepare(chol, rhs)
+    forward_sweep_panels(chol, xb, xt, L.a, L.n)
+    var = _pobtasi_batched_diag(chol, xb=xb, xt=xt)
+    return (x[:, 0] if squeeze else x), var

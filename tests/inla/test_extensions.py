@@ -18,6 +18,32 @@ def posterior():
 
 
 class TestLatentPosterior:
+    def test_holds_one_factor_for_everything(self, posterior, rng):
+        """Sampling, predictive sd, and exceedance all reuse the one
+        factorization handle built by LatentPosterior.at (zero further
+        pobtaf calls)."""
+        from repro.structured.pobtaf import FACTORIZATIONS
+
+        model, gt, post = posterior
+        c0 = FACTORIZATIONS.count
+        post.sample(8, rng)
+        post.predict(np.array([[8.0, 45.0]]), np.array([1]), v=0)
+        post.exceedance_probability(0.5)
+        assert FACTORIZATIONS.count == c0
+
+    def test_legacy_chol_accessor(self, posterior):
+        _, _, post = posterior
+        assert post.chol is post.factor.chol
+
+    def test_solver_backed_construction(self, posterior):
+        """An explicit (distributed) solver backs the handle; the mean
+        agrees with the default sequential construction."""
+        from repro.inla.solvers import DistributedSolver
+
+        model, gt, post = posterior
+        post_d = LatentPosterior.at(model, gt.theta, solver=DistributedSolver(2))
+        assert np.allclose(post_d.mean(), post.mean(), atol=1e-8)
+
     def test_mean_matches_dense_solve(self, posterior):
         model, gt, post = posterior
         qp, qc, rhs, _ = model.assemble_sparse(gt.theta)

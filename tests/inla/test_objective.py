@@ -104,3 +104,40 @@ class TestObjectiveExactness:
         f_truth = evaluate_fobj(model, gt.theta).value
         f_far = evaluate_fobj(model, gt.theta + 1.5).value
         assert f_truth > f_far
+
+
+class TestFactorizationCount:
+    """The handle rewiring's amortization contract, asserted exactly."""
+
+    def test_one_pobtaf_per_matrix_per_theta(self, tiny_uni_model):
+        """One objective evaluation = exactly 2 pobtafs (Qp and Qc):
+        the Qc handle shares one factorization between logdet and the
+        conditional-mean solve."""
+        from repro.structured.pobtaf import FACTORIZATIONS
+
+        model, gt, _ = tiny_uni_model
+        c0 = FACTORIZATIONS.count
+        evaluate_fobj(model, gt.theta, solver=SequentialSolver())
+        assert FACTORIZATIONS.count == c0 + 2
+
+    def test_evaluator_batch_count(self, tiny_uni_model):
+        """A full gradient stencil (2d + 1 points) factorizes exactly
+        2 (2d + 1) times — one pobtaf per (theta, matrix) pair."""
+        from repro.inla.evaluator import FobjEvaluator
+        from repro.structured.pobtaf import FACTORIZATIONS
+
+        model, gt, _ = tiny_uni_model
+        ev = FobjEvaluator(model, solver=SequentialSolver())
+        d = gt.theta.size
+        c0 = FACTORIZATIONS.count
+        ev.value_and_gradient(gt.theta, h=1e-4)
+        assert FACTORIZATIONS.count == c0 + 2 * (2 * d + 1)
+
+    def test_marginals_single_factorization(self, tiny_uni_model):
+        """Means + variances at the mode: one pobtaf, not two."""
+        from repro.structured.pobtaf import FACTORIZATIONS
+
+        model, gt, _ = tiny_uni_model
+        c0 = FACTORIZATIONS.count
+        latent_marginals(model, gt.theta, SequentialSolver())
+        assert FACTORIZATIONS.count == c0 + 1

@@ -160,6 +160,31 @@ class TestDALIAEndToEnd:
         assert np.all(np.isfinite(pred))
 
 
+class TestModePosteriorReuse:
+    def test_posterior_reuses_mode_factorization(self, tiny_uni_model):
+        """fit() leaves one Qc(theta*) handle behind; posterior sampling,
+        predictive sd and exceedance run off it with zero further
+        pobtaf calls."""
+        from repro.structured.pobtaf import FACTORIZATIONS
+
+        model, gt, _ = tiny_uni_model
+        engine = DALIA(model)
+        res = engine.fit(theta0=gt.theta, options=BFGSOptions(max_iter=3))
+        c0 = FACTORIZATIONS.count
+        post = engine.posterior(res)
+        assert post is engine.posterior(res)  # cached, not rebuilt
+        draws = post.sample(4, np.random.default_rng(0))
+        post.exceedance_probability(0.0)
+        assert draws.shape == (4, model.N)
+        assert FACTORIZATIONS.count == c0
+
+    def test_posterior_without_fit_requires_result(self, tiny_uni_model):
+        model, _, _ = tiny_uni_model
+        engine = DALIA(model)
+        with pytest.raises(ValueError):
+            engine.posterior()
+
+
 class TestTrivariateFit:
     def test_trivariate_converges_and_recovers_correlations(self):
         from repro.model.datasets import make_dataset

@@ -5,9 +5,13 @@ import pytest
 
 from repro.perfmodel.calibrate import (
     KernelSample,
+    PotrfSplitSample,
     calibrated_host_machine,
     fit_efficiency_law,
     measure_factorization,
+    measure_potrf_split,
+    print_potrf_recommendation,
+    recommend_potrf_split,
 )
 
 
@@ -52,3 +56,28 @@ class TestEndToEnd:
         t1 = m.kernel_time(1e9, 16)
         t2 = m.kernel_time(2e9, 16)
         assert 0 < t1 < t2
+
+
+class TestPotrfSplitCalibration:
+    def test_measurement_shape(self):
+        samples = measure_potrf_split((16, 32), repeats=1)
+        assert [s.b for s in samples] == [16, 32]
+        for s in samples:
+            assert s.t_direct > 0 and s.t_split > 0 and s.speedup > 0
+
+    def test_recommendation_logic(self):
+        """The threshold is the smallest size from which wins persist."""
+        mk = lambda b, x: PotrfSplitSample(b=b, t_direct=x, t_split=1.0)  # noqa: E731
+        # Wins from 128 up; a noisy early win at 48 must not set it.
+        samples = [mk(32, 0.5), mk(48, 1.5), mk(64, 0.9), mk(128, 1.2), mk(256, 1.3)]
+        assert recommend_potrf_split(samples) == 128
+        # Never wins -> None (keep the default).
+        assert recommend_potrf_split([mk(64, 0.8), mk(128, 0.9)]) is None
+        # Always wins -> smallest measured size.
+        assert recommend_potrf_split([mk(64, 1.5), mk(128, 1.4)]) == 64
+
+    def test_print_recommendation_smoke(self, capsys):
+        rec = print_potrf_recommendation((16, 32), repeats=1)
+        out = capsys.readouterr().out
+        assert "blocked-POTRF crossover" in out
+        assert rec is None or ("REPRO_POTRF_SPLIT" in out and rec in (16, 32))

@@ -179,6 +179,17 @@ class TestWorkflowSemantics:
         ]
         assert any("--bench-smoke" in r for r in runs)
         assert any("bench_multirhs" in r for r in runs)
+        assert any("bench_factor_reuse" in r for r in runs)
+
+    def test_pip_cache_enabled(self):
+        """Every python setup caches pip (keyed on pyproject.toml)."""
+        doc = _load_workflow()
+        for name, job in doc["jobs"].items():
+            for step in job["steps"]:
+                if step.get("uses", "").startswith("actions/setup-python"):
+                    with_ = step.get("with", {})
+                    assert with_.get("cache") == "pip", f"no pip cache in {name!r}"
+                    assert with_.get("cache-dependency-path") == "pyproject.toml"
 
     def test_lint_job_first(self):
         doc = _load_workflow()
