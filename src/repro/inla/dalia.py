@@ -59,9 +59,25 @@ class DALIA:
         explicit solver is used for every phase.
     s1_workers:
         Parallel width for objective-function batches (strategy S1;
-        saturates at ``2 dim(theta) + 1``).
+        saturates at ``2 dim(theta) + 1``).  On the sequential host path
+        the evaluator replaces the per-point thread pool with
+        theta-batched ``pobtaf`` sweeps — one batched factorization per
+        precision matrix for the whole stencil
+        (:func:`repro.structured.multifactor.factorize_batch`); the pool
+        remains the fallback for distributed solvers and infeasible
+        batches.
     s2_parallel:
-        Factorize ``Qp`` and ``Qc`` concurrently (strategy S2).
+        Factorize ``Qp`` and ``Qc`` concurrently (strategy S2; per-point
+        path only).
+    batch_stencils:
+        Force (True) / disable (False) the theta-batched stencil sweep;
+        None follows the solver type and ``REPRO_BATCHED``.
+    cache_size:
+        Theta-keyed LRU capacity on the evaluator: the line search and
+        convergence checks revisit thetas, and hits skip assembly and
+        factorization entirely (None auto-sizes to two gradient
+        stencils; the mode's retained ``Qc`` handle additionally feeds
+        the latent posterior).
     """
 
     def __init__(
@@ -71,6 +87,8 @@ class DALIA:
         solver: StructuredSolver | None = None,
         s1_workers: int = 1,
         s2_parallel: bool = False,
+        batch_stencils: bool | None = None,
+        cache_size: int | None = None,
     ):
         self.model = model
         shape = model.permutation.bta_shape
@@ -84,6 +102,8 @@ class DALIA:
             solver=self.solver,
             s1_workers=min(s1_workers, model.layout.n_feval),
             s2_parallel=s2_parallel,
+            batch_stencils=batch_stencils,
+            cache_size=cache_size,
         )
 
     def default_start(self) -> np.ndarray:
@@ -102,6 +122,11 @@ class DALIA:
         theta0 = self.default_start() if theta0 is None else np.asarray(theta0, dtype=np.float64)
         opt = bfgs_minimize(self.evaluator, theta0, options)
 
+        # The final accepted line-search evaluation retained its Qc handle
+        # on the evaluator's LRU; grab it before the Hessian batch floods
+        # the cache so the mode posterior can reuse the factorization.
+        mode_factor = self.evaluator.cached_factor(opt.theta)
+
         H = fd_hessian(self.evaluator, opt.theta, h=hessian_step, f_center=opt.fobj)
         precision = hyperparameter_precision(H)
         cov = np.linalg.inv(precision)
@@ -109,12 +134,13 @@ class DALIA:
 
         latent = None
         if compute_latent:
-            # One assembly + one factorization of Qc(theta*) serve the
-            # conditional-mean solve, the Takahashi variances, and — via
-            # `posterior()` — any later joint sampling: the handle is
-            # cached on the engine.
+            # One factorization of Qc(theta*) serves the conditional-mean
+            # solve, the Takahashi variances, and — via `posterior()` —
+            # any later joint sampling: the handle is cached on the
+            # engine, and when the optimizer's last line-search handle is
+            # still on the LRU even that factorization is skipped.
             self._mode_posterior = LatentPosterior.at(
-                self.model, opt.theta, solver=self.marginal_solver
+                self.model, opt.theta, solver=self.marginal_solver, factor=mode_factor
             )
             latent = self._mode_posterior.marginals()
 

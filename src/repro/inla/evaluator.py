@@ -2,22 +2,49 @@
 
 One BFGS iteration needs ``nfeval = 2 dim(theta) + 1`` objective values
 (the central-difference stencil plus the center, paper Eq. 10); they are
-embarrassingly parallel.  :class:`FobjEvaluator` fans a batch out over a
-thread pool of ``s1`` workers — NumPy's LAPACK releases the GIL, so the
-factorizations genuinely overlap, mirroring the paper's MPI groups
-``G_S1``.  The aggregated values correspond to the paper's ``AllReduce``
-(the ``(+)`` in Fig. 3a).
+embarrassingly parallel.  :class:`FobjEvaluator` exploits that two ways:
+
+- **theta-batched stencil sweeps** (the default on the sequential host
+  path): all stencil points share the exact same BTA block structure and
+  differ only in values, so the evaluator assembles the theta-stacked
+  ``Qp`` / ``Qc`` matrices and drives
+  :func:`repro.structured.multifactor.factorize_batch` — **one** batched
+  ``pobtaf`` sweep per precision matrix for the whole batch (2 sweeps
+  per stencil instead of ``2 (2 d + 1)``), with all log-determinants and
+  conditional-mean solves coming out of theta-batched passes.  This is
+  the shape a device backend wants: one fat kernel launch per chain step
+  instead of ``2 d + 1`` thin ones.
+- **thread-pooled per-point evaluation** (the fallback): a pool of
+  ``s1`` workers, mirroring the paper's MPI groups ``G_S1`` — NumPy's
+  LAPACK releases the GIL, so the factorizations genuinely overlap.
+  Used for distributed (S3) solvers, subclassed engines, pinned
+  per-block kernels, and to resolve which theta of a batch went
+  non-positive-definite.
+
+A **theta-keyed LRU cache** sits in front of both paths: the BFGS line
+search evaluates a candidate, then — on acceptance — the gradient
+stencil revisits the same point as its center; convergence checks revisit
+the mode.  Cache hits skip assembly *and* factorization entirely
+(asserted against :data:`repro.structured.pobtaf.FACTORIZATIONS`), and
+the most recent entries additionally retain their ``Qc`` factorization
+handle (:meth:`cached_factor`) for downstream consumers.
 """
 
 from __future__ import annotations
 
+import os
+import threading
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from repro.inla.objective import FobjResult, evaluate_fobj
-from repro.inla.solvers import StructuredSolver
+from repro.backend.array_module import batched_enabled
+from repro.inla.objective import FobjResult, evaluate_fobj, finish_fobj_result
+from repro.inla.solvers import SequentialSolver, StructuredSolver
 from repro.model.assembler import CoregionalSTModel
+from repro.structured.kernels import NotPositiveDefiniteError
+from repro.structured.multifactor import factorize_batch
 
 
 def central_difference_directions(values: np.ndarray, f0: float, h: float) -> np.ndarray:
@@ -39,16 +66,75 @@ def central_difference_directions(values: np.ndarray, f0: float, h: float) -> np
         return (v[0::2] - v[1::2]) / (2.0 * h)
 
 
-class FobjEvaluator:
-    """Callable objective with batched parallel evaluation and counters.
+# Upper bound on thetas per batched sweep: the stacks hold all t matrices
+# at once (t x BTA bytes per precision matrix), so Hessian-sized batches
+# (2 d^2 + 1 points) are swept in chunks — gradient stencils (2 d + 1)
+# stay a single sweep for every realistic d.
+_BATCH_SWEEP_CHUNK = 64
 
-    Each stencil point factorizes its two precision matrices exactly once
-    through the solver's handle API (``solver.factorize``): the ``Qc``
-    handle serves both the logdet and the conditional-mean solve, so a
-    batch of ``2 d + 1`` points costs exactly ``2 (2 d + 1)`` ``pobtaf``
-    calls — asserted against
-    :data:`repro.structured.pobtaf.FACTORIZATIONS` by the objective
-    tests.
+# Auto-mode block-size ceiling for the theta-batched sweep on the host:
+# batching amortizes per-step kernel *dispatch*, which dominates for small
+# blocks (measured 1.6-2.4x for b <= 16, parity at b = 32, and a loss at
+# b = 64 where per-step LAPACK is compute-bound — see
+# benchmarks/results/multitheta.txt).  Explicit ``batch_stencils=True``
+# overrides; a device backend with genuinely batched kernels should too.
+_BATCH_STENCIL_MAX_B = 32
+
+
+def _batch_stencil_max_b() -> int:
+    """Auto-mode ceiling (``REPRO_BATCH_STENCIL_MAX_B`` overrides)."""
+    raw = os.environ.get("REPRO_BATCH_STENCIL_MAX_B", "").strip()
+    return int(raw) if raw else _BATCH_STENCIL_MAX_B
+
+
+class FobjEvaluator:
+    """Callable objective with batched stencil sweeps, an LRU, and counters.
+
+    Parameters
+    ----------
+    model:
+        The assembled latent Gaussian model.
+    solver:
+        Structured solver for the per-point path (None = sequential).
+        The theta-batched sweep runs only on the sequential batched-kernel
+        path; a distributed solver (or ``batched=False`` pin) keeps the
+        per-point evaluation.
+    s1_workers:
+        Thread-pool width of the per-point fallback path.
+    s2_parallel:
+        Factorize ``Qp`` / ``Qc`` of one point concurrently (per-point
+        path only; the batch sweep factorizes them back-to-back as two
+        theta-batched launches).
+    batch_stencils:
+        Force (True) or disable (False) the theta-batched stencil sweep;
+        None (default) enables it whenever the solver is sequential, the
+        batched kernel path is active (``REPRO_BATCHED``), and the block
+        size sits in the dispatch-bound regime where batching pays on
+        the host (``b <= 32``, override via
+        ``REPRO_BATCH_STENCIL_MAX_B`` — see
+        ``benchmarks/results/multitheta.txt`` for the measured
+        crossover).
+    cache_size:
+        Theta-keyed LRU capacity (0 disables caching).  Cache hits cost
+        zero assemblies and zero factorization sweeps.  The default
+        (None) auto-sizes to two gradient stencils
+        (``2 (2 d + 1) + 3`` entries) so a stencil batch cannot evict
+        its own center — the entry the line-search / gradient pattern
+        revisits.  Entries without a retained handle are a few scalars
+        each.
+    cached_factors:
+        How many of the most recent cache entries keep their ``Qc``
+        factorization handle alive (bounds the extra block-stack
+        memory).  Only single-point evaluations (``__call__`` — the
+        line-search / convergence pattern) retain handles; stencil
+        batches never do, on either path.
+
+    Accounting: a per-point evaluation runs exactly 2 ``pobtaf`` sweeps
+    (one per precision matrix, shared by logdet + solve through the
+    handle); a batch of ``m`` uncached points runs exactly 2 theta-batched
+    sweeps total; a cache hit runs none.  All asserted against
+    :data:`repro.structured.pobtaf.FACTORIZATIONS` by the objective and
+    evaluator tests.
     """
 
     def __init__(
@@ -58,15 +144,109 @@ class FobjEvaluator:
         solver: StructuredSolver | None = None,
         s1_workers: int = 1,
         s2_parallel: bool = False,
+        batch_stencils: bool | None = None,
+        cache_size: int | None = None,
+        cached_factors: int = 2,
     ):
         if s1_workers < 1:
             raise ValueError(f"s1_workers must be >= 1, got {s1_workers}")
+        if cache_size is None:
+            cache_size = 2 * model.layout.n_feval + 3
+        if cache_size < 0 or cached_factors < 0:
+            raise ValueError("cache_size and cached_factors must be >= 0")
         self.model = model
         self.solver = solver
         self.s1_workers = s1_workers
         self.s2_parallel = s2_parallel
+        self.batch_stencils = batch_stencils
+        self.cache_size = cache_size
+        self.cached_factors = cached_factors
         self.n_evaluations = 0
         self.n_batches = 0
+        self.n_batch_sweeps = 0
+        self.n_cache_hits = 0
+        self._cache: OrderedDict = OrderedDict()
+        self._cache_lock = threading.Lock()
+
+    # -- path selection ----------------------------------------------------
+
+    def _batch_capable(self) -> bool:
+        """True when the theta-batched sweep may replace per-point evals.
+
+        Subclassed engines (e.g. the sparse R-INLA baseline) override
+        ``_eval_one``; batching around them would silently bypass their
+        objective, so any override disables the sweep.  Distributed
+        solvers keep the per-point path (S1 stencil points have distinct
+        matrices per rank slice), as does an explicit ``batched=False``
+        kernel pin.
+        """
+        if type(self)._eval_one is not FobjEvaluator._eval_one:
+            return False
+        if self.solver is None:
+            return True
+        return isinstance(self.solver, SequentialSolver) and self.solver.batched is not False
+
+    def _use_batch(self, count: int) -> bool:
+        if count < 2 or not self._batch_capable():
+            return False
+        if self.batch_stencils is not None:
+            return self.batch_stencils
+        if not batched_enabled(None):
+            return False
+        # Auto mode stays per-point above the measured host crossover
+        # (dispatch amortization pays for b <= _BATCH_STENCIL_MAX_B).
+        return self.model.permutation.bta_shape.b <= _batch_stencil_max_b()
+
+    # -- theta-keyed LRU ---------------------------------------------------
+
+    @staticmethod
+    def _key(theta: np.ndarray) -> bytes:
+        return np.ascontiguousarray(theta, dtype=np.float64).tobytes()
+
+    def _cache_get(self, key: bytes) -> FobjResult | None:
+        if self.cache_size == 0:
+            return None
+        with self._cache_lock:
+            res = self._cache.get(key)
+            if res is not None:
+                self._cache.move_to_end(key)
+                self.n_cache_hits += 1
+            return res
+
+    def _cache_put(self, key: bytes, result: FobjResult) -> None:
+        if self.cache_size == 0:
+            return
+        with self._cache_lock:
+            self._cache[key] = result
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+            # Bound handle retention: only the newest `cached_factors`
+            # entries keep their Qc factor (the block stacks dominate an
+            # entry's footprint; the scalar result stays cached).
+            with_factor = [k for k, r in self._cache.items() if r.qc_factor is not None]
+            drop = len(with_factor) - self.cached_factors
+            for k in with_factor[:drop] if drop > 0 else ():
+                self._cache[k].qc_factor = None
+
+    def cached_factor(self, theta: np.ndarray):
+        """The retained ``Qc`` factorization handle for ``theta``, or None.
+
+        Only recent single-point evaluations retain handles (see
+        ``cached_factors``); a hit lets a consumer reuse the line-search
+        factorization at the same theta — :meth:`repro.inla.dalia.DALIA.fit`
+        builds the mode posterior from it, skipping one assembly-and-
+        factorization of ``Qc(theta*)``.
+        """
+        with self._cache_lock:
+            res = self._cache.get(self._key(np.asarray(theta, dtype=np.float64)))
+            return None if res is None else res.qc_factor
+
+    def clear_cache(self) -> None:
+        with self._cache_lock:
+            self._cache.clear()
+
+    # -- evaluation paths --------------------------------------------------
 
     def _eval_one(self, theta: np.ndarray) -> FobjResult:
         """Single objective evaluation (hook point for baseline engines)."""
@@ -79,25 +259,127 @@ class FobjEvaluator:
 
     def __call__(self, theta: np.ndarray) -> FobjResult:
         self.n_evaluations += 1
-        return self._eval_one(theta)
+        theta = np.asarray(theta, dtype=np.float64)
+        key = self._key(theta)
+        hit = self._cache_get(key)
+        if hit is not None:
+            return hit
+        # Only the single-point path retains the Qc handle: these are the
+        # line-search / convergence evaluations whose thetas get revisited
+        # (and whose factor DALIA's mode posterior reuses).  Stencil
+        # batches never retain — a pooled Hessian batch would otherwise
+        # hold one full factorization per point until the LRU trimmed it.
+        retain = (
+            self.cache_size > 0
+            and self.cached_factors > 0
+            and type(self)._eval_one is FobjEvaluator._eval_one
+        )
+        if retain:
+            res = evaluate_fobj(
+                self.model,
+                theta,
+                solver=self.solver,
+                s2_parallel=self.s2_parallel,
+                keep_factor=True,
+            )
+        else:
+            res = self._eval_one(theta)
+        self._cache_put(key, res)
+        return res
 
-    def eval_batch(self, thetas: list) -> list:
-        """Evaluate many stencil points; order of results matches input."""
-        self.n_batches += 1
-        self.n_evaluations += len(thetas)
+    def _eval_pooled(self, thetas: list) -> list:
+        """The historical per-point path: thread pool of ``s1`` workers."""
         if self.s1_workers == 1 or len(thetas) == 1:
             return [self._eval_one(t) for t in thetas]
         with ThreadPoolExecutor(max_workers=min(self.s1_workers, len(thetas))) as pool:
             futures = [pool.submit(self._eval_one, t) for t in thetas]
             return [f.result() for f in futures]
 
+    def _eval_batch_sweep(self, thetas: list) -> list | None:
+        """All stencil points through two theta-batched ``pobtaf`` sweeps.
+
+        Assembles every feasible point's system, stacks the ``Qp`` / ``Qc``
+        matrices, factorizes each stack in one batched sweep, and reads
+        all log-determinants and conditional means from theta-batched
+        passes; infeasible assemblies yield ``-inf`` rows.  Returns None
+        when any stacked matrix is not positive definite — the batched
+        Cholesky cannot tell *which* theta failed, so the caller resolves
+        the batch on the per-point path instead.
+        """
+        model = self.model
+        systems = []
+        for t in thetas:
+            try:
+                systems.append(model.assemble(t))
+            except (ValueError, FloatingPointError, OverflowError):
+                systems.append(None)
+        results = [FobjResult(theta=t, value=-np.inf) for t in thetas]
+        live = [j for j, s in enumerate(systems) if s is not None]
+        if not live:
+            return results
+        try:
+            qp_batch = factorize_batch([systems[j].qp for j in live])
+            qc_batch = factorize_batch([systems[j].qc for j in live])
+        except NotPositiveDefiniteError:
+            return None
+        self.n_batch_sweeps += 2
+        # The per-theta block stacks were copied into the batch; drop them
+        # (the memory-lean mirror of the per-point path's overwrite=True).
+        for j in live:
+            systems[j].qp = None
+            systems[j].qc = None
+        logdet_p = qp_batch.logdets()
+        logdet_c = qc_batch.logdets()
+        mu = qc_batch.solve_each(np.stack([systems[j].rhs for j in live]))
+        for i, j in enumerate(live):
+            results[j] = finish_fobj_result(
+                model,
+                thetas[j],
+                systems[j],
+                float(logdet_p[i]),
+                float(logdet_c[i]),
+                mu[i],
+            )
+        return results
+
+    def eval_batch(self, thetas: list) -> list:
+        """Evaluate many stencil points; order of results matches input.
+
+        Cached points are served first; the remainder goes through the
+        theta-batched sweep when eligible (two ``pobtaf`` sweeps for the
+        whole batch) and through the thread pool otherwise.
+        """
+        self.n_batches += 1
+        self.n_evaluations += len(thetas)
+        thetas = [np.asarray(t, dtype=np.float64) for t in thetas]
+        keys = [self._key(t) for t in thetas]
+        results: list = [self._cache_get(k) for k in keys]
+        missing = [j for j, r in enumerate(results) if r is None]
+        if not missing:
+            return results
+        todo = [thetas[j] for j in missing]
+        if self._use_batch(len(todo)):
+            out = []
+            # Chunking bounds the transient theta-stack memory (Hessian
+            # batches) and localizes an NPD fallback to its chunk.
+            for start in range(0, len(todo), _BATCH_SWEEP_CHUNK):
+                chunk = todo[start : start + _BATCH_SWEEP_CHUNK]
+                res = self._eval_batch_sweep(chunk)
+                out.extend(res if res is not None else self._eval_pooled(chunk))
+        else:
+            out = self._eval_pooled(todo)
+        for j, r in zip(missing, out):
+            results[j] = r
+            self._cache_put(keys[j], r)
+        return results
+
     def gradient_stencil(self, theta: np.ndarray, h: float) -> np.ndarray:
         """The ``2 d + 1`` stencil points of paper Eq. 10 (center last).
 
         Returned as one stacked ``(2 d + 1, d)`` array — rows interleave
         ``theta + h e_i`` / ``theta - h e_i`` — built by broadcasting
-        instead of a per-axis Python loop; ``eval_batch`` iterates the
-        rows.
+        instead of a per-axis Python loop; ``eval_batch`` consumes the
+        rows (as one theta-batched sweep on the host sequential path).
         """
         theta = np.asarray(theta, dtype=np.float64)
         d = theta.size
@@ -114,7 +396,9 @@ class FobjEvaluator:
         Returns ``(f_center, grad, center_result)``.  Non-finite stencil
         values are replaced by the center value, zeroing that direction's
         derivative estimate (the optimizer then relies on its line search
-        to stay in the feasible region).
+        to stay in the feasible region).  When the center was just
+        evaluated — the accepted point of a line search — the LRU serves
+        it and only the ``2 d`` displaced points are swept.
         """
         pts = self.gradient_stencil(theta, h)
         results = self.eval_batch(pts)

@@ -3,10 +3,13 @@
 The negative Hessian of ``fobj`` at ``theta*`` is the precision of the
 Gaussian approximation to ``p(theta | y)``.  Second-order central
 differences need ``2 d^2 + 1`` extra evaluations, all independent — they
-are dispatched as one parallel S1 batch, and every point runs one
-factorization handle per precision matrix (see
-:mod:`repro.inla.objective`); the stencil matrices differ per point, so
-nothing further amortizes across the batch.
+are dispatched as one S1 batch, which on the sequential host path the
+evaluator executes as **two theta-batched ``pobtaf`` sweeps** over the
+whole point stack (the matrices differ only in values, so the stencil
+stacks along a leading theta axis — see
+:mod:`repro.structured.multifactor`); on the per-point fallback every
+point runs one factorization handle per precision matrix
+(:mod:`repro.inla.objective`).
 """
 
 from __future__ import annotations

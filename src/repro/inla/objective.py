@@ -24,12 +24,12 @@ positive definite yield ``fobj = -inf`` so the optimizer backtracks.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.inla.solvers import SequentialSolver, StructuredSolver
-from repro.model.assembler import CoregionalSTModel
+from repro.model.assembler import AssembledSystem, CoregionalSTModel
 from repro.structured.kernels import NotPositiveDefiniteError
 
 
@@ -45,10 +45,51 @@ class FobjResult:
     logdet_qc: float = np.nan
     quad_qp: float = np.nan
     mu_perm: np.ndarray | None = None
+    #: The Qc factorization handle behind this evaluation, retained only
+    #: when requested (``keep_factor=True``) — the evaluator's theta-keyed
+    #: LRU keeps it on recent entries so revisits reuse the factor.
+    qc_factor: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def ok(self) -> bool:
         return np.isfinite(self.value)
+
+
+def finish_fobj_result(
+    model: CoregionalSTModel,
+    theta: np.ndarray,
+    sys: AssembledSystem,
+    logdet_p: float,
+    logdet_c: float,
+    mu_perm: np.ndarray,
+    *,
+    keep_mu: bool = False,
+    qc_factor=None,
+) -> FobjResult:
+    """Assemble Eq. 8 from the solver outputs of one stencil point.
+
+    Shared by the per-theta path below and the theta-batched stencil
+    sweep (:meth:`repro.inla.evaluator.FobjEvaluator.eval_batch`): given
+    the two log-determinants and the conditional mean, the remaining
+    terms — likelihood, prior, and the ``mu^T Qp mu`` quadrature via the
+    sparse matvec — are cheap per-theta vector work.
+    """
+    eta = model.linear_predictor(mu_perm)
+    log_lik = model.likelihood.logpdf(eta, sys.taus)
+    quad = float(mu_perm @ (sys.qp_csr @ mu_perm))
+    log_prior_theta = model.priors.logpdf(theta)
+    value = log_prior_theta + log_lik + 0.5 * logdet_p - 0.5 * quad - 0.5 * logdet_c
+    return FobjResult(
+        theta=theta,
+        value=float(value),
+        log_prior_theta=log_prior_theta,
+        log_likelihood=log_lik,
+        logdet_qp=logdet_p,
+        logdet_qc=logdet_c,
+        quad_qp=quad,
+        mu_perm=mu_perm if keep_mu else None,
+        qc_factor=qc_factor,
+    )
 
 
 def evaluate_fobj(
@@ -58,12 +99,16 @@ def evaluate_fobj(
     solver: StructuredSolver | None = None,
     s2_parallel: bool = False,
     keep_mu: bool = False,
+    keep_factor: bool = False,
 ) -> FobjResult:
     """Evaluate ``fobj(theta)`` (one stencil point of strategy S1).
 
     ``s2_parallel=True`` factorizes ``Qp`` and ``Qc`` concurrently in two
     threads (paper strategy S2 — valid because the Gaussian likelihood
-    makes the two matrices independent).
+    makes the two matrices independent).  ``keep_factor=True`` attaches
+    the ``Qc`` factorization handle to the result so a caching caller
+    (the evaluator's theta-keyed LRU) can serve later consumers at this
+    theta without refactorizing.
     """
     theta = np.asarray(theta, dtype=np.float64)
     solver = solver or SequentialSolver()
@@ -84,7 +129,7 @@ def evaluate_fobj(
 
     def factor_qc():
         f = solver.factorize(sys.qc, overwrite=True)
-        return f.logdet(), f.solve(sys.rhs)
+        return f, f.logdet(), f.solve(sys.rhs)
 
     try:
         if s2_parallel:
@@ -92,25 +137,20 @@ def evaluate_fobj(
                 fut_p = pool.submit(factor_qp)
                 fut_c = pool.submit(factor_qc)
                 logdet_p = fut_p.result()
-                logdet_c, mu_perm = fut_c.result()
+                fc, logdet_c, mu_perm = fut_c.result()
         else:
             logdet_p = factor_qp()
-            logdet_c, mu_perm = factor_qc()
+            fc, logdet_c, mu_perm = factor_qc()
     except NotPositiveDefiniteError:
         return FobjResult(theta=theta, value=-np.inf)
 
-    eta = model.linear_predictor(mu_perm)
-    log_lik = model.likelihood.logpdf(eta, sys.taus)
-    quad = float(mu_perm @ (sys.qp_csr @ mu_perm))
-    log_prior_theta = model.priors.logpdf(theta)
-    value = log_prior_theta + log_lik + 0.5 * logdet_p - 0.5 * quad - 0.5 * logdet_c
-    return FobjResult(
-        theta=theta,
-        value=float(value),
-        log_prior_theta=log_prior_theta,
-        log_likelihood=log_lik,
-        logdet_qp=logdet_p,
-        logdet_qc=logdet_c,
-        quad_qp=quad,
-        mu_perm=mu_perm if keep_mu else None,
+    return finish_fobj_result(
+        model,
+        theta,
+        sys,
+        logdet_p,
+        logdet_c,
+        mu_perm,
+        keep_mu=keep_mu,
+        qc_factor=fc if keep_factor else None,
     )

@@ -81,19 +81,26 @@ class LatentPosterior:
         theta: np.ndarray,
         *,
         solver: StructuredSolver | None = None,
+        factor=None,
     ) -> "LatentPosterior":
         """Factorize ``Qc(theta)`` once and solve for the conditional mean.
 
         ``solver`` selects the execution path for the handle (e.g. an S3
         :class:`~repro.inla.solvers.DistributedSolver`); the default is
-        the sequential factorization.
+        the sequential factorization.  An existing ``factor`` — a handle
+        for ``Qc(theta)``, e.g. the one the evaluator's theta-keyed LRU
+        retained from the final line-search evaluation
+        (:meth:`repro.inla.evaluator.FobjEvaluator.cached_factor`) —
+        skips the assembly's densification and the factorization
+        entirely; only the information vector is rebuilt for the mean.
         """
         sys = model.assemble(theta)
-        factor = (
-            solver.factorize(sys.qc, overwrite=True)
-            if solver is not None
-            else factorize(sys.qc, overwrite=True)
-        )
+        if factor is None:
+            factor = (
+                solver.factorize(sys.qc, overwrite=True)
+                if solver is not None
+                else factorize(sys.qc, overwrite=True)
+            )
         mu_perm = factor.solve(sys.rhs)
         return cls(
             model=model, theta=np.asarray(theta, float), factor=factor, mu_perm=mu_perm

@@ -11,10 +11,11 @@ The implementation keeps a sliding window of BFGS steps, builds the
 orthonormal frame ``G`` by modified Gram-Schmidt (newest direction
 first, completed with canonical axes), evaluates the central-difference
 directional derivatives along ``G``'s columns, and maps them back with
-``grad = G d``.  Each stencil point goes through the evaluator's
-handle-based objective (one factorization per precision matrix per
-point — the frame changes the *directions*, not the factorization
-count).
+``grad = G d``.  The stencil goes through the evaluator's batch path —
+on the sequential host path that is one theta-batched ``pobtaf`` sweep
+per precision matrix for the whole frame
+(:func:`repro.structured.multifactor.factorize_batch`); the frame
+changes the *directions*, not the sweep count.
 """
 
 from __future__ import annotations
@@ -76,10 +77,10 @@ class SmartGradient:
         """Central differences along the adaptive frame; one S1 batch.
 
         The ``2 d + 1`` stencil is built as one stacked array — rows
-        interleave ``theta ± h g_i`` over the frame's columns — and the
-        directional derivatives come out of one vectorized differencing
-        pass (:func:`central_difference_directions`), mirroring the
-        stacked-RHS layout the structured solvers batch over.
+        interleave ``theta ± h g_i`` over the frame's columns — consumed
+        by ``eval_batch`` as one theta-batched sweep on the host path,
+        and the directional derivatives come out of one vectorized
+        differencing pass (:func:`central_difference_directions`).
         """
         theta = np.asarray(theta, dtype=np.float64)
         d = theta.size

@@ -93,6 +93,44 @@ def bta_solve_lt_flops(
     return n * per_block + trsm_flops(a, k)
 
 
+def bta_batch_factorization_flops(
+    n_theta: int, n: int, b: int, a: int, *, batched: bool = False, stacked: bool = False
+) -> float:
+    """One theta-batched ``factorize_batch`` sweep over ``n_theta`` matrices.
+
+    *Linear in ``n_theta`` by contract*: stacking the stencil matrices
+    along a leading theta axis amortizes the ``n`` loop-carried chain
+    steps and the per-step kernel dispatch across the batch — the
+    arithmetic per matrix is exactly one ``pobtaf``.  ``stacked`` /
+    ``batched`` exist (like everywhere in this module) to make the
+    identity testable: one batched sweep and ``n_theta`` looped
+    factorizations must report the same flops, so calibration runs are
+    comparable regardless of which multi-theta strategy produced them.
+    """
+    del batched, stacked
+    return n_theta * bta_factorization_flops(n, b, a)
+
+
+def bta_batch_solve_flops(
+    n_theta: int,
+    n: int,
+    b: int,
+    a: int,
+    k: int = 1,
+    *,
+    batched: bool = False,
+    stacked: bool = False,
+) -> float:
+    """Theta-batched ``solve_each``: one RHS (or ``k``) per stacked matrix.
+
+    Linear in ``n_theta`` under the same stacked/looped identity contract
+    as :func:`bta_batch_factorization_flops` — the theta-batched panel
+    sweep performs exactly ``n_theta`` per-theta solves' arithmetic.
+    """
+    del batched, stacked
+    return n_theta * bta_solve_flops(n, b, a, k)
+
+
 def bta_selected_inversion_flops(n: int, b: int, a: int, *, batched: bool = False) -> float:
     """``pobtasi``: same order as the factorization; identical on both paths."""
     del batched

@@ -54,19 +54,22 @@ from repro.structured.factor import (
     d_factorize,
     factorize,
 )
+from repro.structured.multifactor import BTAFactorBatch, factorize_batch
 from repro.structured.d_pobtaf import DistributedFactors, d_pobtaf
 from repro.structured.d_pobtas import d_pobtas, d_pobtas_lt
-from repro.structured.d_pobtasi import d_pobtasi
+from repro.structured.d_pobtasi import d_pobtasi, d_pobtasi_diag
 from repro.structured.reduced_system import ReducedSystem
 
 __all__ = [
     "BTAMatrix",
     "BTAShape",
     "BTAFactor",
+    "BTAFactorBatch",
     "DistributedBTAFactor",
     "FACTORIZATIONS",
     "batched_enabled",
     "factorize",
+    "factorize_batch",
     "d_factorize",
     "Partition",
     "balanced_partitions",
@@ -85,5 +88,6 @@ __all__ = [
     "d_pobtas_stack",
     "d_pobtas_lt_stack",
     "d_pobtasi",
+    "d_pobtasi_diag",
     "ReducedSystem",
 ]

@@ -50,12 +50,14 @@ __all__ = [
     "NotPositiveDefiniteError",
     "batched_enabled",
     "batched_chol_lower",
+    "batched_chol_and_inverse",
     "batched_solve_lower",
     "batched_solve_lower_t",
     "batched_right_solve_lower",
     "batched_right_solve_lower_t",
     "batched_tri_inverse_lower",
     "batched_logdet_from_chol_diag",
+    "batched_logdets_from_chol_diag",
     "batched_gemm",
     "symmetrize",
     "chol_lower_block",
@@ -234,6 +236,33 @@ def chol_and_inverse_block(a, *, backend: Backend | None = None):
         return _chol_and_inverse_host(a, _potrf_split_min())
     c = batched_chol_lower(a, backend=be)
     return c, batched_tri_inverse_lower(c[None], backend=be)[0]
+
+
+def batched_chol_and_inverse(stack, *, backend: Backend | None = None):
+    """``(L_i, L_i^{-1})`` of an SPD block stack ``(m, b, b)``.
+
+    The multi-theta chain primitive: one theta-batched ``pobtaf`` sweep
+    (see :mod:`repro.structured.multifactor`) factorizes the stencil's
+    ``m`` independent diagonal blocks of step ``i`` in one call.  On the
+    LAPACK host path each block runs the *identical* fused recursion as
+    the single-block :func:`chol_and_inverse_block`, so a batch of one is
+    bit-for-bit the per-theta path; a device backend with
+    ``has_batched_potrf`` runs the stacked Cholesky plus the batched
+    triangular inversion instead.
+    """
+    be = _resolve(backend, stack)
+    m, b = stack.shape[0], stack.shape[-1]
+    if m == 0 or b == 0:
+        return stack.copy(), stack.copy()
+    if _lapack_path(be) and not be.has_batched_potrf:
+        split = _potrf_split_min()
+        chol = np.empty_like(stack)
+        inv = np.empty_like(stack)
+        for i in range(m):
+            chol[i], inv[i] = _chol_and_inverse_host(stack[i], split)
+        return chol, inv
+    chol = batched_chol_lower(stack, backend=be)
+    return chol, batched_tri_inverse_lower(chol, backend=be)
 
 
 # ---------------------------------------------------------------------------
@@ -464,3 +493,27 @@ def batched_logdet_from_chol_diag(l, *, backend: Backend | None = None) -> float
     if d.size and not np.isfinite(total):
         raise NotPositiveDefiniteError("non-positive diagonal in Cholesky factor")
     return 2.0 * total
+
+
+def batched_logdets_from_chol_diag(l, *, backend: Backend | None = None):
+    """Per-slab ``2 sum log diag(L)`` over a leading batch axis, one pass.
+
+    ``l`` is ``(t, ..., b, b)``; the return is the ``(t,)`` vector of
+    log-determinant contributions — the theta-batched analogue of
+    :func:`batched_logdet_from_chol_diag`, reducing each theta's factor
+    stack independently in a single vectorized sweep.  Raises
+    :class:`NotPositiveDefiniteError` if *any* slab has a non-positive
+    diagonal entry.
+    """
+    xp = _resolve(backend, l).xp
+    t = l.shape[0]
+    d = xp.diagonal(l, axis1=-2, axis2=-1)
+    # Flatten each slab so the per-row pairwise reduction visits the same
+    # contiguous elements in the same order as the single-factor scalar
+    # reduction above (bit-identical at t = 1).
+    d = xp.ascontiguousarray(d).reshape(t, -1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        totals = xp.sum(xp.log(d), axis=1)
+    if d.size and not xp.all(xp.isfinite(totals)):
+        raise NotPositiveDefiniteError("non-positive diagonal in Cholesky factor")
+    return 2.0 * totals

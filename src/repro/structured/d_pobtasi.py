@@ -18,6 +18,13 @@ On the batched path the interior sweep's right-divisions by ``L[j, j]``
 become GEMMs against the rank's cached ``L[j,j]^{-1}`` stack (computed in
 one batched triangular inversion over the independent interior factors),
 so each recursion step is pure batched-GEMM work.
+
+Production consumers read only ``diag(A^{-1})`` (marginal variances):
+:func:`d_pobtasi_diag` mirrors the sequential carry-based recursion
+(:func:`repro.structured.pobtasi._pobtasi_batched_diag`) per rank — the
+same per-step operations and order as :func:`d_pobtasi`, but the
+``X[j+1, j+1]`` / ``X[s, j+1]`` / ``X[t, j+1]`` blocks stay loop carries
+instead of materializing the full ``O(n_local b^2)`` inverse slice.
 """
 
 from __future__ import annotations
@@ -182,6 +189,97 @@ def d_pobtasi(
         tip=tip_out,
         lower_prev=lower_prev_out,
     )
+
+
+def d_pobtasi_diag(
+    factors: DistributedFactors, *, batched: bool | None = None
+) -> tuple:
+    """This rank's slice of ``diag(A^{-1})`` — carry-based, no full slice.
+
+    Returns ``(diag_local, tip_diag)``: the scalar diagonal over the
+    rank's partition (length ``n_local * b``) and the (replicated) tip
+    diagonal (length ``a``).  Runs the *same* per-step expressions in the
+    same order as :func:`d_pobtasi` — the returned diagonal is
+    bit-identical — but keeps the previous block's inverse blocks as loop
+    carries, so no ``(n_local, b, b)`` inverse stacks are ever
+    materialized (only the small reduced boundary system is still
+    selected-inverted in full).  The reference path (``batched=False``)
+    extracts the diagonal from the full recursion as ground truth.
+    """
+    part, b, a = factors.part, factors.b, factors.a
+    nl = part.n_blocks
+    m = factors.n_interior
+    if not batched_enabled(batched):
+        xi = d_pobtasi(factors, batched=False)
+        return (
+            np.ascontiguousarray(np.diagonal(xi.diag, axis1=1, axis2=2)).ravel(),
+            np.ascontiguousarray(np.diagonal(xi.tip)),
+        )
+
+    Xr = pobtasi(factors.reduced_chol, batched=True)
+    pos_top, pos_bottom = factors.positions
+    tip_out = Xr.tip
+    tip_diag = np.ascontiguousarray(np.diagonal(tip_out))
+    diag_out = np.empty((nl, b))
+
+    if m:
+        inv = factors.ldiag_inverses()
+        inv_t = inv.transpose(0, 2, 1)
+
+    if part.is_first:
+        x_next = Xr.diag[pos_bottom]  # X[j+1, j+1] carry, starts at the boundary
+        xa_next = Xr.arrow[pos_bottom]  # X[t, j+1] carry
+        diag_out[-1] = np.diagonal(x_next)
+        for k in range(m - 1, -1, -1):
+            en, ea = factors.lnext[k], factors.larrow[k]
+            acc = x_next @ en
+            if a:
+                acc += xa_next.T @ ea
+            x_off = -(acc @ inv[k])  # X[j+1, j]
+            if a:
+                x_arr = -((xa_next @ en + tip_out @ ea) @ inv[k])  # X[t, j]
+            acc_d = inv_t[k].copy() - x_off.T @ en
+            if a:
+                acc_d -= x_arr.T @ ea
+            x_next = _symmetrize(acc_d @ inv[k])
+            if a:
+                xa_next = x_arr
+            diag_out[k] = np.diagonal(x_next)
+        return diag_out.ravel(), tip_diag
+
+    # ---- partitions p >= 1 ------------------------------------------------
+    x_ss = Xr.diag[pos_top]  # X[s, s]
+    x_ts = Xr.arrow[pos_top]  # X[t, s]
+    diag_out[0] = np.diagonal(x_ss)
+    if nl == 1:
+        return diag_out.ravel(), tip_diag
+
+    x_next = Xr.diag[pos_bottom]  # X[e, e] carry
+    xa_next = Xr.arrow[pos_bottom]  # X[t, e] carry
+    xs_next = Xr.lower[pos_top].T  # X[s, e] carry (reduced stores X[e, s])
+    diag_out[-1] = np.diagonal(x_next)
+    for k in range(m - 1, -1, -1):
+        j = k + 1  # local index of the interior block
+        en, ef, ea = factors.lnext[k], factors.lfill[k], factors.larrow[k]
+        acc = x_next @ en + xs_next.T @ ef  # X[j+1, j]
+        if a:
+            acc += xa_next.T @ ea
+        x_off = -(acc @ inv[k])
+        acc_s = xs_next @ en + x_ss @ ef  # X[s, j]
+        if a:
+            acc_s += x_ts.T @ ea
+        xs_j = -(acc_s @ inv[k])
+        if a:
+            x_arr = -((xa_next @ en + x_ts @ ef + tip_out @ ea) @ inv[k])  # X[t, j]
+        acc_d = inv_t[k].copy() - x_off.T @ en - xs_j.T @ ef
+        if a:
+            acc_d -= x_arr.T @ ea
+        x_next = _symmetrize(acc_d @ inv[k])
+        xs_next = xs_j
+        if a:
+            xa_next = x_arr
+        diag_out[j] = np.diagonal(x_next)
+    return diag_out.ravel(), tip_diag
 
 
 def gather_selected_inverse(slices: list) -> "np.ndarray":

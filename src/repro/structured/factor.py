@@ -44,7 +44,7 @@ from repro.comm import run_spmd
 from repro.structured.bta import BTAMatrix, BTAShape
 from repro.structured.d_pobtaf import DistributedFactors, d_pobtaf, partition_matrix
 from repro.structured.d_pobtas import d_pobtas
-from repro.structured.d_pobtasi import d_pobtasi
+from repro.structured.d_pobtasi import d_pobtasi_diag
 from repro.structured.kernels import NotPositiveDefiniteError
 from repro.structured.multirhs import (
     as_rhs_stack,
@@ -338,12 +338,17 @@ class DistributedBTAFactor:
         return x[0] if squeeze else x
 
     def selected_inverse_diagonal(self) -> np.ndarray:
-        """Diagonal of ``A^{-1}`` (communication-free per rank; cached)."""
+        """Diagonal of ``A^{-1}`` (communication-free per rank; cached).
+
+        Each rank runs the carry-based diagonal-only recursion
+        (:func:`repro.structured.d_pobtasi.d_pobtasi_diag`) — bit-identical
+        values to the full per-rank selected inversion without
+        materializing any inverse block slice.
+        """
         if self._selinv_diag is None:
 
             def rank_fn(comm):
-                xi = d_pobtasi(self._rank_factors(comm), batched=self.batched)
-                return np.diagonal(xi.diag, axis1=1, axis2=2).ravel(), np.diagonal(xi.tip)
+                return d_pobtasi_diag(self._rank_factors(comm), batched=self.batched)
 
             out = _run_spmd_spd(self.P, rank_fn)
             self._selinv_diag = np.concatenate([o[0] for o in out] + [out[0][1]])
@@ -357,8 +362,8 @@ class DistributedBTAFactor:
         def rank_fn(comm):
             f = self._rank_factors(comm)
             xl, xt = d_pobtas(f, self._local(rhs, f), tip, comm, batched=self.batched)
-            xi = d_pobtasi(f, batched=self.batched)
-            return xl, xt, np.diagonal(xi.diag, axis1=1, axis2=2).ravel(), np.diagonal(xi.tip)
+            var_local, var_tip = d_pobtasi_diag(f, batched=self.batched)
+            return xl, xt, var_local, var_tip
 
         out = _run_spmd_spd(self.P, rank_fn)
         x = np.concatenate([o[0] for o in out] + [out[0][1]])

@@ -47,13 +47,17 @@ from repro.structured.kernels import (
 
 
 class _FactorizationCounter:
-    """Thread-safe count of ``pobtaf`` calls (factorizations).
+    """Thread-safe count of factorization *sweeps*.
 
     The handle API's amortization contract — one factorization feeding
     logdet, solves, selected inversion and sampling — is asserted by
-    tests through this counter (e.g. ``FobjEvaluator`` performs exactly
-    one ``pobtaf`` per precision matrix per theta).  The lock matters:
-    S1/S2 evaluate objectives from a thread pool.
+    tests through this counter.  One ``pobtaf`` call counts one sweep; a
+    theta-batched :func:`repro.structured.multifactor.factorize_batch`
+    also counts **one** sweep however many stencil matrices it stacks
+    (that single launch is the whole point), so the evaluator tests can
+    assert both that batch stencils collapse ``2 (2 d + 1)`` sweeps into
+    2 and that cache hits perform none at all.  The lock matters: S1/S2
+    evaluate objectives from a thread pool.
     """
 
     def __init__(self):

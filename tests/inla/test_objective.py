@@ -120,18 +120,36 @@ class TestFactorizationCount:
         evaluate_fobj(model, gt.theta, solver=SequentialSolver())
         assert FACTORIZATIONS.count == c0 + 2
 
-    def test_evaluator_batch_count(self, tiny_uni_model):
-        """A full gradient stencil (2d + 1 points) factorizes exactly
-        2 (2d + 1) times — one pobtaf per (theta, matrix) pair."""
+    def test_evaluator_batch_count_per_point(self, tiny_uni_model):
+        """On the per-point path a full gradient stencil (2d + 1 points)
+        factorizes exactly 2 (2d + 1) times — one pobtaf per
+        (theta, matrix) pair."""
         from repro.inla.evaluator import FobjEvaluator
         from repro.structured.pobtaf import FACTORIZATIONS
 
         model, gt, _ = tiny_uni_model
-        ev = FobjEvaluator(model, solver=SequentialSolver())
+        ev = FobjEvaluator(
+            model, solver=SequentialSolver(), batch_stencils=False, cache_size=0
+        )
         d = gt.theta.size
         c0 = FACTORIZATIONS.count
         ev.value_and_gradient(gt.theta, h=1e-4)
         assert FACTORIZATIONS.count == c0 + 2 * (2 * d + 1)
+
+    def test_evaluator_batch_count_theta_batched(self, tiny_uni_model):
+        """The theta-batched sweep collapses the whole stencil into
+        exactly 2 factorization sweeps (one per precision matrix)."""
+        from repro.inla.evaluator import FobjEvaluator
+        from repro.structured.pobtaf import FACTORIZATIONS
+
+        model, gt, _ = tiny_uni_model
+        ev = FobjEvaluator(
+            model, solver=SequentialSolver(), batch_stencils=True, cache_size=0
+        )
+        c0 = FACTORIZATIONS.count
+        ev.value_and_gradient(gt.theta, h=1e-4)
+        assert FACTORIZATIONS.count == c0 + 2
+        assert ev.n_batch_sweeps == 2
 
     def test_marginals_single_factorization(self, tiny_uni_model):
         """Means + variances at the mode: one pobtaf, not two."""

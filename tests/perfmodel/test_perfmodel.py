@@ -18,6 +18,8 @@ from repro.perfmodel import (
     partition_factorization_flops,
 )
 from repro.perfmodel.flops import (
+    bta_batch_factorization_flops,
+    bta_batch_solve_flops,
     bta_solve_and_selected_inversion_flops,
     bta_solve_lt_flops,
     d_pobtaf_critical_flops,
@@ -67,6 +69,23 @@ class TestFlopCounts:
             )
             assert bta_solve_flops(n, b, a, k) == k * bta_solve_flops(n, b, a, 1)
             assert bta_solve_lt_flops(n, b, a, k) == k * bta_solve_lt_flops(n, b, a, 1)
+
+    def test_theta_batch_counts_linear_in_t(self):
+        """Theta-batched and looped stencil strategies count identically:
+        one batched sweep = t x the single-matrix flops (batching
+        amortizes chain steps and dispatch, not arithmetic)."""
+        n, b, a = 96, 32, 4
+        for t in (1, 7, 31):
+            assert bta_batch_factorization_flops(t, n, b, a, stacked=True) == (
+                bta_batch_factorization_flops(t, n, b, a, stacked=False)
+            )
+            assert bta_batch_factorization_flops(t, n, b, a) == (
+                t * bta_factorization_flops(n, b, a)
+            )
+            assert bta_batch_solve_flops(t, n, b, a, stacked=True) == (
+                bta_batch_solve_flops(t, n, b, a, stacked=False)
+            )
+            assert bta_batch_solve_flops(t, n, b, a) == t * bta_solve_flops(n, b, a, 1)
 
     def test_lt_sweep_is_half_a_solve(self):
         n, b, a, k = 64, 48, 6, 8

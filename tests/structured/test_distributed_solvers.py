@@ -16,7 +16,7 @@ from repro.comm import run_spmd
 from repro.structured.bta import BTAMatrix, BTAShape
 from repro.structured.d_pobtaf import LocalBTASlice, d_pobtaf, partition_matrix
 from repro.structured.d_pobtas import d_pobtas
-from repro.structured.d_pobtasi import d_pobtasi, gather_selected_inverse
+from repro.structured.d_pobtasi import d_pobtasi, d_pobtasi_diag, gather_selected_inverse
 from repro.structured.pobtaf import pobtaf
 from repro.structured.pobtasi import pobtasi
 
@@ -142,6 +142,61 @@ class TestDistributedSelectedInversion:
         dense_sel = gather_selected_inverse([o[3] for o in out])
         ref = BTAMatrix.from_dense(np.linalg.inv(Ad), A.shape3).to_dense()
         assert np.allclose(dense_sel, ref, atol=1e-8)
+
+
+class TestDistributedDiagonalOnly:
+    """Carry-based per-rank diagonal recursion (no full inverse slices)."""
+
+    @pytest.mark.parametrize("P", [2, 3, 4])
+    @pytest.mark.parametrize("a", [0, 2])
+    def test_bit_identical_to_full_recursion(self, P, a):
+        A, _, _ = _case(12, 3, a, seed=20 + P + a)
+        slices = partition_matrix(A, P, lb=1.6)
+
+        def rank_fn(comm):
+            f = d_pobtaf(slices[comm.Get_rank()], comm)
+            xi = d_pobtasi(f)
+            full = (
+                np.ascontiguousarray(np.diagonal(xi.diag, axis1=1, axis2=2)).ravel(),
+                np.ascontiguousarray(np.diagonal(xi.tip)),
+            )
+            return full, d_pobtasi_diag(f)
+
+        for full, carry in run_spmd(P, rank_fn):
+            assert np.array_equal(full[0], carry[0])
+            assert np.array_equal(full[1], carry[1])
+
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_matches_dense_inverse(self, batched):
+        A, Ad, _ = _case(10, 3, 2, seed=31)
+        P = 3
+        slices = partition_matrix(A, P, lb=1.0)
+
+        def rank_fn(comm):
+            f = d_pobtaf(slices[comm.Get_rank()], comm, batched=batched)
+            return f.part, d_pobtasi_diag(f, batched=batched)
+
+        out = run_spmd(P, rank_fn)
+        diag = np.empty(A.N)
+        for part, (local, tip) in out:
+            diag[part.start * A.b : part.stop * A.b] = local
+            diag[A.n * A.b :] = tip
+        assert np.allclose(diag, np.diag(np.linalg.inv(Ad)), atol=1e-9)
+
+    def test_no_interior_partitions_diag(self):
+        """Two-block partitions exercise the m == 0 carry path."""
+        A, Ad, _ = _case(6, 3, 2, seed=9)
+        slices = partition_matrix(A, 3, lb=1.0)
+
+        def rank_fn(comm):
+            f = d_pobtaf(slices[comm.Get_rank()], comm)
+            return f.part, d_pobtasi_diag(f)
+
+        out = run_spmd(3, rank_fn)
+        ref = np.diag(np.linalg.inv(Ad))
+        for part, (local, tip) in out:
+            assert np.allclose(local, ref[part.start * A.b : part.stop * A.b], atol=1e-9)
+            assert np.allclose(tip, ref[A.n * A.b :], atol=1e-9)
 
 
 class TestDistributedProperty:
