@@ -77,6 +77,31 @@ def lambda_matrix(nv: int, sigmas: np.ndarray, lambdas: np.ndarray) -> np.ndarra
     return Minv @ np.diag(sigmas)
 
 
+def mixing_inverse_stack(nv: int, lambdas: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`mixing_inverse` for a ``(t, n_lambda)`` stack.
+
+    Returns ``(t, nv, nv)`` unit lower-triangular matrices; elementwise
+    over the stack, so a length-1 stack is bit-identical to any batch.
+    """
+    lambdas = np.asarray(lambdas, dtype=np.float64)
+    if lambdas.ndim != 2 or lambdas.shape[1] != n_couplings(nv):
+        raise ValueError(
+            f"expected (t, {n_couplings(nv)}) couplings, got shape {lambdas.shape}"
+        )
+    t = lambdas.shape[0]
+    M = np.zeros((t, nv, nv))
+    idx = np.arange(nv)
+    M[:, idx, idx] = 1.0
+    k = 0
+    for i in range(1, nv):
+        for j in range(i):
+            M[:, i, j] = -lambdas[:, k]
+            k += 1
+    if nv == 3:  # paper order, as in mixing_inverse
+        M[:, 2, 0], M[:, 2, 1] = -lambdas[:, 2], -lambdas[:, 1]
+    return M
+
+
 class CoregionalizationModel:
     """Joint precision assembly for ``nv`` correlated processes (Eq. 11)."""
 
@@ -88,6 +113,29 @@ class CoregionalizationModel:
     @property
     def n_lambda(self) -> int:
         return n_couplings(self.nv)
+
+    def block_coefficient_stack(self, sigmas: np.ndarray, lambdas: np.ndarray) -> tuple:
+        """Scalar mixing coefficients of Eq. 11 for a stack of thetas.
+
+        Returns ``(B, feasible)`` with ``B[i, v, w, k] = W[k, v] W[k, w]``
+        at stack point ``i`` (``W = M / sigma``): the scalar that
+        multiplies process ``k``'s precision values inside joint block
+        ``(v, w)``.  This is the coregional half of the symbolic/numeric
+        assembly split — the sparse block-mix of :meth:`joint_precision`
+        reduced to per-theta scalars over fixed per-process value arrays.
+        Points whose sigmas are not positive finite (where
+        :meth:`joint_precision` raises) are flagged infeasible instead.
+        """
+        sigmas = np.asarray(sigmas, dtype=np.float64)
+        if sigmas.ndim != 2 or sigmas.shape[1] != self.nv:
+            raise ValueError(f"expected (t, {self.nv}) sigmas, got shape {sigmas.shape}")
+        M = mixing_inverse_stack(self.nv, lambdas)
+        with np.errstate(all="ignore"):
+            W = M / sigmas[:, :, None]  # W[i, k, v] = M[k, v] / sigma_k
+            B = np.einsum("ikv,ikw->ivwk", W, W)
+        feasible = (np.isfinite(sigmas) & (sigmas > 0)).all(axis=1)
+        feasible = feasible & np.isfinite(B).all(axis=(1, 2, 3))
+        return B, feasible
 
     def joint_precision(
         self,

@@ -42,7 +42,7 @@ import numpy as np
 from repro.backend.array_module import batched_enabled
 from repro.inla.objective import FobjResult, evaluate_fobj, finish_fobj_result
 from repro.inla.solvers import SequentialSolver, StructuredSolver
-from repro.model.assembler import CoregionalSTModel
+from repro.model.assembler import AssemblyWorkspace, CoregionalSTModel
 from repro.structured.kernels import NotPositiveDefiniteError
 from repro.structured.multifactor import factorize_batch
 
@@ -167,6 +167,9 @@ class FobjEvaluator:
         self.n_cache_hits = 0
         self._cache: OrderedDict = OrderedDict()
         self._cache_lock = threading.Lock()
+        # Reusable theta-first assembly stacks for the batch sweep (grown
+        # to the largest stencil width seen, overwritten every batch).
+        self._assembly_ws: AssemblyWorkspace | None = None
 
     # -- path selection ----------------------------------------------------
 
@@ -296,46 +299,41 @@ class FobjEvaluator:
             return [f.result() for f in futures]
 
     def _eval_batch_sweep(self, thetas: list) -> list | None:
-        """All stencil points through two theta-batched ``pobtaf`` sweeps.
+        """All stencil points through one batched assembly + two sweeps.
 
-        Assembles every feasible point's system, stacks the ``Qp`` / ``Qc``
-        matrices, factorizes each stack in one batched sweep, and reads
-        all log-determinants and conditional means from theta-batched
-        passes; infeasible assemblies yield ``-inf`` rows.  Returns None
-        when any stacked matrix is not positive definite — the batched
-        Cholesky cannot tell *which* theta failed, so the caller resolves
-        the batch on the per-point path instead.
+        ``model.assemble_batch`` evaluates every point's scalar
+        coefficients (screening infeasible thetas before any value work)
+        and fills the theta-first ``Qp`` / ``Qc`` block stacks in one
+        numeric pass — zero scipy sparse arithmetic, zero per-theta
+        ``BTAMatrix`` copies.  The stacks are factorized in place
+        (``overwrite=True``; they live in a reusable workspace rebuilt
+        every batch), and all log-determinants and conditional means come
+        from theta-batched passes; infeasible thetas yield ``-inf`` rows.
+        Returns None when any stacked matrix is not positive definite —
+        the batched Cholesky cannot tell *which* theta failed, so the
+        caller resolves the batch on the per-point path instead.
         """
         model = self.model
-        systems = []
-        for t in thetas:
-            try:
-                systems.append(model.assemble(t))
-            except (ValueError, FloatingPointError, OverflowError):
-                systems.append(None)
+        if self._assembly_ws is None:
+            self._assembly_ws = AssemblyWorkspace()
+        batch = model.assemble_batch(np.stack(thetas), workspace=self._assembly_ws)
         results = [FobjResult(theta=t, value=-np.inf) for t in thetas]
-        live = [j for j, s in enumerate(systems) if s is not None]
-        if not live:
+        if batch.t == 0:
             return results
         try:
-            qp_batch = factorize_batch([systems[j].qp for j in live])
-            qc_batch = factorize_batch([systems[j].qc for j in live])
+            qp_batch = factorize_batch(batch.qp, overwrite=True)
+            qc_batch = factorize_batch(batch.qc, overwrite=True)
         except NotPositiveDefiniteError:
             return None
         self.n_batch_sweeps += 2
-        # The per-theta block stacks were copied into the batch; drop them
-        # (the memory-lean mirror of the per-point path's overwrite=True).
-        for j in live:
-            systems[j].qp = None
-            systems[j].qc = None
         logdet_p = qp_batch.logdets()
         logdet_c = qc_batch.logdets()
-        mu = qc_batch.solve_each(np.stack([systems[j].rhs for j in live]))
-        for i, j in enumerate(live):
+        mu = qc_batch.solve_each(batch.rhs)
+        for i, j in enumerate(batch.feasible):
             results[j] = finish_fobj_result(
                 model,
                 thetas[j],
-                systems[j],
+                batch.system(i),
                 float(logdet_p[i]),
                 float(logdet_c[i]),
                 mu[i],

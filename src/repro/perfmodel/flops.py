@@ -239,3 +239,48 @@ def d_pobtaf_comm_bytes(P: int, b: int, a: int) -> float:
 def sparse_to_dense_bytes(nnz: int) -> float:
     """The O(nnz) mapping cost (paper Sec. IV-F): read + write per nonzero."""
     return 24.0 * nnz  # value + source index + destination write
+
+
+def bta_assembly_flops(
+    nv: int,
+    ntt: int,
+    nnz_s: int,
+    nnz_u: int,
+    gram_nnz: int,
+    N: int,
+    n_theta: int = 1,
+    *,
+    batched: bool = False,
+    stacked: bool = False,
+) -> float:
+    """Numeric-phase flops of the symbolic assembly plan per theta batch.
+
+    The plan (:class:`repro.model.assembler.SymbolicAssembly`) evaluates,
+    per theta: the spatial combinations (a ``(3, 4) x (4, nnz_s)`` GEMM
+    per process), the temporal Kronecker expansion (an
+    ``(ntt, 3) x (3, nnz_s)`` GEMM per process), the Eq. 11 block mixes
+    (``nv`` multiply-adds per union entry and block), the tau-scaled
+    observation-Gram additions, and the ``sum_v tau_v g_v`` information
+    vector.  *Linear in ``n_theta`` by contract*: theta-batched assembly
+    amortizes per-pass dispatch, not arithmetic — one batched
+    ``assemble_batch`` and ``n_theta`` looped ``assemble`` calls must
+    report identical flops (the same identity the solver-level counters
+    enforce), so calibration runs are comparable across strategies.
+    """
+    del batched, stacked
+    spatial = gemm_flops(3, 4, nnz_s) * nv
+    temporal = gemm_flops(ntt, 3, nnz_s) * nv
+    mix = 2.0 * nv * nv * nv * nnz_u
+    conditional = 2.0 * gram_nnz
+    rhs = 2.0 * nv * N
+    return n_theta * (spatial + temporal + mix + conditional + rhs)
+
+
+def bta_assembly_bytes(nnz_p: int, nnz_c: int, n_theta: int = 1) -> float:
+    """Scatter traffic of the fused align -> permute -> densify step.
+
+    Per theta and precision matrix one composed fancy-indexed pass
+    (:func:`sparse_to_dense_bytes` per nonzero); linear in ``n_theta``
+    under the same batched/looped identity as :func:`bta_assembly_flops`.
+    """
+    return n_theta * (sparse_to_dense_bytes(nnz_p) + sparse_to_dense_bytes(nnz_c))

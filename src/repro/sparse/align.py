@@ -14,6 +14,19 @@ import numpy as np
 import scipy.sparse as sp
 
 
+def canonical_csr(Q: sp.spmatrix) -> sp.csr_matrix:
+    """``Q`` as canonical CSR (deduplicated, sorted indices, copied).
+
+    The shared normalization every fixed-pattern plan builds on — slot
+    lookups and data-array scatters are only meaningful against a
+    canonical index ordering.
+    """
+    Q = sp.csr_matrix(Q).copy()
+    Q.sum_duplicates()
+    Q.sort_indices()
+    return Q
+
+
 class PatternAligner:
     """Scatter matrices with sub-patterns into a fixed canonical pattern."""
 
@@ -34,6 +47,31 @@ class PatternAligner:
     def nnz(self) -> int:
         return self.pattern.nnz
 
+    def slots_of(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Reference-pattern data slots of explicit ``(row, col)`` coordinates.
+
+        The index primitive behind every precomputed assembly plan: a
+        symbolic phase resolves each fixed basis matrix's coordinates to
+        slots once, and the numeric phase is pure fancy indexing.  A
+        coordinate outside the reference pattern raises with a clear
+        message — the guarantee the stencil batch relies on (every
+        feasible theta's pattern is a subset of the reference).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        slots = np.asarray(self._lookup[rows, cols]).ravel().astype(np.int64)
+        if np.any(slots == 0):
+            bad = np.argmax(slots == 0)
+            raise ValueError(
+                f"entry ({rows[bad]}, {cols[bad]}) is outside the reference pattern"
+            )
+        return slots - 1
+
+    def slots_for(self, Q: sp.csr_matrix) -> np.ndarray:
+        """Slot vector mapping ``Q``'s canonical CSR data into the pattern."""
+        rows = np.repeat(np.arange(Q.shape[0]), np.diff(Q.indptr))
+        return self.slots_of(rows, Q.indices)
+
     def align(self, Q: sp.spmatrix, out: sp.csr_matrix | None = None) -> sp.csr_matrix:
         """Return ``Q`` re-expressed on the reference pattern.
 
@@ -52,14 +90,7 @@ class PatternAligner:
         if cached is not None and cached[0] == key:
             slots = cached[1]
         else:
-            rows = np.repeat(np.arange(Q.shape[0]), np.diff(Q.indptr))
-            slots = np.asarray(self._lookup[rows, Q.indices]).ravel().astype(np.int64)
-            if np.any(slots == 0):
-                bad = np.argmax(slots == 0)
-                raise ValueError(
-                    f"entry ({rows[bad]}, {Q.indices[bad]}) is outside the reference pattern"
-                )
-            slots -= 1
+            slots = self.slots_for(Q)
             self._cache = (key, slots)
         if out is None:
             out = sp.csr_matrix(

@@ -20,6 +20,81 @@ import scipy.sparse as sp
 from repro.structured.bta import BTAMatrix, BTAShape
 
 
+class BTAScatter:
+    """Precomposed ``O(nnz)`` scatter from a flat data array into BTA stacks.
+
+    Built by :meth:`BTAMapping.composed`: the destination indices come
+    from the mapping, the source indices may be pre-composed with any
+    upstream data-gather (e.g. a permutation plan's data-array order), so
+    align -> permute -> densify collapses into one fancy-indexed copy per
+    block stack.  Works on a single matrix (:meth:`scatter`, fresh-alloc
+    default for ``overwrite=True`` consumers) or on theta-first batch
+    stacks (:meth:`scatter_stacks` — all thetas in one indexing pass).
+    """
+
+    def __init__(self, shape3: BTAShape, diag, lower, arrow, tip):
+        self.shape3 = shape3
+        self._diag = diag  # (dst, src) index pairs per stack
+        self._lower = lower
+        self._arrow = arrow
+        self._tip = tip
+
+    def compose(self, order: np.ndarray) -> "BTAScatter":
+        """Fuse an upstream data gather ``data -> data[order]`` into the sources."""
+        order = np.asarray(order, dtype=np.int64)
+        pairs = (self._diag, self._lower, self._arrow, self._tip)
+        return BTAScatter(self.shape3, *[(dst, order[src]) for dst, src in pairs])
+
+    def scatter(self, data: np.ndarray, out: BTAMatrix | None = None) -> BTAMatrix:
+        """Scatter one matrix's data vector into BTA block storage.
+
+        ``out=None`` (the default) allocates fresh stacks — the right
+        contract for single-theta callers that factorize with
+        ``overwrite=True``; pass ``out`` (possibly built on views of one
+        slice of a batch stack) to skip the allocation.
+        """
+        if out is None:
+            out = BTAMatrix.zeros(self.shape3)
+        else:
+            out.diag[...] = 0.0
+            out.lower[...] = 0.0
+            out.arrow[...] = 0.0
+            out.tip[...] = 0.0
+        out.diag.ravel()[self._diag[0]] = data[self._diag[1]]
+        out.lower.ravel()[self._lower[0]] = data[self._lower[1]]
+        if self.shape3.a:
+            out.arrow.ravel()[self._arrow[0]] = data[self._arrow[1]]
+            out.tip.ravel()[self._tip[0]] = data[self._tip[1]]
+        return out
+
+    def scatter_stacks(
+        self,
+        data: np.ndarray,
+        diag: np.ndarray,
+        lower: np.ndarray,
+        arrow: np.ndarray | None,
+        tip: np.ndarray | None,
+    ) -> None:
+        """Scatter a ``(t, nnz)`` data stack into theta-first block stacks.
+
+        One fancy-indexed assignment per stack covers all ``t`` thetas —
+        the batch path never materializes an intermediate per-theta
+        :class:`BTAMatrix`.  The caller owns (and may preallocate and
+        reuse) the output stacks; everything outside the pattern is
+        zeroed here.
+        """
+        t = data.shape[0]
+        diag[...] = 0.0
+        lower[...] = 0.0
+        diag.reshape(t, -1)[:, self._diag[0]] = data[:, self._diag[1]]
+        lower.reshape(t, -1)[:, self._lower[0]] = data[:, self._lower[1]]
+        if self.shape3.a:
+            arrow[...] = 0.0
+            tip[...] = 0.0
+            arrow.reshape(t, -1)[:, self._arrow[0]] = data[:, self._arrow[1]]
+            tip.reshape(t, -1)[:, self._tip[0]] = data[:, self._tip[1]]
+
+
 class BTAMapping:
     """O(nnz) scatter from a fixed CSR pattern into BTA block storage."""
 
@@ -79,12 +154,30 @@ class BTAMapping:
         self._tip_dst = ca[tip_mask] + a * ra[tip_mask]
         self._tip_src = src[tip_mask]
         self.nnz = A.nnz
+        self._scatter = BTAScatter(
+            shape,
+            (self._diag_dst, self._diag_src),
+            (self._lower_dst, self._lower_src),
+            (self._arrow_dst, self._arrow_src),
+            (self._tip_dst, self._tip_src),
+        )
 
     def check_pattern(self, A: sp.csr_matrix) -> None:
         if A.nnz != self.nnz or not (
             np.array_equal(A.indptr, self._indptr) and np.array_equal(A.indices, self._indices)
         ):
             raise ValueError("matrix pattern differs from the mapped pattern")
+
+    def composed(self, order: np.ndarray | None = None) -> BTAScatter:
+        """The mapping as a raw-data :class:`BTAScatter`, optionally fused.
+
+        ``order`` is an upstream data-array gather (``data -> data[order]``,
+        e.g. a :class:`repro.sparse.permutation.SymmetricPermutation`
+        plan) to pre-compose into the source indices — the symbolic-once
+        step that lets an assembly plan jump from aligned CSR values
+        straight into the BTA block stacks.
+        """
+        return self._scatter if order is None else self._scatter.compose(order)
 
     def map(self, A: sp.spmatrix, out: BTAMatrix | None = None) -> BTAMatrix:
         """Scatter the CSR data into BTA block stacks (``O(nnz)``).
@@ -93,17 +186,4 @@ class BTAMapping:
         """
         A = sp.csr_matrix(A)
         self.check_pattern(A)
-        s = self.shape3
-        if out is None:
-            out = BTAMatrix.zeros(s)
-        else:
-            out.diag[...] = 0.0
-            out.lower[...] = 0.0
-            out.arrow[...] = 0.0
-            out.tip[...] = 0.0
-        out.diag.ravel()[self._diag_dst] = A.data[self._diag_src]
-        out.lower.ravel()[self._lower_dst] = A.data[self._lower_src]
-        if s.a:
-            out.arrow.ravel()[self._arrow_dst] = A.data[self._arrow_src]
-            out.tip.ravel()[self._tip_dst] = A.data[self._tip_src]
-        return out
+        return self._scatter.scatter(A.data, out=out)

@@ -106,6 +106,18 @@ class SymmetricPermutation:
         self._plan_indptr = permuted.indptr.copy()
         self._plan_indices = permuted.indices.copy()
 
+    def plan_arrays(self) -> tuple:
+        """The precomputed plan as raw arrays ``(order, indptr, indices)``.
+
+        ``order`` gathers a planned-pattern data array into permuted
+        order (``permuted.data = data[order]``); ``indptr``/``indices``
+        are the permuted pattern.  Assembly plans compose ``order`` with
+        downstream scatters so the permutation costs nothing at runtime.
+        """
+        if self._plan_order is None:
+            raise RuntimeError("call build_plan(pattern) before plan_arrays")
+        return self._plan_order, self._plan_indptr, self._plan_indices
+
     def apply_data(self, A: sp.spmatrix) -> sp.csr_matrix:
         """Permute using the precomputed plan (data-array shuffle only)."""
         if self._plan_order is None:

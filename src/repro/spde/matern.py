@@ -20,13 +20,7 @@ import scipy.sparse as sp
 
 from repro.meshes.fem import fem_matrices
 from repro.meshes.mesh2d import Mesh2D
-
-
-def _canon(A: sp.spmatrix) -> sp.csr_matrix:
-    A = sp.csr_matrix(A)
-    A.sum_duplicates()
-    A.sort_indices()
-    return A
+from repro.sparse.align import canonical_csr as _canon
 
 
 def spatial_operators(mesh_or_CG, kappa: float) -> tuple:
@@ -48,6 +42,54 @@ def spatial_operators(mesh_or_CG, kappa: float) -> tuple:
     q2 = _canon(q1 @ cinv @ q1)
     q3 = _canon(q1 @ cinv @ q2)
     return q1, q2, q3
+
+
+def spatial_operator_bases(mesh_or_CG) -> tuple:
+    """The four *fixed* sparse bases spanning every operator power.
+
+    Because the lumped mass matrix ``C`` is diagonal, ``C C^{-1} = I`` and
+    the powers of ``K = kappa^2 C + G`` expand into polynomials in
+    ``kappa^2`` over hyperparameter-independent matrices::
+
+        q1 = kappa^2 C +        G
+        q2 = kappa^4 C + 2 kappa^2 G +            H2
+        q3 = kappa^6 C + 3 kappa^4 G + 3 kappa^2 H2 + H3
+
+    with ``H2 = G C^{-1} G`` and ``H3 = G C^{-1} G C^{-1} G``.  Returns
+    ``(C, G, H2, H3)`` in canonical CSR — the symbolic half of the
+    assembly split: the bases (and their sparsity) are built once, and
+    every re-assembly touches only the scalar coefficients of
+    :func:`spatial_operator_coefficients`.
+    """
+    if isinstance(mesh_or_CG, Mesh2D):
+        C, G = fem_matrices(mesh_or_CG)
+    else:
+        C, G = mesh_or_CG
+    C = sp.csr_matrix(C)
+    G = sp.csr_matrix(G)
+    cinv = sp.diags(1.0 / C.diagonal())
+    H2 = _canon(G @ cinv @ G)
+    H3 = _canon(G @ cinv @ H2)
+    return _canon(C), _canon(G), H2, H3
+
+
+def spatial_operator_coefficients(kappa: float) -> tuple:
+    """Coefficients of ``(q1, q2, q3)`` in the ``(C, G, H2, H3)`` basis.
+
+    The numeric half of :func:`spatial_operator_bases`: three rows of
+    four scalars each, exact binomial coefficients of the ``K C^{-1} K``
+    expansion.  Raises for the same infeasible ``kappa`` as
+    :func:`spatial_operators`.
+    """
+    if kappa <= 0:
+        raise ValueError(f"kappa must be positive, got {kappa}")
+    k2 = kappa * kappa
+    k4 = k2 * k2
+    return (
+        (k2, 1.0, 0.0, 0.0),
+        (k4, 2.0 * k2, 1.0, 0.0),
+        (k4 * k2, 3.0 * k4, 3.0 * k2, 1.0),
+    )
 
 
 def matern_precision(mesh_or_CG, *, range_: float, sigma: float) -> sp.csr_matrix:

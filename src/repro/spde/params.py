@@ -91,6 +91,49 @@ def gammas_from_interpretable(params: SpatioTemporalParams) -> tuple:
     return float(gamma_s), float(gamma_t), float(gamma_e)
 
 
+def gammas_from_interpretable_stack(
+    range_s: np.ndarray, range_t: np.ndarray, sigma: np.ndarray | None = None
+) -> tuple:
+    """Vectorized :func:`gammas_from_interpretable` with a feasibility mask.
+
+    Operates elementwise on arrays of interpretable parameters (one entry
+    per theta of a stencil batch) and returns
+    ``(gamma_s, gamma_t, gamma_e, feasible)``.  Instead of raising on an
+    out-of-range configuration — the scalar path's behaviour, which a
+    batch cannot use because one bad theta would poison the stack —
+    overflow/underflow is let through under a suppressed errstate and the
+    affected entries are reported as infeasible: exactly the
+    configurations for which the scalar path raises ``ValueError``.
+    All arithmetic is elementwise, so a length-1 stack is bit-identical
+    to any batched evaluation of the same theta.
+    """
+    range_s = np.asarray(range_s, dtype=np.float64)
+    range_t = np.asarray(range_t, dtype=np.float64)
+    sig = np.ones_like(range_s) if sigma is None else np.asarray(sigma, dtype=np.float64)
+    with np.errstate(all="ignore"):
+        gamma_s = np.sqrt(8.0 * NU_S) / range_s
+        gamma_t = range_t * gamma_s**ALPHA_S / np.sqrt(8.0 * NU_T)
+        sigma0_sq = (gamma_fn(NU_T) * gamma_fn(NU_S)) / (
+            gamma_fn(ALPHA_T)
+            * gamma_fn(ALPHA)
+            * (4.0 * np.pi) ** ((D_SPACE + 1) / 2.0)
+            * gamma_t
+            * gamma_s ** (2.0 * (ALPHA - 1.0))
+        )
+        gamma_e = np.sqrt(sigma0_sq) / sig
+    # The gamma conditions subsume the input-range ones: a zero, infinite
+    # or NaN range/sigma always surfaces as a non-finite or non-positive
+    # gamma (e.g. ``range_s = inf -> gamma_s = 0``,
+    # ``sigma0^2 <= 0 -> gamma_e`` NaN or 0), so checking the three
+    # outputs covers every configuration the scalar path raises for.
+    feasible = (
+        np.isfinite(gamma_s) & (gamma_s > 0)
+        & np.isfinite(gamma_t) & (gamma_t > 0)
+        & np.isfinite(gamma_e) & (gamma_e > 0)
+    )
+    return gamma_s, gamma_t, gamma_e, feasible
+
+
 def interpretable_from_gammas(
     gamma_s: float, gamma_t: float, gamma_e: float
 ) -> SpatioTemporalParams:

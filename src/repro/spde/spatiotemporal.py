@@ -32,8 +32,16 @@ import scipy.sparse as sp
 from repro.meshes.fem import fem_matrices
 from repro.meshes.mesh2d import Mesh2D
 from repro.meshes.temporal import TemporalMesh, temporal_fem_matrices
-from repro.spde.matern import spatial_operators
-from repro.spde.params import SpatioTemporalParams, gammas_from_interpretable
+from repro.spde.matern import spatial_operator_bases, spatial_operators
+from repro.spde.params import (
+    SpatioTemporalParams,
+    gammas_from_interpretable,
+    gammas_from_interpretable_stack,
+)
+
+#: Number of fixed Kronecker terms in the symbolic decomposition of
+#: ``Q_st`` (see :meth:`SpatioTemporalSPDE.term_bases`).
+N_TERMS = 9
 
 
 class SpatioTemporalSPDE:
@@ -83,6 +91,85 @@ class SpatioTemporalSPDE:
         Q.sum_duplicates()
         Q.sort_indices()
         return Q
+
+    # -- symbolic/numeric split ----------------------------------------------
+
+    def term_bases(self) -> list:
+        """The nine fixed ``(temporal, spatial)`` Kronecker factor pairs.
+
+        Substituting the polynomial expansion of the operator powers
+        (:func:`repro.spde.matern.spatial_operator_bases`) into the
+        DEMF(1,2,1) precision gives
+
+        .. code-block:: text
+
+            Q_st = sum_j  c_j(theta) * (T_j (x) S_j)
+
+        over hyperparameter-*independent* factors ``T_j in {M0, M1, M2}``
+        and ``S_j in {C, G, H2, H3}`` — the symbolic phase of assembly.
+        Order matches :meth:`term_coefficient_stack` row-for-row.
+        """
+        C, G, H2, H3 = spatial_operator_bases((self.C, self.G))
+        return [
+            (self.M2, C),
+            (self.M2, G),
+            (self.M1, C),
+            (self.M1, G),
+            (self.M1, H2),
+            (self.M0, C),
+            (self.M0, G),
+            (self.M0, H2),
+            (self.M0, H3),
+        ]
+
+    def term_coefficient_stack(
+        self, range_s: np.ndarray, range_t: np.ndarray, sigma: np.ndarray | None = None
+    ) -> tuple:
+        """Scalar term coefficients for a stack of hyperparameter points.
+
+        The numeric phase of the split: for interpretable parameter
+        arrays (one entry per theta) return ``(coeffs, feasible)`` with
+        ``coeffs[i, j]`` the coefficient of term ``j`` of
+        :meth:`term_bases` at point ``i`` — all elementwise arithmetic,
+        so a length-1 stack is bit-identical to any batch.  Infeasible
+        points (where :meth:`precision` would raise) carry
+        ``feasible[i] = False`` instead of raising.
+        """
+        gamma_s, gamma_t, gamma_e, feasible = gammas_from_interpretable_stack(
+            range_s, range_t, sigma
+        )
+        with np.errstate(all="ignore"):
+            ge2 = gamma_e * gamma_e
+            w1 = ge2 * gamma_t * gamma_t  # weight of M2 (x) q1
+            w2 = 2.0 * ge2 * gamma_t  # weight of M1 (x) q2
+            w3 = ge2  # weight of M0 (x) q3
+            k2 = gamma_s * gamma_s
+            k4 = k2 * k2
+            coeffs = np.stack(
+                [
+                    w1 * k2,  # M2 (x) C
+                    w1,  # M2 (x) G
+                    w2 * k4,  # M1 (x) C
+                    w2 * (2.0 * k2),  # M1 (x) G
+                    w2,  # M1 (x) H2
+                    w3 * (k4 * k2),  # M0 (x) C
+                    w3 * (3.0 * k4),  # M0 (x) G
+                    w3 * (3.0 * k2),  # M0 (x) H2
+                    w3,  # M0 (x) H3
+                ],
+                axis=-1,
+            )
+        feasible = feasible & np.isfinite(coeffs).all(axis=-1)
+        return coeffs, feasible
+
+    def term_coefficients(self, params: SpatioTemporalParams) -> np.ndarray:
+        """Term coefficients of one point (raises where :meth:`precision` would)."""
+        coeffs, feasible = self.term_coefficient_stack(
+            np.array([params.range_s]), np.array([params.range_t]), np.array([params.sigma])
+        )
+        if not feasible[0]:
+            raise ValueError(f"hyperparameters out of range: {params}")
+        return coeffs[0]
 
     def precision_from_theta(self, theta: np.ndarray) -> sp.csr_matrix:
         """Assemble from unconstrained coordinates ``(log r_s, log r_t, log sigma)``."""

@@ -37,7 +37,7 @@ the returned :class:`BTAFactor` / :class:`DistributedBTAFactor` serves
 """
 
 from repro.structured.batched import batched_enabled
-from repro.structured.bta import BTAMatrix, BTAShape
+from repro.structured.bta import BTAMatrix, BTAShape, BTAStack
 from repro.structured.partition import Partition, balanced_partitions, partition_counts
 from repro.structured.pobtaf import FACTORIZATIONS, pobtaf
 from repro.structured.pobtas import pobtas, pobtas_lt
@@ -63,6 +63,7 @@ from repro.structured.reduced_system import ReducedSystem
 __all__ = [
     "BTAMatrix",
     "BTAShape",
+    "BTAStack",
     "BTAFactor",
     "BTAFactorBatch",
     "DistributedBTAFactor",

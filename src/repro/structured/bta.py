@@ -251,3 +251,95 @@ class BTAMatrix:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"BTAMatrix(n={self.n}, b={self.b}, a={self.a}, N={self.N})"
+
+
+class BTAStack:
+    """``t`` same-shape BTA matrices in theta-first stacked storage.
+
+    The batch-assembly / batch-factorization interchange format: all
+    arrays carry the theta axis first (``diag`` is ``(t, n, b, b)``,
+    ``lower`` ``(t, n-1, b, b)``, ``arrow`` ``(t, n, a, b)``, ``tip``
+    ``(t, a, a)``), so one fancy-indexed scatter fills every theta and
+    one batched sweep eliminates every theta without re-stacking.  The
+    caller owns the storage — a stack may be preallocated once per
+    stencil width and refilled every batch
+    (:meth:`repro.model.assembler.CoregionalSTModel.assemble_batch`),
+    and :func:`repro.structured.multifactor.factorize_batch` can
+    factorize it in place (``overwrite=True``).
+    """
+
+    def __init__(self, diag, lower, arrow, tip):
+        diag = np.ascontiguousarray(diag, dtype=np.float64)
+        if diag.ndim != 4 or diag.shape[2] != diag.shape[3]:
+            raise ValueError(f"diag must be (t, n, b, b), got {diag.shape}")
+        t, n, b, _ = diag.shape
+        lower = np.ascontiguousarray(lower, dtype=np.float64)
+        tip = np.ascontiguousarray(tip, dtype=np.float64)
+        arrow = np.ascontiguousarray(arrow, dtype=np.float64)
+        a = tip.shape[1] if tip.ndim == 3 else -1
+        if lower.shape != (t, max(n - 1, 0), b, b):
+            raise ValueError(f"lower must be (t, n-1, b, b), got {lower.shape}")
+        if tip.shape != (t, a, a):
+            raise ValueError(f"tip must be (t, a, a), got {tip.shape}")
+        if arrow.shape != (t, n, a, b):
+            raise ValueError(f"arrow must be (t, n, a, b), got {arrow.shape}")
+        self.diag = diag
+        self.lower = lower
+        self.arrow = arrow
+        self.tip = tip
+        self.shape3 = BTAShape(n=n, b=b, a=a)
+
+    @property
+    def t(self) -> int:
+        return self.diag.shape[0]
+
+    def __len__(self) -> int:
+        return self.t
+
+    @classmethod
+    def zeros(cls, shape: BTAShape, t: int) -> "BTAStack":
+        if t < 1:
+            raise ValueError(f"need t >= 1 stacked matrices, got {t}")
+        return cls(
+            np.zeros((t, shape.n, shape.b, shape.b)),
+            np.zeros((t, max(shape.n - 1, 0), shape.b, shape.b)),
+            np.zeros((t, shape.n, shape.a, shape.b)),
+            np.zeros((t, shape.a, shape.a)),
+        )
+
+    @classmethod
+    def from_matrices(cls, mats) -> "BTAStack":
+        """Stack existing matrices (copies; the inputs stay untouched)."""
+        mats = list(mats)
+        if not mats:
+            raise ValueError("need at least one matrix to stack")
+        shape3 = mats[0].shape3
+        for A in mats[1:]:
+            if A.shape3 != shape3:
+                raise ValueError(
+                    f"all matrices must share one BTA shape; got {A.shape3} != {shape3}"
+                )
+        return cls(
+            np.stack([A.diag for A in mats]),
+            np.stack([A.lower for A in mats]),
+            np.stack([A.arrow for A in mats]),
+            np.stack([A.tip for A in mats]),
+        )
+
+    def matrix(self, j: int) -> BTAMatrix:
+        """Zero-copy :class:`BTAMatrix` view of stacked matrix ``j``."""
+        j = int(j)
+        if not -self.t <= j < self.t:
+            raise IndexError(f"index {j} out of range for stack of {self.t}")
+        j %= self.t
+        return BTAMatrix(self.diag[j], self.lower[j], self.arrow[j], self.tip[j])
+
+    def head(self, t: int) -> "BTAStack":
+        """Zero-copy view of the first ``t`` stacked matrices."""
+        if not 1 <= t <= self.t:
+            raise ValueError(f"head size {t} out of range for stack of {self.t}")
+        return BTAStack(self.diag[:t], self.lower[:t], self.arrow[:t], self.tip[:t])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.shape3
+        return f"BTAStack(t={self.t}, n={s.n}, b={s.b}, a={s.a})"

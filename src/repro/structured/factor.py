@@ -28,13 +28,17 @@ This module makes the factorization a first-class object:
   against the stored factors instead of re-running ``d_pobtaf``.
 
 Results are bit-identical to the legacy one-shot calls (which are now
-thin ``factorize``-then-call wrappers); handles are *not* safe for
-concurrent method calls from multiple threads — each S1 worker builds its
-own factor.
+thin ``factorize``-then-call wrappers).  Sequential handles are safe to
+*read* concurrently: the mutable per-solve state is the sweep buffer,
+which each stacked solve leases from a small acquire/release pool
+(:class:`SweepWorkspacePool`) — a shared mode-factor can serve several
+S1 sampler threads without racing (the scalar caches are idempotent).
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -68,10 +72,50 @@ __all__ = [
     "d_factorize",
 ]
 
-# Sweep workspaces cached per stack width k; factors drop the least
-# recently added buffer beyond this many distinct widths (consumers use a
-# handful: sample counts, stencil widths, prediction batch sizes).
+# Idle sweep workspaces cached per factor; buffers beyond this many are
+# dropped on release instead of pooled (consumers use a handful of stack
+# widths: sample counts, stencil widths, prediction batch sizes).
 _MAX_WORKSPACES = 8
+
+
+class SweepWorkspacePool:
+    """Acquire/release pool of ``(N, k)`` sweep buffers for one factor.
+
+    A shared mode-factor may serve several S1 sampler threads at once;
+    the historical per-factor buffer dict handed every caller the *same*
+    ``(N, k)`` array, so two concurrent ``solve_stack`` calls with equal
+    ``k`` would race.  The pool leases a buffer per solve instead: free
+    buffers are reused (the steady-state single-caller case stays
+    allocation-free), a second concurrent lease of the same width simply
+    allocates its own buffer, and at most ``max_idle`` buffers are kept
+    idle.  Sweep results never alias the buffer (see
+    :func:`repro.structured.multirhs._to_panels`), so returning it to
+    the pool after the solve is safe.
+    """
+
+    def __init__(self, N: int, max_idle: int = _MAX_WORKSPACES):
+        self._N = int(N)
+        self._max_idle = int(max_idle)
+        self._lock = threading.Lock()
+        self._free: list = []  # [(k, buffer)] most-recently released last
+
+    @contextmanager
+    def lease(self, k: int):
+        ws = None
+        with self._lock:
+            for i in range(len(self._free) - 1, -1, -1):
+                if self._free[i][0] == k:
+                    ws = self._free.pop(i)[1]
+                    break
+        if ws is None:
+            ws = np.empty((self._N, k), order="C")
+        try:
+            yield ws
+        finally:
+            with self._lock:
+                self._free.append((k, ws))
+                while len(self._free) > self._max_idle:
+                    self._free.pop(0)
 
 
 def _run_spmd_spd(P: int, fn):
@@ -107,7 +151,11 @@ class BTAFactor:
     batched: bool | None = None
     _logdet: float | None = field(default=None, repr=False)
     _selinv_diag: np.ndarray | None = field(default=None, repr=False)
-    _workspaces: dict = field(default_factory=dict, repr=False)
+    _pool: SweepWorkspacePool | None = field(default=None, repr=False)
+
+    def __post_init__(self):
+        if self._pool is None:
+            self._pool = SweepWorkspacePool(self.N)
 
     # -- structure ---------------------------------------------------------
 
@@ -136,15 +184,6 @@ class BTAFactor:
         """The :class:`Backend` the factor's block stacks live on."""
         return self.chol.get_backend()
 
-    def _workspace(self, k: int) -> np.ndarray:
-        """Preallocated C-contiguous ``(N, k)`` sweep buffer, kept per k."""
-        ws = self._workspaces.get(k)
-        if ws is None:
-            if len(self._workspaces) >= _MAX_WORKSPACES:
-                self._workspaces.pop(next(iter(self._workspaces)))
-            ws = self._workspaces[k] = np.empty((self.N, k), order="C")
-        return ws
-
     # -- the amortized operations ------------------------------------------
 
     def logdet(self) -> float:
@@ -158,24 +197,32 @@ class BTAFactor:
         return pobtas(self.chol, rhs, batched=self.batched)
 
     def solve_stack(self, rhs_stack: np.ndarray) -> np.ndarray:
-        """Solve a row-major ``(k, N)`` RHS stack in one panel pass."""
+        """Solve a row-major ``(k, N)`` RHS stack in one panel pass.
+
+        Thread-safe: the sweep buffer is leased from the factor's
+        workspace pool for the duration of the solve, so concurrent
+        callers sharing one handle never share a buffer.
+        """
         rhs_stack = np.asarray(rhs_stack, dtype=np.float64)
         k = 1 if rhs_stack.ndim == 1 else rhs_stack.shape[0]
-        return pobtas_stack(
-            self.chol, rhs_stack, batched=self.batched, workspace=self._workspace(k)
-        )
+        with self._pool.lease(k) as ws:
+            return pobtas_stack(self.chol, rhs_stack, batched=self.batched, workspace=ws)
 
     def solve_lt(self, rhs: np.ndarray) -> np.ndarray:
         """Backward-only solve ``L^T x = rhs`` (the sampling primitive)."""
         return pobtas_lt(self.chol, rhs, batched=self.batched)
 
     def solve_lt_stack(self, rhs_stack: np.ndarray) -> np.ndarray:
-        """Backward-only solve for a row-major ``(k, N)`` stack."""
+        """Backward-only solve for a row-major ``(k, N)`` stack.
+
+        Thread-safe via the same leased sweep buffer as
+        :meth:`solve_stack` — the S1 sampling primitive a shared
+        mode-factor serves to concurrent samplers.
+        """
         rhs_stack = np.asarray(rhs_stack, dtype=np.float64)
         k = 1 if rhs_stack.ndim == 1 else rhs_stack.shape[0]
-        return pobtas_lt_stack(
-            self.chol, rhs_stack, batched=self.batched, workspace=self._workspace(k)
-        )
+        with self._pool.lease(k) as ws:
+            return pobtas_lt_stack(self.chol, rhs_stack, batched=self.batched, workspace=ws)
 
     def selected_inverse(self) -> BTAMatrix:
         """Selected entries of ``A^{-1}`` (full BTA block pattern)."""

@@ -49,7 +49,7 @@ import numpy as np
 
 from repro.backend.protocol import Backend, backend_for
 from repro.structured import batched as bk
-from repro.structured.bta import BTAMatrix, BTAShape
+from repro.structured.bta import BTAMatrix, BTAShape, BTAStack
 from repro.structured.factor import BTAFactor
 from repro.structured.pobtaf import FACTORIZATIONS, BTACholesky
 
@@ -201,7 +201,10 @@ class BTAFactorBatch:
 
 
 def factorize_batch(
-    mats: Sequence[BTAMatrix], *, backend: Backend | None = None
+    mats: Sequence[BTAMatrix] | BTAStack,
+    *,
+    backend: Backend | None = None,
+    overwrite: bool = False,
 ) -> BTAFactorBatch:
     """Factorize ``t`` same-shape BTA matrices in one batched sweep.
 
@@ -213,8 +216,13 @@ def factorize_batch(
     of ``t``.  Counts as **one** factorization sweep on
     :data:`repro.structured.pobtaf.FACTORIZATIONS`.
 
-    The inputs are not modified (stacking copies); all stencil matrices
-    of an INLA gradient/Hessian batch are rebuilt per evaluation anyway.
+    ``mats`` is either a sequence of :class:`BTAMatrix` (stacked here —
+    the inputs are not modified) or an already theta-first
+    :class:`~repro.structured.bta.BTAStack`, the layout
+    ``CoregionalSTModel.assemble_batch`` produces.  With a stack,
+    ``overwrite=True`` eliminates in the caller's storage — zero copies
+    between assembly and factorization, the memory-lean mode of the
+    stencil evaluator whose stacks are rebuilt every batch.
 
     Raises
     ------
@@ -223,23 +231,24 @@ def factorize_batch(
         cannot tell which theta failed — evaluators fall back to the
         per-theta path to resolve infeasible stencil points.
     """
-    mats = list(mats)
-    if not mats:
-        raise ValueError("need at least one matrix to factorize")
-    shape3 = mats[0].shape3
-    for A in mats[1:]:
-        if A.shape3 != shape3:
-            raise ValueError(
-                f"all matrices must share one BTA shape; got {A.shape3} != {shape3}"
+    if isinstance(mats, BTAStack):
+        if overwrite:
+            stack = mats
+        else:
+            stack = BTAStack(
+                mats.diag.copy(), mats.lower.copy(), mats.arrow.copy(), mats.tip.copy()
             )
+    else:
+        mats = list(mats)
+        if not mats:
+            raise ValueError("need at least one matrix to factorize")
+        stack = BTAStack.from_matrices(mats)
+    shape3 = stack.shape3
     FACTORIZATIONS.increment()
     n, a = shape3.n, shape3.a
-    be = backend if backend is not None else backend_for(mats[0].diag)
+    be = backend if backend is not None else backend_for(stack.diag)
 
-    diag = np.stack([A.diag for A in mats])
-    lower = np.stack([A.lower for A in mats])
-    arrow = np.stack([A.arrow for A in mats])
-    tip = np.stack([A.tip for A in mats])
+    diag, lower, arrow, tip = stack.diag, stack.lower, stack.arrow, stack.tip
     inv = np.empty_like(diag)
 
     # ---- block-tridiagonal chain (loop-carried, theta-batched) -----------

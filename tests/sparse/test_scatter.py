@@ -1,0 +1,107 @@
+"""Fused BTA scatter composition (ISSUE 5 satellite).
+
+``BTAMapping.composed`` fuses an upstream data gather (the permutation
+plan's order) into the sparse-to-dense scatter so assembly jumps from
+aligned CSR values straight into block stacks — per matrix
+(:meth:`scatter`, fresh-alloc default) or per theta-first batch
+(:meth:`scatter_stacks`).
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.mapping import BTAMapping
+from repro.structured.bta import BTAMatrix, BTAShape, BTAStack
+
+
+def _case(seed=0, n=4, b=3, a=2):
+    rng = np.random.default_rng(seed)
+    shape = BTAShape(n=n, b=b, a=a)
+    A = BTAMatrix.random_spd(shape, rng)
+    dense = A.to_dense()
+    # Sparsify a little so the pattern is not full.
+    dense[np.abs(dense) < 0.3] = 0.0
+    np.fill_diagonal(dense, np.abs(dense).sum(axis=1) + 1.0)
+    dense = 0.5 * (dense + dense.T)
+    Q = sp.csr_matrix(dense)
+    Q.sum_duplicates()
+    Q.sort_indices()
+    return Q, shape, rng
+
+
+class TestComposedScatter:
+    def test_identity_composition_matches_map(self):
+        Q, shape, _ = _case()
+        mapping = BTAMapping(Q, shape)
+        out_map = mapping.map(Q)
+        out_scatter = mapping.composed().scatter(Q.data)
+        for attr in ("diag", "lower", "arrow", "tip"):
+            assert np.array_equal(getattr(out_map, attr), getattr(out_scatter, attr))
+
+    def test_order_composition_fuses_gather(self):
+        """scatter(composed(order), aligned) == map(data[order])."""
+        Q, shape, rng = _case(seed=1)
+        mapping = BTAMapping(Q, shape)
+        order = rng.permutation(Q.nnz)
+        permuted = sp.csr_matrix((np.empty(Q.nnz), Q.indices, Q.indptr), shape=Q.shape)
+        aligned_data = rng.standard_normal(Q.nnz)
+        permuted.data[:] = aligned_data[order]
+        ref = mapping.map(permuted)
+        got = mapping.composed(order).scatter(aligned_data)
+        for attr in ("diag", "lower", "arrow", "tip"):
+            assert np.array_equal(getattr(ref, attr), getattr(got, attr))
+
+    def test_scatter_into_caller_storage(self):
+        """out= writes into caller-provided blocks (e.g. a batch slice)."""
+        Q, shape, rng = _case(seed=2)
+        scatter = BTAMapping(Q, shape).composed()
+        stack = BTAStack.zeros(shape, 3)
+        out = scatter.scatter(Q.data, out=stack.matrix(1))
+        assert np.shares_memory(out.diag, stack.diag)
+        assert np.array_equal(stack.matrix(1).diag, scatter.scatter(Q.data).diag)
+        assert np.all(stack.diag[0] == 0.0) and np.all(stack.diag[2] == 0.0)
+
+    def test_scatter_stacks_matches_per_theta(self):
+        Q, shape, rng = _case(seed=3)
+        mapping = BTAMapping(Q, shape)
+        scatter = mapping.composed()
+        t = 4
+        data = np.stack([Q.data * (j + 1.0) for j in range(t)])
+        stack = BTAStack.zeros(shape, t)
+        stack.diag[...] = 99.0  # stale values must be cleared
+        scatter.scatter_stacks(data, stack.diag, stack.lower, stack.arrow, stack.tip)
+        for j in range(t):
+            ref = scatter.scatter(data[j])
+            for attr in ("diag", "lower", "arrow", "tip"):
+                assert np.array_equal(getattr(stack.matrix(j), attr), getattr(ref, attr))
+
+    def test_bt_case_without_arrow(self):
+        rng = np.random.default_rng(4)
+        shape = BTAShape(n=4, b=3, a=0)
+        A = BTAMatrix.random_spd(shape, rng)
+        Q = sp.csr_matrix(A.to_dense())
+        Q.sum_duplicates()
+        Q.sort_indices()
+        scatter = BTAMapping(Q, shape).composed()
+        stack = BTAStack.zeros(shape, 2)
+        scatter.scatter_stacks(
+            np.stack([Q.data, 2.0 * Q.data]), stack.diag, stack.lower, stack.arrow, stack.tip
+        )
+        assert np.array_equal(stack.matrix(0).diag, A.diag)
+
+    def test_map_out_reuse_still_works(self):
+        Q, shape, _ = _case(seed=5)
+        mapping = BTAMapping(Q, shape)
+        out = mapping.map(Q)
+        out2 = mapping.map(Q, out=out)
+        assert out2 is out
+
+    def test_pattern_mismatch_still_raises(self):
+        Q, shape, _ = _case(seed=6)
+        mapping = BTAMapping(Q, shape)
+        other = Q.copy()
+        other.data = np.ones_like(other.data)
+        bad = sp.csr_matrix(np.eye(shape.N))
+        with pytest.raises(ValueError, match="pattern differs"):
+            mapping.map(bad)

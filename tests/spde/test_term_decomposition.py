@@ -1,0 +1,79 @@
+"""The exposed term/coefficient decomposition agrees with ``precision``.
+
+The 9-term Kronecker expansion is encoded in three places — the
+``(T_j, S_j)`` pair list (:meth:`term_bases`), the coefficient rows
+(:meth:`term_coefficient_stack`), and the assembler's factored
+evaluation (``SymbolicAssembly._coeff_map`` / ``_temporal_mix``).  These
+tests pin all of them to the one ground truth (``precision`` /
+``spatial_operators``), so a reorder in any copy fails loudly instead
+of silently diverging.
+"""
+
+import numpy as np
+
+from repro.meshes.mesh2d import rectangle_mesh
+from repro.meshes.temporal import TemporalMesh
+from repro.spde.matern import (
+    spatial_operator_bases,
+    spatial_operator_coefficients,
+    spatial_operators,
+)
+from repro.spde.params import SpatioTemporalParams
+from repro.spde.spatiotemporal import N_TERMS, SpatioTemporalSPDE
+
+
+def _rel_err(a, b):
+    scale = max(1.0, float(np.max(np.abs(b))))
+    return float(np.max(np.abs(a - b))) / scale
+
+
+class TestSpatialDecomposition:
+    def test_operator_powers_from_bases(self, unit_mesh):
+        """q_i == sum_j coeff_ij B_j for the (C, G, H2, H3) bases."""
+        from repro.meshes.fem import fem_matrices
+
+        CG = fem_matrices(unit_mesh)
+        bases = spatial_operator_bases(CG)
+        for kappa in (0.4, 1.0, 3.7):
+            coeffs = spatial_operator_coefficients(kappa)
+            powers = spatial_operators(CG, kappa)
+            for row, q_ref in zip(coeffs, powers):
+                q = sum(c * B for c, B in zip(row, bases))
+                assert _rel_err(q.toarray(), q_ref.toarray()) < 1e-12
+
+    def test_infeasible_kappa_raises(self, unit_mesh):
+        import pytest
+
+        with pytest.raises(ValueError, match="kappa"):
+            spatial_operator_coefficients(0.0)
+
+
+class TestSpatioTemporalDecomposition:
+    def test_term_sum_reproduces_precision(self):
+        """sum_j c_j (T_j (x) S_j) == precision(params) for every theta."""
+        import scipy.sparse as sp
+
+        spde = SpatioTemporalSPDE(rectangle_mesh(5, 4), TemporalMesh(nt=4))
+        bases = spde.term_bases()
+        assert len(bases) == N_TERMS
+        for params in (
+            SpatioTemporalParams(range_s=0.5, range_t=2.0, sigma=1.0),
+            SpatioTemporalParams(range_s=1.3, range_t=0.7, sigma=2.5),
+        ):
+            c = spde.term_coefficients(params)
+            Q = sum(cj * sp.kron(T, S, format="csr") for cj, (T, S) in zip(c, bases))
+            assert _rel_err(Q.toarray(), spde.precision(params).toarray()) < 1e-10
+
+    def test_scalar_and_stacked_coefficients_agree(self):
+        spde = SpatioTemporalSPDE(rectangle_mesh(4, 4), TemporalMesh(nt=3))
+        rs, rt = np.array([0.6, 1.4]), np.array([1.1, 0.8])
+        stacked, ok = spde.term_coefficient_stack(rs, rt)
+        assert ok.all()
+        for i in range(2):
+            params = SpatioTemporalParams(range_s=rs[i], range_t=rt[i], sigma=1.0)
+            assert np.array_equal(spde.term_coefficients(params), stacked[i])
+
+    def test_infeasible_params_flagged_not_raised(self):
+        spde = SpatioTemporalSPDE(rectangle_mesh(4, 4), TemporalMesh(nt=3))
+        _, ok = spde.term_coefficient_stack(np.array([1.0, np.inf]), np.array([1.0, 1.0]))
+        assert list(ok) == [True, False]

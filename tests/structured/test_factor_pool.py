@@ -1,0 +1,80 @@
+"""Thread-safe sweep workspaces on shared factor handles (ISSUE 5).
+
+A shared mode-factor serves concurrent S1 samplers; each stacked solve
+must lease its own ``(N, k)`` buffer from the factor's pool instead of
+racing a per-width singleton.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.structured.bta import BTAMatrix, BTAShape
+from repro.structured.factor import SweepWorkspacePool, factorize
+
+
+def _factor(n=8, b=6, a=3, seed=7):
+    rng = np.random.default_rng(seed)
+    A = BTAMatrix.random_spd(BTAShape(n=n, b=b, a=a), rng)
+    return factorize(A.copy()), A.to_dense(), rng
+
+
+class TestSweepWorkspacePool:
+    def test_reuses_released_buffer(self):
+        pool = SweepWorkspacePool(16)
+        with pool.lease(3) as w1:
+            first = w1
+        with pool.lease(3) as w2:
+            assert w2 is first  # steady state stays allocation-free
+
+    def test_concurrent_leases_get_distinct_buffers(self):
+        pool = SweepWorkspacePool(16)
+        with pool.lease(3) as w1, pool.lease(3) as w2:
+            assert w1 is not w2
+
+    def test_idle_bound(self):
+        pool = SweepWorkspacePool(4, max_idle=2)
+        ctxs = [pool.lease(k) for k in range(1, 6)]
+        buffers = [c.__enter__() for c in ctxs]
+        for c in ctxs:
+            c.__exit__(None, None, None)
+        assert len(pool._free) == 2
+        assert buffers[0].shape == (4, 1)
+
+
+class TestConcurrentSharedHandle:
+    def test_concurrent_solve_stack_matches_sequential(self):
+        """Many threads hammering one handle reproduce the sequential
+        results exactly — the racing-buffer failure mode of the old
+        per-width singleton."""
+        f, Ad, rng = _factor()
+        stacks = [rng.standard_normal((3, f.N)) for _ in range(16)]
+        expected = [f.solve_stack(S) for S in stacks]
+
+        barrier = threading.Barrier(8)
+
+        def worker(j):
+            barrier.wait()
+            out = []
+            for S in stacks[j::8]:
+                out.append(f.solve_stack(S))
+            return out
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = [fut.result() for fut in [pool.submit(worker, j) for j in range(8)]]
+        for j, outs in enumerate(results):
+            for got, want in zip(outs, expected[j::8]):
+                assert np.array_equal(got, want)
+
+    def test_concurrent_sampling_draws_are_exact(self):
+        """solve_lt_stack under concurrency: each draw equals its
+        sequential counterpart bit-for-bit (same z, same factor)."""
+        f, _, rng = _factor(seed=13)
+        zs = [rng.standard_normal((2, f.N)) for _ in range(12)]
+        expected = [f.solve_lt_stack(z) for z in zs]
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            got = list(pool.map(f.solve_lt_stack, zs))
+        for g, w in zip(got, expected):
+            assert np.array_equal(g, w)

@@ -181,6 +181,7 @@ class TestWorkflowSemantics:
         assert any("bench_multirhs" in r for r in runs)
         assert any("bench_factor_reuse" in r for r in runs)
         assert any("bench_multitheta" in r for r in runs)
+        assert any("bench_assembly" in r for r in runs)
 
     def test_pip_cache_enabled(self):
         """Every python setup caches pip (keyed on pyproject.toml)."""
