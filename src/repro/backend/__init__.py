@@ -21,8 +21,10 @@ from repro.backend.array_module import (
     get_array_module,
     zeros_blocks,
 )
+from repro.backend.cupy import cupy_available
 from repro.backend.device import Device, DeviceKind, default_device
 from repro.backend.memory import MemoryBudgetError, MemoryTracker, bta_memory_bytes
+from repro.backend.mock import MOCK_DEVICE_BACKEND, MockDeviceArray, MockDeviceBackend
 from repro.backend.protocol import (
     NUMPY_BACKEND,
     Backend,
@@ -33,10 +35,24 @@ from repro.backend.protocol import (
     register_backend,
 )
 
+# The mock device is always available (it is plain host memory), so CI
+# legs can flip the whole run onto the device code path with
+# ``REPRO_BACKEND=mock_device``.  The CuPy backend registers only where a
+# CUDA device actually answers.
+register_backend(MOCK_DEVICE_BACKEND)
+if cupy_available():  # pragma: no cover - requires a GPU
+    from repro.backend.cupy import CupyBackend
+
+    register_backend(CupyBackend())
+
 __all__ = [
     "Backend",
     "NumpyBackend",
     "NUMPY_BACKEND",
+    "MockDeviceArray",
+    "MockDeviceBackend",
+    "MOCK_DEVICE_BACKEND",
+    "cupy_available",
     "available_backends",
     "backend_for",
     "get_backend",

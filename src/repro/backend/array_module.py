@@ -28,14 +28,21 @@ _DEFAULT_DTYPE = np.float64
 _FALSY = frozenset({"0", "false", "off", "no"})
 
 
-def batched_enabled(override: bool | None = None) -> bool:
+def batched_enabled(override: bool | None = None, backend=None) -> bool:
     """Resolve the batched-kernel switch.
 
-    ``override`` (a solver's explicit ``batched=`` argument) wins when not
-    None; otherwise the ``REPRO_BATCHED`` environment variable decides,
-    defaulting to enabled.  Read per call so tests and A/B benchmarks can
-    flip the path without re-importing modules.
+    A ``backend`` without host LAPACK comes first and wins
+    unconditionally: the per-block reference path is direct SciPy/LAPACK
+    dispatch, which is unreachable on a device backend (mock or CuPy) —
+    ``REPRO_BATCHED=0`` and explicit ``batched=False`` select the
+    reference kernels only where they can actually run.  Otherwise
+    ``override`` (a solver's explicit ``batched=`` argument) wins when
+    not None, and the ``REPRO_BATCHED`` environment variable decides the
+    rest, defaulting to enabled.  Read per call so tests and A/B
+    benchmarks can flip the path without re-importing modules.
     """
+    if backend is not None and not (backend.is_host and backend.has_lapack):
+        return True
     if override is not None:
         return bool(override)
     return os.environ.get("REPRO_BATCHED", "1").strip().lower() not in _FALSY

@@ -1,0 +1,96 @@
+"""The CuPy device backend (import-guarded; the real-GPU payoff).
+
+Registers only where ``cupy`` imports *and* a device is reachable, so
+hosts without a GPU skip it cleanly — the capability-identical
+:class:`repro.backend.mock.MockDeviceBackend` keeps the exact same code
+path tier-1-tested there.
+
+Kernel mapping (why the capability flags are what they are):
+
+- ``has_batched_potrf=True`` — ``cupy.linalg.cholesky`` on a stacked
+  ``(m, b, b)`` input dispatches to cuSOLVER ``potrfBatched``: one
+  launch factors the whole stack, which is the regime where the device
+  beats the host's looped OpenBLAS POTRF (the ``b > 32`` ceiling the
+  evaluator lifts for such backends);
+- ``has_batched_trsm=True`` — stacked triangular solves run as the
+  batched layer's blocked vectorized substitution (broadcast GEMMs —
+  cuBLAS-batched under CuPy); ``cupyx.lapack.trsm`` covers the
+  single-block tall-RHS case.  Either way there is no per-block host
+  loop;
+- ``has_lapack=False`` — the SciPy LAPACK wrappers in
+  ``repro.structured.batched`` cannot touch device memory, so the host
+  fast path must be unreachable; the flag guarantees the batched layer
+  never routes there.
+
+Everything above the kernels (BTA containers, sweeps, handles, assembly
+workspaces) allocates through this backend's ``xp``/``empty``/``zeros``
+hooks, so no further code changes are needed to run the pipeline on
+device — that end-to-end property is what the mock backend asserts in
+CI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_DEFAULT_DTYPE = np.float64
+
+try:  # pragma: no cover - exercised only on GPU hosts
+    import cupy as _cupy
+
+    _cupy.cuda.runtime.getDeviceCount()  # raises when no device is present
+    _CUPY_OK = True
+except Exception:  # pragma: no cover - the GPU-free default
+    _cupy = None
+    _CUPY_OK = False
+
+
+def cupy_available() -> bool:
+    """True when CuPy imports and at least one CUDA device answers."""
+    return _CUPY_OK
+
+
+class CupyBackend:  # pragma: no cover - requires a GPU
+    """CUDA execution through CuPy (cuSOLVER/cuBLAS batched kernels)."""
+
+    name = "cupy"
+    is_host = False
+    has_lapack = False
+    has_batched_trsm = True
+    has_batched_potrf = True
+
+    def __init__(self):
+        if not _CUPY_OK:
+            raise RuntimeError("cupy is not importable or no CUDA device is present")
+
+    @property
+    def xp(self):
+        return _cupy
+
+    def owns(self, array) -> bool:
+        return isinstance(array, _cupy.ndarray)
+
+    def asarray(self, a, dtype=None):
+        return _cupy.asarray(a, dtype=dtype or _DEFAULT_DTYPE)
+
+    def empty_blocks(self, n: int, b: int, *, dtype=None):
+        if n < 0 or b < 0:
+            raise ValueError(f"negative block-stack shape: n={n}, b={b}")
+        return _cupy.empty((n, b, b), dtype=dtype or _DEFAULT_DTYPE, order="C")
+
+    def zeros_blocks(self, n: int, b: int, *, dtype=None):
+        if n < 0 or b < 0:
+            raise ValueError(f"negative block-stack shape: n={n}, b={b}")
+        return _cupy.zeros((n, b, b), dtype=dtype or _DEFAULT_DTYPE, order="C")
+
+    def empty(self, shape, *, dtype=None, order: str = "C"):
+        return _cupy.empty(shape, dtype=dtype or _DEFAULT_DTYPE, order=order)
+
+    def zeros(self, shape, *, dtype=None, order: str = "C"):
+        return _cupy.zeros(shape, dtype=dtype or _DEFAULT_DTYPE, order=order)
+
+    def to_host(self, a) -> np.ndarray:
+        return _cupy.asnumpy(a)
+
+    def __repr__(self) -> str:
+        return "<CupyBackend cuda>"

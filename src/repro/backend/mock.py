@@ -1,0 +1,242 @@
+"""A CPU-side mock device backend — the GPU code path without a GPU.
+
+The batched kernel layer has two execution strategies per primitive: the
+looped-LAPACK host path and the vectorized-substitution / batched-kernel
+device path.  Only the former runs in CI unless a device backend exists,
+so the device path would rot silently.  :class:`MockDeviceBackend` keeps
+it tier-1-testable:
+
+- arrays are :class:`MockDeviceArray` — plain host memory *viewed*
+  through an ``np.ndarray`` subclass, so ufuncs, ``matmul``, slicing and
+  ``empty_like`` all work (and preserve the tag) while the backend
+  reports ``is_host=False`` / ``has_lapack=False``: the batched layer
+  must take the device branches (``batched_chol_lower`` +
+  ``batched_tri_inverse_lower`` + vectorized substitution) everywhere;
+- the array module :attr:`MockDeviceBackend.xp` is a wrapping proxy over
+  NumPy whose functions are **pre-bound at import time** and whose array
+  results are re-tagged as device arrays.  Pre-binding is what makes the
+  no-escape contract testable: a test can monkeypatch ``np.empty`` /
+  ``np.zeros`` / ``np.empty_like`` to raise, and any hot-path allocation
+  that still goes through the *global* NumPy namespace — instead of the
+  owning backend's ``xp`` — blows up, while backend-routed allocations
+  keep working (the proxy holds the originals);
+- every host<->device boundary crossing is counted
+  (:attr:`MockDeviceBackend.transfers`): ``asarray`` of a foreign array
+  is an H2D copy, ``to_host`` is a D2H copy.  The measured counts feed
+  :mod:`repro.perfmodel.transfer`, which models when device execution
+  pays for real hardware.
+
+The real-GPU sibling is :class:`repro.backend.cupy.CupyBackend`; the two
+share the capability-flag contract, so code proven under the mock runs
+unchanged on CuPy.
+"""
+
+from __future__ import annotations
+
+import types
+import warnings
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_DEFAULT_DTYPE = np.float64
+
+
+class MockDeviceArray(np.ndarray):
+    """Host memory tagged as device-resident.
+
+    Created by viewing an ``np.ndarray``; no data is copied.  NumPy
+    preserves the subclass through ufuncs, ``@``, slicing, ``diagonal``,
+    ``reshape`` and ``np.empty_like`` — exactly the operations the
+    device kernels use — so the tag survives the whole pipeline unless
+    some layer strips it with a bare ``np.asarray``/``np.array`` (which
+    the backend-threading refactor removed from the hot path).
+    """
+
+    __slots__ = ()
+
+
+def _to_device(x):
+    if isinstance(x, np.ndarray) and not isinstance(x, MockDeviceArray):
+        return x.view(MockDeviceArray)
+    return x
+
+
+def _prebind(module) -> dict:
+    """Snapshot a module's public callables before any monkeypatching."""
+    bound = {}
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        for name in dir(module):
+            if name.startswith("_"):
+                continue
+            try:
+                bound[name] = getattr(module, name)
+            except AttributeError:  # pragma: no cover - removed aliases
+                continue
+    return bound
+
+
+_PREBOUND_NP = _prebind(np)
+_PREBOUND_LINALG = _prebind(np.linalg)
+
+
+class _WrappingModule:
+    """NumPy-compatible module proxy: pre-bound functions, device results.
+
+    Attribute lookups resolve against the import-time snapshot (falling
+    back to live ``getattr`` only for names that did not exist then),
+    wrap callables so ``np.ndarray`` results come back tagged as
+    :class:`MockDeviceArray`, and cache the wrapper.  Submodules
+    (``linalg``) get their own proxy.
+    """
+
+    def __init__(self, module, prebound: dict, submodules: dict | None = None):
+        self._module = module
+        self._prebound = prebound
+        self._submodules = submodules or {}
+
+    def __getattr__(self, name: str):
+        sub = self._submodules.get(name)
+        if sub is not None:
+            self.__dict__[name] = sub
+            return sub
+        try:
+            attr = self._prebound[name]
+        except KeyError:
+            attr = getattr(self._module, name)
+        if isinstance(attr, types.ModuleType) or isinstance(attr, type):
+            out = attr  # submodule without proxy / scalar types pass through
+        elif callable(attr):
+            out = self._wrap(attr)
+        else:
+            out = attr  # constants (pi, newaxis, ...)
+        self.__dict__[name] = out
+        return out
+
+    @staticmethod
+    def _wrap(fn):
+        def call(*args, **kwargs):
+            out = fn(*args, **kwargs)
+            if isinstance(out, tuple):
+                return tuple(_to_device(o) for o in out)
+            return _to_device(out)
+
+        call.__name__ = getattr(fn, "__name__", "wrapped")
+        call.__doc__ = getattr(fn, "__doc__", None)
+        return call
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<mock-device proxy of {self._module.__name__}>"
+
+
+@dataclass
+class TransferStats:
+    """Host<->device crossing counters (calls and bytes, per direction)."""
+
+    h2d_calls: int = 0
+    h2d_bytes: int = 0
+    d2h_calls: int = 0
+    d2h_bytes: int = 0
+    _log: list = field(default_factory=list, repr=False)
+
+    def record_h2d(self, nbytes: int, what: str = "") -> None:
+        self.h2d_calls += 1
+        self.h2d_bytes += int(nbytes)
+        self._log.append(("h2d", int(nbytes), what))
+
+    def record_d2h(self, nbytes: int, what: str = "") -> None:
+        self.d2h_calls += 1
+        self.d2h_bytes += int(nbytes)
+        self._log.append(("d2h", int(nbytes), what))
+
+    @property
+    def crossings(self) -> int:
+        return self.h2d_calls + self.d2h_calls
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.h2d_bytes + self.d2h_bytes
+
+    def reset(self) -> None:
+        self.h2d_calls = self.h2d_bytes = self.d2h_calls = self.d2h_bytes = 0
+        self._log.clear()
+
+
+class MockDeviceBackend:
+    """Device-capability backend over host memory (see module docstring).
+
+    Capability flags mirror a cuSOLVER/cuBLAS runtime: no direct LAPACK
+    block kernels, genuinely batched TRSM and POTRF.  The batched layer
+    therefore takes the same branches it would on CuPy.
+    """
+
+    name = "mock_device"
+    is_host = False
+    has_lapack = False
+    has_batched_trsm = True
+    has_batched_potrf = True
+
+    def __init__(self):
+        self.transfers = TransferStats()
+        self._xp = _WrappingModule(
+            np,
+            _PREBOUND_NP,
+            submodules={"linalg": _WrappingModule(np.linalg, _PREBOUND_LINALG)},
+        )
+
+    @property
+    def xp(self):
+        return self._xp
+
+    def owns(self, array) -> bool:
+        return isinstance(array, MockDeviceArray)
+
+    def asarray(self, a, dtype=None):
+        """Move onto the device; counts one H2D crossing for foreign data."""
+        out = _PREBOUND_NP["asarray"](a, dtype=dtype or _DEFAULT_DTYPE)
+        if not isinstance(a, MockDeviceArray):
+            self.transfers.record_h2d(out.nbytes, "asarray")
+        return _to_device(out)
+
+    def empty_blocks(self, n: int, b: int, *, dtype=None) -> MockDeviceArray:
+        if n < 0 or b < 0:
+            raise ValueError(f"negative block-stack shape: n={n}, b={b}")
+        return _to_device(
+            _PREBOUND_NP["empty"]((n, b, b), dtype=dtype or _DEFAULT_DTYPE, order="C")
+        )
+
+    def zeros_blocks(self, n: int, b: int, *, dtype=None) -> MockDeviceArray:
+        if n < 0 or b < 0:
+            raise ValueError(f"negative block-stack shape: n={n}, b={b}")
+        return _to_device(
+            _PREBOUND_NP["zeros"]((n, b, b), dtype=dtype or _DEFAULT_DTYPE, order="C")
+        )
+
+    def empty(self, shape, *, dtype=None, order: str = "C") -> MockDeviceArray:
+        return _to_device(
+            _PREBOUND_NP["empty"](shape, dtype=dtype or _DEFAULT_DTYPE, order=order)
+        )
+
+    def zeros(self, shape, *, dtype=None, order: str = "C") -> MockDeviceArray:
+        return _to_device(
+            _PREBOUND_NP["zeros"](shape, dtype=dtype or _DEFAULT_DTYPE, order=order)
+        )
+
+    def to_host(self, a) -> np.ndarray:
+        """Copy back to host; counts one D2H crossing for device data."""
+        if isinstance(a, MockDeviceArray):
+            self.transfers.record_d2h(a.nbytes, "to_host")
+            return _PREBOUND_NP["array"](a, subok=False)
+        return np.asarray(a)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        t = self.transfers
+        return (
+            f"<MockDeviceBackend h2d={t.h2d_calls}x/{t.h2d_bytes}B "
+            f"d2h={t.d2h_calls}x/{t.d2h_bytes}B>"
+        )
+
+
+#: The process-wide mock device instance (registered by ``repro.backend``).
+MOCK_DEVICE_BACKEND = MockDeviceBackend()

@@ -82,6 +82,19 @@ class Backend(Protocol):
         """Zeroed C-contiguous ``(n, b, b)`` block stack."""
         ...
 
+    def empty(self, shape, *, dtype=None, order: str = "C"):
+        """Uninitialized backend array of arbitrary shape.
+
+        The general-purpose sibling of :meth:`empty_blocks` — sweep
+        workspaces, RHS panels and assembly scratch route through it so
+        no layer above the kernels allocates with bare ``np.empty``.
+        """
+        ...
+
+    def zeros(self, shape, *, dtype=None, order: str = "C"):
+        """Zeroed backend array of arbitrary shape."""
+        ...
+
     def to_host(self, a) -> np.ndarray:
         """Copy an array to host memory (no-op for host backends)."""
         ...
@@ -118,6 +131,12 @@ class NumpyBackend:
         if n < 0 or b < 0:
             raise ValueError(f"negative block-stack shape: n={n}, b={b}")
         return np.zeros((n, b, b), dtype=dtype or _DEFAULT_DTYPE, order="C")
+
+    def empty(self, shape, *, dtype=None, order: str = "C") -> np.ndarray:
+        return np.empty(shape, dtype=dtype or _DEFAULT_DTYPE, order=order)
+
+    def zeros(self, shape, *, dtype=None, order: str = "C") -> np.ndarray:
+        return np.zeros(shape, dtype=dtype or _DEFAULT_DTYPE, order=order)
 
     def to_host(self, a) -> np.ndarray:
         return np.asarray(a)

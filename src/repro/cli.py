@@ -14,7 +14,9 @@ user reaches for first:
                    print the recommended ``REPRO_POTRF_SPLIT`` setting;
 - ``predict``    — paper-scale runtime predictions from the performance
                    model for a given model shape and GPU count;
-- ``datasets``   — print the paper's Table IV configurations.
+- ``datasets``   — print the paper's Table IV configurations;
+- ``backends``   — list registered execution backends with their
+                   capability flags (which one ``REPRO_BACKEND`` selects).
 """
 
 from __future__ import annotations
@@ -153,6 +155,29 @@ def _cmd_datasets(args) -> int:
     return 0
 
 
+def _cmd_backends(args) -> int:
+    from repro.backend import available_backends, get_backend
+    from repro.diagnostics import format_table
+
+    active = get_backend()
+    rows = []
+    for name in available_backends():
+        be = get_backend(name)
+        rows.append((
+            name,
+            "yes" if be.is_host else "no",
+            "yes" if be.has_lapack else "no",
+            "yes" if be.has_batched_trsm else "no",
+            "yes" if be.has_batched_potrf else "no",
+            "*" if be is active else "",
+        ))
+    print(format_table(
+        ["name", "host", "lapack", "batched trsm", "batched potrf", "active"], rows,
+        title="Registered backends (select with REPRO_BACKEND=<name>)",
+    ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = p.add_subparsers(dest="command", required=True)
@@ -196,6 +221,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     d = sub.add_parser("datasets", help="print the paper's Table IV")
     d.set_defaults(func=_cmd_datasets)
+
+    b = sub.add_parser("backends", help="list registered execution backends")
+    b.set_defaults(func=_cmd_backends)
     return p
 
 

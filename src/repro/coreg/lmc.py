@@ -77,11 +77,13 @@ def lambda_matrix(nv: int, sigmas: np.ndarray, lambdas: np.ndarray) -> np.ndarra
     return Minv @ np.diag(sigmas)
 
 
-def mixing_inverse_stack(nv: int, lambdas: np.ndarray) -> np.ndarray:
+def mixing_inverse_stack(nv: int, lambdas: np.ndarray, *, backend=None) -> np.ndarray:
     """Vectorized :func:`mixing_inverse` for a ``(t, n_lambda)`` stack.
 
     Returns ``(t, nv, nv)`` unit lower-triangular matrices; elementwise
     over the stack, so a length-1 stack is bit-identical to any batch.
+    ``backend`` routes the allocation (the stack rides along with the
+    owning workspace's arrays on a device backend).
     """
     lambdas = np.asarray(lambdas, dtype=np.float64)
     if lambdas.ndim != 2 or lambdas.shape[1] != n_couplings(nv):
@@ -89,7 +91,9 @@ def mixing_inverse_stack(nv: int, lambdas: np.ndarray) -> np.ndarray:
             f"expected (t, {n_couplings(nv)}) couplings, got shape {lambdas.shape}"
         )
     t = lambdas.shape[0]
-    M = np.zeros((t, nv, nv))
+    if backend is None:
+        from repro.backend.protocol import NUMPY_BACKEND as backend
+    M = backend.zeros((t, nv, nv))
     idx = np.arange(nv)
     M[:, idx, idx] = 1.0
     k = 0
@@ -114,7 +118,9 @@ class CoregionalizationModel:
     def n_lambda(self) -> int:
         return n_couplings(self.nv)
 
-    def block_coefficient_stack(self, sigmas: np.ndarray, lambdas: np.ndarray) -> tuple:
+    def block_coefficient_stack(
+        self, sigmas: np.ndarray, lambdas: np.ndarray, *, backend=None
+    ) -> tuple:
         """Scalar mixing coefficients of Eq. 11 for a stack of thetas.
 
         Returns ``(B, feasible)`` with ``B[i, v, w, k] = W[k, v] W[k, w]``
@@ -129,7 +135,7 @@ class CoregionalizationModel:
         sigmas = np.asarray(sigmas, dtype=np.float64)
         if sigmas.ndim != 2 or sigmas.shape[1] != self.nv:
             raise ValueError(f"expected (t, {self.nv}) sigmas, got shape {sigmas.shape}")
-        M = mixing_inverse_stack(self.nv, lambdas)
+        M = mixing_inverse_stack(self.nv, lambdas, backend=backend)
         with np.errstate(all="ignore"):
             W = M / sigmas[:, :, None]  # W[i, k, v] = M[k, v] / sigma_k
             B = np.einsum("ikv,ikw->ivwk", W, W)

@@ -40,7 +40,12 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from repro.backend.array_module import batched_enabled
-from repro.inla.objective import FobjResult, evaluate_fobj, finish_fobj_result
+from repro.backend.protocol import get_backend
+from repro.inla.objective import (
+    FobjResult,
+    evaluate_fobj,
+    finish_fobj_results_batch,
+)
 from repro.inla.solvers import SequentialSolver, StructuredSolver
 from repro.model.assembler import AssemblyWorkspace, CoregionalSTModel
 from repro.structured.kernels import NotPositiveDefiniteError
@@ -196,6 +201,11 @@ class FobjEvaluator:
             return self.batch_stencils
         if not batched_enabled(None):
             return False
+        # A backend with genuinely batched POTRF (mock device, CuPy) has
+        # no dispatch-bound crossover: one fat launch beats t thin ones at
+        # any block size, so the host-measured ceiling does not apply.
+        if get_backend().has_batched_potrf:
+            return True
         # Auto mode stays per-point above the measured host crossover
         # (dispatch amortization pays for b <= _BATCH_STENCIL_MAX_B).
         return self.model.permutation.bta_shape.b <= _batch_stencil_max_b()
@@ -315,7 +325,10 @@ class FobjEvaluator:
         """
         model = self.model
         if self._assembly_ws is None:
-            self._assembly_ws = AssemblyWorkspace()
+            # The active backend (REPRO_BACKEND) pins where the whole
+            # stencil pipeline lives: assembly value stacks, block
+            # stacks, factors and sweeps all allocate through it.
+            self._assembly_ws = AssemblyWorkspace(backend=get_backend())
         batch = model.assemble_batch(np.stack(thetas), workspace=self._assembly_ws)
         results = [FobjResult(theta=t, value=-np.inf) for t in thetas]
         if batch.t == 0:
@@ -326,18 +339,16 @@ class FobjEvaluator:
         except NotPositiveDefiniteError:
             return None
         self.n_batch_sweeps += 2
-        logdet_p = qp_batch.logdets()
-        logdet_c = qc_batch.logdets()
-        mu = qc_batch.solve_each(batch.rhs)
+        finished = finish_fobj_results_batch(
+            model,
+            [thetas[j] for j in batch.feasible],
+            batch,
+            qp_batch.logdets(),
+            qc_batch.logdets(),
+            qc_batch.solve_each(batch.rhs),
+        )
         for i, j in enumerate(batch.feasible):
-            results[j] = finish_fobj_result(
-                model,
-                thetas[j],
-                batch.system(i),
-                float(logdet_p[i]),
-                float(logdet_c[i]),
-                mu[i],
-            )
+            results[j] = finished[i]
         return results
 
     def eval_batch(self, thetas: list) -> list:

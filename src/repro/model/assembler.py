@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from repro.backend.protocol import NUMPY_BACKEND, Backend
 from repro.coreg.lmc import CoregionalizationModel
 from repro.coreg.permute import CoregionalPermutation
 from repro.meshes.mesh2d import Mesh2D
@@ -205,6 +206,7 @@ class SymbolicAssembly:
         self.scatter_c = model._map_c.composed(order_c)
         self._order_p = order_p
         self._qp_csr_pattern = (indptr_p, indices_p, (N, N))
+        self._quad_rows: np.ndarray | None = None  # COO rows, built lazily
 
         # -- right-hand side -------------------------------------------------
         y, resp = model.likelihood.y, model.likelihood.response_of
@@ -249,7 +251,9 @@ class SymbolicAssembly:
 
     # -- numeric phase -------------------------------------------------------
 
-    def coefficients(self, thetas: np.ndarray) -> tuple:
+    def coefficients(
+        self, thetas: np.ndarray, *, backend: Backend | None = None
+    ) -> tuple:
         """Per-theta scalar coefficients ``(taus, c, B, feasible)``.
 
         ``thetas`` is a ``(t, dim)`` stack.  ``c[i, k, j]`` is the
@@ -259,8 +263,10 @@ class SymbolicAssembly:
         (any configuration for which the sparse reference assembly
         raises) are flagged in ``feasible`` — the cheap screen the
         stencil batch applies before any value work.  All arithmetic is
-        elementwise over the stack.
+        elementwise over the stack; scratch comes from ``backend``'s
+        allocator hooks (host by default).
         """
+        be = backend if backend is not None else NUMPY_BACKEND
         lay = self._layout
         thetas = np.asarray(thetas, dtype=np.float64)
         if thetas.ndim != 2 or thetas.shape[1] != lay.dim:
@@ -274,18 +280,22 @@ class SymbolicAssembly:
         lambdas = thetas[:, lay.lambda_slice()]
 
         # One elementwise evaluation covers all processes of all thetas.
-        c = np.empty((t, nv, self.n_basis))
+        c = be.empty((t, nv, self.n_basis))
         c_st, ok = self._spde.term_coefficient_stack(ranges[:, :, 0], ranges[:, :, 1])
         c[:, :, :9] = c_st
         feasible &= ok.all(axis=1)
         c[:, :, 9] = self.eps_fixed
         B, ok_mix = self._coreg.block_coefficient_stack(
-            np.where(feasible[:, None], sigmas, 1.0), np.where(feasible[:, None], lambdas, 0.0)
+            np.where(feasible[:, None], sigmas, 1.0),
+            np.where(feasible[:, None], lambdas, 0.0),
+            backend=be,
         )
         feasible &= ok_mix
         return taus, c, B, feasible
 
-    def prior_values(self, c: np.ndarray, B: np.ndarray) -> np.ndarray:
+    def prior_values(
+        self, c: np.ndarray, B: np.ndarray, *, backend: Backend | None = None
+    ) -> np.ndarray:
         """Aligned prior data stack ``(t, nnz_p)`` from coefficient stacks.
 
         Fixed accumulation order throughout (bit-identical at any ``t``):
@@ -294,20 +304,23 @@ class SymbolicAssembly:
         Eq. 11 mixes ``sum_k B[v, w, k] P[k]`` assigned straight into
         the aligned slots — the joint data array is written exactly once.
         """
+        be = backend if backend is not None else NUMPY_BACKEND
         t, nv = c.shape[0], self.nv
         # Spatial combinations ``s_i = sum_j c_ij S_j`` then the temporal
         # outer product ``P_st = sum_i M_i (x) s_i`` — two stacked
         # matmuls whose per-slice shape is independent of ``t`` (the
         # same GEMM runs for every theta/process slice, so a length-1
         # stack stays bit-identical to any batch).
-        cmat = np.zeros((t, nv, 12))
+        cmat = be.zeros((t, nv, 12))
         cmat[:, :, self._coeff_map] = c[:, :, :9]
         s = cmat.reshape(t, nv, 3, 4) @ self._spatial_dense  # (t, nv, 3, nnz_s)
         pst = self._temporal_mix @ s  # (t, nv, ntt, nnz_s)
         pst = pst.reshape(t, nv, -1)
         peps = c[:, :, 9, None] * self._eps_ones if self.nr else None
 
-        out = np.empty((t, self.nnz_p)) if self._full_cover else np.zeros((t, self.nnz_p))
+        out = (
+            be.empty((t, self.nnz_p)) if self._full_cover else be.zeros((t, self.nnz_p))
+        )
         for i in range(nv * nv):
             v, w = divmod(i, nv)
             acc = B[:, v, w, 0, None] * pst[:, 0]
@@ -321,9 +334,12 @@ class SymbolicAssembly:
                 out[:, self._block_slots_eps[i]] = acc
         return out
 
-    def conditional_values(self, qp_values: np.ndarray, taus: np.ndarray) -> np.ndarray:
+    def conditional_values(
+        self, qp_values: np.ndarray, taus: np.ndarray, *, backend: Backend | None = None
+    ) -> np.ndarray:
         """Aligned conditional data stack: ``Qc = Qp + sum_v tau_v Gram_v``."""
-        qc = np.zeros((qp_values.shape[0], self.nnz_c))
+        be = backend if backend is not None else NUMPY_BACKEND
+        qc = be.zeros((qp_values.shape[0], self.nnz_c))
         qc[:, self._p2c] = qp_values
         for v in range(self.nv):
             qc[:, self._gram_slots[v]] += taus[:, v, None] * self._gram_vals[v]
@@ -336,7 +352,14 @@ class SymbolicAssembly:
             rhs += taus[:, v, None] * self._rhs_basis[v]
         return rhs
 
-    def values(self, c: np.ndarray, B: np.ndarray, taus: np.ndarray) -> tuple:
+    def values(
+        self,
+        c: np.ndarray,
+        B: np.ndarray,
+        taus: np.ndarray,
+        *,
+        backend: Backend | None = None,
+    ) -> tuple:
         """The shared value-evaluation core: ``(qp, qc, rhs_var)`` stacks.
 
         ``qp``/``qc`` are aligned-pattern data stacks, ``rhs_var`` the
@@ -345,12 +368,33 @@ class SymbolicAssembly:
         the fused permute+scatter, and by the general-sparse baseline
         (:meth:`CoregionalSTModel.assemble_sparse`) as CSR data arrays.
         """
-        qp = self.prior_values(c, B)
-        return qp, self.conditional_values(qp, taus), self.rhs_values(taus)
+        qp = self.prior_values(c, B, backend=backend)
+        return (
+            qp,
+            self.conditional_values(qp, taus, backend=backend),
+            self.rhs_values(taus),
+        )
 
     def permute_rhs(self, rhs_var: np.ndarray) -> np.ndarray:
         """Variable-major -> time-major gather on the last axis."""
         return rhs_var[..., self._vec_perm]
+
+    def qp_quad_stack(self, qp_values: np.ndarray, mu_stack: np.ndarray) -> np.ndarray:
+        """``mu_j^T Qp_j mu_j`` for a whole batch, one broadcasted pass.
+
+        The stencil epilogue's quadrature: every theta shares the permuted
+        sparse pattern and differs only in data, so the quadratic form is
+        one elementwise triple product summed over entries — no per-theta
+        CSR construction, no per-theta matvec loop.  Agrees with the
+        per-point ``mu @ (qp_csr @ mu)`` to rounding (accumulation order).
+        """
+        indptr, indices, shape = self._qp_csr_pattern
+        if self._quad_rows is None:
+            self._quad_rows = np.repeat(np.arange(shape[0]), np.diff(indptr))
+        data = qp_values[:, self._order_p]
+        return np.einsum(
+            "te,te,te->t", data, mu_stack[:, self._quad_rows], mu_stack[:, indices]
+        )
 
     def qp_csr(self, qp_values_row: np.ndarray) -> sp.csr_matrix:
         """Permuted sparse prior from one aligned data row (cheap matvec form)."""
@@ -371,16 +415,21 @@ class AssemblyWorkspace:
     call that uses the workspace (and factorized in place by the
     evaluator's ``overwrite=True`` sweeps) — callers must not hold on to
     the previous batch's stacks across calls.
+
+    ``backend`` pins where the stacks (and the plan's value scratch of
+    any ``assemble_batch`` call using this workspace) live — the single
+    switch that moves the whole stencil pipeline onto a device backend.
     """
 
-    def __init__(self):
+    def __init__(self, *, backend: Backend | None = None):
+        self.backend = backend if backend is not None else NUMPY_BACKEND
         self._qp: BTAStack | None = None
         self._qc: BTAStack | None = None
 
     def stacks(self, shape3, t: int) -> tuple:
         if self._qp is None or self._qp.t < t or self._qp.shape3 != shape3:
-            self._qp = BTAStack.zeros(shape3, t)
-            self._qc = BTAStack.zeros(shape3, t)
+            self._qp = BTAStack.zeros(shape3, t, backend=self.backend)
+            self._qc = BTAStack.zeros(shape3, t, backend=self.backend)
         return self._qp.head(t), self._qc.head(t)
 
 
@@ -410,6 +459,11 @@ class BatchAssembledSystem:
     def t(self) -> int:
         """Number of assembled (feasible) thetas."""
         return int(self.feasible.size)
+
+    def quad_stack(self, mu_stack: np.ndarray) -> np.ndarray:
+        """``mu_j^T Qp_j mu_j`` over the live rows (see
+        :meth:`SymbolicAssembly.qp_quad_stack`)."""
+        return self._plan.qp_quad_stack(self.qp_values, mu_stack)
 
     def system(self, i: int) -> AssembledSystem:
         """Per-theta :class:`AssembledSystem` view of live row ``i``.
@@ -591,7 +645,11 @@ class CoregionalSTModel:
         )
 
     def assemble_batch(
-        self, thetas: np.ndarray, *, workspace: AssemblyWorkspace | None = None
+        self,
+        thetas: np.ndarray,
+        *,
+        workspace: AssemblyWorkspace | None = None,
+        backend: Backend | None = None,
     ) -> BatchAssembledSystem:
         """Assemble a whole stencil batch into theta-first block stacks.
 
@@ -604,12 +662,17 @@ class CoregionalSTModel:
         Infeasible thetas (screened by the cheap coefficient check before
         any value work) are excluded from the stacks and reported via
         ``feasible``.  ``workspace`` reuses preallocated output stacks
-        across batches (see :class:`AssemblyWorkspace`).
+        across batches (see :class:`AssemblyWorkspace`); ``backend``
+        (defaulting to the workspace's backend) routes every value-stack
+        and block-stack allocation through the owning backend's hooks.
         """
+        be = backend
+        if be is None:
+            be = workspace.backend if workspace is not None else NUMPY_BACKEND
         thetas = np.asarray(thetas, dtype=np.float64)
         if thetas.ndim == 1:
             thetas = thetas[None, :]
-        taus, c, B, feasible = self.plan.coefficients(thetas)
+        taus, c, B, feasible = self.plan.coefficients(thetas, backend=be)
         live = np.flatnonzero(feasible)
         if live.size == 0:
             return BatchAssembledSystem(
@@ -622,11 +685,11 @@ class CoregionalSTModel:
                 qp_values=None,
                 _plan=self.plan,
             )
-        qp, qc, rhs_var = self.plan.values(c[live], B[live], taus[live])
+        qp, qc, rhs_var = self.plan.values(c[live], B[live], taus[live], backend=be)
         shape = self.permutation.bta_shape
         if workspace is None:
-            qp_stack = BTAStack.zeros(shape, live.size)
-            qc_stack = BTAStack.zeros(shape, live.size)
+            qp_stack = BTAStack.zeros(shape, live.size, backend=be)
+            qc_stack = BTAStack.zeros(shape, live.size, backend=be)
         else:
             qp_stack, qc_stack = workspace.stacks(shape, live.size)
         self.plan.scatter_p.scatter_stacks(
@@ -700,6 +763,13 @@ class CoregionalSTModel:
         """``eta = A mu`` from a permuted latent mean."""
         mu = self.permutation.unpermute_vector(mu_perm)
         return np.asarray(self.A @ mu).ravel()
+
+    def linear_predictor_stack(self, mu_perm_stack: np.ndarray) -> np.ndarray:
+        """``eta_j = A mu_j`` for a row-major ``(t, N)`` stack of permuted
+        latent means — one unpermute gather plus one SpMM instead of ``t``
+        matvecs (the theta-batched epilogue)."""
+        mu_var = self.permutation.perm.undo_stack(mu_perm_stack)
+        return np.ascontiguousarray((self.A @ mu_var.T).T)
 
     def split_latent(self, x_perm: np.ndarray) -> list:
         """Split a permuted latent vector into per-response

@@ -15,7 +15,10 @@ points, parallel efficiencies), which is what EXPERIMENTS.md compares.
 - :mod:`repro.perfmodel.calibrate` — fits the efficiency constants from
   measured kernel runs on this host;
 - :mod:`repro.perfmodel.scaling` — per-iteration time predictions for
-  any (S1, S2, S3) process grid, plus the R-INLA baseline cost model.
+  any (S1, S2, S3) process grid, plus the R-INLA baseline cost model;
+- :mod:`repro.perfmodel.transfer` — host<->device crossing/byte counts
+  per workload, validated against the mock device backend's measured
+  ``TransferStats`` — the link-cost side of the offload decision.
 """
 
 from repro.perfmodel.flops import (
@@ -36,6 +39,15 @@ from repro.perfmodel.scaling import (
     ScalingPoint,
     parallel_efficiency,
 )
+from repro.perfmodel.transfer import (
+    TransferProfile,
+    device_execution_pays,
+    factorize_host_matrix_profile,
+    sample_profile,
+    selected_inverse_profile,
+    solve_stack_profile,
+    stencil_batch_profile,
+)
 
 __all__ = [
     "bta_factorization_flops",
@@ -52,4 +64,11 @@ __all__ = [
     "calibrated_host_machine",
     "fit_efficiency_law",
     "measure_factorization",
+    "TransferProfile",
+    "stencil_batch_profile",
+    "solve_stack_profile",
+    "sample_profile",
+    "selected_inverse_profile",
+    "factorize_host_matrix_profile",
+    "device_execution_pays",
 ]

@@ -36,6 +36,10 @@ class MachineModel:
     #: sustained fraction of peak for the structured solver's kernel mix
     #: (POTRF/TRSM-heavy sequences reach a fraction of GEMM peak)
     peak_fraction: float = 1.0
+    #: host<->device link bandwidth (bytes/s); PCIe-class default
+    h2d_bandwidth: float = 25e9
+    #: per-crossing latency of the host<->device link (driver + DMA setup)
+    h2d_latency_s: float = 10e-6
 
     def gemm_efficiency(self, b: int) -> float:
         b3 = float(b) ** 3
@@ -52,6 +56,16 @@ class MachineModel:
     def stream_time(self, nbytes: float) -> float:
         """Time for a bandwidth-bound pass over ``nbytes`` of device memory."""
         return nbytes / (self.device.bandwidth_gbs * 1e9)
+
+    def transfer_time(self, nbytes: float, *, n_crossings: int = 1) -> float:
+        """Host<->device time: one latency per crossing plus link volume.
+
+        ``n_crossings`` is the number of distinct H2D/D2H copies (what
+        the mock device backend counts); ``nbytes`` their total volume.
+        """
+        if nbytes < 0 or n_crossings < 0:
+            raise ValueError("transfer sizes must be non-negative")
+        return n_crossings * self.h2d_latency_s + nbytes / self.h2d_bandwidth
 
     def message_time(self, nbytes: float, *, n_messages: int = 1) -> float:
         """Interconnect time: latency + volume."""
@@ -83,6 +97,9 @@ GH200_MACHINE = MachineModel(
     # (~62 s): the POTRF/TRSM-dominated block sequence sustains well under
     # half of GEMM peak even at b = 4002.
     peak_fraction=0.45,
+    # NVLink-C2C: the Grace-Hopper coherent link, far above PCIe.
+    h2d_bandwidth=450e9,
+    h2d_latency_s=2e-6,
 )
 
 #: Sapphire Rapids node running the R-INLA baseline.

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.perfmodel import flops as F
 from repro.perfmodel.machine import CPU_BASELINE_MACHINE, GH200_MACHINE, MachineModel
+from repro.perfmodel.transfer import stencil_batch_profile
 from repro.structured.partition import partition_counts
 
 
@@ -158,6 +159,19 @@ class DaliaPerfModel:
         t_qc = self.factorization_time(shape, s3, lb=lb) + self.solve_time(shape, s3, lb=lb)
         t_solver = max(t_qp, t_qc) if s2 >= 2 else t_qp + t_qc
         return self.eval_overhead_s + self.construction_time(shape, s3) + t_solver
+
+    def stencil_transfer_time(self, shape: ModelShape, *, t: int | None = None) -> float:
+        """Link cost of one theta-batched stencil wave on this machine.
+
+        ``t`` defaults to the full stencil width ``nfeval``.  The profile
+        (one H2D RHS stack, three D2H result stacks) is the one the mock
+        device backend measures; charging it makes the offload decision
+        transfer-aware — for the paper's models it is microseconds
+        against second-scale factorizations, which is why the pipeline
+        keeps everything device-resident between crossings.
+        """
+        t = shape.nfeval if t is None else t
+        return stencil_batch_profile(shape.N, t).time(self.machine)
 
     def iteration_time(
         self, shape: ModelShape, *, s1: int = 1, s2: int = 1, s3: int = 1, lb: float = 1.6

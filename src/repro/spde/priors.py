@@ -56,6 +56,21 @@ class PriorCollection:
             raise ValueError(f"theta shape {theta.shape} != ({self.dim},)")
         return float(sum(p.logpdf(t) for p, t in zip(self.priors, theta)))
 
+    def logpdf_stack(self, thetas: np.ndarray) -> np.ndarray:
+        """Joint log-densities of a ``(t, dim)`` theta stack, vectorized.
+
+        One broadcasted pass over the component means/precisions —
+        agrees with per-point :meth:`logpdf` to rounding (the stencil
+        batch epilogue's tolerance), not bit-for-bit (summation order).
+        """
+        thetas = np.asarray(thetas, dtype=np.float64)
+        if thetas.ndim != 2 or thetas.shape[1] != self.dim:
+            raise ValueError(f"thetas must be (t, {self.dim}), got {thetas.shape}")
+        means = np.array([p.mean for p in self.priors])
+        precs = np.array([p.precision for p in self.priors])
+        const = 0.5 * np.sum(np.log(precs) - np.log(2.0 * np.pi))
+        return const - 0.5 * ((thetas - means) ** 2 @ precs)
+
     def mean_vector(self) -> np.ndarray:
         """Prior means — the default BFGS starting point."""
         return np.array([p.mean for p in self.priors])

@@ -24,6 +24,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend.protocol import Backend, backend_for
+
+
+def _contiguous(xp, a, dtype=np.float64):
+    """C-contiguous float64 view/copy through the owning backend's module.
+
+    Routing through ``xp`` (instead of the global ``np``) keeps device
+    array types intact: ``np.ascontiguousarray`` strips ``ndarray``
+    subclasses and would silently pull a device-tagged array back to
+    plain host storage.  Already-contiguous inputs stay zero-copy.
+    """
+    return xp.ascontiguousarray(a, dtype=dtype)
+
 
 @dataclass(frozen=True)
 class BTAShape:
@@ -60,25 +73,27 @@ class BTAMatrix:
         arrow: np.ndarray | None = None,
         tip: np.ndarray | None = None,
     ):
-        diag = np.ascontiguousarray(diag, dtype=np.float64)
+        be = backend_for(diag, lower, arrow, tip)
+        xp = be.xp
+        diag = _contiguous(xp, diag)
         if diag.ndim != 3 or diag.shape[1] != diag.shape[2]:
             raise ValueError(f"diag must be (n, b, b), got {diag.shape}")
         n, b, _ = diag.shape
         if lower is None:
-            lower = np.zeros((max(n - 1, 0), b, b))
-        lower = np.ascontiguousarray(lower, dtype=np.float64)
+            lower = be.zeros((max(n - 1, 0), b, b))
+        lower = _contiguous(xp, lower)
         if lower.shape != (max(n - 1, 0), b, b):
             raise ValueError(f"lower must be (n-1, b, b) = {(n - 1, b, b)}, got {lower.shape}")
         if tip is None:
             a = 0 if arrow is None else arrow.shape[1]
-            tip = np.zeros((a, a))
-        tip = np.ascontiguousarray(tip, dtype=np.float64)
+            tip = be.zeros((a, a))
+        tip = _contiguous(xp, tip)
         a = tip.shape[0]
         if tip.shape != (a, a):
             raise ValueError(f"tip must be square, got {tip.shape}")
         if arrow is None:
-            arrow = np.zeros((n, a, b))
-        arrow = np.ascontiguousarray(arrow, dtype=np.float64)
+            arrow = be.zeros((n, a, b))
+        arrow = _contiguous(xp, arrow)
         if arrow.shape != (n, a, b):
             raise ValueError(f"arrow must be (n, a, b) = {(n, a, b)}, got {arrow.shape}")
 
@@ -111,6 +126,11 @@ class BTAMatrix:
         """True when there is no arrowhead (plain block-tridiagonal)."""
         return self.a == 0
 
+    @property
+    def backend(self):
+        """The backend owning this matrix's block storage."""
+        return backend_for(self.diag)
+
     def copy(self) -> "BTAMatrix":
         return BTAMatrix(
             self.diag.copy(), self.lower.copy(), self.arrow.copy(), self.tip.copy()
@@ -119,12 +139,13 @@ class BTAMatrix:
     # -- constructors -------------------------------------------------------
 
     @classmethod
-    def zeros(cls, shape: BTAShape) -> "BTAMatrix":
+    def zeros(cls, shape: BTAShape, *, backend: Backend | None = None) -> "BTAMatrix":
+        be = backend if backend is not None else backend_for()
         return cls(
-            np.zeros((shape.n, shape.b, shape.b)),
-            np.zeros((max(shape.n - 1, 0), shape.b, shape.b)),
-            np.zeros((shape.n, shape.a, shape.b)),
-            np.zeros((shape.a, shape.a)),
+            be.zeros((shape.n, shape.b, shape.b)),
+            be.zeros((max(shape.n - 1, 0), shape.b, shape.b)),
+            be.zeros((shape.n, shape.a, shape.b)),
+            be.zeros((shape.a, shape.a)),
         )
 
     @classmethod
@@ -202,11 +223,12 @@ class BTAMatrix:
 
         ``x`` may be a vector of length ``N`` or a matrix ``(N, k)``.
         """
-        x = np.asarray(x)
+        xp = backend_for(self.diag, x).xp
+        x = xp.asarray(x)
         squeeze = x.ndim == 1
         xm = x.reshape(self.N, -1)
         n, b, a = self.n, self.b, self.a
-        y = np.zeros_like(xm)
+        y = xp.zeros_like(xm)
         xb = xm[: n * b].reshape(n, b, -1)
         yb = y[: n * b].reshape(n, b, -1)
         # Diagonal blocks (batched GEMM).
@@ -218,17 +240,18 @@ class BTAMatrix:
         if a:
             xt = xm[n * b :]
             # Arrow row and column.
-            y[n * b :] += np.einsum("iab,ibk->ak", self.arrow, xb)
+            y[n * b :] += xp.einsum("iab,ibk->ak", self.arrow, xb)
             yb += self.arrow.transpose(0, 2, 1) @ xt[None, :, :]
             y[n * b :] += self.tip @ xt
         return y[:, 0] if squeeze else y
 
     def diagonal(self) -> np.ndarray:
         """Scalar diagonal of the matrix (length ``N``)."""
-        d = np.concatenate(
-            [np.diagonal(self.diag, axis1=1, axis2=2).ravel(), np.diagonal(self.tip)]
+        xp = backend_for(self.diag).xp
+        d = xp.concatenate(
+            [xp.diagonal(self.diag, axis1=1, axis2=2).ravel(), xp.diagonal(self.tip)]
         )
-        return np.ascontiguousarray(d)
+        return xp.ascontiguousarray(d)
 
     def add_diagonal(self, values: np.ndarray) -> None:
         """In-place add a scalar diagonal (e.g. a regularization shift)."""
@@ -269,13 +292,14 @@ class BTAStack:
     """
 
     def __init__(self, diag, lower, arrow, tip):
-        diag = np.ascontiguousarray(diag, dtype=np.float64)
+        xp = backend_for(diag, lower, arrow, tip).xp
+        diag = _contiguous(xp, diag)
         if diag.ndim != 4 or diag.shape[2] != diag.shape[3]:
             raise ValueError(f"diag must be (t, n, b, b), got {diag.shape}")
         t, n, b, _ = diag.shape
-        lower = np.ascontiguousarray(lower, dtype=np.float64)
-        tip = np.ascontiguousarray(tip, dtype=np.float64)
-        arrow = np.ascontiguousarray(arrow, dtype=np.float64)
+        lower = _contiguous(xp, lower)
+        tip = _contiguous(xp, tip)
+        arrow = _contiguous(xp, arrow)
         a = tip.shape[1] if tip.ndim == 3 else -1
         if lower.shape != (t, max(n - 1, 0), b, b):
             raise ValueError(f"lower must be (t, n-1, b, b), got {lower.shape}")
@@ -293,18 +317,24 @@ class BTAStack:
     def t(self) -> int:
         return self.diag.shape[0]
 
+    @property
+    def backend(self):
+        """The backend owning this stack's storage."""
+        return backend_for(self.diag)
+
     def __len__(self) -> int:
         return self.t
 
     @classmethod
-    def zeros(cls, shape: BTAShape, t: int) -> "BTAStack":
+    def zeros(cls, shape: BTAShape, t: int, *, backend: Backend | None = None) -> "BTAStack":
         if t < 1:
             raise ValueError(f"need t >= 1 stacked matrices, got {t}")
+        be = backend if backend is not None else backend_for()
         return cls(
-            np.zeros((t, shape.n, shape.b, shape.b)),
-            np.zeros((t, max(shape.n - 1, 0), shape.b, shape.b)),
-            np.zeros((t, shape.n, shape.a, shape.b)),
-            np.zeros((t, shape.a, shape.a)),
+            be.zeros((t, shape.n, shape.b, shape.b)),
+            be.zeros((t, max(shape.n - 1, 0), shape.b, shape.b)),
+            be.zeros((t, shape.n, shape.a, shape.b)),
+            be.zeros((t, shape.a, shape.a)),
         )
 
     @classmethod
@@ -319,11 +349,12 @@ class BTAStack:
                 raise ValueError(
                     f"all matrices must share one BTA shape; got {A.shape3} != {shape3}"
                 )
+        xp = backend_for(*(A.diag for A in mats)).xp
         return cls(
-            np.stack([A.diag for A in mats]),
-            np.stack([A.lower for A in mats]),
-            np.stack([A.arrow for A in mats]),
-            np.stack([A.tip for A in mats]),
+            xp.stack([A.diag for A in mats]),
+            xp.stack([A.lower for A in mats]),
+            xp.stack([A.arrow for A in mats]),
+            xp.stack([A.tip for A in mats]),
         )
 
     def matrix(self, j: int) -> BTAMatrix:

@@ -43,7 +43,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.backend.protocol import Backend
+from repro.backend.protocol import NUMPY_BACKEND, Backend
 from repro.comm import run_spmd
 from repro.structured.bta import BTAMatrix, BTAShape
 from repro.structured.d_pobtaf import DistributedFactors, d_pobtaf, partition_matrix
@@ -93,9 +93,16 @@ class SweepWorkspacePool:
     the pool after the solve is safe.
     """
 
-    def __init__(self, N: int, max_idle: int = _MAX_WORKSPACES):
+    def __init__(
+        self,
+        N: int,
+        max_idle: int = _MAX_WORKSPACES,
+        *,
+        backend: Backend | None = None,
+    ):
         self._N = int(N)
         self._max_idle = int(max_idle)
+        self._backend = backend if backend is not None else NUMPY_BACKEND
         self._lock = threading.Lock()
         self._free: list = []  # [(k, buffer)] most-recently released last
 
@@ -108,7 +115,9 @@ class SweepWorkspacePool:
                     ws = self._free.pop(i)[1]
                     break
         if ws is None:
-            ws = np.empty((self._N, k), order="C")
+            # Buffers live where the factor lives: the owning backend's
+            # allocator, never a bare np.empty.
+            ws = self._backend.empty((self._N, k), order="C")
         try:
             yield ws
         finally:
@@ -155,7 +164,7 @@ class BTAFactor:
 
     def __post_init__(self):
         if self._pool is None:
-            self._pool = SweepWorkspacePool(self.N)
+            self._pool = SweepWorkspacePool(self.N, backend=self.backend)
 
     # -- structure ---------------------------------------------------------
 
@@ -203,7 +212,7 @@ class BTAFactor:
         workspace pool for the duration of the solve, so concurrent
         callers sharing one handle never share a buffer.
         """
-        rhs_stack = np.asarray(rhs_stack, dtype=np.float64)
+        rhs_stack = self.backend.asarray(rhs_stack)
         k = 1 if rhs_stack.ndim == 1 else rhs_stack.shape[0]
         with self._pool.lease(k) as ws:
             return pobtas_stack(self.chol, rhs_stack, batched=self.batched, workspace=ws)
@@ -219,7 +228,7 @@ class BTAFactor:
         :meth:`solve_stack` — the S1 sampling primitive a shared
         mode-factor serves to concurrent samplers.
         """
-        rhs_stack = np.asarray(rhs_stack, dtype=np.float64)
+        rhs_stack = self.backend.asarray(rhs_stack)
         k = 1 if rhs_stack.ndim == 1 else rhs_stack.shape[0]
         with self._pool.lease(k) as ws:
             return pobtas_lt_stack(self.chol, rhs_stack, batched=self.batched, workspace=ws)
@@ -261,10 +270,13 @@ class BTAFactor:
         """
         if k < 1:
             raise ValueError(f"need k >= 1 samples, got {k}")
-        z = rng.standard_normal((k, self.N))
+        # The normal draws are generated on the host (the RNG lives
+        # there); moving them through the backend's asarray is the H2D
+        # crossing a real device pays per sampling round.
+        z = self.backend.asarray(rng.standard_normal((k, self.N)))
         x = self.solve_lt_stack(z)
         if mean is not None:
-            x += np.asarray(mean, dtype=np.float64)[None, :]
+            x += self.backend.asarray(mean)[None, :]
         return x
 
 

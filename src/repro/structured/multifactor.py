@@ -56,10 +56,11 @@ from repro.structured.pobtaf import FACTORIZATIONS, BTACholesky
 __all__ = ["BTAFactorBatch", "factorize_batch"]
 
 
-def _flatten_arrows(arrow: np.ndarray) -> np.ndarray:
+def _flatten_arrows(arrow: np.ndarray, *, backend: Backend | None = None) -> np.ndarray:
     """Arrow stacks ``(t, n, a, b)`` as contiguous ``(t, a, n b)`` slabs."""
     t, n, a, b = arrow.shape
-    return np.ascontiguousarray(arrow.transpose(0, 2, 1, 3)).reshape(t, a, n * b)
+    xp = (backend if backend is not None else backend_for(arrow)).xp
+    return xp.ascontiguousarray(arrow.transpose(0, 2, 1, 3)).reshape(t, a, n * b)
 
 
 @dataclass
@@ -132,11 +133,12 @@ class BTAFactorBatch:
         mirroring :func:`repro.structured.pobtas.forward_sweep_panels` /
         ``backward_sweep_panels`` per theta.
         """
-        rhs_stack = np.asarray(rhs_stack, dtype=np.float64)
+        rhs_stack = self.backend.asarray(rhs_stack)
         t, n, b, a = self.t, self.n, self.b, self.a
         if rhs_stack.shape != (t, self.N):
             raise ValueError(f"rhs stack must be ({t}, {self.N}), got {rhs_stack.shape}")
-        cols = np.array(rhs_stack[..., None], order="C", copy=True)  # (t, N, 1)
+        xp = self.backend.xp
+        cols = xp.array(rhs_stack[..., None], order="C", copy=True)  # (t, N, 1)
         xb = cols[:, : n * b].reshape(t, n, b, 1)
         xt = cols[:, n * b :]  # (t, a, 1)
         inv, lw = self.inv, self.lower
@@ -249,7 +251,7 @@ def factorize_batch(
     be = backend if backend is not None else backend_for(stack.diag)
 
     diag, lower, arrow, tip = stack.diag, stack.lower, stack.arrow, stack.tip
-    inv = np.empty_like(diag)
+    inv = be.xp.empty_like(diag)
 
     # ---- block-tridiagonal chain (loop-carried, theta-batched) -----------
     for i in range(n - 1):
@@ -273,7 +275,7 @@ def factorize_batch(
                 :, i
             ].transpose(0, 2, 1)
             arrow[:, i] = cur
-        arrow_flat = _flatten_arrows(arrow)
+        arrow_flat = _flatten_arrows(arrow, backend=be)
         tip -= arrow_flat @ arrow_flat.transpose(0, 2, 1)
         for j in range(tip.shape[0]):
             tip[j] = bk.chol_lower_block(tip[j], backend=be)

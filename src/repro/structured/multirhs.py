@@ -36,6 +36,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.backend.array_module import batched_enabled
+from repro.backend.protocol import Backend, backend_for
 from repro.comm.communicator import Communicator
 from repro.structured.d_pobtaf import DistributedFactors
 from repro.structured.d_pobtas import d_pobtas, d_pobtas_lt
@@ -56,15 +57,17 @@ __all__ = [
 ]
 
 
-def as_rhs_stack(stack: np.ndarray, N: int) -> tuple:
+def as_rhs_stack(stack: np.ndarray, N: int, *, backend: Backend | None = None) -> tuple:
     """Normalize a row-major RHS stack to ``(k, N)`` float64.
 
     A 1-D vector of length ``N`` is promoted to a ``k = 1`` stack; the
     returned flag records whether the caller should squeeze the result
     back to 1-D.  Strided / non-contiguous inputs are accepted (the panel
-    transpose below copies anyway).
+    transpose below copies anyway).  ``backend`` pins the array home
+    (host stacks handed to a device factor cross H2D here).
     """
-    stack = np.asarray(stack, dtype=np.float64)
+    be = backend if backend is not None else backend_for(stack)
+    stack = be.asarray(stack)
     squeeze = stack.ndim == 1
     if squeeze:
         stack = stack[None, :]
@@ -89,21 +92,22 @@ def _to_panels(chol: BTACholesky, stack: np.ndarray, workspace: np.ndarray | Non
         cols = workspace
         cols[...] = stack.T
     else:
-        cols = np.array(stack.T, order="C", copy=True)
+        cols = chol.get_backend().xp.array(stack.T, order="C", copy=True)
     return cols, cols[: n * b].reshape(n, b, -1), cols[n * b :]
 
 
 def _from_panels(cols: np.ndarray, squeeze: bool, *, owned: bool) -> np.ndarray:
+    xp = backend_for(cols).xp
     if squeeze:
         # cols[:, 0] aliases the sweep buffer; only safe to hand out when
         # the buffer was allocated for this call.
         return cols[:, 0] if owned else cols[:, 0].copy()
     if owned:
-        return np.ascontiguousarray(cols.T)
+        return xp.ascontiguousarray(cols.T)
     # A reused workspace must never escape: for k = 1 the transposed
     # (1, N) view is already flagged contiguous, so ascontiguousarray
     # would return the alias — force the copy.
-    return np.array(cols.T, order="C", copy=True)
+    return xp.array(cols.T, order="C", copy=True)
 
 
 def pobtas_stack(
@@ -122,10 +126,10 @@ def pobtas_stack(
     :class:`repro.structured.factor.BTAFactor`).
     """
     L = chol.factor
-    stack, squeeze = as_rhs_stack(stack, L.N)
+    stack, squeeze = as_rhs_stack(stack, L.N, backend=chol.get_backend())
     if stack.shape[0] == 0:
         return stack.copy()
-    if not batched_enabled(batched):
+    if not batched_enabled(batched, chol.get_backend()):
         out = np.stack([pobtas(chol, stack[j], batched=False) for j in range(stack.shape[0])])
         return out[0] if squeeze else out
     cols, xb, xt = _to_panels(chol, stack, workspace)
@@ -148,10 +152,10 @@ def pobtas_lt_stack(
     this is what :class:`repro.inla.sampling.LatentPosterior` drives.
     """
     L = chol.factor
-    stack, squeeze = as_rhs_stack(stack, L.N)
+    stack, squeeze = as_rhs_stack(stack, L.N, backend=chol.get_backend())
     if stack.shape[0] == 0:
         return stack.copy()
-    if not batched_enabled(batched):
+    if not batched_enabled(batched, chol.get_backend()):
         out = np.stack(
             [pobtas_lt(chol, stack[j], batched=False) for j in range(stack.shape[0])]
         )

@@ -79,10 +79,11 @@ class _FactorizationCounter:
 FACTORIZATIONS = _FactorizationCounter()
 
 
-def _flatten_arrow(arrow: np.ndarray) -> np.ndarray:
+def _flatten_arrow(arrow: np.ndarray, *, backend: Backend | None = None) -> np.ndarray:
     """Arrow-row stack ``(n, a, b)`` as one contiguous ``(a, n b)`` matrix."""
     n, a, b = arrow.shape
-    return np.ascontiguousarray(arrow.transpose(1, 0, 2)).reshape(a, n * b)
+    xp = (backend if backend is not None else backend_for(arrow)).xp
+    return xp.ascontiguousarray(arrow.transpose(1, 0, 2)).reshape(a, n * b)
 
 
 @dataclass
@@ -142,14 +143,16 @@ class BTACholesky:
         against the (free, contiguous) flat view of the right-hand side.
         """
         if self._arrow_flat is None:
-            self._arrow_flat = _flatten_arrow(self.factor.arrow)
+            self._arrow_flat = _flatten_arrow(
+                self.factor.arrow, backend=self.get_backend()
+            )
         return self._arrow_flat
 
     def logdet(self, *, batched: bool | None = None) -> float:
         """``log det A = 2 sum_i log diag(L)_i`` — the quantity INLA needs
         for every GMRF log-density evaluation (paper Eq. 1/3)."""
-        if bk.batched_enabled(batched):
-            be = self.get_backend()
+        be = self.get_backend()
+        if bk.batched_enabled(batched, be):
             total = bk.batched_logdet_from_chol_diag(self.factor.diag, backend=be)
             if self.a:
                 total += bk.batched_logdet_from_chol_diag(self.factor.tip, backend=be)
@@ -232,9 +235,12 @@ def _pobtaf_batched(L: BTAMatrix) -> tuple[np.ndarray, np.ndarray | None]:
     arrow row (None when ``a == 0``) cached as ``BTACholesky.arrow_flat``.
     """
     n, a = L.n, L.a
+    be = backend_for(L.diag)
     diag, lower, arrow, tip = L.diag, L.lower, L.arrow, L.tip
-    inv = np.empty_like(diag)
-    chol_inv = bk.chol_and_inverse_block
+    inv = be.xp.empty_like(diag)
+
+    def chol_inv(block):
+        return bk.chol_and_inverse_block(block, backend=be)
 
     # ---- block-tridiagonal chain (loop-carried) -------------------------
     for i in range(n - 1):
@@ -258,9 +264,9 @@ def _pobtaf_batched(L: BTAMatrix) -> tuple[np.ndarray, np.ndarray | None]:
             arrow[i] = cur
         # Tip Schur update: one GEMM over the flattened arrow row (the
         # flat form is cached for the sweeps' arrow eliminations).
-        arrow_flat = _flatten_arrow(arrow)
+        arrow_flat = _flatten_arrow(arrow, backend=be)
         tip -= arrow_flat @ arrow_flat.T
-        tip[...] = bk.chol_lower_block(tip)
+        tip[...] = bk.chol_lower_block(tip, backend=be)
     return inv, arrow_flat
 
 
@@ -289,7 +295,7 @@ def pobtaf(
     FACTORIZATIONS.increment()
     backend = backend_for(A.diag)
     L = A if overwrite else A.copy()
-    if batched_enabled(batched):
+    if batched_enabled(batched, backend):
         inv, arrow_flat = _pobtaf_batched(L)
         return BTACholesky(
             factor=L, _diag_inv=inv, _arrow_flat=arrow_flat, backend=backend

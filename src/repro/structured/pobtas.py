@@ -37,14 +37,15 @@ from repro.structured.pobtaf import BTACholesky
 def _prepare(chol: BTACholesky, rhs: np.ndarray, *, overwrite: bool = False):
     L = chol.factor
     n, b, N = L.n, L.b, L.N
-    rhs = np.asarray(rhs, dtype=np.float64)
+    be = chol.get_backend()
+    rhs = be.asarray(rhs)
     squeeze = rhs.ndim == 1
     if rhs.shape[0] != N:
         raise ValueError(f"rhs has leading dimension {rhs.shape[0]}, expected {N}")
     if overwrite and rhs.ndim > 1:
         x = rhs.reshape(N, -1)
     else:
-        x = np.array(rhs.reshape(N, -1), copy=True)
+        x = be.xp.array(rhs.reshape(N, -1), copy=True)
     return L, x, x[: n * b].reshape(n, b, -1), x[n * b :], squeeze
 
 
@@ -84,7 +85,7 @@ def backward_sweep_panels(chol: BTACholesky, xb, xt, a: int, n: int) -> None:
     inv = chol.diag_inverses()
     lw = L.lower
     if a:
-        xt[...] = bk.solve_lower_t_block(L.tip, xt)
+        xt[...] = bk.solve_lower_t_block(L.tip, xt, backend=chol.get_backend())
         x_flat = xb.reshape(n * L.b, -1)
         x_flat -= chol.arrow_flat().T @ xt
     cur = inv[n - 1].T @ xb[n - 1]
@@ -110,7 +111,7 @@ def forward_sweep_panels(chol: BTACholesky, xb, xt, a: int, n: int) -> None:
         # The arrow eliminations only accumulate onto the tip entry: one
         # GEMM of the flat arrow row against the solved stack.
         xt -= chol.arrow_flat() @ xb.reshape(n * L.b, -1)
-        xt[...] = bk.solve_lower_block(L.tip, xt)
+        xt[...] = bk.solve_lower_block(L.tip, xt, backend=chol.get_backend())
 
 
 def _pobtas_batched(chol: BTACholesky, xb, xt, a: int, n: int) -> None:
@@ -128,7 +129,7 @@ def pobtas(
 ) -> np.ndarray:
     """Solve ``A x = rhs`` using the BTA Cholesky factor ``chol``."""
     L, x, xb, xt, squeeze = _prepare(chol, rhs, overwrite=overwrite)
-    if batched_enabled(batched):
+    if batched_enabled(batched, chol.get_backend()):
         _pobtas_batched(chol, xb, xt, L.a, L.n)
     else:
         _pobtas_blocked(L, xb, xt, L.a, L.n)
@@ -146,7 +147,7 @@ def pobtas_lt(
     """
     L, x, xb, xt, squeeze = _prepare(chol, rhs)
     n, a = L.n, L.a
-    if batched_enabled(batched):
+    if batched_enabled(batched, chol.get_backend()):
         backward_sweep_panels(chol, xb, xt, a, n)
         return x[:, 0] if squeeze else x
     if a:

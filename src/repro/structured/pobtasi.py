@@ -100,11 +100,11 @@ def _pobtasi_batched(chol: BTACholesky, X: BTAMatrix, xb=None, xt=None) -> None:
     fused = xb is not None
 
     if a:
-        tip_inv = bk.tri_inverse_lower_block(L.tip)
+        tip_inv = bk.tri_inverse_lower_block(L.tip, backend=chol.get_backend())
         X.tip[...] = tip_inv.T @ tip_inv
         if fused:
             # Solve's tip back-propagation: one flat GEMM over the stack.
-            xt[...] = bk.solve_lower_t_block(L.tip, xt)
+            xt[...] = bk.solve_lower_t_block(L.tip, xt, backend=chol.get_backend())
             x_flat = xb.reshape(n * L.b, -1)
             x_flat -= chol.arrow_flat().T @ xt
 
@@ -158,16 +158,17 @@ def _pobtasi_batched_diag(chol: BTACholesky, xb=None, xt=None) -> np.ndarray:
     L = chol.factor
     n, b, a = L.n, L.b, L.a
     inv = chol.diag_inverses()
+    be = chol.get_backend()
     fused = xb is not None
-    out = np.empty(L.N)
+    out = be.empty((L.N,))
 
     tt = None
     if a:
-        tip_inv = bk.tri_inverse_lower_block(L.tip)
+        tip_inv = bk.tri_inverse_lower_block(L.tip, backend=be)
         tt = tip_inv.T @ tip_inv
-        out[n * b :] = np.diagonal(tt)
+        out[n * b :] = be.xp.diagonal(tt)
         if fused:
-            xt[...] = bk.solve_lower_t_block(L.tip, xt)
+            xt[...] = bk.solve_lower_t_block(L.tip, xt, backend=be)
             x_flat = xb.reshape(n * b, -1)
             x_flat -= chol.arrow_flat().T @ xt
 
@@ -203,7 +204,7 @@ def _pobtasi_batched_diag(chol: BTACholesky, xb=None, xt=None) -> np.ndarray:
         x_next = bk.symmetrize(acc_diag @ inv_i)
         if a:
             xa_next = xa
-        out[i * b : (i + 1) * b] = np.diagonal(x_next)
+        out[i * b : (i + 1) * b] = be.xp.diagonal(x_next)
     return out
 
 
@@ -213,8 +214,8 @@ def pobtasi(chol: BTACholesky, *, batched: bool | None = None) -> BTAMatrix:
     Returns a :class:`BTAMatrix` whose blocks hold the corresponding blocks
     of ``A^{-1}`` (symmetric; lower-triangle layout like the input).
     """
-    X = BTAMatrix.zeros(chol.factor.shape3)
-    if batched_enabled(batched):
+    X = BTAMatrix.zeros(chol.factor.shape3, backend=chol.get_backend())
+    if batched_enabled(batched, chol.get_backend()):
         _pobtasi_batched(chol, X)
     else:
         _pobtasi_blocked(chol, X)
@@ -243,7 +244,7 @@ def pobtasi_with_solve(
     """
     from repro.structured.pobtas import _prepare, forward_sweep_panels
 
-    if not batched_enabled(batched):
+    if not batched_enabled(batched, chol.get_backend()):
         from repro.structured.pobtas import pobtas
 
         return pobtasi(chol, batched=False), pobtas(chol, rhs, batched=False)
@@ -251,7 +252,7 @@ def pobtasi_with_solve(
     L = chol.factor
     _, x, xb, xt, squeeze = _prepare(chol, rhs)
     forward_sweep_panels(chol, xb, xt, L.a, L.n)
-    X = BTAMatrix.zeros(chol.factor.shape3)
+    X = BTAMatrix.zeros(chol.factor.shape3, backend=chol.get_backend())
     _pobtasi_batched(chol, X, xb=xb, xt=xt)
     return X, (x[:, 0] if squeeze else x)
 
@@ -265,7 +266,7 @@ def selected_inverse_diagonal(chol: BTACholesky, *, batched: bool | None = None)
     inverse.  The reference path keeps the full per-block recursion as
     ground truth.
     """
-    if batched_enabled(batched):
+    if batched_enabled(batched, chol.get_backend()):
         return _pobtasi_batched_diag(chol)
     return pobtasi(chol, batched=False).diagonal()
 
@@ -283,7 +284,7 @@ def solve_and_selected_inverse_diagonal(
     """
     from repro.structured.pobtas import _prepare, forward_sweep_panels
 
-    if not batched_enabled(batched):
+    if not batched_enabled(batched, chol.get_backend()):
         from repro.structured.pobtas import pobtas
 
         return (

@@ -1,0 +1,157 @@
+"""The mock device backend: tagging, transfer counting, monkeypatch-proofing.
+
+These are the unit-level guarantees everything else builds on: arrays
+produced by the backend are tagged device-resident and the tag survives
+the operations the kernels use; every host<->device crossing is counted
+with its exact byte size; and the ``xp`` proxy is pre-bound so a test can
+poison the global NumPy namespace without breaking backend-routed
+allocations — which is precisely how the no-escape test in
+``tests/structured/test_backend_matrix.py`` catches hot-path ``np.*``
+leaks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    available_backends,
+    backend_for,
+    get_backend,
+)
+from repro.backend.cupy import CupyBackend, cupy_available
+from repro.backend.mock import MOCK_DEVICE_BACKEND, MockDeviceArray, MockDeviceBackend
+
+
+@pytest.fixture
+def be():
+    MOCK_DEVICE_BACKEND.transfers.reset()
+    yield MOCK_DEVICE_BACKEND
+    MOCK_DEVICE_BACKEND.transfers.reset()
+
+
+class TestRegistry:
+    def test_registered(self):
+        assert "mock_device" in available_backends()
+        assert get_backend("mock_device") is MOCK_DEVICE_BACKEND
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "mock_device")
+        assert get_backend() is MOCK_DEVICE_BACKEND
+        monkeypatch.delenv("REPRO_BACKEND")
+        assert get_backend().name == "numpy"
+
+    def test_capability_flags(self):
+        be = MOCK_DEVICE_BACKEND
+        assert not be.is_host
+        assert not be.has_lapack
+        assert be.has_batched_trsm and be.has_batched_potrf
+
+    def test_backend_for_routes_device_arrays(self, be):
+        d = be.zeros((3, 3))
+        assert backend_for(d) is be
+        assert backend_for(np.zeros(3), d) is be  # device wins mixed lists
+        assert backend_for(np.zeros(3)).name == "numpy"
+
+
+class TestTagging:
+    def test_allocators_tag(self, be):
+        for a in (
+            be.empty((2, 3)),
+            be.zeros((4,)),
+            be.empty_blocks(3, 2),
+            be.zeros_blocks(3, 2),
+            be.asarray([1.0, 2.0]),
+        ):
+            assert isinstance(a, MockDeviceArray)
+            assert a.dtype == np.float64
+
+    def test_tag_survives_kernel_operations(self, be):
+        a = be.asarray(np.eye(4))
+        assert isinstance(a @ a, MockDeviceArray)
+        assert isinstance(a[1:, :2], MockDeviceArray)
+        assert isinstance(a + 1.0, MockDeviceArray)
+        assert isinstance(np.empty_like(a), MockDeviceArray)
+        assert isinstance(a.reshape(2, 8), MockDeviceArray)
+        assert isinstance(a.diagonal(), MockDeviceArray)
+
+    def test_xp_results_tagged(self, be):
+        xp = be.xp
+        assert isinstance(xp.zeros((2, 2)), MockDeviceArray)
+        assert isinstance(xp.einsum("ij,jk->ik", np.eye(2), np.eye(2)), MockDeviceArray)
+        assert isinstance(xp.linalg.cholesky(np.eye(3)), MockDeviceArray)
+        assert xp.pi == np.pi  # constants pass through
+
+    def test_view_is_zero_copy(self, be):
+        host = np.arange(6.0)
+        dev = host.view(MockDeviceArray)
+        dev[0] = 42.0
+        assert host[0] == 42.0
+
+
+class TestTransferCounting:
+    def test_asarray_foreign_counts_h2d(self, be):
+        host = np.zeros((5, 7))
+        out = be.asarray(host)
+        assert be.transfers.h2d_calls == 1
+        assert be.transfers.h2d_bytes == host.nbytes
+        assert be.transfers.d2h_calls == 0
+        assert isinstance(out, MockDeviceArray)
+
+    def test_asarray_device_is_free(self, be):
+        d = be.zeros((5, 7))
+        be.asarray(d)
+        assert be.transfers.crossings == 0
+
+    def test_to_host_counts_d2h(self, be):
+        d = be.zeros((3, 3))
+        h = be.to_host(d)
+        assert be.transfers.d2h_calls == 1
+        assert be.transfers.d2h_bytes == d.nbytes
+        assert type(h) is np.ndarray  # tag stripped, plain host memory
+
+    def test_to_host_of_host_is_free(self, be):
+        be.to_host(np.zeros(4))
+        assert be.transfers.crossings == 0
+
+    def test_reset(self, be):
+        be.asarray(np.zeros(4))
+        be.to_host(be.zeros(4))
+        assert be.transfers.crossings == 2
+        be.transfers.reset()
+        assert be.transfers.crossings == 0 and be.transfers.bytes_moved == 0
+
+
+class TestMonkeypatchProofing:
+    """The pre-bound proxy keeps working when global NumPy is poisoned —
+    the mechanism behind the hot-path no-escape assertion."""
+
+    def test_xp_survives_poisoned_numpy(self, be, monkeypatch):
+        def boom(*a, **k):
+            raise AssertionError("global np allocation")
+
+        monkeypatch.setattr(np, "empty", boom)
+        monkeypatch.setattr(np, "zeros", boom)
+        with pytest.raises(AssertionError):
+            np.zeros(3)
+        # Backend-routed allocations keep working.
+        assert be.empty((2, 2)).shape == (2, 2)
+        assert be.xp.zeros((2, 2)).shape == (2, 2)
+        assert be.empty_blocks(2, 3).shape == (2, 3, 3)
+
+
+class TestCupyStub:
+    def test_importable_without_gpu(self):
+        # The class must exist (and describe its capabilities) even when
+        # no GPU is present; only instantiation needs the runtime.
+        assert CupyBackend.name == "cupy"
+        assert not CupyBackend.is_host
+        assert CupyBackend.has_batched_trsm and CupyBackend.has_batched_potrf
+
+    def test_registered_only_with_gpu(self):
+        assert ("cupy" in available_backends()) == cupy_available()
+
+    @pytest.mark.skipif(not cupy_available(), reason="no CUDA runtime")
+    def test_roundtrip_on_gpu(self):  # pragma: no cover - GPU only
+        be = get_backend("cupy")
+        a = be.asarray(np.eye(3))
+        assert np.allclose(be.to_host(a @ a), np.eye(3))

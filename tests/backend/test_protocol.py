@@ -54,7 +54,8 @@ class TestProtocol:
         with pytest.raises(TypeError):
             register_backend(object())
 
-    def test_get_backend_default_and_unknown(self):
+    def test_get_backend_default_and_unknown(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
         assert get_backend() is NUMPY_BACKEND
         assert get_backend("numpy") is NUMPY_BACKEND
         with pytest.raises(KeyError):

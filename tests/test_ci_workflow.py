@@ -172,6 +172,17 @@ class TestWorkflowSemantics:
         assert len(matrix["python-version"]) >= 2, "need at least two python versions"
         assert tests["env"]["REPRO_BATCHED"] == "${{ matrix.repro-batched }}"
 
+    def test_backend_matrix(self):
+        """Tier-1 also runs under the mock device backend (ROADMAP item 1:
+        the device execution path must be testable without a GPU)."""
+        doc = _load_workflow()
+        tests = doc["jobs"]["tests"]
+        matrix = tests["strategy"]["matrix"]
+        assert sorted(matrix["repro-backend"]) == ["mock_device", "numpy"], (
+            "REPRO_BACKEND matrix incomplete"
+        )
+        assert tests["env"]["REPRO_BACKEND"] == "${{ matrix.repro-backend }}"
+
     def test_bench_smoke_job(self):
         doc = _load_workflow()
         runs = [
@@ -182,6 +193,7 @@ class TestWorkflowSemantics:
         assert any("bench_factor_reuse" in r for r in runs)
         assert any("bench_multitheta" in r for r in runs)
         assert any("bench_assembly" in r for r in runs)
+        assert any("bench_backend_transfers" in r for r in runs)
 
     def test_pip_cache_enabled(self):
         """Every python setup caches pip (keyed on pyproject.toml)."""
