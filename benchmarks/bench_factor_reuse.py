@@ -1,4 +1,4 @@
-"""A/B benchmark: one factorization handle vs the one-shot solver calls.
+"""A/B benchmark: one factorization handle vs factorize-per-call triples.
 
 The INLA pipeline derives the log-determinant, the conditional mean, and
 the Takahashi marginal variances from the *same* precision matrix.  The
@@ -9,11 +9,13 @@ and serves all three quantities from it — with cached triangular
 inverses, the cached logdet, and the diagonal-only Takahashi recursion.
 
 Methodology.  Each rep stages four pristine copies of ``A`` *outside*
-the timed regions (the one-shot calls destroy their input; staging is
-matrix preparation, not solver work), then times
+the timed regions (the in-place factorizations destroy their input;
+staging is matrix preparation, not solver work), then times
 
-- **one-shot x3**: ``solver.logdet`` + ``solver.logdet_and_solve`` +
-  ``solver.selected_inverse_diagonal`` — one ``pobtaf`` inside each;
+- **factorize x3**: three ``solver.factorize(overwrite=True)`` calls,
+  one per derived quantity — exactly the work the deprecated one-shot
+  wrappers performed (the wrappers themselves now warn, so the baseline
+  spells the factorize-per-call pattern out);
 - **handle**: one ``solver.factorize(overwrite=True)`` then ``logdet()``
   + the fused ``solve_and_selected_inverse_diagonal()`` — one ``pobtaf``
   total,
@@ -83,9 +85,10 @@ def run_case(n: int, b: int, a: int = 8, reps: int = 9, seed: int = 0) -> CaseRe
     for _ in range(reps):
         c1, c2, c3, c4 = A.copy(), A.copy(), A.copy(), A.copy()
         t0 = time.perf_counter()
-        solver.logdet(c1)
-        solver.logdet_and_solve(c2, rhs)
-        solver.selected_inverse_diagonal(c3)
+        solver.factorize(c1, overwrite=True).logdet()
+        f2 = solver.factorize(c2, overwrite=True)
+        f2.logdet(), f2.solve(rhs)
+        solver.factorize(c3, overwrite=True).selected_inverse_diagonal()
         t1 = time.perf_counter()
         f = solver.factorize(c4, overwrite=True)
         f.logdet()
@@ -96,9 +99,9 @@ def run_case(n: int, b: int, a: int = 8, reps: int = 9, seed: int = 0) -> CaseRe
 
     # Cross-validate values and count the factorizations each path ran.
     c0 = FACTORIZATIONS.count
-    ld1 = solver.logdet(A.copy())
-    _, x1 = solver.logdet_and_solve(A.copy(), rhs)
-    d1 = solver.selected_inverse_diagonal(A.copy())
+    ld1 = solver.factorize(A.copy(), overwrite=True).logdet()
+    x1 = solver.factorize(A.copy(), overwrite=True).solve(rhs)
+    d1 = solver.factorize(A.copy(), overwrite=True).selected_inverse_diagonal()
     c1 = FACTORIZATIONS.count
     f = solver.factorize(A.copy())
     ld2 = f.logdet()
@@ -129,16 +132,16 @@ def run_grid(shapes=GRID_SHAPES, a: int = 8, reps: int = 9):
 
 def format_report(cases) -> str:
     lines = [
-        "one BTAFactor handle vs three one-shot solver calls (paired medians, ms)",
+        "one BTAFactor handle vs three factorize-per-call triples (paired medians, ms)",
         "triple = logdet + solve + selected-inverse diagonal of one SPD BTA matrix",
-        "(pristine inputs staged outside the timed regions; one-shot factorizes per call)",
-        f"{'n':>5} {'b':>4} {'a':>3} | {'one-shot x3':>11} {'handle':>9} {'x':>6} | "
+        "(pristine inputs staged outside the timed regions; baseline factorizes per call)",
+        f"{'n':>5} {'b':>4} {'a':>3} | {'factorize x3':>12} {'handle':>9} {'x':>6} | "
         f"{'pobtaf':>7} {'maxerr':>8}",
     ]
     for c in cases:
         lines.append(
             f"{c.n:>5} {c.b:>4} {c.a:>3} | "
-            f"{c.t_oneshot * 1e3:>11.2f} {c.t_handle * 1e3:>9.2f} {c.speedup:>6.2f} | "
+            f"{c.t_oneshot * 1e3:>12.2f} {c.t_handle * 1e3:>9.2f} {c.speedup:>6.2f} | "
             f"{c.n_fact_oneshot}->{c.n_fact_handle:<4} {c.err:>8.1e}"
         )
     gated = [c.speedup for c in cases if c.b in GATE_B]

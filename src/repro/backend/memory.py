@@ -43,6 +43,26 @@ def bt_memory_bytes(n: int, b: int, *, factors: float = 2) -> int:
     return bta_memory_bytes(n, b, 0, factors=factors)
 
 
+def posterior_memory_bytes(
+    n: int, b: int, a: int, *, factors: float = 2.5, vectors: int = 3
+) -> int:
+    """Bytes a resident fitted-posterior handle occupies.
+
+    The dominant term is the BTA factor with the side allocations the
+    full query mix needs — the cached ``L[i,i]^{-1}`` stack, the flat
+    arrow row, and the selected-inversion workspace — which is the
+    ``marginals`` workload footprint (``factors = 2.5``, see
+    :data:`repro.inla.solvers.WORKLOAD_FACTORS`).  ``vectors`` counts the
+    length-``N`` side vectors a handle retains (permuted mean, cached
+    selected-inverse diagonal, unpermuted mean).  The serving tier's
+    model registry budgets its residency set with this number.
+    """
+    if vectors < 0:
+        raise ValueError(f"vectors must be >= 0, got {vectors}")
+    N = n * b + a
+    return bta_memory_bytes(n, b, a, factors=factors) + vectors * N * _F64
+
+
 def min_partitions(
     n: int, b: int, a: int, device: Device, *, factors: float = 2, headroom: float = 0.85
 ) -> int:

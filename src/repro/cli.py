@@ -9,7 +9,12 @@ user reaches for first:
                    (sequential and distributed) on a random BTA matrix,
                    including factor-reuse timings: factorize once, then
                    logdet + solve + selected inversion from the handle
-                   next to the legacy one-shot numbers;
+                   next to the factorize-per-call numbers;
+- ``serve``      — demo the posterior serving tier: fit a synthetic
+                   model, then push a concurrent burst of typed
+                   predict/sample/exceedance queries through the
+                   micro-batching server and print throughput, latency
+                   percentiles, and registry statistics;
 - ``calibrate``  — measure the blocked-POTRF crossover on this host and
                    print the recommended ``REPRO_POTRF_SPLIT`` setting;
 - ``predict``    — paper-scale runtime predictions from the performance
@@ -79,19 +84,20 @@ def _cmd_solver(args) -> int:
           f"pobtasi {ti.elapsed * 1e3:.1f} ms")
 
     # Factor reuse: the logdet + solve + selected-inverse triple once
-    # through the legacy one-shot surface (one factorization per call)
-    # and once through a single BTAFactor handle.
+    # with one factorization per call (what the deprecated one-shot
+    # surface used to do) and once through a single BTAFactor handle.
     solver = SequentialSolver()
     with Timer() as tl:
-        solver.logdet(A.copy())
-        solver.logdet_and_solve(A.copy(), rhs)
-        solver.selected_inverse_diagonal(A.copy())
+        solver.factorize(A.copy(), overwrite=True).logdet()
+        f1 = solver.factorize(A.copy(), overwrite=True)
+        f1.logdet(), f1.solve(rhs)
+        solver.factorize(A.copy(), overwrite=True).selected_inverse_diagonal()
     with Timer() as th:
         f = solver.factorize(A.copy())
         f.logdet()
         f.solve(rhs)
         f.selected_inverse_diagonal()
-    print(f"triple (logdet + solve + selected inverse): one-shot x3 "
+    print(f"triple (logdet + solve + selected inverse): factorize x3 "
           f"{tl.elapsed * 1e3:.1f} ms, one BTAFactor {th.elapsed * 1e3:.1f} ms "
           f"({tl.elapsed / th.elapsed:.2f}x)")
     if args.ranks > 1:
@@ -109,6 +115,61 @@ def _cmd_solver(args) -> int:
             run_spmd(args.ranks, rank_fn)
         print(f"distributed (P={args.ranks}, lb={args.lb}): full pipeline "
               f"{td.elapsed * 1e3:.1f} ms")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import threading
+
+    from repro.backend.memory import posterior_memory_bytes
+    from repro.model.datasets import make_dataset
+    from repro.serving import ExceedanceRequest, ModelRegistry, SampleRequest, Server
+
+    model, gt, _ = make_dataset(
+        nv=args.nv, ns=args.ns, nt=args.nt, nr=args.nr,
+        obs_per_step=args.obs, seed=args.seed,
+    )
+    b = model.nv * model.ns
+    budget = 4 * posterior_memory_bytes(model.nt, b, model.N - model.nt * b)
+    registry = ModelRegistry(budget_bytes=budget)
+    print(f"model: N={model.N}; registry budget {budget / 2**20:.1f} MiB")
+
+    latencies: list[float] = []
+    lock = threading.Lock()
+
+    def client(worker: int, server: Server) -> None:
+        for i in range(args.requests):
+            req = (
+                SampleRequest(n_samples=2, seed=worker * args.requests + i)
+                if (worker + i) % 2
+                else ExceedanceRequest(threshold=0.5)
+            )
+            t0 = time.perf_counter()
+            server.query(model, gt.theta, req)
+            with lock:
+                latencies.append(time.perf_counter() - t0)
+
+    with Server(registry, max_batch=args.max_batch) as server:
+        server.query(model, gt.theta, ExceedanceRequest(threshold=0.5))  # warm fit
+        threads = [
+            threading.Thread(target=client, args=(w, server))
+            for w in range(args.concurrency)
+        ]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - t0
+        stats = server.stats.snapshot()
+    lat = np.sort(np.array(latencies)) * 1e3
+    total = args.concurrency * args.requests
+    print(f"served {total} requests from {args.concurrency} clients in {wall:.2f} s "
+          f"({total / wall:.0f} qps)")
+    print(f"latency ms: p50 {np.percentile(lat, 50):.2f} "
+          f"p95 {np.percentile(lat, 95):.2f} p99 {np.percentile(lat, 99):.2f}")
+    print(f"server: {stats['ticks']} ticks, max batch {stats['max_batch']}; "
+          f"registry: {registry.stats.snapshot()}")
     return 0
 
 
@@ -202,6 +263,18 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--lb", type=float, default=1.6)
     s.add_argument("--seed", type=int, default=0)
     s.set_defaults(func=_cmd_solver)
+
+    sv = sub.add_parser("serve", help="demo the posterior serving tier")
+    sv.add_argument("--nv", type=int, default=1)
+    sv.add_argument("--ns", type=int, default=40)
+    sv.add_argument("--nt", type=int, default=12)
+    sv.add_argument("--nr", type=int, default=2)
+    sv.add_argument("--obs", type=int, default=40)
+    sv.add_argument("--seed", type=int, default=0)
+    sv.add_argument("--concurrency", type=int, default=16)
+    sv.add_argument("--requests", type=int, default=32, help="requests per client")
+    sv.add_argument("--max-batch", type=int, default=128)
+    sv.set_defaults(func=_cmd_serve)
 
     c = sub.add_parser(
         "calibrate", help="measure the blocked-POTRF crossover on this host"

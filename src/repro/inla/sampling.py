@@ -19,12 +19,17 @@ from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
-from scipy.stats import norm
 
 from repro.inla.marginals import LatentMarginals
 from repro.inla.solvers import StructuredSolver
 from repro.model.assembler import CoregionalSTModel
 from repro.model.design import spacetime_design
+from repro.serving.api import (
+    ExceedanceRequest,
+    PredictRequest,
+    SampleRequest,
+    execute_batch,
+)
 from repro.structured.factor import BTAFactor, factorize
 
 
@@ -115,11 +120,13 @@ class LatentPosterior:
         panels against the cached factor inverses and the handle's
         preallocated workspace) followed by one stack-wide unpermute,
         instead of ``n_samples`` per-draw passes.
+
+        Thin adapter over the serving tier's execution core — a batch of
+        one :class:`~repro.serving.api.SampleRequest` — so a direct call
+        and a micro-batched one are the same (bit-identical) code path.
         """
-        if n_samples < 1:
-            raise ValueError("n_samples must be >= 1")
-        x_perm = self.factor.sample(n_samples, rng, mean=self.mu_perm)
-        return self.model.permutation.unpermute_stack(x_perm)
+        (res,) = execute_batch(self, [SampleRequest(n_samples=n_samples, rng=rng)])
+        return res.samples
 
     def mean(self) -> np.ndarray:
         """Posterior mean, variable-major."""
@@ -160,32 +167,29 @@ class LatentPosterior:
         (``Qc^{-1} A*^T`` has as many right-hand sides as prediction
         points — fine for map-sized batches).  Optional joint samples are
         returned for functionals the marginals cannot answer.
+
+        Thin adapter over the serving tier's execution core — a batch of
+        one :class:`~repro.serving.api.PredictRequest`.
         """
-        A = self.predictive_design(coords, time_idx, v)
-        mean = np.asarray(A @ self.mean()).ravel()
-        # Exact predictive sd: rows of A* P^T are the (m, N) RHS stack of
-        # Qc^{-1} A*^T — one stacked forward/backward pass for the batch.
-        Ap = A[:, self.model.permutation.perm.perm]  # A P^T
-        stack = np.asarray(Ap.todense())  # (m, N) right-hand-side stack
-        X = self.factor.solve_stack(stack)
-        var = np.einsum("mn,mn->m", stack, X)
-        out = {"mean": mean, "sd": np.sqrt(np.maximum(var, 0.0))}
-        if n_samples > 0:
-            if rng is None:
-                raise ValueError("pass rng when requesting samples")
-            draws = self.sample(n_samples, rng)
-            out["samples"] = draws @ np.asarray(A.todense()).T
-        return out
+        (res,) = execute_batch(
+            self,
+            [
+                PredictRequest(
+                    coords=coords, time_idx=time_idx, v=v, n_samples=n_samples, rng=rng
+                )
+            ],
+        )
+        return res.as_dict()
 
     def exceedance_probability(self, threshold: float, sd: np.ndarray | None = None) -> np.ndarray:
         """Marginal ``P(x_j > threshold | y, theta)`` for every latent
         variable (the regulatory-threshold quantity of the paper's intro).
 
         ``sd`` defaults to the selected-inversion marginal standard
-        deviations, computed on demand.
+        deviations, computed on demand (and cached on the factor).
+
+        Thin adapter over the serving tier's execution core — a batch of
+        one :class:`~repro.serving.api.ExceedanceRequest`.
         """
-        mean = self.mean()
-        if sd is None:
-            var_perm = self.factor.selected_inverse_diagonal()
-            sd = np.sqrt(self.model.permutation.unpermute_vector(var_perm))
-        return norm.sf(threshold, loc=mean, scale=np.maximum(sd, 1e-300))
+        (res,) = execute_batch(self, [ExceedanceRequest(threshold=threshold, sd=sd)])
+        return res.probability

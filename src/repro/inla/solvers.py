@@ -12,12 +12,14 @@ the objective, the conditional mean, the Takahashi variances *and*
 posterior draws from one Cholesky per precision matrix.
 
 The historical one-shot methods (``logdet``, ``logdet_and_solve``,
-``selected_inverse_diagonal``, ``solve_stack``,
+``selected_inverse_diagonal``, ``solve_stack``, ``solve_lt_stack``,
 ``solve_and_selected_inverse_diagonal``) remain as thin
-factorize-then-call wrappers with bit-identical results.  They are
-**deprecated** for new code: each call factorizes from scratch, which is
-exactly the redundancy the handle API removes — see the migration notes
-in ``structured/README.md``.
+factorize-then-call wrappers with bit-identical results, but each call
+now emits :class:`OneShotDeprecationWarning`: every call factorizes from
+scratch, which is exactly the redundancy the handle API removes — see
+the migration notes in ``structured/README.md``.  The repo's own test
+configuration escalates the warning to an error, so no in-repo hot path
+can regress onto the one-shot surface.
 
 :class:`SequentialSolver` calls the single-device kernels;
 :class:`DistributedSolver` executes the full nested-dissection pipeline
@@ -32,6 +34,7 @@ the smallest ``P`` that makes each partition fit.
 from __future__ import annotations
 
 import abc
+import warnings
 
 import numpy as np
 
@@ -50,9 +53,28 @@ __all__ = [
     "StructuredSolver",
     "SequentialSolver",
     "DistributedSolver",
+    "OneShotDeprecationWarning",
     "WORKLOAD_FACTORS",
     "select_solver",
 ]
+
+
+class OneShotDeprecationWarning(DeprecationWarning):
+    """A legacy one-shot :class:`StructuredSolver` wrapper was called.
+
+    Dedicated subclass so the test suite can escalate exactly these
+    warnings to errors (``filterwarnings`` in ``pyproject.toml``) without
+    touching unrelated ``DeprecationWarning`` traffic from dependencies.
+    """
+
+
+def _warn_one_shot(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"StructuredSolver.{name} is deprecated: it factorizes from scratch "
+        f"on every call; use {replacement} on a factorization handle instead",
+        OneShotDeprecationWarning,
+        stacklevel=3,
+    )
 
 # Re-exported for the historical import path (the helper moved next to
 # the handles it guards).
@@ -85,15 +107,18 @@ class StructuredSolver(abc.ABC):
         Note the factor reuses ``A``'s storage (the historical in-place
         contract of the one-shot calls): ``A`` is destroyed.
         """
+        _warn_one_shot("logdet", "factorize(A).logdet()")
         return self.factorize(A, overwrite=True).logdet()
 
     def logdet_and_solve(self, A: BTAMatrix, rhs: np.ndarray) -> tuple:
         """``(logdet, x)``.  Deprecated: hold the handle instead."""
+        _warn_one_shot("logdet_and_solve", "logdet() and solve(rhs)")
         f = self.factorize(A, overwrite=True)
         return f.logdet(), f.solve(rhs)
 
     def selected_inverse_diagonal(self, A: BTAMatrix) -> np.ndarray:
         """Diagonal of ``A^{-1}``.  Deprecated: use the handle."""
+        _warn_one_shot("selected_inverse_diagonal", "selected_inverse_diagonal()")
         return self.factorize(A, overwrite=True).selected_inverse_diagonal()
 
     def solve_stack(self, A: BTAMatrix, rhs_stack: np.ndarray) -> tuple:
@@ -102,6 +127,7 @@ class StructuredSolver(abc.ABC):
         Deprecated: ``f = factorize(A)`` then ``f.solve_stack(...)`` —
         the handle amortizes the factorization over further stacks.
         """
+        _warn_one_shot("solve_stack", "logdet() and solve_stack(rhs_stack)")
         f = self.factorize(A, overwrite=True)
         return f.logdet(), f.solve_stack(rhs_stack)
 
@@ -111,6 +137,7 @@ class StructuredSolver(abc.ABC):
         Deprecated: use the handle; repeated sampling from one
         factorization is the whole point of ``BTAFactor.sample``.
         """
+        _warn_one_shot("solve_lt_stack", "solve_lt_stack(rhs_stack)")
         return self.factorize(A, overwrite=True).solve_lt_stack(rhs_stack)
 
     def solve_and_selected_inverse_diagonal(self, A: BTAMatrix, rhs: np.ndarray) -> tuple:
@@ -119,6 +146,10 @@ class StructuredSolver(abc.ABC):
         Deprecated: ``f.solve_and_selected_inverse_diagonal(rhs)`` on the
         handle.
         """
+        _warn_one_shot(
+            "solve_and_selected_inverse_diagonal",
+            "solve_and_selected_inverse_diagonal(rhs)",
+        )
         f = self.factorize(A, overwrite=True)
         ld = f.logdet()
         x, var = f.solve_and_selected_inverse_diagonal(rhs)

@@ -1,0 +1,47 @@
+"""Posterior serving tier: fit once, answer millions.
+
+Three layers turn a fitted :class:`~repro.inla.sampling.LatentPosterior`
+into served throughput:
+
+- :mod:`repro.serving.api` — the typed query surface
+  (:class:`PredictRequest` / :class:`SampleRequest` /
+  :class:`ExceedanceRequest` and result dataclasses) plus the one
+  batch-execution core both direct calls and the batcher share;
+- :mod:`repro.serving.registry` — a byte-budgeted LRU of fitted handles
+  (:class:`ModelRegistry`), refitting evicted models transparently;
+- :mod:`repro.serving.server` — the request micro-batcher
+  (:class:`Server`) that coalesces concurrent queries into one sweep
+  group per model per tick.
+
+See the README "Serving" section for usage and measured throughput.
+"""
+
+from repro.serving.api import (
+    ExceedanceRequest,
+    ExceedanceResult,
+    PredictRequest,
+    PredictResult,
+    Request,
+    SampleRequest,
+    SampleResult,
+    execute_batch,
+)
+from repro.serving.registry import ModelKey, ModelRegistry, RegistryStats
+from repro.serving.server import Server, ServerClosedError, ServerStats
+
+__all__ = [
+    "PredictRequest",
+    "PredictResult",
+    "SampleRequest",
+    "SampleResult",
+    "ExceedanceRequest",
+    "ExceedanceResult",
+    "Request",
+    "execute_batch",
+    "ModelKey",
+    "ModelRegistry",
+    "RegistryStats",
+    "Server",
+    "ServerClosedError",
+    "ServerStats",
+]

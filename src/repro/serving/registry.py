@@ -1,0 +1,173 @@
+"""Model registry: a byte-budgeted LRU of fitted posterior handles.
+
+Fitting a model at a hyperparameter point is the expensive step of the
+serving tier — one assembly plus one BTA factorization — while answering
+queries against the resulting :class:`~repro.inla.sampling.LatentPosterior`
+costs only sweeps.  The registry therefore keeps fitted handles resident,
+keyed by ``(model, theta)``, and bounds their memory with the same
+byte-accounting the solver dispatch layer uses
+(:func:`repro.backend.memory.posterior_memory_bytes`): when admitting a
+handle would exceed the budget, least-recently-used handles are dropped
+first.  An evicted entry is not an error — the next query for it refits
+transparently (and bit-identically: the fit is deterministic in
+``(model, theta)``).
+
+All operations are thread-safe behind one lock, including the fit itself:
+two callers racing on the same cold key would otherwise both pay the
+factorization.  Hit/miss/eviction counters are exposed via
+:attr:`ModelRegistry.stats` so the serving benchmark (and operators) can
+see residency behavior.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.backend.memory import posterior_memory_bytes
+
+__all__ = ["ModelKey", "RegistryStats", "ModelRegistry"]
+
+
+@dataclass(frozen=True)
+class ModelKey:
+    """Identity of a fitted posterior: which model object, at which theta.
+
+    Models are identified by object identity — the registry serves
+    in-process model instances, it does not deserialize them — and theta
+    by exact float values, matching the theta-keyed caches elsewhere in
+    the stack (a nudged theta is a different posterior).
+    """
+
+    model_id: int
+    theta: tuple
+
+    @classmethod
+    def of(cls, model, theta) -> "ModelKey":
+        return cls(model_id=id(model), theta=tuple(np.asarray(theta, float).tolist()))
+
+
+@dataclass
+class RegistryStats:
+    """Monotonic counters over the registry's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def snapshot(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "evictions": self.evictions}
+
+
+@dataclass
+class _Entry:
+    posterior: object
+    nbytes: int
+
+
+def _model_bta_dims(model) -> tuple:
+    """BTA dims ``(n, b, a)`` of a model's conditional precision.
+
+    The variable-major joint layout has ``nt`` time blocks of width
+    ``nv * ns`` plus the fixed-effects arrow tip.
+    """
+    n = model.nt
+    b = model.nv * model.ns
+    a = model.N - n * b
+    return n, b, a
+
+
+def model_bytes(model, *, factors: float = 2.5) -> int:
+    """Resident bytes one fitted handle of ``model`` will occupy."""
+    n, b, a = _model_bta_dims(model)
+    return posterior_memory_bytes(n, b, a, factors=factors)
+
+
+@dataclass
+class ModelRegistry:
+    """LRU cache of fitted :class:`LatentPosterior` handles under a byte budget.
+
+    ``budget_bytes = None`` means unbounded (every fit stays resident).
+    A budget smaller than a single handle still admits that one handle —
+    the registry never refuses to serve, it only bounds how much stays
+    warm beyond the entry being used.
+    """
+
+    budget_bytes: int | None = None
+    solver: object | None = None
+    stats: RegistryStats = field(default_factory=RegistryStats)
+
+    def __post_init__(self) -> None:
+        if self.budget_bytes is not None and self.budget_bytes < 0:
+            raise ValueError(f"budget_bytes must be >= 0, got {self.budget_bytes}")
+        self._entries: OrderedDict[ModelKey, _Entry] = OrderedDict()
+        self._lock = threading.RLock()
+
+    # -- residency ---------------------------------------------------------
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes currently resident across all cached handles."""
+        with self._lock:
+            return sum(e.nbytes for e in self._entries.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: ModelKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list:
+        """Resident keys, least-recently-used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop every resident handle (not counted as evictions)."""
+        with self._lock:
+            self._entries.clear()
+
+    # -- lookup ------------------------------------------------------------
+
+    def posterior(self, model, theta):
+        """The fitted handle for ``(model, theta)`` — cached, or fit now.
+
+        A hit refreshes the entry's recency; a miss fits under the lock
+        (so concurrent cold callers pay one factorization, not two),
+        admits the handle, then evicts LRU entries until the budget
+        holds again.  The entry just admitted is never evicted on its
+        own admission.
+        """
+        from repro.inla.sampling import LatentPosterior
+
+        key = ModelKey.of(model, theta)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+                return entry.posterior
+            self.stats.misses += 1
+            posterior = LatentPosterior.at(model, theta, solver=self.solver)
+            self._entries[key] = _Entry(posterior=posterior, nbytes=model_bytes(model))
+            self._evict_over_budget(keep=key)
+            return posterior
+
+    def _evict_over_budget(self, *, keep: ModelKey) -> None:
+        if self.budget_bytes is None:
+            return
+        total = sum(e.nbytes for e in self._entries.values())
+        while total > self.budget_bytes and len(self._entries) > 1:
+            victim = next(iter(self._entries))
+            if victim == keep:
+                # The protected entry is LRU only when it is alone with
+                # one other; rotate it to the back and evict the next.
+                self._entries.move_to_end(victim)
+                victim = next(iter(self._entries))
+            total -= self._entries.pop(victim).nbytes
+            self.stats.evictions += 1

@@ -1,0 +1,184 @@
+"""Request micro-batcher: concurrent queries, one sweep per tick.
+
+The throughput curve of the batched stack is the k-scaling curve of the
+stacked-RHS sweeps (`benchmarks/results/multirhs.txt`: ~40x at k = 64) —
+but only if concurrent callers' right-hand sides actually share a sweep.
+:class:`Server` is the layer that makes that happen: callers
+:meth:`~Server.submit` typed requests (:mod:`repro.serving.api`) and get
+futures; a background batcher thread drains the queue each tick, groups
+the drained requests per ``(model, theta)``, resolves each group's fitted
+handle through the :class:`~repro.serving.registry.ModelRegistry`, and
+executes the whole group through ONE call to
+:func:`~repro.serving.api.execute_batch` — at most one ``solve_stack``
+sweep group, one ``solve_lt_stack`` sweep group, and one (cached)
+``selected_inverse_diagonal`` per model per tick — then scatters results
+into the futures.
+
+Concurrency safety comes from the layers below: the factor's
+``SweepWorkspacePool`` leases per-thread buffers, and the lane-quantized
+execution core guarantees every response is bit-identical to a direct
+``LatentPosterior`` call regardless of batch composition.
+
+Shutdown drains: :meth:`~Server.close` stops admissions, then the batcher
+finishes every queued request before the thread exits — no request is
+ever dropped with its future unresolved.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.serving.api import execute_batch
+from repro.serving.registry import ModelKey, ModelRegistry
+
+__all__ = ["Server", "ServerStats", "ServerClosedError"]
+
+
+class ServerClosedError(RuntimeError):
+    """Raised by :meth:`Server.submit` after :meth:`Server.close`."""
+
+
+@dataclass
+class ServerStats:
+    """Monotonic counters over the server's lifetime."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    ticks: int = 0
+    batches: int = 0
+    max_batch: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "ticks": self.ticks,
+            "batches": self.batches,
+            "max_batch": self.max_batch,
+        }
+
+
+@dataclass
+class _Pending:
+    key: ModelKey
+    model: object
+    theta: object
+    request: object
+    future: Future
+
+
+class Server:
+    """Micro-batching frontend over a :class:`ModelRegistry`.
+
+    ``max_batch`` caps how many requests one tick drains (the widest
+    sweep group a single tick can build); ``max_batch = 1`` degenerates
+    to per-request serving, which is exactly the A/B baseline
+    ``benchmarks/bench_serving.py`` pairs against.  The batcher sleeps on
+    a condition variable between ticks — an idle server burns no CPU.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry | None = None,
+        *,
+        max_batch: int = 128,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.max_batch = max_batch
+        self.stats = ServerStats()
+        self._queue: list[_Pending] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serving-batcher", daemon=True
+        )
+        self._thread.start()
+
+    # -- client side -------------------------------------------------------
+
+    def submit(self, model, theta, request) -> Future:
+        """Enqueue one typed request; returns a future for its result.
+
+        Validation runs here, synchronously — a malformed request raises
+        in the caller and never reaches the batcher, so it cannot fail a
+        tick it would otherwise share.
+        """
+        request.validate(model)
+        pending = _Pending(
+            key=ModelKey.of(model, theta),
+            model=model,
+            theta=theta,
+            request=request,
+            future=Future(),
+        )
+        with self._cond:
+            if self._closed:
+                raise ServerClosedError("server is closed to new requests")
+            self._queue.append(pending)
+            self.stats.submitted += 1
+            self._cond.notify()
+        return pending.future
+
+    def query(self, model, theta, request):
+        """Submit and wait: the blocking convenience wrapper."""
+        return self.submit(model, theta, request).result()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, timeout: float | None = None) -> None:
+        """Stop admissions, drain every queued request, join the batcher."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify()
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError("serving batcher did not drain in time")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- batcher side ------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue and self._closed:
+                    return
+                tick = self._queue[: self.max_batch]
+                del self._queue[: self.max_batch]
+            self._serve_tick(tick)
+
+    def _serve_tick(self, tick: list) -> None:
+        self.stats.ticks += 1
+        self.stats.max_batch = max(self.stats.max_batch, len(tick))
+        groups: dict[ModelKey, list[_Pending]] = {}
+        for p in tick:
+            groups.setdefault(p.key, []).append(p)
+        for group in groups.values():
+            self.stats.batches += 1
+            try:
+                posterior = self.registry.posterior(group[0].model, group[0].theta)
+                results = execute_batch(posterior, [p.request for p in group])
+            except BaseException as exc:  # noqa: BLE001 - forwarded to callers
+                for p in group:
+                    p.future.set_exception(exc)
+                self.stats.failed += len(group)
+            else:
+                for p, result in zip(group, results):
+                    p.future.set_result(result)
+                self.stats.completed += len(group)

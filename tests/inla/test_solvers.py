@@ -5,7 +5,12 @@ import pytest
 
 from repro.backend.device import Device, DeviceKind
 from repro.backend.memory import MemoryBudgetError
-from repro.inla.solvers import DistributedSolver, SequentialSolver, select_solver
+from repro.inla.solvers import (
+    DistributedSolver,
+    OneShotDeprecationWarning,
+    SequentialSolver,
+    select_solver,
+)
 from repro.structured.bta import BTAMatrix, BTAShape
 
 
@@ -18,17 +23,20 @@ def spd(rng):
 class TestSequentialSolver:
     def test_logdet(self, spd):
         A, Ad = spd
-        assert np.isclose(SequentialSolver().logdet(A.copy()), np.linalg.slogdet(Ad)[1])
+        f = SequentialSolver().factorize(A.copy(), overwrite=True)
+        assert np.isclose(f.logdet(), np.linalg.slogdet(Ad)[1])
 
     def test_logdet_and_solve(self, spd, rng):
         A, Ad = spd
         rhs = rng.standard_normal(A.N)
-        ld, x = SequentialSolver().logdet_and_solve(A.copy(), rhs)
+        f = SequentialSolver().factorize(A.copy(), overwrite=True)
+        x = f.solve(rhs)
         assert np.allclose(Ad @ x, rhs)
 
     def test_selected_inverse_diagonal(self, spd):
         A, Ad = spd
-        d = SequentialSolver().selected_inverse_diagonal(A.copy())
+        f = SequentialSolver().factorize(A.copy(), overwrite=True)
+        d = f.selected_inverse_diagonal()
         assert np.allclose(d, np.diag(np.linalg.inv(Ad)))
 
 
@@ -38,21 +46,69 @@ class TestDistributedSolver:
         A, Ad = spd
         rhs = rng.standard_normal(A.N)
         sv = DistributedSolver(P)
-        assert np.isclose(sv.logdet(A.copy()), np.linalg.slogdet(Ad)[1])
-        ld, x = sv.logdet_and_solve(A.copy(), rhs)
+        assert np.isclose(
+            sv.factorize(A.copy()).logdet(), np.linalg.slogdet(Ad)[1]
+        )
+        x = sv.factorize(A.copy()).solve(rhs)
         assert np.allclose(Ad @ x, rhs, atol=1e-8)
-        d = sv.selected_inverse_diagonal(A.copy())
+        d = sv.factorize(A.copy()).selected_inverse_diagonal()
         assert np.allclose(d, np.diag(np.linalg.inv(Ad)), atol=1e-8)
 
     def test_oversized_p_clamped(self, rng):
         A = BTAMatrix.random_spd(BTAShape(n=4, b=2, a=1), rng)
         Ad = A.to_dense()
         sv = DistributedSolver(16)  # more ranks than feasible partitions
-        assert np.isclose(sv.logdet(A.copy()), np.linalg.slogdet(Ad)[1])
+        assert np.isclose(sv.factorize(A.copy()).logdet(), np.linalg.slogdet(Ad)[1])
 
     def test_invalid_p(self):
         with pytest.raises(ValueError):
             DistributedSolver(0)
+
+
+class TestOneShotDeprecation:
+    """The legacy one-shot wrappers still answer (bit-identically) but
+    each call must announce itself — tier-1 config escalates the warning
+    to an error for every caller outside these wrapper-own tests."""
+
+    @pytest.mark.filterwarnings("always::repro.inla.solvers.OneShotDeprecationWarning")
+    def test_wrappers_warn_and_match_handle(self, spd, rng):
+        A, Ad = spd
+        rhs = rng.standard_normal(A.N)
+        sv = SequentialSolver()
+        with pytest.warns(OneShotDeprecationWarning, match="logdet is deprecated"):
+            ld = sv.logdet(A.copy())
+        assert ld == sv.factorize(A.copy(), overwrite=True).logdet()
+        with pytest.warns(OneShotDeprecationWarning, match="logdet_and_solve"):
+            ld2, x = sv.logdet_and_solve(A.copy(), rhs)
+        f = sv.factorize(A.copy(), overwrite=True)
+        assert ld2 == f.logdet() and np.array_equal(x, f.solve(rhs))
+        with pytest.warns(OneShotDeprecationWarning, match="selected_inverse_diagonal"):
+            d = sv.selected_inverse_diagonal(A.copy())
+        assert np.array_equal(
+            d, sv.factorize(A.copy(), overwrite=True).selected_inverse_diagonal()
+        )
+
+    @pytest.mark.filterwarnings("always::repro.inla.solvers.OneShotDeprecationWarning")
+    def test_stack_wrappers_warn(self, spd, rng):
+        A, _ = spd
+        stack = rng.standard_normal((3, A.N))
+        sv = SequentialSolver()
+        with pytest.warns(OneShotDeprecationWarning, match="solve_stack"):
+            sv.solve_stack(A.copy(), stack)
+        with pytest.warns(OneShotDeprecationWarning, match="solve_lt_stack"):
+            sv.solve_lt_stack(A.copy(), stack)
+        with pytest.warns(
+            OneShotDeprecationWarning, match="solve_and_selected_inverse_diagonal"
+        ):
+            sv.solve_and_selected_inverse_diagonal(A.copy(), stack[0])
+
+    def test_escalated_to_error_under_tier1(self, spd):
+        """The repo-wide filter turns the warning into an error: this is
+        what guards repro-internal callers against regressing onto the
+        one-shot surface."""
+        A, _ = spd
+        with pytest.raises(OneShotDeprecationWarning):
+            SequentialSolver().logdet(A.copy())
 
 
 class TestSelectSolver:

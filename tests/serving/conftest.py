@@ -1,0 +1,31 @@
+"""Shared fixtures for the serving-tier tests.
+
+One small fitted model per module: every serving test queries the same
+posterior, so the fit cost is paid once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.inla.sampling import LatentPosterior
+from repro.model.datasets import make_dataset
+
+
+@pytest.fixture(scope="module")
+def served_model():
+    model, gt, _ = make_dataset(nv=1, ns=18, nt=5, nr=1, obs_per_step=20, seed=13)
+    return model, gt.theta
+
+
+@pytest.fixture(scope="module")
+def posterior(served_model):
+    model, theta = served_model
+    return LatentPosterior.at(model, theta)
+
+
+@pytest.fixture(scope="module")
+def pred_points():
+    """Coordinates inside the synthetic mesh extent + valid time steps."""
+    coords = np.array([[7.5, 44.8], [9.1, 45.3], [11.0, 46.0]])
+    tidx = np.array([0, 2, 4])
+    return coords, tidx

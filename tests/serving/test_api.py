@@ -1,0 +1,167 @@
+"""Typed query API: validation, bit-identity, lane quantization."""
+
+import numpy as np
+import pytest
+
+from repro.serving.api import (
+    ExceedanceRequest,
+    PredictRequest,
+    SampleRequest,
+    execute_batch,
+    sweep_lanes,
+)
+
+
+class TestValidation:
+    def test_sample_rejects_nonpositive(self, served_model):
+        model, _ = served_model
+        with pytest.raises(ValueError, match="n_samples must be >= 1"):
+            SampleRequest(n_samples=0, seed=1).validate(model)
+
+    def test_sample_requires_noise_source(self, served_model):
+        model, _ = served_model
+        with pytest.raises(ValueError, match="pass rng when requesting samples"):
+            SampleRequest(n_samples=2).validate(model)
+
+    def test_sample_rejects_rng_and_seed(self, served_model):
+        model, _ = served_model
+        with pytest.raises(ValueError, match="not both"):
+            SampleRequest(n_samples=2, rng=np.random.default_rng(0), seed=1).validate(model)
+
+    def test_predict_shape_checks(self, served_model):
+        model, _ = served_model
+        good = np.array([[7.5, 44.8]])
+        with pytest.raises(ValueError, match="coords must be"):
+            PredictRequest(coords=np.zeros(3), time_idx=np.array([0])).validate(model)
+        with pytest.raises(ValueError, match="time_idx must be"):
+            PredictRequest(coords=good, time_idx=np.array([0, 1])).validate(model)
+        with pytest.raises(ValueError, match="time_idx must be integer"):
+            PredictRequest(coords=good, time_idx=np.array([0.5])).validate(model)
+        with pytest.raises(ValueError, match="out of range"):
+            PredictRequest(coords=good, time_idx=np.array([model.nt])).validate(model)
+        with pytest.raises(ValueError, match="response index"):
+            PredictRequest(coords=good, time_idx=np.array([0]), v=model.nv).validate(model)
+        with pytest.raises(ValueError, match="pass rng when requesting samples"):
+            PredictRequest(coords=good, time_idx=np.array([0]), n_samples=2).validate(model)
+
+    def test_exceedance_checks(self, served_model):
+        model, _ = served_model
+        with pytest.raises(ValueError, match="finite"):
+            ExceedanceRequest(threshold=np.nan).validate(model)
+        with pytest.raises(ValueError, match="sd must have shape"):
+            ExceedanceRequest(threshold=0.5, sd=np.ones(3)).validate(model)
+
+    def test_execute_batch_rejects_foreign_objects(self, posterior):
+        with pytest.raises(TypeError, match="not a serving request"):
+            execute_batch(posterior, ["predict please"])
+
+    def test_invalid_request_fails_whole_validation_before_work(self, posterior):
+        with pytest.raises(ValueError):
+            execute_batch(posterior, [SampleRequest(n_samples=-1, seed=0)])
+
+
+class TestBitIdentity:
+    """A request's response must not depend on what else shares the batch
+    — the invariant that lets direct calls and the micro-batcher share
+    one execution core."""
+
+    def test_mixed_batch_matches_solo(self, posterior, pred_points):
+        coords, tidx = pred_points
+        reqs = [
+            SampleRequest(n_samples=2, seed=42),
+            PredictRequest(coords=coords, time_idx=tidx, v=0),
+            ExceedanceRequest(threshold=0.5),
+            SampleRequest(n_samples=5, seed=9),
+            PredictRequest(coords=coords[:1], time_idx=tidx[:1], v=0, n_samples=3, seed=4),
+        ]
+        batch = execute_batch(posterior, reqs)
+        for req, got in zip(reqs, batch):
+            (solo,) = execute_batch(posterior, [req])
+            for f in ("samples", "mean", "sd", "probability"):
+                a, b = getattr(got, f, None), getattr(solo, f, None)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert np.array_equal(a, b), f
+
+    def test_batch_composition_invariance(self, posterior):
+        """Same request, two different batch compositions: same bits."""
+        probe = SampleRequest(n_samples=3, seed=77)
+        in_small = execute_batch(posterior, [probe, SampleRequest(n_samples=1, seed=1)])
+        in_large = execute_batch(
+            posterior,
+            [SampleRequest(n_samples=7, seed=2), probe, ExceedanceRequest(threshold=0.1)],
+        )
+        assert np.array_equal(in_small[0].samples, in_large[1].samples)
+
+    def test_wide_request_runs_solo_exact_width(self, posterior):
+        """A request at least one lane wide must keep today's exact
+        single-sweep bits even when batched with others."""
+        wide = SampleRequest(n_samples=sweep_lanes() + 1, seed=5)
+        (solo,) = execute_batch(posterior, [wide])
+        mixed = execute_batch(posterior, [SampleRequest(n_samples=2, seed=6), wide])
+        assert np.array_equal(solo.samples, mixed[1].samples)
+
+    def test_direct_adapter_calls_match_batch(self, posterior, pred_points):
+        coords, tidx = pred_points
+        out = execute_batch(
+            posterior,
+            [
+                SampleRequest(n_samples=4, rng=np.random.default_rng(3)),
+                PredictRequest(coords=coords, time_idx=tidx, v=0),
+                ExceedanceRequest(threshold=0.5),
+            ],
+        )
+        assert np.array_equal(
+            out[0].samples, posterior.sample(4, np.random.default_rng(3))
+        )
+        direct = posterior.predict(coords, tidx, 0)
+        assert np.array_equal(out[1].mean, direct["mean"])
+        assert np.array_equal(out[1].sd, direct["sd"])
+        assert np.array_equal(out[2].probability, posterior.exceedance_probability(0.5))
+
+    def test_seed_is_deterministic(self, posterior):
+        a = execute_batch(posterior, [SampleRequest(n_samples=3, seed=11)])[0]
+        b = execute_batch(posterior, [SampleRequest(n_samples=3, seed=11)])[0]
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_lane_width_env_override(self, posterior, monkeypatch):
+        """Bit-identity holds at any configured lane width (the width
+        changes which bits come out, not the composition invariance)."""
+        monkeypatch.setenv("REPRO_SERVING_LANES", "4")
+        assert sweep_lanes() == 4
+        probe = SampleRequest(n_samples=2, seed=21)
+        (solo,) = execute_batch(posterior, [probe])
+        mixed = execute_batch(posterior, [probe, SampleRequest(n_samples=3, seed=22)])
+        assert np.array_equal(solo.samples, mixed[0].samples)
+
+
+class TestCorrectness:
+    def test_predict_with_samples_shapes(self, posterior, pred_points):
+        coords, tidx = pred_points
+        (res,) = execute_batch(
+            posterior,
+            [PredictRequest(coords=coords, time_idx=tidx, v=0, n_samples=6, seed=8)],
+        )
+        m = coords.shape[0]
+        assert res.mean.shape == (m,) and res.sd.shape == (m,)
+        assert res.samples.shape == (6, m)
+        assert res.as_dict()["samples"] is res.samples
+
+    def test_exceedance_probabilities_in_unit_interval(self, posterior):
+        (res,) = execute_batch(posterior, [ExceedanceRequest(threshold=0.0)])
+        assert res.probability.shape == (posterior.model.N,)
+        assert np.all((res.probability >= 0) & (res.probability <= 1))
+
+    def test_exceedance_monotone_in_threshold(self, posterior):
+        lo, hi = execute_batch(
+            posterior,
+            [ExceedanceRequest(threshold=-1.0), ExceedanceRequest(threshold=1.0)],
+        )
+        assert np.all(lo.probability >= hi.probability)
+
+    def test_exceedance_custom_sd(self, posterior):
+        sd = np.full(posterior.model.N, 1e-12)
+        (res,) = execute_batch(posterior, [ExceedanceRequest(threshold=0.0, sd=sd)])
+        # With (near-)zero sd the probability collapses to an indicator
+        # of mean > threshold.
+        assert set(np.unique(res.probability)) <= {0.0, 1.0}

@@ -1,0 +1,138 @@
+"""Model registry: LRU residency under a byte budget, counters, refits."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.backend.memory import posterior_memory_bytes
+from repro.model.datasets import make_dataset
+from repro.serving.registry import ModelKey, ModelRegistry, model_bytes
+
+
+@pytest.fixture(scope="module")
+def model_theta():
+    model, gt, _ = make_dataset(nv=1, ns=16, nt=4, nr=1, obs_per_step=12, seed=3)
+    return model, gt.theta
+
+
+def _thetas(theta, k):
+    """k distinct nearby hyperparameter points (distinct registry keys)."""
+    return [np.asarray(theta, float) + 0.01 * i for i in range(k)]
+
+
+class TestModelBytes:
+    def test_matches_memory_helper(self, model_theta):
+        model, _ = model_theta
+        n, b = model.nt, model.nv * model.ns
+        a = model.N - n * b
+        assert model_bytes(model) == posterior_memory_bytes(n, b, a)
+        assert model_bytes(model) > 0
+
+    def test_posterior_memory_bytes_validates(self):
+        with pytest.raises(ValueError, match="vectors"):
+            posterior_memory_bytes(4, 3, 1, vectors=-1)
+
+
+class TestLookup:
+    def test_hit_miss_counters(self, model_theta):
+        model, theta = model_theta
+        reg = ModelRegistry()
+        p1 = reg.posterior(model, theta)
+        p2 = reg.posterior(model, theta)
+        assert p1 is p2
+        assert reg.stats.snapshot() == {"hits": 1, "misses": 1, "evictions": 0}
+
+    def test_distinct_thetas_are_distinct_entries(self, model_theta):
+        model, theta = model_theta
+        reg = ModelRegistry()
+        t0, t1 = _thetas(theta, 2)
+        assert reg.posterior(model, t0) is not reg.posterior(model, t1)
+        assert len(reg) == 2 and reg.stats.misses == 2
+
+    def test_key_is_value_based_on_theta(self, model_theta):
+        model, theta = model_theta
+        assert ModelKey.of(model, theta) == ModelKey.of(model, np.array(theta))
+
+    def test_concurrent_cold_lookups_fit_once(self, model_theta):
+        model, theta = model_theta
+        reg = ModelRegistry()
+        out = []
+        barrier = threading.Barrier(4)
+
+        def worker():
+            barrier.wait()
+            out.append(reg.posterior(model, theta))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.stats.misses == 1 and reg.stats.hits == 3
+        assert all(p is out[0] for p in out)
+
+
+class TestLRUEviction:
+    def test_budget_bounds_residency(self, model_theta):
+        model, theta = model_theta
+        per = model_bytes(model)
+        reg = ModelRegistry(budget_bytes=2 * per)
+        for t in _thetas(theta, 4):
+            reg.posterior(model, t)
+        assert len(reg) == 2
+        assert reg.live_bytes <= reg.budget_bytes
+        assert reg.stats.evictions == 2
+
+    def test_evicts_least_recently_used(self, model_theta):
+        model, theta = model_theta
+        per = model_bytes(model)
+        t0, t1, t2 = _thetas(theta, 3)
+        reg = ModelRegistry(budget_bytes=2 * per)
+        reg.posterior(model, t0)
+        reg.posterior(model, t1)
+        reg.posterior(model, t0)  # refresh t0: t1 becomes LRU
+        reg.posterior(model, t2)  # evicts t1
+        assert ModelKey.of(model, t0) in reg
+        assert ModelKey.of(model, t1) not in reg
+        assert ModelKey.of(model, t2) in reg
+
+    def test_evicted_model_refits_transparently(self, model_theta):
+        model, theta = model_theta
+        per = model_bytes(model)
+        t0, t1 = _thetas(theta, 2)
+        reg = ModelRegistry(budget_bytes=per)
+        m0 = reg.posterior(model, t0).marginals()
+        reg.posterior(model, t1)  # evicts t0
+        assert ModelKey.of(model, t0) not in reg
+        refit = reg.posterior(model, t0).marginals()
+        # The fit is deterministic in (model, theta): the refit handle
+        # answers bit-identically to the evicted one.
+        assert np.array_equal(refit.mean, m0.mean)
+        assert np.array_equal(refit.sd, m0.sd)
+        assert reg.stats.misses == 3
+
+    def test_single_entry_exceeding_budget_still_served(self, model_theta):
+        model, theta = model_theta
+        reg = ModelRegistry(budget_bytes=1)
+        assert reg.posterior(model, theta) is not None
+        assert len(reg) == 1  # never evicts down to zero
+
+    def test_unbounded_registry_never_evicts(self, model_theta):
+        model, theta = model_theta
+        reg = ModelRegistry()
+        for t in _thetas(theta, 4):
+            reg.posterior(model, t)
+        assert len(reg) == 4 and reg.stats.evictions == 0
+
+    def test_clear(self, model_theta):
+        model, theta = model_theta
+        reg = ModelRegistry()
+        reg.posterior(model, theta)
+        reg.clear()
+        assert len(reg) == 0 and reg.live_bytes == 0
+        assert reg.stats.evictions == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget_bytes"):
+            ModelRegistry(budget_bytes=-1)

@@ -1,0 +1,191 @@
+"""Micro-batcher: coalescing, concurrency bit-identity, drain semantics."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    ExceedanceRequest,
+    ModelRegistry,
+    SampleRequest,
+    Server,
+    ServerClosedError,
+)
+from repro.serving.api import execute_batch
+
+
+class _SlowFirstFit(ModelRegistry):
+    """Registry whose first (cold) lookup stalls — deterministically
+    forces submissions to pile up behind tick 1 so tick 2 coalesces."""
+
+    def __init__(self, delay: float = 0.25, **kwargs):
+        super().__init__(**kwargs)
+        self._delay = delay
+        self._stalled = False
+
+    def posterior(self, model, theta):
+        if not self._stalled:
+            self._stalled = True
+            time.sleep(self._delay)
+        return super().posterior(model, theta)
+
+
+class TestBatching:
+    def test_concurrent_responses_bit_identical_to_direct(self, posterior, served_model):
+        """The acceptance invariant: responses assembled from coalesced
+        sweeps match sequential direct LatentPosterior calls bit-for-bit,
+        regardless of how requests landed in ticks."""
+        model, theta = served_model
+        reg = ModelRegistry()
+        reg.posterior(model, theta)  # pre-fit: every tick hits the cache
+        n_clients, per_client = 8, 6
+        results: dict[int, list] = {}
+
+        with Server(reg) as server:
+            def client(w: int) -> None:
+                futs = [
+                    server.submit(model, theta, SampleRequest(n_samples=2, seed=w * 100 + i))
+                    for i in range(per_client)
+                ]
+                results[w] = [f.result() for f in futs]
+
+            threads = [threading.Thread(target=client, args=(w,)) for w in range(n_clients)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        for w in range(n_clients):
+            for i, res in enumerate(results[w]):
+                direct = posterior.sample(2, np.random.default_rng(w * 100 + i))
+                assert np.array_equal(res.samples, direct), (w, i)
+
+    def test_queued_requests_coalesce_into_one_tick(self, served_model):
+        model, theta = served_model
+        reg = _SlowFirstFit()
+        with Server(reg) as server:
+            first = server.submit(model, theta, ExceedanceRequest(threshold=0.5))
+            burst = [
+                server.submit(model, theta, SampleRequest(n_samples=1, seed=i))
+                for i in range(6)
+            ]
+            first.result()
+            for f in burst:
+                f.result()
+            stats = server.stats.snapshot()
+        # Tick 1 carried only the first request (the queue held nothing
+        # else when it was drained); the burst queued behind the stalled
+        # fit and came out coalesced.
+        assert stats["max_batch"] >= 2
+        assert stats["ticks"] < 1 + len(burst)
+
+    def test_max_batch_one_serves_per_request(self, served_model):
+        model, theta = served_model
+        reg = _SlowFirstFit()
+        with Server(reg, max_batch=1) as server:
+            futs = [
+                server.submit(model, theta, SampleRequest(n_samples=1, seed=i))
+                for i in range(5)
+            ]
+            for f in futs:
+                f.result()
+            stats = server.stats.snapshot()
+        assert stats["max_batch"] == 1 and stats["ticks"] == 5
+
+    def test_two_thetas_grouped_separately(self, served_model):
+        model, theta = served_model
+        theta2 = np.asarray(theta, float) + 0.01
+        reg = _SlowFirstFit()
+        with Server(reg) as server:
+            f1 = server.submit(model, theta, ExceedanceRequest(threshold=0.5))
+            f2 = server.submit(model, theta2, ExceedanceRequest(threshold=0.5))
+            p1, p2 = f1.result().probability, f2.result().probability
+        assert reg.stats.misses == 2
+        assert not np.array_equal(p1, p2)  # different posteriors answered
+
+    def test_query_convenience(self, served_model):
+        model, theta = served_model
+        with Server() as server:
+            res = server.query(model, theta, SampleRequest(n_samples=2, seed=0))
+        assert res.samples.shape[0] == 2
+
+
+class TestLifecycle:
+    def test_close_drains_without_dropping(self, served_model):
+        """Every request admitted before close() resolves — the batcher
+        finishes the queue instead of abandoning it."""
+        model, theta = served_model
+        reg = _SlowFirstFit()
+        server = Server(reg)
+        futs = [
+            server.submit(model, theta, SampleRequest(n_samples=1, seed=i))
+            for i in range(10)
+        ]
+        server.close()
+        assert all(f.done() for f in futs)
+        assert all(f.result().samples.shape == (1, model.N) for f in futs)
+        assert server.stats.snapshot()["completed"] == 10
+
+    def test_submit_after_close_raises(self, served_model):
+        model, theta = served_model
+        server = Server()
+        server.close()
+        with pytest.raises(ServerClosedError):
+            server.submit(model, theta, ExceedanceRequest(threshold=0.5))
+
+    def test_close_idempotent(self):
+        server = Server()
+        server.close()
+        server.close()
+        assert server.closed
+
+    def test_invalid_request_raises_at_submit(self, served_model):
+        model, theta = served_model
+        with Server() as server:
+            with pytest.raises(ValueError, match="n_samples must be >= 1"):
+                server.submit(model, theta, SampleRequest(n_samples=0, seed=1))
+            assert server.stats.snapshot()["submitted"] == 0
+
+    def test_invalid_max_batch(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            Server(max_batch=0)
+
+
+class TestErrorPropagation:
+    def test_group_failure_reaches_futures(self, served_model):
+        model, theta = served_model
+
+        class ExplodingRegistry(ModelRegistry):
+            def posterior(self, model, theta):
+                raise RuntimeError("factorization blew up")
+
+        server = Server(ExplodingRegistry())
+        fut = server.submit(model, theta, ExceedanceRequest(threshold=0.5))
+        with pytest.raises(RuntimeError, match="factorization blew up"):
+            fut.result(timeout=10)
+        assert server.stats.snapshot()["failed"] == 1
+        server.close()
+
+    def test_failure_isolated_to_its_group(self, posterior, served_model):
+        """A failing model group must not poison other groups in the
+        same tick."""
+        model, theta = served_model
+        bad_theta = np.asarray(theta, float) + 0.5
+
+        class PartiallyExploding(_SlowFirstFit):
+            def posterior(self, model, th):
+                if np.allclose(th, bad_theta):
+                    raise RuntimeError("bad model")
+                return super().posterior(model, th)
+
+        with Server(PartiallyExploding()) as server:
+            good = server.submit(model, theta, SampleRequest(n_samples=2, seed=1))
+            bad = server.submit(model, bad_theta, ExceedanceRequest(threshold=0.5))
+            assert np.array_equal(
+                good.result(timeout=10).samples,
+                execute_batch(posterior, [SampleRequest(n_samples=2, seed=1)])[0].samples,
+            )
+            with pytest.raises(RuntimeError, match="bad model"):
+                bad.result(timeout=10)

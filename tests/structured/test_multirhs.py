@@ -237,7 +237,12 @@ class TestDistributedStack:
         assert all(run_spmd(2, rank_fn))
 
 
+@pytest.mark.filterwarnings("always::repro.inla.solvers.OneShotDeprecationWarning")
 class TestSolverLevelStack:
+    """Wrapper-own tests of the deprecated one-shot stack surface: they
+    keep the legacy results pinned bit-exact, so they opt back out of the
+    repo-wide warning-as-error escalation."""
+
     @pytest.mark.parametrize("solver", [SequentialSolver(), DistributedSolver(3)])
     def test_solve_stack(self, solver):
         A, chol, rng = _case(12, 3, 2)

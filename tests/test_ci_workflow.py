@@ -194,6 +194,7 @@ class TestWorkflowSemantics:
         assert any("bench_multitheta" in r for r in runs)
         assert any("bench_assembly" in r for r in runs)
         assert any("bench_backend_transfers" in r for r in runs)
+        assert any("bench_serving" in r for r in runs)
 
     def test_pip_cache_enabled(self):
         """Every python setup caches pip (keyed on pyproject.toml)."""
