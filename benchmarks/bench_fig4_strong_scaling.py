@@ -11,10 +11,14 @@ Two parts:
    parallel efficiency 79.7% (DALIA) vs 59.3% (INLA_DIST).
 """
 
+import numpy as np
 import pytest
 
+from benchmarks._comm_leg import bta_case, timed_epoch
 from benchmarks.conftest import write_report
 from repro.baselines.rinla import SparseFobjEvaluator
+from repro.structured.pobtaf import pobtaf
+from repro.structured.pobtas import pobtas
 from repro.diagnostics import Timer, format_table
 from repro.inla import FobjEvaluator
 from repro.model.datasets import make_dataset
@@ -103,3 +107,29 @@ def test_fig4_modeled_paper_scale(benchmark, results_dir):
 
     # Timed artifact: the model itself is cheap; benchmark a full series build.
     benchmark(lambda: [dalia.iteration_time(mb1, s1=s1, s2=s2) for _, s1, s2 in grids])
+
+
+def test_fig4_measured_comm_backend(results_dir, comm_mode):
+    """Strong scaling of the S3 layer under the ``--comm`` backend: one
+    factorize+solve epoch on a fixed MB1-block-sized BTA system as ranks
+    grow (P=1 runs inline as the serial baseline)."""
+    A, rhs = bta_case(n=24, b=48, a=6, seed=4)
+    x_ref = pobtas(pobtaf(A), rhs)
+    rows, t1 = [], None
+    for P in (1, 2, 4):
+        secs, x, _ = timed_epoch(A, rhs, P, comm_mode)
+        assert np.allclose(x, x_ref, atol=1e-8)
+        t1 = secs if t1 is None else t1
+        rows.append((P, comm_mode, round(secs, 3), round(t1 / (P * secs), 2)))
+    write_report(
+        results_dir,
+        "fig4_comm",
+        format_table(
+            ["P", "backend", "s/epoch", "efficiency"],
+            rows,
+            title=(
+                "Fig. 4 (measured S3 leg): distributed factorize+solve strong "
+                "scaling; proc epochs pay fork + segment setup per run_spmd call"
+            ),
+        ),
+    )

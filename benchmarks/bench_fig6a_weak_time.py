@@ -7,8 +7,13 @@ steps / 16 GPUs, 124x at 512 steps against an 8x-smaller R-INLA model,
 superlinear scaling in the S1 regime, and ~90% solver share from 64 steps.
 """
 
+import numpy as np
+
+from benchmarks._comm_leg import bta_case, timed_epoch
 from benchmarks.conftest import write_report
 from repro.diagnostics import Timer, format_table
+from repro.structured.pobtaf import pobtaf
+from repro.structured.pobtas import pobtas
 from repro.inla import FobjEvaluator
 from repro.model.datasets import make_dataset
 from repro.perfmodel import DaliaPerfModel, RInlaPerfModel
@@ -98,3 +103,26 @@ def test_fig6a_measured_small_sweep(benchmark, results_dir):
     model, gt, _ = make_dataset(nv=3, ns=16, nt=4, nr=1, obs_per_step=20, seed=1)
     ev = FobjEvaluator(model, s1_workers=2)
     benchmark.pedantic(ev.value_and_gradient, args=(gt.theta,), rounds=2, iterations=1)
+
+
+def test_fig6a_measured_comm_backend(results_dir, comm_mode):
+    """Weak scaling in time of the S3 layer under the ``--comm`` backend:
+    the block count (time steps) grows with the rank count, holding the
+    per-rank share fixed."""
+    rows, t1 = [], None
+    for nt, P in [(8, 1), (16, 2), (32, 4)]:
+        A, rhs = bta_case(n=nt, b=24, a=3, seed=nt)
+        x_ref = pobtas(pobtaf(A), rhs)
+        secs, x, _ = timed_epoch(A, rhs, P, comm_mode)
+        assert np.allclose(x, x_ref, atol=1e-8)
+        t1 = secs if t1 is None else t1
+        rows.append((nt, P, comm_mode, round(secs, 3), round(t1 / secs, 2)))
+    write_report(
+        results_dir,
+        "fig6a_comm",
+        format_table(
+            ["time steps", "P", "backend", "s/epoch", "weak efficiency"],
+            rows,
+            title="Fig. 6a (measured S3 leg): weak scaling in time over SPMD ranks",
+        ),
+    )

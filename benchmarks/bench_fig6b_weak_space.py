@@ -9,7 +9,10 @@ at 64 GPUs, eta = 51.2% at 496 GPUs.
 
 import numpy as np
 
+from benchmarks._comm_leg import bta_case, timed_epoch
 from benchmarks.conftest import write_report
+from repro.structured.pobtaf import pobtaf
+from repro.structured.pobtas import pobtas
 from repro.diagnostics import Timer, format_table
 from repro.meshes.mesh2d import northern_italy_mesh
 from repro.model.datasets import WA2_MESH_LADDER, make_dataset
@@ -116,3 +119,26 @@ def test_fig6b_measured_small_sweep(benchmark, results_dir):
     model, gt, _ = make_dataset(nv=3, ns=24, nt=4, nr=1, obs_per_step=15, seed=0)
     ev = FobjEvaluator(model, s1_workers=2)
     benchmark.pedantic(ev.value_and_gradient, args=(gt.theta,), rounds=2, iterations=1)
+
+
+def test_fig6b_measured_comm_backend(results_dir, comm_mode):
+    """Weak scaling in space of the S3 layer under the ``--comm`` backend:
+    mesh refinement densifies the per-step block (b ~ nv*ns), so the block
+    size grows ~P^(1/3) to hold per-rank flops roughly fixed."""
+    rows, t1 = [], None
+    for b, P in [(24, 1), (30, 2), (38, 4)]:
+        A, rhs = bta_case(n=12, b=b, a=3, seed=b)
+        x_ref = pobtas(pobtaf(A), rhs)
+        secs, x, _ = timed_epoch(A, rhs, P, comm_mode)
+        assert np.allclose(x, x_ref, atol=1e-8)
+        t1 = secs if t1 is None else t1
+        rows.append((b, P, comm_mode, round(secs, 3), round(t1 / secs, 2)))
+    write_report(
+        results_dir,
+        "fig6b_comm",
+        format_table(
+            ["block size", "P", "backend", "s/epoch", "weak efficiency"],
+            rows,
+            title="Fig. 6b (measured S3 leg): weak scaling in space over SPMD ranks",
+        ),
+    )

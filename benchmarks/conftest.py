@@ -20,6 +20,12 @@ def results_dir():
     return RESULTS_DIR
 
 
+@pytest.fixture(scope="session")
+def comm_mode(request):
+    """SPMD backend for the distributed benchmark legs (``--comm``)."""
+    return request.config.getoption("--comm")
+
+
 def write_report(results_dir, name: str, text: str) -> None:
     path = results_dir / f"{name}.txt"
     path.write_text(text + "\n")

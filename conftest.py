@@ -6,6 +6,10 @@ flag the smoke test still runs — correctness, flop-count identity, and a
 lenient speedup floor — so a regression of the batched kernel path fails
 loudly in every tier-1 run; with the flag it asserts the full measured
 speedups of ``benchmarks/bench_batched_kernels.py``'s smoke shape.
+
+Also adds ``--comm`` selecting the SPMD backend (threads vs real worker
+processes) for the measured distributed-solver legs of the figure
+benchmarks and ``benchmarks/bench_comm_backends.py``.
 """
 
 
@@ -15,4 +19,14 @@ def pytest_addoption(parser):
         action="store_true",
         default=False,
         help="assert strict (measured) speedup thresholds in the benchmark smoke test",
+    )
+    parser.addoption(
+        "--comm",
+        choices=("threads", "proc"),
+        default="threads",
+        help=(
+            "SPMD backend for the measured distributed-solver benchmark legs: "
+            "'threads' (in-process ThreadComm ranks) or 'proc' (forked worker "
+            "processes over the ShmComm shared-memory segment)"
+        ),
     )

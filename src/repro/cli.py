@@ -15,6 +15,11 @@ user reaches for first:
                    predict/sample/exceedance queries through the
                    micro-batching server and print throughput, latency
                    percentiles, and registry statistics;
+- ``spmd``       — demo the SPMD launcher: run one distributed
+                   factorize + solve epoch over ``--procs`` ranks on the
+                   selected backend (real worker processes over shared
+                   memory, or in-process threads) and print per-rank
+                   timings plus modeled/measured communication stats;
 - ``calibrate``  — measure the blocked-POTRF crossover on this host and
                    print the recommended ``REPRO_POTRF_SPLIT`` setting;
 - ``predict``    — paper-scale runtime predictions from the performance
@@ -116,6 +121,70 @@ def _cmd_solver(args) -> int:
         print(f"distributed (P={args.ranks}, lb={args.lb}): full pipeline "
               f"{td.elapsed * 1e3:.1f} ms")
     return 0
+
+
+def _spmd_demo_rank(comm, slices, rhs, b, a):
+    """One rank's demo epoch (module-level so it pickles under spawn)."""
+    from repro.comm import CommStats, TraceComm
+    from repro.structured.d_pobtaf import d_pobtaf
+    from repro.structured.d_pobtas import d_pobtas
+
+    stats = CommStats()
+    traced = TraceComm(comm, stats)
+    t0 = time.perf_counter()
+    sl = slices[comm.Get_rank()]
+    f = d_pobtaf(sl, traced)
+    ld = f.logdet(traced)
+    d_pobtas(f, rhs[sl.part.start * b : sl.part.stop * b], rhs[rhs.shape[0] - a :], traced)
+    elapsed = time.perf_counter() - t0
+    measured = getattr(comm, "measured", None)  # wire bytes (ShmComm only)
+    return {
+        "rank": comm.Get_rank(),
+        "blocks": sl.part.n_blocks,
+        "seconds": elapsed,
+        "logdet": ld,
+        "ops": sum(stats.counts.values()),
+        "modeled_bytes": sum(stats.bytes.values()),
+        "measured_bytes": None if measured is None else sum(measured.bytes.values()),
+    }
+
+
+def _cmd_spmd(args) -> int:
+    from repro.comm import run_spmd
+    from repro.diagnostics import Timer, format_table
+    from repro.structured import BTAMatrix, BTAShape
+    from repro.structured.d_pobtaf import partition_matrix
+
+    rng = np.random.default_rng(args.seed)
+    A = BTAMatrix.random_spd(BTAShape(n=args.n, b=args.b, a=args.a), rng)
+    rhs = rng.standard_normal(A.N)
+    slices = partition_matrix(A, args.procs, lb=args.lb)
+    with Timer() as t:
+        out = run_spmd(
+            args.procs, _spmd_demo_rank, slices, rhs, args.b, args.a, backend=args.backend
+        )
+    rows = [
+        (
+            o["rank"],
+            o["blocks"],
+            round(o["seconds"] * 1e3, 1),
+            o["ops"],
+            o["modeled_bytes"],
+            "-" if o["measured_bytes"] is None else o["measured_bytes"],
+        )
+        for o in out
+    ]
+    print(format_table(
+        ["rank", "blocks", "ms", "comm ops", "modeled bytes", "measured bytes"], rows,
+        title=(
+            f"SPMD demo: backend={args.backend} P={args.procs} on a "
+            f"(n={args.n}, b={args.b}, a={args.a}) BTA system"
+        ),
+    ))
+    same = len({o["logdet"] for o in out}) == 1
+    print(f"epoch wall time {t.elapsed * 1e3:.1f} ms (includes worker startup); "
+          f"logdet = {out[0]['logdet']:.6f}, identical on all ranks: {same}")
+    return 0 if same else 1
 
 
 def _cmd_serve(args) -> int:
@@ -263,6 +332,16 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--lb", type=float, default=1.6)
     s.add_argument("--seed", type=int, default=0)
     s.set_defaults(func=_cmd_solver)
+
+    sp = sub.add_parser("spmd", help="demo the SPMD launcher and comm backends")
+    sp.add_argument("--procs", type=int, default=4, help="number of SPMD ranks")
+    sp.add_argument("--backend", choices=("proc", "threads"), default="proc")
+    sp.add_argument("--n", type=int, default=24)
+    sp.add_argument("--b", type=int, default=32)
+    sp.add_argument("--a", type=int, default=4)
+    sp.add_argument("--lb", type=float, default=1.6)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.set_defaults(func=_cmd_spmd)
 
     sv = sub.add_parser("serve", help="demo the posterior serving tier")
     sv.add_argument("--nv", type=int, default=1)

@@ -1,16 +1,28 @@
 """SPMD communication substrate.
 
 The paper uses MPI (mpi4py) between function-evaluation groups and NCCL
-inside the distributed solver.  Neither is available offline, so this
-package provides communicators with mpi4py-compatible semantics:
+inside the distributed solver.  This package provides communicators with
+mpi4py-compatible semantics across four backends:
 
 - :class:`SerialComm` — single-rank communicator (collectives are no-ops).
 - :class:`ThreadComm` — P ranks executed as Python threads with real
   rendezvous collectives (NumPy BLAS releases the GIL, so block kernels do
-  overlap).  Created through :func:`run_spmd`, which launches one SPMD
-  function on every rank, exactly like ``mpiexec -n P``.
-- :class:`TraceComm` — wrapper that records message counts/bytes for the
-  performance model.
+  overlap).
+- :class:`ShmComm` — P ranks executed as OS *processes* whose block
+  transfers ride one ``multiprocessing.shared_memory`` segment (slot-based
+  collectives, SPSC rings for point-to-point).  Real parallelism, measured
+  — not modeled — traffic.
+- :class:`MpiComm` — import-guarded mpi4py adapter for hosts that have a
+  real MPI runtime.
+
+All are launched through :func:`run_spmd`, which plays ``mpiexec -n P``:
+``run_spmd(P, fn, backend="threads"|"proc"|"mpi")`` (default from the
+``REPRO_COMM`` env var).  Determinism contract: ``Allreduce`` reduces in
+rank order on every rank, so results are bit-identical across ranks,
+runs, AND backends.  Every blocking operation honors the
+``REPRO_COMM_TIMEOUT`` deadline — failures raise
+:class:`CommTimeoutError` / :class:`CommAbortError` instead of hanging,
+and a failing rank aborts the whole group.
 
 Communicator method names follow the mpi4py convention from the
 hpc-parallel guide: capitalized methods (``Send``, ``Allreduce``) move
@@ -19,17 +31,27 @@ Python objects.
 """
 
 from repro.comm.communicator import Communicator, ReduceOp
-from repro.comm.local import ThreadComm, run_spmd
-from repro.comm.serial import SerialComm
-from repro.comm.stats import CommStats, TraceComm
+from repro.comm.errors import CommAbortError, CommTimeoutError, comm_timeout
 from repro.comm.groups import GridComms, ProcessGrid, plan_process_grid, split_process_grid
+from repro.comm.launcher import SpmdSession, comm_backend, run_spmd, worker_store
+from repro.comm.local import ThreadComm
+from repro.comm.serial import SerialComm
+from repro.comm.shm import ShmComm
+from repro.comm.stats import CommStats, TraceComm
 
 __all__ = [
     "Communicator",
     "ReduceOp",
     "SerialComm",
     "ThreadComm",
+    "ShmComm",
+    "SpmdSession",
     "run_spmd",
+    "worker_store",
+    "comm_backend",
+    "CommAbortError",
+    "CommTimeoutError",
+    "comm_timeout",
     "TraceComm",
     "CommStats",
     "ProcessGrid",

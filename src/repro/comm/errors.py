@@ -1,0 +1,56 @@
+"""Communication-layer failure types and the shared timeout policy.
+
+A real comm layer must never hang: every blocking operation — mailbox
+receives in :class:`~repro.comm.local.ThreadComm`, ring-buffer and slot
+waits in :class:`~repro.comm.shm.ShmComm`, barrier rendezvous in both —
+carries a deadline and an abort check.  Two failure modes are
+distinguished because callers react differently:
+
+- :class:`CommTimeoutError` — *this* rank waited longer than the
+  operation timeout (a mismatched tag, a peer stuck in compute, a lost
+  message).  The raising rank is the one that diagnosed the problem.
+- :class:`CommAbortError` — *another* rank failed (raised, was killed,
+  or timed out first) and the group was aborted so nobody deadlocks.
+  The error names the failing rank when it is known.
+
+The default timeout comes from ``REPRO_COMM_TIMEOUT`` (seconds); the CI
+proc leg runs with a short value so a regression fails in seconds, not
+after the 6-hour job limit.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Default per-operation timeout (seconds) when ``REPRO_COMM_TIMEOUT`` is unset.
+DEFAULT_COMM_TIMEOUT = 120.0
+
+
+class CommTimeoutError(RuntimeError):
+    """A blocking communication operation exceeded its timeout."""
+
+
+class CommAbortError(RuntimeError):
+    """The communicator group was aborted (peer failure or teardown)."""
+
+    def __init__(self, message: str, *, failed_rank: int | None = None):
+        super().__init__(message)
+        #: Rank whose failure triggered the abort, when known.
+        self.failed_rank = failed_rank
+
+
+def comm_timeout(override: float | None = None) -> float:
+    """Resolve the per-operation timeout in seconds.
+
+    ``override`` wins when given; otherwise ``REPRO_COMM_TIMEOUT`` is
+    consulted, falling back to :data:`DEFAULT_COMM_TIMEOUT`.  Values
+    must be positive (a zero timeout would make every rendezvous race).
+    """
+    if override is not None:
+        timeout = float(override)
+    else:
+        raw = os.environ.get("REPRO_COMM_TIMEOUT", "")
+        timeout = float(raw) if raw else DEFAULT_COMM_TIMEOUT
+    if timeout <= 0:
+        raise ValueError(f"communication timeout must be positive, got {timeout}")
+    return timeout

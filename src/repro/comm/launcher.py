@@ -1,0 +1,386 @@
+"""Process-level SPMD launcher.
+
+Plays the role of ``mpiexec -n P`` with real OS processes: creates ONE
+shared-memory segment sized for the world, forks ``P`` workers that attach
+a :class:`~repro.comm.shm.ShmComm` each, runs the SPMD function on every
+rank, and tears the segment down on every exit path.
+
+Two entry points:
+
+- :func:`run_spmd` — backend dispatcher.  ``backend="threads"`` (default,
+  or ``REPRO_COMM``) delegates to the thread launcher; ``"proc"`` does a
+  one-shot process launch where the SPMD function is baked into the child
+  at fork time — so closures work under the default ``fork`` start method
+  exactly as they do with threads (under ``spawn`` the function must be
+  module-level picklable); ``"mpi"`` uses the mpi4py adapter when the
+  package exists.
+- :class:`SpmdSession` — persistent workers for epoch reuse: the segment
+  and the ``P`` processes stay up across many :meth:`SpmdSession.run`
+  calls, and per-worker state survives between calls via
+  :func:`worker_store` (this is how ``ProcDistributedBTAFactor`` keeps
+  each rank's factor slices resident between factorize/solve epochs).
+  Session jobs travel over pipes, so their functions must be module-level
+  picklable regardless of start method.
+
+Failure semantics: a worker that raises aborts the segment (peers
+unblock with :class:`CommAbortError`) and ships its traceback to the
+parent; a worker that *dies* (killed, segfault) is detected by the
+parent's liveness poll, which aborts the segment on its behalf and
+raises a :class:`CommAbortError` naming the dead rank and exit code —
+never a hang.  The creator unlinks the segment in a ``finally``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import secrets
+import time
+import traceback
+from multiprocessing import shared_memory
+from typing import Callable
+
+import numpy as np
+
+from repro.comm.errors import CommAbortError, comm_timeout
+from repro.comm.shm import ShmComm, segment_bytes
+
+#: Module-level per-worker state, preserved across SpmdSession.run calls.
+_WORKER_STORE: dict = {}
+
+_SENTINEL = None  # job value that tells a session worker to exit
+
+
+def worker_store() -> dict:
+    """Mutable per-process dict for cross-epoch worker state.
+
+    Inside an SPMD function running under a :class:`SpmdSession`, values
+    stored here survive until the session closes (each worker process has
+    its own store).  Under threads or one-shot proc runs it is ephemeral.
+    """
+    return _WORKER_STORE
+
+
+def default_start_method() -> str:
+    """``REPRO_SPMD_START`` if set, else ``fork`` when available (closures
+    and test fixtures keep working), else ``spawn``."""
+    env = os.environ.get("REPRO_SPMD_START", "")
+    if env:
+        return env
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+class _Segment:
+    """Parent-side handle on the world segment (creator: owns unlink)."""
+
+    def __init__(self, world_size: int):
+        self.world_size = world_size
+        for _ in range(8):
+            name = f"repro-spmd-{os.getpid()}-{secrets.token_hex(4)}"
+            try:
+                self.shm = shared_memory.SharedMemory(
+                    name=name, create=True, size=segment_bytes(world_size)
+                )
+                break
+            except FileExistsError:  # pragma: no cover - astronomically unlikely
+                continue
+        else:  # pragma: no cover
+            raise RuntimeError("could not allocate a shared-memory segment name")
+        self._flag = np.ndarray((1,), np.dtype("<i8"), buffer=self.shm.buf, offset=0)
+        self._rank = np.ndarray((1,), np.dtype("<i8"), buffer=self.shm.buf, offset=8)
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def abort(self, failed_rank: int | None = None) -> None:
+        if failed_rank is not None and int(self._rank[0]) == 0:
+            self._rank[0] = failed_rank + 1
+        self._flag[0] = 1
+
+    def aborted(self) -> bool:
+        return int(self._flag[0]) != 0
+
+    def destroy(self) -> None:
+        self._flag = self._rank = None
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+
+
+def _run_job(comm: ShmComm, conn, fn: Callable, args: tuple, kwargs: dict) -> None:
+    """Execute one SPMD job and report the outcome over the pipe."""
+    try:
+        result = fn(comm, *args, **kwargs)
+    except BaseException as exc:  # noqa: BLE001 - must abort peers, not hang them
+        comm.abort(comm.Get_rank())
+        tb = traceback.format_exc()
+        try:  # ship the real exception when it pickles, else just the text
+            import pickle
+
+            pickle.dumps(exc)
+        except Exception:
+            exc = None
+        conn.send(("err", comm.Get_rank(), tb, exc))
+    else:
+        conn.send(("ok", result))
+
+
+def _oneshot_main(name: str, size: int, rank: int, conn, fn, args, kwargs) -> None:
+    comm = ShmComm.attach(name, size, rank)
+    try:
+        _run_job(comm, conn, fn, args, kwargs)
+    finally:
+        comm.close()
+        conn.close()
+
+
+def _session_main(name: str, size: int, rank: int, conn) -> None:
+    comm = ShmComm.attach(name, size, rank)
+    try:
+        while True:
+            job = conn.recv()
+            if job is _SENTINEL:
+                break
+            fn, args, kwargs = job
+            _run_job(comm, conn, fn, args, kwargs)
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent vanished
+        pass
+    finally:
+        _WORKER_STORE.clear()
+        comm.close()
+        conn.close()
+
+
+def _collect(segment: _Segment, procs: list, conns: list) -> list:
+    """Gather one reply per rank; diagnose crashes; never hang.
+
+    Returns the list of raw replies.  Raises :class:`CommAbortError` for a
+    dead worker and ``RuntimeError from cause`` for a raised exception,
+    preferring primary errors over secondary abort fallout.
+    """
+    size = len(procs)
+    replies: list = [None] * size
+    pending = set(range(size))
+    crashed: list = []
+    drain_deadline: float | None = None
+    while pending:
+        for r in sorted(pending):
+            if conns[r].poll(0.02):
+                try:
+                    replies[r] = conns[r].recv()
+                    pending.discard(r)
+                except EOFError:
+                    segment.abort(r)
+                    crashed.append((r, procs[r].exitcode))
+                    pending.discard(r)
+        for r in sorted(pending):
+            if not procs[r].is_alive() and not conns[r].poll(0):
+                # Died without a reply (the poll(0) guards against the race
+                # where the reply is in flight while the worker exits): abort
+                # the group on its behalf so the survivors unblock, then give
+                # them one timeout to drain.
+                segment.abort(r)
+                crashed.append((r, procs[r].exitcode))
+                pending.discard(r)
+        if crashed and drain_deadline is None:
+            drain_deadline = time.monotonic() + comm_timeout() + 5.0
+        if drain_deadline is not None and time.monotonic() > drain_deadline:
+            break  # caller terminates stragglers
+    if crashed:
+        rank, code = crashed[0]
+        raise CommAbortError(
+            f"SPMD worker rank {rank} died without replying (exitcode {code})",
+            failed_rank=rank,
+        )
+    errors = [
+        (r, tb, exc)
+        for r, reply in enumerate(replies)
+        if reply is not None and reply[0] == "err"
+        for (_, _, tb, exc) in [reply]
+    ]
+    if errors:
+        primaries = [e for e in errors if not isinstance(e[2], CommAbortError)]
+        rank, tb, exc = (primaries or errors)[0]
+        if exc is None:
+            exc = RuntimeError(f"rank {rank} raised an unpicklable exception")
+        raise RuntimeError(
+            f"SPMD rank {rank} failed\n--- remote traceback (rank {rank}) ---\n{tb}"
+        ) from exc
+    return [reply[1] for reply in replies]
+
+
+class SpmdSession:
+    """Persistent ``P``-process SPMD group over one shared segment.
+
+    Use as a context manager; :meth:`run` executes a module-level picklable
+    function ``fn(comm, *args, **kwargs)`` on every rank and returns the
+    per-rank results ordered by rank.  A failed run poisons the session
+    (the shared segment's counters are no longer in a known state), so
+    subsequent runs raise immediately.
+    """
+
+    def __init__(self, nranks: int, *, start_method: str | None = None):
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        self.nranks = nranks
+        self._broken = False
+        self._closed = False
+        ctx = mp.get_context(start_method or default_start_method())
+        self._segment = _Segment(nranks)
+        self._procs = []
+        self._conns = []
+        try:
+            for r in range(nranks):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                p = ctx.Process(
+                    target=_session_main,
+                    args=(self._segment.name, nranks, r, child_conn),
+                    daemon=True,
+                    name=f"repro-spmd-{r}",
+                )
+                p.start()
+                child_conn.close()
+                self._procs.append(p)
+                self._conns.append(parent_conn)
+        except BaseException:
+            self.close()
+            raise
+
+    def run(self, fn: Callable, *args, **kwargs) -> list:
+        if self._closed:
+            raise RuntimeError("SpmdSession is closed")
+        if self._broken:
+            raise RuntimeError(
+                "SpmdSession is poisoned by an earlier failure; start a new session"
+            )
+        for r in range(self.nranks):
+            if not self._procs[r].is_alive():
+                self._broken = True
+                self._segment.abort(r)
+                raise CommAbortError(
+                    f"SPMD worker rank {r} died between runs "
+                    f"(exitcode {self._procs[r].exitcode})",
+                    failed_rank=r,
+                )
+        for conn in self._conns:
+            conn.send((fn, args, kwargs))
+        try:
+            return _collect(self._segment, self._procs, self._conns)
+        except BaseException:
+            self._broken = True
+            raise
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(_SENTINEL)
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + 5.0
+        for p in self._procs:
+            p.join(timeout=max(0.1, deadline - time.monotonic()))
+        for p in self._procs:
+            if p.is_alive():
+                self._segment.abort()
+                p.terminate()
+                p.join(timeout=2.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._segment.destroy()
+
+    def __enter__(self) -> "SpmdSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _run_spmd_proc(
+    nranks: int, fn: Callable, args: tuple, kwargs: dict, start_method: str | None
+) -> list:
+    """One-shot process launch: fn is baked into each child at fork time."""
+    ctx = mp.get_context(start_method or default_start_method())
+    segment = _Segment(nranks)
+    procs: list = []
+    conns: list = []
+    try:
+        for r in range(nranks):
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            p = ctx.Process(
+                target=_oneshot_main,
+                args=(segment.name, nranks, r, child_conn, fn, args, kwargs),
+                daemon=True,
+                name=f"repro-spmd-{r}",
+            )
+            p.start()
+            child_conn.close()
+            procs.append(p)
+            conns.append(parent_conn)
+        return _collect(segment, procs, conns)
+    finally:
+        for p in procs:
+            if p.is_alive():
+                segment.abort()
+                p.join(timeout=2.0)
+            if p.is_alive():  # pragma: no cover - terminate stragglers
+                p.terminate()
+                p.join(timeout=2.0)
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        segment.destroy()
+
+
+def comm_backend() -> str:
+    """The SPMD backend selected by ``REPRO_COMM`` (default ``threads``)."""
+    return os.environ.get("REPRO_COMM", "") or "threads"
+
+
+def run_spmd(
+    nranks: int,
+    fn: Callable,
+    *args,
+    backend: str | None = None,
+    start_method: str | None = None,
+    **kwargs,
+) -> list:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` SPMD ranks.
+
+    ``backend`` is one of ``"threads"`` (rank = thread, :class:`ThreadComm`),
+    ``"proc"`` (rank = process, :class:`ShmComm` over shared memory), or
+    ``"mpi"`` (mpi4py, when installed); ``None`` consults ``REPRO_COMM``.
+    Returns per-rank results ordered by rank.  ``nranks == 1`` always runs
+    inline on a :class:`SerialComm` — no threads or processes involved.
+    """
+    chosen = backend or comm_backend()
+    if nranks < 1:
+        raise ValueError("nranks must be >= 1")
+    if nranks == 1:
+        from repro.comm.serial import SerialComm
+
+        return [fn(SerialComm(), *args, **kwargs)]
+    if chosen in ("threads", "thread", "local"):
+        from repro.comm.local import run_spmd as run_threads
+
+        return run_threads(nranks, fn, *args, **kwargs)
+    if chosen == "proc":
+        return _run_spmd_proc(nranks, fn, args, kwargs, start_method)
+    if chosen == "mpi":
+        from repro.comm.mpi import run_spmd_mpi
+
+        return run_spmd_mpi(nranks, fn, *args, **kwargs)
+    raise ValueError(f"unknown SPMD backend {chosen!r} (threads|proc|mpi)")

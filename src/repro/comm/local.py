@@ -10,23 +10,40 @@ closest single-node analogue of the paper's MPI+NCCL execution.
 
 Determinism: reductions are evaluated in rank order on every rank, so
 ``Allreduce`` results are bit-identical across ranks and across runs.
+
+Failure semantics: every blocking wait (mailbox ``Recv``, barrier
+rendezvous) carries the ``REPRO_COMM_TIMEOUT`` deadline and an abort
+check.  A rank that times out (e.g. on a mismatched ``Recv`` tag) raises
+:class:`~repro.comm.errors.CommTimeoutError` and aborts the group; peers
+blocked in any collective of the group tree then raise
+:class:`~repro.comm.errors.CommAbortError` instead of hanging forever.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Callable
 
 import numpy as np
 
 from repro.comm.communicator import Communicator, ReduceOp, _reduce_pair
+from repro.comm.errors import CommAbortError, CommTimeoutError, comm_timeout
+
+#: Poll interval for abortable blocking waits (seconds).
+_POLL_S = 0.02
 
 
 class _GroupState:
-    """Shared state for one communicator group of ``size`` ranks."""
+    """Shared state for one communicator group of ``size`` ranks.
 
-    def __init__(self, size: int):
+    Groups form a tree under :meth:`ThreadComm.Split`; an abort anywhere
+    cascades over the whole tree so no rank of any (sub)group stays
+    blocked after a failure.
+    """
+
+    def __init__(self, size: int, parent: "_GroupState | None" = None):
         if size < 1:
             raise ValueError("group size must be >= 1")
         self.size = size
@@ -35,6 +52,10 @@ class _GroupState:
         self.mailboxes: dict = {}
         self.mailbox_lock = threading.Lock()
         self.split_result: dict = {}
+        self.parent = parent
+        self.children: list = []
+        self.abort_event = threading.Event()
+        self.failed_rank: int | None = None
 
     def mailbox(self, src: int, dst: int, tag: int) -> queue.Queue:
         key = (src, dst, tag)
@@ -44,8 +65,28 @@ class _GroupState:
                 box = self.mailboxes[key] = queue.Queue()
             return box
 
-    def abort(self) -> None:
+    def register_child(self, child: "_GroupState") -> None:
+        with self.mailbox_lock:
+            self.children.append(child)
+            if self.abort_event.is_set():
+                child._abort_down(self.failed_rank)
+
+    def abort(self, rank: int | None = None) -> None:
+        """Abort the whole group tree (root-first), recording the failing rank."""
+        root = self
+        while root.parent is not None:
+            root = root.parent
+        root._abort_down(rank)
+
+    def _abort_down(self, rank: int | None) -> None:
+        if self.failed_rank is None:
+            self.failed_rank = rank
+        self.abort_event.set()
         self.barrier.abort()
+        with self.mailbox_lock:
+            children = list(self.children)
+        for child in children:
+            child._abort_down(rank)
 
 
 class ThreadComm(Communicator):
@@ -54,6 +95,36 @@ class ThreadComm(Communicator):
     def __init__(self, group: _GroupState, rank: int):
         self._group = group
         self._rank = rank
+
+    # -- failure handling --------------------------------------------------
+
+    def _abort_error(self) -> CommAbortError:
+        failed = self._group.failed_rank
+        detail = f" (rank {failed} failed)" if failed is not None else ""
+        return CommAbortError(
+            f"communicator group aborted{detail}", failed_rank=failed
+        )
+
+    def _wait_barrier(self) -> None:
+        """Barrier rendezvous with the group timeout and abort translation."""
+        g = self._group
+        if g.abort_event.is_set():
+            raise self._abort_error()
+        timeout = comm_timeout()
+        start = time.monotonic()
+        try:
+            g.barrier.wait(timeout=timeout)
+        except threading.BrokenBarrierError:
+            if g.abort_event.is_set():
+                raise self._abort_error() from None
+            if time.monotonic() - start >= timeout:
+                g.abort(self._rank)
+                raise CommTimeoutError(
+                    f"rank {self._rank}: barrier timed out after {timeout:g} s"
+                ) from None
+            # A peer broke the barrier without setting the abort flag yet
+            # (its own timeout path is racing us); treat it as an abort.
+            raise self._abort_error() from None
 
     # -- topology ---------------------------------------------------------
 
@@ -66,7 +137,7 @@ class ThreadComm(Communicator):
     def Split(self, color: int, key: int = 0) -> "Communicator":
         g = self._group
         g.slots[self._rank] = (color, key, self._rank)
-        g.barrier.wait()
+        self._wait_barrier()
         if self._rank == 0:
             # Rank 0 groups the (color, key, rank) triples and publishes one
             # fresh _GroupState per color; members then index in by rank.
@@ -76,15 +147,16 @@ class ThreadComm(Communicator):
             result = {}
             for c, members in by_color.items():
                 members.sort(key=lambda t: (t[1], t[2]))
-                sub = _GroupState(len(members))
+                sub = _GroupState(len(members), parent=g)
+                g.register_child(sub)
                 for new_rank, (_, _, old_rank) in enumerate(members):
                     result[old_rank] = (sub, new_rank)
             g.split_result = result
-            g.barrier.wait()
+            self._wait_barrier()
         else:
-            g.barrier.wait()
+            self._wait_barrier()
         sub, new_rank = g.split_result[self._rank]
-        g.barrier.wait()  # keep split_result alive until everyone has read it
+        self._wait_barrier()  # keep split_result alive until everyone has read it
         from repro.comm.serial import SerialComm
 
         if sub.size == 1:
@@ -103,7 +175,22 @@ class ThreadComm(Communicator):
     def Recv(self, buf: np.ndarray, source: int, tag: int = 0) -> None:
         if not 0 <= source < self._group.size or source == self._rank:
             raise ValueError(f"invalid source rank {source}")
-        msg = self._group.mailbox(source, self._rank, tag).get()
+        box = self._group.mailbox(source, self._rank, tag)
+        timeout = comm_timeout()
+        deadline = time.monotonic() + timeout
+        while True:
+            if self._group.abort_event.is_set():
+                raise self._abort_error()
+            try:
+                msg = box.get(timeout=min(_POLL_S, timeout))
+                break
+            except queue.Empty:
+                if time.monotonic() >= deadline:
+                    self._group.abort(self._rank)
+                    raise CommTimeoutError(
+                        f"rank {self._rank}: Recv(source={source}, tag={tag}) "
+                        f"timed out after {timeout:g} s (no matching message)"
+                    ) from None
         if msg.shape != buf.shape:
             raise ValueError(f"Recv shape mismatch: got {msg.shape}, want {buf.shape}")
         buf[...] = msg
@@ -111,26 +198,26 @@ class ThreadComm(Communicator):
     # -- collectives ------------------------------------------------------
 
     def Barrier(self) -> None:
-        self._group.barrier.wait()
+        self._wait_barrier()
 
     def Allreduce(self, sendbuf: np.ndarray, op: ReduceOp = ReduceOp.SUM) -> np.ndarray:
         g = self._group
         g.slots[self._rank] = np.asarray(sendbuf)
-        g.barrier.wait()
+        self._wait_barrier()
         # Every rank reduces in rank order => deterministic, identical results.
         acc = np.array(g.slots[0], copy=True)
         for r in range(1, g.size):
             acc = _reduce_pair(acc, g.slots[r], op)
-        g.barrier.wait()  # protect slots until all ranks finished reading
+        self._wait_barrier()  # protect slots until all ranks finished reading
         return acc
 
     def Bcast(self, buf: np.ndarray, root: int = 0) -> np.ndarray:
         g = self._group
         if self._rank == root:
             g.slots[root] = np.asarray(buf)
-        g.barrier.wait()
+        self._wait_barrier()
         out = np.array(g.slots[root], copy=True) if self._rank != root else buf
-        g.barrier.wait()
+        self._wait_barrier()
         if self._rank != root:
             buf = np.asarray(buf)
             if buf.shape == out.shape:
@@ -141,9 +228,9 @@ class ThreadComm(Communicator):
     def Allgather(self, sendbuf: np.ndarray) -> list:
         g = self._group
         g.slots[self._rank] = np.asarray(sendbuf)
-        g.barrier.wait()
+        self._wait_barrier()
         out = [np.array(g.slots[r], copy=True) for r in range(g.size)]
-        g.barrier.wait()
+        self._wait_barrier()
         return out
 
     # -- pickled-object variants -------------------------------------------
@@ -152,26 +239,34 @@ class ThreadComm(Communicator):
         g = self._group
         if self._rank == root:
             g.slots[root] = obj
-        g.barrier.wait()
+        self._wait_barrier()
         out = g.slots[root]
-        g.barrier.wait()
+        self._wait_barrier()
         return out
 
     def allgather(self, obj) -> list:
         g = self._group
         g.slots[self._rank] = obj
-        g.barrier.wait()
+        self._wait_barrier()
         out = [g.slots[r] for r in range(g.size)]
-        g.barrier.wait()
+        self._wait_barrier()
         return out
+
+
+def _is_secondary_error(exc: BaseException) -> bool:
+    """Errors that are consequences of another rank's failure, not causes."""
+    return isinstance(exc, (threading.BrokenBarrierError, CommAbortError))
 
 
 def run_spmd(nranks: int, fn: Callable, *args, **kwargs) -> list:
     """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` thread-ranks.
 
     Returns the list of per-rank return values, ordered by rank.  If any
-    rank raises, the group barrier is aborted (so no rank deadlocks) and
-    the first exception is re-raised in the caller.
+    rank raises, the group (and every subgroup split from it) is aborted
+    — so no rank deadlocks in a barrier, mailbox wait, or collective —
+    and the first *primary* exception is re-raised in the caller
+    (secondary :class:`CommAbortError` / broken-barrier failures are
+    preferred-away when a real cause exists).
     """
     if nranks < 1:
         raise ValueError("nranks must be >= 1")
@@ -192,7 +287,7 @@ def run_spmd(nranks: int, fn: Callable, *args, **kwargs) -> list:
         except BaseException as exc:  # noqa: BLE001 - must not deadlock peers
             with errors_lock:
                 errors.append((rank, exc))
-            group.abort()
+            group.abort(rank)
 
     threads = [threading.Thread(target=worker, args=(r,), daemon=True) for r in range(nranks)]
     for t in threads:
@@ -201,9 +296,9 @@ def run_spmd(nranks: int, fn: Callable, *args, **kwargs) -> list:
         t.join()
     if errors:
         rank, exc = min(errors, key=lambda e: e[0])
-        if isinstance(exc, threading.BrokenBarrierError):
+        if _is_secondary_error(exc):
             # Secondary failure; prefer reporting a primary error if any.
-            primaries = [e for e in errors if not isinstance(e[1], threading.BrokenBarrierError)]
+            primaries = [e for e in errors if not _is_secondary_error(e[1])]
             if primaries:
                 rank, exc = min(primaries, key=lambda e: e[0])
         raise RuntimeError(f"SPMD rank {rank} failed") from exc

@@ -1,0 +1,126 @@
+"""mpi4py adapter behind the :class:`Communicator` interface.
+
+Import-guarded: the offline container has no MPI, so importing this
+module is always safe — only *constructing* :class:`MpiComm` (or calling
+:func:`run_spmd_mpi`) requires mpi4py.  Under a real MPI launch::
+
+    mpirun -n 4 python my_script.py      # inside: MpiComm.world()
+
+the same SPMD functions that run under ThreadComm/ShmComm run unchanged.
+
+Determinism: mpi4py's ``Allreduce`` reduction order is implementation-
+defined, so :meth:`MpiComm.Allreduce` instead allgathers every rank's
+buffer and reduces in rank order locally — bit-identical to ThreadComm
+and ShmComm at the cost of a size-P gather (the buffers involved are
+small: objective values, boundary blocks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.comm.communicator import Communicator, ReduceOp, _reduce_pair
+
+try:  # pragma: no cover - exercised only where mpi4py exists
+    from mpi4py import MPI as _MPI
+
+    HAVE_MPI = True
+except ImportError:
+    _MPI = None
+    HAVE_MPI = False
+
+
+def _require_mpi() -> None:
+    if not HAVE_MPI:
+        raise RuntimeError(
+            "mpi4py is not installed; use backend='threads' or 'proc' "
+            "(REPRO_COMM) on this host"
+        )
+
+
+class MpiComm(Communicator):
+    """Communicator over a real ``mpi4py`` communicator."""
+
+    def __init__(self, comm=None):
+        _require_mpi()
+        self._comm = comm if comm is not None else _MPI.COMM_WORLD
+
+    @classmethod
+    def world(cls) -> "MpiComm":
+        return cls()
+
+    # -- topology ---------------------------------------------------------
+
+    def Get_rank(self) -> int:
+        return self._comm.Get_rank()
+
+    def Get_size(self) -> int:
+        return self._comm.Get_size()
+
+    def Split(self, color: int, key: int = 0) -> "Communicator":
+        sub = self._comm.Split(color, key)
+        if sub.Get_size() == 1:
+            sub.Free()
+            from repro.comm.serial import SerialComm
+
+            return SerialComm()
+        return MpiComm(sub)
+
+    # -- point to point ---------------------------------------------------
+
+    def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
+        self._comm.Send(np.ascontiguousarray(buf), dest=dest, tag=tag)
+
+    def Recv(self, buf: np.ndarray, source: int, tag: int = 0) -> None:
+        self._comm.Recv(buf, source=source, tag=tag)
+
+    # -- collectives ------------------------------------------------------
+
+    def Barrier(self) -> None:
+        self._comm.Barrier()
+
+    def Allreduce(self, sendbuf: np.ndarray, op: ReduceOp = ReduceOp.SUM) -> np.ndarray:
+        # Rank-ordered local reduction over an allgather: bit-identical to
+        # the thread/shm backends, unlike MPI's implementation-defined tree.
+        gathered = self._comm.allgather(np.asarray(sendbuf))
+        acc = np.array(gathered[0], copy=True)
+        for part in gathered[1:]:
+            acc = _reduce_pair(acc, part, op)
+        return acc
+
+    def Bcast(self, buf: np.ndarray, root: int = 0) -> np.ndarray:
+        arr = np.ascontiguousarray(buf)
+        self._comm.Bcast(arr, root=root)
+        return arr
+
+    def Allgather(self, sendbuf: np.ndarray) -> list:
+        return [np.array(a, copy=True) for a in self._comm.allgather(np.asarray(sendbuf))]
+
+    # -- pickled-object variants -------------------------------------------
+
+    def bcast(self, obj, root: int = 0):
+        return self._comm.bcast(obj, root=root)
+
+    def allgather(self, obj) -> list:
+        return self._comm.allgather(obj)
+
+
+def run_spmd_mpi(nranks: int, fn: Callable, *args, **kwargs) -> list:
+    """Run ``fn`` under an existing MPI launch (``mpirun -n P``).
+
+    Unlike the thread/proc launchers this does not create ranks — the MPI
+    runtime already did.  Verifies the world size matches, runs ``fn`` on
+    this rank, and allgathers the per-rank results so every rank returns
+    the full ordered list.
+    """
+    _require_mpi()
+    comm = MpiComm.world()
+    if comm.Get_size() != nranks:
+        raise RuntimeError(
+            f"MPI world has {comm.Get_size()} ranks but nranks={nranks}; "
+            "launch with mpirun -n {nranks}"
+        )
+    result = fn(comm, *args, **kwargs)
+    return comm.allgather(result)

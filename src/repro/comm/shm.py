@@ -1,0 +1,472 @@
+"""Shared-memory SPMD communicator for process-level ranks.
+
+:class:`ShmComm` implements the :class:`~repro.comm.communicator.Communicator`
+interface over ONE ``multiprocessing.shared_memory`` segment shared by all
+ranks of the world.  The launcher (:mod:`repro.comm.launcher`) creates the
+segment and forks the workers; each worker attaches by name and drives its
+rank through the same layout:
+
+``[ header | world group block | spare arena ]``
+
+- **header** — segment-wide abort flag + failing-rank cell.  Any failure
+  (worker crash, timeout, raised exception) flips the flag; every blocking
+  wait in every rank polls it, so the whole group aborts in milliseconds
+  instead of deadlocking.
+- **group block** — per-group collective state: per-rank generation
+  counters (``ready``/``done``), per-rank bounce slots for collective
+  payloads, and one SPSC byte ring per ordered rank pair for eager
+  point-to-point sends.
+- **spare arena** — zero-initialized space from which ``Split`` carves
+  child group blocks deterministically (the carve is computed identically
+  on every member from the collectively-exchanged colors, so no shared
+  allocator is needed).
+
+Collectives run a two-phase generation protocol on the counters:
+publish (write slot, bump ``ready[rank]``), consume (wait for all
+``ready >= gen``, read every slot, bump ``done[rank]``); the next
+generation waits for all ``done >= gen`` before overwriting slots.
+Payloads larger than a slot run multiple sub-rounds.  Alignment keeps
+every counter on an 8-byte boundary, where CPython's int64 stores are
+single instructions and x86-TSO/ARM64 release the data writes before the
+counter bump becomes visible.
+
+Determinism matches :class:`~repro.comm.local.ThreadComm` bit for bit:
+``Allreduce`` ships every rank's buffer and reduces in rank order on
+every rank with the same ``_reduce_pair`` chain.
+
+Point-to-point is *eager*: ``Send`` frames ``(tag, array)`` into the
+SPSC ring and returns once the bytes are in flight (blocking only when
+the ring is full), and ``Recv`` keeps an out-of-order pending map per
+``(source, tag)`` — so tag reordering works exactly as with ThreadComm
+mailboxes.  Frames larger than the ring stream through it; two ranks
+eagerly sending each other oversized frames simultaneously must use
+``Sendrecv`` (parity-ordered), the same discipline real MPI eager/
+rendezvous thresholds impose.
+
+Every blocking wait honors ``REPRO_COMM_TIMEOUT`` and the abort flag
+(:class:`CommTimeoutError` / :class:`CommAbortError`), and the actual
+wire traffic is recorded in :attr:`ShmComm.measured` with the same kind
+keys :class:`~repro.comm.stats.TraceComm` uses for modeled traffic, so
+model and measurement can be cross-checked.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.comm.communicator import Communicator, ReduceOp, _reduce_pair
+from repro.comm.errors import CommAbortError, CommTimeoutError, comm_timeout
+from repro.comm.stats import CommStats
+
+#: Per-rank collective bounce-slot capacity (bytes). Oversized payloads chunk.
+SLOT_BYTES = 256 * 1024
+#: Per-ordered-pair point-to-point ring capacity (bytes).
+RING_BYTES = 256 * 1024
+#: Segment header: abort flag (int64) + failing rank + 1 (int64), padded.
+HEADER_BYTES = 64
+
+_I8 = np.dtype("<i8")
+_SLEEP_S = 0.0002  # back-off sleep between poll spins
+_SPIN = 200  # cheap spins before sleeping
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+def group_block_bytes(size: int) -> int:
+    """Bytes of one group block for ``size`` ranks (counters + slots + rings)."""
+    counters = 4 * 8 * size  # ready, done, slot_len, slot_total
+    slots = size * SLOT_BYTES
+    rings = size * size * (16 + RING_BYTES)  # head+tail+data per ordered pair
+    return _align8(counters + slots + rings)
+
+
+def segment_bytes(world_size: int) -> int:
+    """Total shared segment size for a world of ``world_size`` ranks.
+
+    The spare arena holds 4x the world block so nested ``Split`` calls
+    (e.g. the process-grid row/column communicators) can carve children.
+    """
+    block = group_block_bytes(world_size)
+    return HEADER_BYTES + block + 4 * block
+
+
+class _GroupLayout:
+    """Offsets of one group's state inside the shared segment."""
+
+    def __init__(self, base: int, size: int, spare_base: int, spare_bytes: int):
+        self.base = base
+        self.size = size
+        self.spare_base = spare_base
+        self.spare_bytes = spare_bytes
+        s = size
+        self.ready_off = base
+        self.done_off = base + 8 * s
+        self.slot_len_off = base + 16 * s
+        self.slot_total_off = base + 24 * s
+        self.slots_off = base + 32 * s
+        self.rings_off = base + 32 * s + s * SLOT_BYTES
+
+    def slot_off(self, rank: int) -> int:
+        return self.slots_off + rank * SLOT_BYTES
+
+    def ring_off(self, src: int, dst: int) -> int:
+        return self.rings_off + (src * self.size + dst) * (16 + RING_BYTES)
+
+
+class _Ring:
+    """One SPSC byte ring: monotonic head (consumer) / tail (producer)."""
+
+    def __init__(self, buf, off: int):
+        self.head = np.ndarray((1,), _I8, buffer=buf, offset=off)
+        self.tail = np.ndarray((1,), _I8, buffer=buf, offset=off + 8)
+        self.data = np.ndarray((RING_BYTES,), np.uint8, buffer=buf, offset=off + 16)
+
+
+class ShmComm(Communicator):
+    """Communicator over process ranks sharing one shared-memory segment."""
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        layout: _GroupLayout,
+        rank: int,
+        *,
+        owns_segment: bool = False,
+    ):
+        self._shm = shm  # keep the segment alive for the memoryview's lifetime
+        self._buf = shm.buf
+        self._layout = layout
+        self._rank = rank
+        self._owns_segment = owns_segment
+        s = layout.size
+        self._abort_flag = np.ndarray((1,), _I8, buffer=self._buf, offset=0)
+        self._abort_rank = np.ndarray((1,), _I8, buffer=self._buf, offset=8)
+        self._ready = np.ndarray((s,), _I8, buffer=self._buf, offset=layout.ready_off)
+        self._done = np.ndarray((s,), _I8, buffer=self._buf, offset=layout.done_off)
+        self._slot_len = np.ndarray((s,), _I8, buffer=self._buf, offset=layout.slot_len_off)
+        self._slot_total = np.ndarray((s,), _I8, buffer=self._buf, offset=layout.slot_total_off)
+        self._gen = int(self._done[rank])  # resume after reattach
+        self._spare_used = 0
+        self._rings: dict = {}
+        self._pending: dict = {}  # (source, tag) -> list of received arrays
+        #: Measured wire traffic, same kind keys as TraceComm's modeled stats.
+        self.measured = CommStats()
+
+    # -- world construction ------------------------------------------------
+
+    @classmethod
+    def world_layout(cls, world_size: int) -> _GroupLayout:
+        block = group_block_bytes(world_size)
+        return _GroupLayout(
+            base=HEADER_BYTES,
+            size=world_size,
+            spare_base=HEADER_BYTES + block,
+            spare_bytes=4 * block,
+        )
+
+    @classmethod
+    def attach(cls, name: str, world_size: int, rank: int) -> "ShmComm":
+        """Attach a worker process to the world segment created by the launcher."""
+        # The launcher (creator) owns the segment's lifetime; suppress the
+        # resource tracker's per-attach registration so worker exits do not
+        # fight over unlinking one shared name (Python 3.13 exposes this as
+        # ``track=False``; 3.11/3.12 need the register shim).
+        from multiprocessing import resource_tracker
+
+        orig_register = resource_tracker.register
+        try:
+            resource_tracker.register = lambda n, rtype: (
+                None if rtype == "shared_memory" else orig_register(n, rtype)
+            )
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = orig_register
+        return cls(shm, cls.world_layout(world_size), rank)
+
+    # -- failure handling --------------------------------------------------
+
+    def abort(self, failed_rank: int | None = None) -> None:
+        """Flip the segment-wide abort flag (idempotent, crash-safe)."""
+        if failed_rank is not None and int(self._abort_rank[0]) == 0:
+            self._abort_rank[0] = failed_rank + 1
+        self._abort_flag[0] = 1
+
+    def _abort_error(self) -> CommAbortError:
+        stored = int(self._abort_rank[0])
+        failed = stored - 1 if stored > 0 else None
+        detail = f" (rank {failed} failed)" if failed is not None else ""
+        return CommAbortError(f"communicator group aborted{detail}", failed_rank=failed)
+
+    def _check_abort(self) -> None:
+        if self._abort_flag[0] != 0:
+            raise self._abort_error()
+
+    def _timeout(self, what: str, deadline_s: float) -> CommTimeoutError:
+        self.abort(self._rank)
+        return CommTimeoutError(
+            f"rank {self._rank}: {what} timed out after {deadline_s:g} s"
+        )
+
+    def _poll(self, ok, what: str) -> None:
+        """Spin/sleep until ``ok()`` holds, honoring abort flag and deadline."""
+        timeout = comm_timeout()
+        deadline = time.monotonic() + timeout
+        spins = 0
+        while True:
+            if ok():
+                return
+            self._check_abort()
+            spins += 1
+            if spins >= _SPIN:
+                if time.monotonic() >= deadline:
+                    raise self._timeout(what, timeout)
+                time.sleep(_SLEEP_S)
+
+    # -- generation-counter collective exchange ----------------------------
+
+    def _exchange(self, payload: bytes) -> list:
+        """All-to-all byte exchange: every rank gets every rank's payload.
+
+        This is the one collective primitive; Barrier/Bcast/Allgather/
+        Allreduce and the object variants are all built on it.
+        """
+        lay, s, me = self._layout, self._layout.size, self._rank
+        buf = self._buf
+        total = len(payload)
+        parts: list = [[] for _ in range(s)]
+        nrounds = 1
+        rnd = 0
+        while rnd < nrounds:
+            gen = self._gen + 1 + rnd
+            # Phase 0: previous generation's slots must be fully consumed.
+            self._poll(
+                lambda g=gen: bool(np.all(self._done >= g - 1)),
+                f"collective gen {gen} (waiting for peers to consume)",
+            )
+            chunk = payload[rnd * SLOT_BYTES : (rnd + 1) * SLOT_BYTES]
+            if chunk:
+                off = lay.slot_off(me)
+                buf[off : off + len(chunk)] = chunk
+            self._slot_len[me] = len(chunk)
+            if rnd == 0:
+                self._slot_total[me] = total
+            self._ready[me] = gen  # publish: data writes above precede this
+            # Phase 1: consume every peer's slot for this generation.
+            self._poll(
+                lambda g=gen: bool(np.all(self._ready >= g)),
+                f"collective gen {gen} (waiting for peers to publish)",
+            )
+            if rnd == 0:
+                totals = [int(t) for t in self._slot_total]
+                nrounds = max(1, -(-max(totals) // SLOT_BYTES))
+            for r in range(s):
+                n = int(self._slot_len[r])
+                if n:
+                    off = lay.slot_off(r)
+                    parts[r].append(bytes(buf[off : off + n]))
+            self._done[me] = gen
+            rnd += 1
+        self._gen += nrounds
+        return [b"".join(p) for p in parts]
+
+    # -- topology ---------------------------------------------------------
+
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self._layout.size
+
+    def Split(self, color: int, key: int = 0) -> "Communicator":
+        lay, me = self._layout, self._rank
+        triples = [
+            pickle.loads(p)
+            for p in self._exchange(pickle.dumps((color, key, me), protocol=5))
+        ]
+        by_color: dict = {}
+        for c, k, r in triples:
+            by_color.setdefault(c, []).append((k, r))
+        for members in by_color.values():
+            members.sort()
+        # Deterministic carve: every member computes the identical allocation
+        # for every color (sorted), so no shared allocator is required.
+        # Each Split call advances this rank's local spare_used; calls are
+        # collective, so the cursor stays consistent across the group.
+        child_base = {}
+        cursor = lay.spare_base + self._spare_used
+        sizes = {c: len(m) for c, m in by_color.items()}
+        base_need = sum(group_block_bytes(n) for n in sizes.values())
+        available = lay.spare_bytes - self._spare_used
+        if base_need > available:
+            raise CommAbortError(
+                "shared segment spare arena exhausted by nested Split calls "
+                f"(need {base_need} bytes, {available} left)"
+            )
+        # Children share half the surplus (proportionally by ring footprint),
+        # keeping the other half for future Splits of THIS group.
+        surplus = (available - base_need) // 2
+        weight_total = sum(n * n for n in sizes.values()) or 1
+        for c in sorted(by_color):
+            n = sizes[c]
+            child_spare = _align8(surplus * n * n // weight_total)
+            block = group_block_bytes(n)
+            child_base[c] = (cursor, block, child_spare)
+            cursor += block + child_spare
+        self._spare_used = cursor - lay.spare_base
+        base, block, child_spare = child_base[color]
+        members = by_color[color]
+        new_rank = members.index((key, me))
+        if len(members) == 1:
+            from repro.comm.serial import SerialComm
+
+            return SerialComm()
+        child = _GroupLayout(
+            base=base, size=len(members), spare_base=base + block, spare_bytes=child_spare
+        )
+        sub = ShmComm(self._shm, child, new_rank)
+        sub.measured = self.measured  # one ledger per rank, like TraceComm.Split
+        return sub
+
+    # -- point to point ---------------------------------------------------
+
+    def _ring(self, src: int, dst: int) -> _Ring:
+        key = (src, dst)
+        ring = self._rings.get(key)
+        if ring is None:
+            ring = self._rings[key] = _Ring(self._buf, self._layout.ring_off(src, dst))
+        return ring
+
+    def _ring_write(self, ring: _Ring, data: bytes) -> None:
+        pos = 0
+        n = len(data)
+        while pos < n:
+            tail = int(ring.tail[0])
+            self._poll(
+                lambda: int(ring.tail[0]) - int(ring.head[0]) < RING_BYTES,
+                f"Send ring full ({n} byte frame)",
+            )
+            free = RING_BYTES - (tail - int(ring.head[0]))
+            start = tail % RING_BYTES
+            take = min(free, n - pos, RING_BYTES - start)
+            ring.data[start : start + take] = np.frombuffer(
+                data, np.uint8, count=take, offset=pos
+            )
+            ring.tail[0] = tail + take  # publish after the bytes land
+            pos += take
+
+    def _ring_read(self, ring: _Ring, n: int, what: str) -> bytes:
+        out = bytearray(n)
+        pos = 0
+        while pos < n:
+            self._poll(
+                lambda: int(ring.tail[0]) > int(ring.head[0]),
+                what,
+            )
+            head = int(ring.head[0])
+            avail = int(ring.tail[0]) - head
+            start = head % RING_BYTES
+            take = min(avail, n - pos, RING_BYTES - start)
+            out[pos : pos + take] = ring.data[start : start + take].tobytes()
+            ring.head[0] = head + take  # release ring space to the producer
+            pos += take
+        return bytes(out)
+
+    def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self._layout.size or dest == self._rank:
+            raise ValueError(f"invalid destination rank {dest}")
+        arr = np.ascontiguousarray(buf)
+        frame = pickle.dumps((tag, arr), protocol=5)
+        ring = self._ring(self._rank, dest)
+        self._check_abort()
+        self._ring_write(ring, len(frame).to_bytes(8, "little") + frame)
+        self.measured.record("send", arr.nbytes)
+
+    def Recv(self, buf: np.ndarray, source: int, tag: int = 0) -> None:
+        if not 0 <= source < self._layout.size or source == self._rank:
+            raise ValueError(f"invalid source rank {source}")
+        ring = self._ring(source, self._rank)
+        key = (source, tag)
+        while True:
+            stash = self._pending.get(key)
+            if stash:
+                msg = stash.pop(0)
+                break
+            what = f"Recv(source={source}, tag={tag})"
+            nframe = int.from_bytes(self._ring_read(ring, 8, what), "little")
+            got_tag, arr = pickle.loads(self._ring_read(ring, nframe, what))
+            if got_tag == tag:
+                msg = arr
+                break
+            self._pending.setdefault((source, got_tag), []).append(arr)
+        if msg.shape != buf.shape:
+            raise ValueError(f"Recv shape mismatch: got {msg.shape}, want {buf.shape}")
+        buf[...] = msg
+        self.measured.record("recv", msg.nbytes)
+
+    # -- collectives ------------------------------------------------------
+
+    def Barrier(self) -> None:
+        self._exchange(b"")
+        self.measured.record("barrier", 0)
+
+    def Allreduce(self, sendbuf: np.ndarray, op: ReduceOp = ReduceOp.SUM) -> np.ndarray:
+        arr = np.asarray(sendbuf)
+        gathered = self._exchange(pickle.dumps(arr, protocol=5))
+        # Rank-ordered reduction on every rank: bit-identical to ThreadComm.
+        acc = np.array(pickle.loads(gathered[0]), copy=True)
+        for r in range(1, self._layout.size):
+            acc = _reduce_pair(acc, pickle.loads(gathered[r]), op)
+        self.measured.record("allreduce", arr.nbytes)
+        return acc
+
+    def Bcast(self, buf: np.ndarray, root: int = 0) -> np.ndarray:
+        arr = np.asarray(buf)
+        mine = pickle.dumps(arr, protocol=5) if self._rank == root else b""
+        out = pickle.loads(self._exchange(mine)[root])
+        self.measured.record("bcast", out.nbytes)
+        if self._rank == root:
+            return buf
+        if arr.shape == out.shape:
+            arr[...] = out
+            return arr
+        return out
+
+    def Allgather(self, sendbuf: np.ndarray) -> list:
+        arr = np.asarray(sendbuf)
+        gathered = self._exchange(pickle.dumps(arr, protocol=5))
+        self.measured.record("allgather", arr.nbytes * self._layout.size)
+        return [pickle.loads(g) for g in gathered]
+
+    # -- pickled-object variants -------------------------------------------
+
+    def bcast(self, obj, root: int = 0):
+        mine = pickle.dumps(obj, protocol=5) if self._rank == root else b""
+        wire = self._exchange(mine)[root]
+        self.measured.record("bcast_obj", len(wire))
+        return pickle.loads(wire)
+
+    def allgather(self, obj) -> list:
+        gathered = self._exchange(pickle.dumps(obj, protocol=5))
+        self.measured.record("allgather_obj", sum(len(g) for g in gathered))
+        return [pickle.loads(g) for g in gathered]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach from the segment (unlink is the launcher's job)."""
+        # Drop every numpy view into the mapped buffer before closing it;
+        # SharedMemory.close() fails while exported views are alive.
+        self._abort_flag = self._abort_rank = None
+        self._ready = self._done = self._slot_len = self._slot_total = None
+        self._rings = {}
+        self._buf = None
+        try:
+            self._shm.close()
+        except BufferError:
+            pass

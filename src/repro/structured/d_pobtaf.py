@@ -12,9 +12,11 @@ blocks and eliminates its *interior*:
   compensates (Fig. 5).
 
 The remaining boundary blocks form a reduced BTA system of ``2P - 1``
-blocks (see :mod:`repro.structured.reduced_system`), which is allgathered
-and factorized redundantly on every rank with the sequential ``pobtaf`` —
-the same all-to-all pattern NCCL executes in the paper.
+blocks (see :mod:`repro.structured.reduced_system`), allgathered with the
+same all-to-all pattern NCCL executes in the paper and factorized ONCE
+per epoch via :func:`~repro.structured.reduced_system.factorize_reduced`
+(rank 0 sweeps, the factor is broadcast; ``REPRO_REDUCED=redundant``
+restores the legacy every-rank-factorizes scheme for A/B comparison).
 
 On the batched path (``REPRO_BATCHED=1``, the default) each interior
 elimination step fuses its two (or, with the fill column, three) TRSMs
@@ -40,8 +42,12 @@ from repro.structured.kernels import (
     right_solve_lower_t,
 )
 from repro.structured.partition import Partition, balanced_partitions
-from repro.structured.pobtaf import BTACholesky, pobtaf
-from repro.structured.reduced_system import BoundaryContribution, ReducedSystem
+from repro.structured.pobtaf import BTACholesky
+from repro.structured.reduced_system import (
+    BoundaryContribution,
+    ReducedSystem,
+    factorize_reduced,
+)
 
 
 @dataclass
@@ -109,8 +115,8 @@ class DistributedFactors:
     - ``lfill[k]``  — ``L[s_p, j_k]`` (fill column; partitions ``p >= 1`` only)
     - ``larrow[k]`` — ``L[tip, j_k]``
 
-    ``reduced`` is the (redundantly factorized) reduced boundary system and
-    ``reduced_chol`` its Cholesky factor.
+    ``reduced`` is the assembled reduced boundary system and
+    ``reduced_chol`` its (epoch-shared) Cholesky factor.
     """
 
     part: Partition
@@ -367,8 +373,9 @@ def d_pobtaf(
 
     Every rank passes its :class:`LocalBTASlice`; partition indices must
     equal communicator ranks.  Returns this rank's
-    :class:`DistributedFactors`, including the redundantly factorized
-    reduced system.
+    :class:`DistributedFactors`, including the reduced-system factor
+    (factorized once per epoch and broadcast — see
+    :func:`repro.structured.reduced_system.factorize_reduced`).
     """
     if sl.part.index != comm.Get_rank():
         raise ValueError(
@@ -388,7 +395,9 @@ def d_pobtaf(
     contributions = comm.allgather(contrib)
     contributions.sort(key=lambda c: c.part.index)
     reduced = ReducedSystem.assemble(contributions, tip_original=sl.tip)
-    reduced_chol = pobtaf(reduced.matrix, overwrite=True, batched=use_batched)
+    # One factorization per epoch (rank 0 sweeps, everyone gets the factor)
+    # instead of the historical P redundant per-rank sweeps.
+    reduced_chol = factorize_reduced(reduced, comm, batched=use_batched)
     return DistributedFactors(
         part=sl.part,
         ldiag=ldiag,

@@ -23,8 +23,8 @@ This module makes the factorization a first-class object:
 - :class:`DistributedBTAFactor` — the rank-partitioned handle returned by
   ``DistributedSolver.factorize``.  It retains every rank's
   :class:`~repro.structured.d_pobtaf.DistributedFactors` (interior factor
-  stacks, cached interior inverses, the redundantly factorized reduced
-  system) across SPMD epochs: each method launches one collective round
+  stacks, cached interior inverses, the shared reduced-system factor)
+  across SPMD epochs: each method launches one collective round
   against the stored factors instead of re-running ``d_pobtaf``.
 
 Results are bit-identical to the legacy one-shot calls (which are now
@@ -44,7 +44,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.backend.protocol import NUMPY_BACKEND, Backend
-from repro.comm import run_spmd
+
+# Pinned to the thread launcher on purpose: the closure-based rank
+# functions below capture (and mutate) handle state across epochs, which
+# only shared-memory threads can do.  The process backend has its own
+# entry point (ProcDistributedBTAFactor / d_factorize_proc) whose jobs
+# are module-level picklable and keep state in the worker_store.
+from repro.comm.local import run_spmd
 from repro.structured.bta import BTAMatrix, BTAShape
 from repro.structured.d_pobtaf import DistributedFactors, d_pobtaf, partition_matrix
 from repro.structured.d_pobtas import d_pobtas
@@ -68,8 +74,10 @@ from repro.structured.pobtasi import (
 __all__ = [
     "BTAFactor",
     "DistributedBTAFactor",
+    "ProcDistributedBTAFactor",
     "factorize",
     "d_factorize",
+    "d_factorize_proc",
 ]
 
 # Idle sweep workspaces cached per factor; buffers beyond this many are
@@ -442,6 +450,216 @@ class DistributedBTAFactor:
         return x
 
 
+# ---------------------------------------------------------------------------
+# Process-backed distributed handle
+# ---------------------------------------------------------------------------
+#
+# The closure-based DistributedBTAFactor above keeps every rank's factors in
+# the PARENT's memory and re-binds them each epoch — only threads can do
+# that.  The proc-backed handle below keeps each rank's DistributedFactors
+# resident in its OWN worker process (repro.comm.launcher.worker_store)
+# across epochs, shipping only RHS vectors and results.  The job functions
+# are module-level so they pickle under any start method.
+
+_STORE_KEY = "dbta_factors"
+
+
+def _proc_job_factorize(comm, slices, batched):
+    from repro.comm.launcher import worker_store
+
+    f = d_pobtaf(slices[comm.Get_rank()], comm, batched=batched)
+    worker_store()[_STORE_KEY] = f
+    return f.logdet(comm, batched=batched)
+
+
+def _proc_job_solve(comm, rhs, tip, batched):
+    from repro.comm.launcher import worker_store
+
+    f = worker_store()[_STORE_KEY]
+    b = f.b
+    return d_pobtas(f, rhs[f.part.start * b : f.part.stop * b], tip, comm, batched=batched)
+
+
+def _proc_job_solve_stack(comm, stack, tip, batched):
+    from repro.comm.launcher import worker_store
+
+    f = worker_store()[_STORE_KEY]
+    b = f.b
+    return d_pobtas_stack(
+        f, stack[:, f.part.start * b : f.part.stop * b], tip, comm, batched=batched
+    )
+
+
+def _proc_job_solve_lt_stack(comm, stack, tip, batched):
+    from repro.comm.launcher import worker_store
+
+    f = worker_store()[_STORE_KEY]
+    b = f.b
+    return d_pobtas_lt_stack(
+        f, stack[:, f.part.start * b : f.part.stop * b], tip, comm, batched=batched
+    )
+
+
+def _proc_job_selinv_diag(comm, batched):
+    from repro.comm.launcher import worker_store
+
+    return d_pobtasi_diag(worker_store()[_STORE_KEY], batched=batched)
+
+
+def _proc_job_solve_and_selinv(comm, rhs, tip, batched):
+    from repro.comm.launcher import worker_store
+
+    f = worker_store()[_STORE_KEY]
+    b = f.b
+    xl, xt = d_pobtas(f, rhs[f.part.start * b : f.part.stop * b], tip, comm, batched=batched)
+    var_local, var_tip = d_pobtasi_diag(f, batched=batched)
+    return xl, xt, var_local, var_tip
+
+
+class ProcDistributedBTAFactor:
+    """Distributed factorization handle over persistent worker *processes*.
+
+    Same epoch-reuse contract as :class:`DistributedBTAFactor` — one
+    ``d_pobtaf`` collective, then every logdet/solve/selected-inverse/
+    sampling call reuses the stored factors — but the ranks are OS
+    processes holding their factor slices in their own address space
+    (via :func:`repro.comm.launcher.worker_store`), talking through a
+    :class:`~repro.comm.shm.ShmComm` shared-memory segment.  Built by
+    :func:`d_factorize_proc`; close (or use as a context manager) to
+    release the workers and the segment.
+    """
+
+    def __init__(
+        self,
+        A: BTAMatrix,
+        P: int,
+        *,
+        lb: float = 1.6,
+        batched: bool | None = None,
+        start_method: str | None = None,
+    ):
+        from repro.comm.launcher import SpmdSession
+
+        if P < 1:
+            raise ValueError(f"P must be >= 1, got {P}")
+        self.shape3 = A.shape3
+        self.batched = batched
+        slices = partition_matrix(A, P, lb=lb)
+        self._bounds = [(sl.part.start, sl.part.stop) for sl in slices]
+        self._selinv_diag: np.ndarray | None = None
+        self._session = SpmdSession(P, start_method=start_method)
+        try:
+            self._logdet = self._run(_proc_job_factorize, slices, batched)[0]
+        except BaseException:
+            self._session.close()
+            raise
+
+    def _run(self, job, *args) -> list:
+        try:
+            return self._session.run(job, *args)
+        except RuntimeError as exc:
+            cause = exc.__cause__
+            while cause is not None:
+                if isinstance(cause, NotPositiveDefiniteError):
+                    raise NotPositiveDefiniteError(str(cause)) from exc
+                cause = cause.__cause__
+            raise
+
+    @property
+    def P(self) -> int:
+        return len(self._bounds)
+
+    @property
+    def n(self) -> int:
+        return self.shape3.n
+
+    @property
+    def b(self) -> int:
+        return self.shape3.b
+
+    @property
+    def a(self) -> int:
+        return self.shape3.a
+
+    @property
+    def N(self) -> int:
+        return self.shape3.N
+
+    def logdet(self) -> float:
+        return self._logdet
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        rhs = np.asarray(rhs, dtype=np.float64)
+        out = self._run(_proc_job_solve, rhs, rhs[self.n * self.b :], self.batched)
+        return np.concatenate([o[0] for o in out] + [out[0][1]])
+
+    def solve_stack(self, rhs_stack: np.ndarray) -> np.ndarray:
+        stack, squeeze = as_rhs_stack(rhs_stack, self.N)
+        out = self._run(
+            _proc_job_solve_stack, stack, stack[:, self.n * self.b :], self.batched
+        )
+        x = np.concatenate([o[0] for o in out] + [out[0][1]], axis=1)
+        return x[0] if squeeze else x
+
+    def solve_lt_stack(self, rhs_stack: np.ndarray) -> np.ndarray:
+        stack, squeeze = as_rhs_stack(rhs_stack, self.N)
+        out = self._run(
+            _proc_job_solve_lt_stack, stack, stack[:, self.n * self.b :], self.batched
+        )
+        x = np.concatenate([o[0] for o in out] + [out[0][1]], axis=1)
+        return x[0] if squeeze else x
+
+    def selected_inverse_diagonal(self) -> np.ndarray:
+        if self._selinv_diag is None:
+            out = self._run(_proc_job_selinv_diag, self.batched)
+            self._selinv_diag = np.concatenate([o[0] for o in out] + [out[0][1]])
+        return self._selinv_diag.copy()
+
+    def solve_and_selected_inverse_diagonal(self, rhs: np.ndarray) -> tuple:
+        rhs = np.asarray(rhs, dtype=np.float64)
+        out = self._run(_proc_job_solve_and_selinv, rhs, rhs[self.n * self.b :], self.batched)
+        x = np.concatenate([o[0] for o in out] + [out[0][1]])
+        var = np.concatenate([o[2] for o in out] + [out[0][3]])
+        if self._selinv_diag is None:
+            self._selinv_diag = var.copy()
+        return x, var
+
+    def sample(self, k: int, rng: np.random.Generator, *, mean: np.ndarray | None = None):
+        if k < 1:
+            raise ValueError(f"need k >= 1 samples, got {k}")
+        z = rng.standard_normal((k, self.N))
+        x = self.solve_lt_stack(z)
+        if mean is not None:
+            x += np.asarray(mean, dtype=np.float64)[None, :]
+        return x
+
+    def close(self) -> None:
+        self._session.close()
+
+    def __enter__(self) -> "ProcDistributedBTAFactor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def d_factorize_proc(
+    A: BTAMatrix,
+    P: int,
+    *,
+    lb: float = 1.6,
+    batched: bool | None = None,
+    start_method: str | None = None,
+) -> ProcDistributedBTAFactor:
+    """Distributed factorization over ``P`` worker *processes*.
+
+    The factorization epoch runs immediately; the returned handle keeps
+    the workers (and their resident factor slices) alive for later
+    solve/selected-inverse/sampling epochs.  Close the handle when done.
+    """
+    return ProcDistributedBTAFactor(A, P, lb=lb, batched=batched, start_method=start_method)
+
+
 def factorize(
     A: BTAMatrix, *, overwrite: bool = False, batched: bool | None = None
 ) -> BTAFactor:
@@ -460,7 +678,7 @@ def d_factorize(
     """Distributed factorization over ``P`` SPMD ranks, returning the handle.
 
     One collective ``d_pobtaf`` epoch; the per-rank factors (and the
-    redundantly factorized reduced system) persist on the handle for
+    shared reduced-system factor) persist on the handle for
     every later solve / selected-inversion / sampling round.  The global
     log-determinant is computed in the same epoch — it costs one scalar
     Allreduce against the already-synchronized ranks — and cached.

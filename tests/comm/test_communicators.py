@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.comm import ReduceOp, SerialComm, run_spmd
+from repro.comm.local import run_spmd as run_spmd_threads
 from repro.comm.stats import CommStats, TraceComm
 
 
@@ -209,7 +210,7 @@ class TestTraceComm:
             tc.Barrier()
             return None
 
-        run_spmd(2, fn)
+        run_spmd_threads(2, fn)
         assert stats.counts["allreduce"] == 2  # one record per rank
         assert stats.bytes["allreduce"] == 2 * 64
         assert stats.counts["barrier"] == 2
@@ -231,7 +232,7 @@ class TestTraceComm:
             sub.Allreduce(np.zeros(4))
             return None
 
-        run_spmd(2, fn)
+        run_spmd_threads(2, fn)
         assert stats.counts["allreduce"] == 2
 
 
@@ -277,7 +278,7 @@ class TestPayloadByteAccounting:
             d_pobtaf(slices[comm.Get_rank()], TraceComm(comm, stats))
             return None
 
-        run_spmd(2, fn)
+        run_spmd_threads(2, fn)
         # Each contribution carries at least the bottom diag block (b*b
         # doubles) and the tip delta (a*a doubles), gathered across 2 ranks.
         assert stats.bytes["allgather_obj"] >= 2 * 2 * (3 * 3 + 2 * 2) * 8
@@ -290,6 +291,6 @@ class TestPayloadByteAccounting:
             tc.allgather(1.25)
             return None
 
-        run_spmd(2, fn)
+        run_spmd_threads(2, fn)
         # Per rank: one 8-byte float gathered from each of the 2 ranks.
         assert stats.bytes["allgather_obj"] == 2 * 2 * 8

@@ -1,0 +1,137 @@
+"""Timeout + group-abort semantics shared by all SPMD backends.
+
+Before this layer existed a mismatched ``Recv`` tag hung the tier-1
+suite forever; now every blocking wait carries the ``REPRO_COMM_TIMEOUT``
+deadline and failures abort the whole group tree.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.comm import run_spmd
+from repro.comm.local import run_spmd as run_spmd_threads
+from repro.comm.errors import (
+    DEFAULT_COMM_TIMEOUT,
+    CommAbortError,
+    CommTimeoutError,
+    comm_timeout,
+)
+
+
+class TestTimeoutPolicy:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COMM_TIMEOUT", raising=False)
+        assert comm_timeout() == DEFAULT_COMM_TIMEOUT
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMM_TIMEOUT", "3.5")
+        assert comm_timeout() == 3.5
+
+    def test_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMM_TIMEOUT", "3.5")
+        assert comm_timeout(0.25) == 0.25
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            comm_timeout(0.0)
+        with pytest.raises(ValueError):
+            comm_timeout(-1.0)
+
+
+class TestThreadCommTimeouts:
+    def test_mismatched_tag_times_out(self, monkeypatch):
+        """A Recv on a tag nobody sends must raise, not hang the suite."""
+        monkeypatch.setenv("REPRO_COMM_TIMEOUT", "0.3")
+
+        def fn(comm):
+            if comm.Get_rank() == 0:
+                comm.Send(np.array([1.0]), dest=1, tag=7)
+            else:
+                buf = np.empty(1)
+                comm.Recv(buf, source=0, tag=99)  # nobody sends tag 99
+
+        with pytest.raises(RuntimeError, match="rank 1") as info:
+            run_spmd(2, fn)
+        assert isinstance(info.value.__cause__, CommTimeoutError)
+        assert "tag=99" in str(info.value.__cause__)
+
+    def test_barrier_timeout(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMM_TIMEOUT", "0.3")
+
+        def fn(comm):
+            if comm.Get_rank() == 0:
+                comm.Barrier()  # rank 1 never arrives
+            # rank 1 returns immediately
+
+        with pytest.raises(RuntimeError, match="rank 0") as info:
+            run_spmd(2, fn)
+        assert isinstance(info.value.__cause__, CommTimeoutError)
+
+    def test_peer_failure_aborts_blocked_recv(self, monkeypatch):
+        """A raising rank must unblock a peer stuck in Recv well before the
+        Recv deadline — the abort path, not the timeout path."""
+        monkeypatch.setenv("REPRO_COMM_TIMEOUT", "30")
+        released = threading.Event()
+
+        def fn(comm):
+            if comm.Get_rank() == 0:
+                raise ValueError("boom")
+            try:
+                comm.Recv(np.empty(1), source=0)
+            finally:
+                released.set()
+
+        # Thread backend pinned: the test observes a shared threading.Event.
+        with pytest.raises(RuntimeError, match="rank 0") as info:
+            run_spmd_threads(2, fn)
+        assert isinstance(info.value.__cause__, ValueError)
+        assert released.wait(timeout=5.0)
+
+    def test_primary_error_preferred_over_abort(self, monkeypatch):
+        """run_spmd must surface the causing ValueError from rank 2, not the
+        secondary CommAbortError raised by the lower-numbered waiting ranks."""
+        monkeypatch.setenv("REPRO_COMM_TIMEOUT", "30")
+
+        def fn(comm):
+            if comm.Get_rank() == 2:
+                raise ValueError("the real cause")
+            comm.Barrier()
+
+        with pytest.raises(RuntimeError, match="rank 2") as info:
+            run_spmd(3, fn)
+        assert isinstance(info.value.__cause__, ValueError)
+
+    def test_abort_reaches_subgroup_collectives(self, monkeypatch):
+        """A failure in the world group must cascade into Split subgroups."""
+        monkeypatch.setenv("REPRO_COMM_TIMEOUT", "30")
+        caught: dict = {}
+
+        def fn(comm):
+            try:
+                sub = comm.Split(color=comm.Get_rank() // 2)
+                if comm.Get_rank() == 3:
+                    raise ValueError("boom")
+                # Ranks 0,1 rendezvous normally; rank 2's partner (rank 3)
+                # died, so only the cascaded abort can release this wait.
+                sub.Barrier()
+            except CommAbortError as exc:
+                caught[comm.Get_rank()] = exc.failed_rank
+                raise
+
+        # Thread backend pinned: the test inspects a shared dict.
+        with pytest.raises(RuntimeError, match="rank 3"):
+            run_spmd_threads(4, fn)
+        assert caught.get(2) == 3
+        assert all(rank == 3 for rank in caught.values())
+
+
+class TestAbortErrorShape:
+    def test_failed_rank_attribute(self):
+        err = CommAbortError("aborted", failed_rank=5)
+        assert err.failed_rank == 5
+        assert isinstance(err, RuntimeError)
+
+    def test_timeout_is_runtime_error(self):
+        assert issubclass(CommTimeoutError, RuntimeError)

@@ -1,0 +1,275 @@
+"""Process-backend (ShmComm) semantics, failure handling, and launcher.
+
+Rank functions are module-level so they stay picklable under the
+``spawn`` start method; under the default ``fork`` method closures would
+also work, but these tests ARE the spawn-safety coverage.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    CommAbortError,
+    CommStats,
+    ReduceOp,
+    SpmdSession,
+    TraceComm,
+    run_spmd,
+    worker_store,
+)
+from repro.comm.errors import CommTimeoutError
+from repro.comm.shm import RING_BYTES, SLOT_BYTES, group_block_bytes, segment_bytes
+
+
+def _seeded_allreduce(comm):
+    rng = np.random.default_rng(comm.Get_rank())
+    return comm.Allreduce(rng.standard_normal(16))
+
+
+def _collective_tour(comm):
+    r, s = comm.Get_rank(), comm.Get_size()
+    out = {}
+    out["allreduce"] = comm.Allreduce(np.full(3, float(r)))
+    out["max"] = comm.Allreduce(np.array([float(r)]), ReduceOp.MAX)[0]
+    out["bcast"] = comm.Bcast(np.full(4, float(r)), root=1)
+    out["allgather"] = [float(a[0]) for a in comm.Allgather(np.array([r * 1.0]))]
+    out["obj"] = comm.allgather({"rank": r})
+    out["bcast_obj"] = comm.bcast("payload" if r == 0 else None, root=0)
+    comm.Barrier()
+    return out
+
+
+def _ring_exchange(comm):
+    r, s = comm.Get_rank(), comm.Get_size()
+    buf = np.empty(2)
+    comm.Sendrecv(np.array([r, r + 0.5]), dest=(r + 1) % s, recvbuf=buf, source=(r - 1) % s)
+    return buf[0]
+
+
+def _tag_reorder(comm):
+    if comm.Get_rank() == 0:
+        comm.Send(np.array([1.0]), dest=1, tag=7)
+        comm.Send(np.array([2.0]), dest=1, tag=9)
+        return None
+    b9, b7 = np.empty(1), np.empty(1)
+    comm.Recv(b9, source=0, tag=9)
+    comm.Recv(b7, source=0, tag=7)
+    return b7[0], b9[0]
+
+
+def _chunked_allreduce(comm):
+    n = (2 * SLOT_BYTES) // 8 + 11  # payload spans three collective sub-rounds
+    return comm.Allreduce(np.full(n, 1.0 + comm.Get_rank()))
+
+
+def _oversized_send(comm):
+    n = (3 * RING_BYTES) // 8  # frame streams through the ring several times
+    if comm.Get_rank() == 0:
+        comm.Send(np.arange(n, dtype=float), dest=1)
+        return None
+    buf = np.empty(n)
+    comm.Recv(buf, source=0)
+    return float(buf[0]), float(buf[-1])
+
+
+def _split_tour(comm):
+    sub = comm.Split(color=comm.Get_rank() % 2, key=comm.Get_rank())
+    return sub.Get_size(), sub.Get_rank(), sub.allreduce_scalar(1.0)
+
+
+def _mismatched_tag(comm):
+    if comm.Get_rank() == 0:
+        comm.Send(np.array([1.0]), dest=1, tag=7)
+    else:
+        comm.Recv(np.empty(1), source=0, tag=99)
+
+
+def _suicide(comm):
+    if comm.Get_rank() == 1:
+        os.kill(os.getpid(), signal.SIGKILL)
+    comm.Barrier()
+    return comm.Get_rank()
+
+
+def _raise_on_rank(comm, rank):
+    if comm.Get_rank() == rank:
+        raise ValueError("boom from the worker")
+    comm.Barrier()
+
+
+def _measured_vs_modeled(comm):
+    stats = CommStats()
+    traced = TraceComm(comm, stats)
+    traced.Allreduce(np.zeros(64))
+    traced.Bcast(np.zeros(32), root=0)
+    for arr in traced.Allgather(np.zeros(16)):
+        assert arr.shape == (16,)
+    traced.Barrier()
+    if comm.Get_rank() == 0:
+        traced.Send(np.zeros(8), dest=1)
+    elif comm.Get_rank() == 1:
+        traced.Recv(np.empty(8), source=0)
+    return stats.counts, stats.bytes, comm.measured.counts, comm.measured.bytes
+
+
+def _store_put(comm, value):
+    worker_store()["kept"] = value * (comm.Get_rank() + 1)
+    return comm.allreduce_scalar(float(value))
+
+
+def _store_get(comm):
+    return worker_store()["kept"]
+
+
+def _rank_of(comm):
+    return comm.Get_rank()
+
+
+class TestShmCollectives:
+    def test_matches_thread_backend_bitwise(self):
+        proc = run_spmd(4, _seeded_allreduce, backend="proc")
+        thr = run_spmd(4, _seeded_allreduce, backend="threads")
+        for p, t in zip(proc, thr):
+            assert np.array_equal(p, t)  # bit-identical across backends
+
+    @pytest.mark.parametrize("nranks", [2, 4])
+    def test_collective_tour(self, nranks):
+        out = run_spmd(nranks, _collective_tour, backend="proc")
+        total = sum(range(nranks))
+        for r, o in enumerate(out):
+            assert np.array_equal(o["allreduce"], np.full(3, float(total)))
+            assert o["max"] == nranks - 1
+            assert np.array_equal(o["bcast"], np.full(4, 1.0))
+            assert o["allgather"] == [float(i) for i in range(nranks)]
+            assert o["obj"] == [{"rank": i} for i in range(nranks)]
+            assert o["bcast_obj"] == "payload"
+
+    def test_payload_larger_than_slot_chunks(self):
+        out = run_spmd(3, _chunked_allreduce, backend="proc")
+        expect = 1.0 + 2.0 + 3.0
+        for o in out:
+            assert o.shape[0] > 2 * SLOT_BYTES // 8
+            assert np.all(o == expect)
+
+    def test_split_subgroups(self):
+        out = run_spmd(4, _split_tour, backend="proc")
+        assert out[0] == (2, 0, 2.0)
+        assert out[1] == (2, 0, 2.0)
+        assert out[2] == (2, 1, 2.0)
+        assert out[3] == (2, 1, 2.0)
+
+
+class TestShmPointToPoint:
+    def test_ring_exchange(self):
+        assert run_spmd(4, _ring_exchange, backend="proc") == [3.0, 0.0, 1.0, 2.0]
+
+    def test_tagged_messages_do_not_mix(self):
+        assert run_spmd(2, _tag_reorder, backend="proc")[1] == (1.0, 2.0)
+
+    def test_message_larger_than_ring_streams(self):
+        out = run_spmd(2, _oversized_send, backend="proc")
+        assert out[1] == (0.0, float(3 * RING_BYTES // 8 - 1))
+
+
+class TestShmFailures:
+    def test_killed_worker_raises_diagnosed_abort(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMM_TIMEOUT", "10")
+        with pytest.raises(CommAbortError) as info:
+            run_spmd(3, _suicide, backend="proc")
+        assert info.value.failed_rank == 1
+        assert "rank 1" in str(info.value)
+
+    def test_worker_exception_carries_remote_traceback(self):
+        with pytest.raises(RuntimeError, match="rank 2") as info:
+            run_spmd(3, _raise_on_rank, 2, backend="proc")
+        assert isinstance(info.value.__cause__, ValueError)
+        assert "remote traceback" in str(info.value)
+        assert "boom from the worker" in str(info.value)
+
+    def test_mismatched_tag_times_out(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMM_TIMEOUT", "0.5")
+        with pytest.raises(RuntimeError, match="rank 1") as info:
+            run_spmd(2, _mismatched_tag, backend="proc")
+        assert isinstance(info.value.__cause__, CommTimeoutError)
+        assert "tag=99" in str(info.value.__cause__)
+
+
+class TestMeasuredVsModeled:
+    def test_tracecomm_modeled_matches_shm_measured(self):
+        """Satellite cross-check: the modeled byte counts TraceComm records
+        must equal the wire bytes ShmComm actually moved, kind for kind,
+        for every ndarray operation (object ops add pickle framing, so
+        measured >= modeled there)."""
+        out = run_spmd(2, _measured_vs_modeled, backend="proc")
+        for modeled_counts, modeled_bytes, measured_counts, measured_bytes in out:
+            array_kinds = {
+                k: v
+                for k, v in modeled_bytes.items()
+                if k in ("send", "recv", "allreduce", "bcast", "allgather", "barrier")
+            }
+            assert array_kinds == {
+                k: measured_bytes.get(k, 0) for k in array_kinds
+            } and all(
+                modeled_counts[k] == measured_counts.get(k, 0) for k in array_kinds
+            )
+
+
+class TestSpmdSession:
+    def test_epoch_reuse_via_worker_store(self):
+        with SpmdSession(3) as s:
+            first = s.run(_store_put, 5.0)
+            again = s.run(_store_get)
+            third = s.run(_store_get)
+        assert first == [15.0] * 3
+        assert again == third == [5.0, 10.0, 15.0]
+
+    def test_failure_poisons_session(self):
+        with SpmdSession(2) as s:
+            with pytest.raises(RuntimeError, match="rank 0"):
+                s.run(_raise_on_rank, 0)
+            with pytest.raises(RuntimeError, match="poisoned"):
+                s.run(_rank_of)
+
+    def test_close_is_idempotent(self):
+        s = SpmdSession(2)
+        assert s.run(_rank_of) == [0, 1]
+        s.close()
+        s.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            s.run(_rank_of)
+
+
+class TestSpawnSafety:
+    def test_module_level_fn_under_spawn(self):
+        # spawn re-imports this module in the child; ~1 s startup is the cost
+        # of proving the subsystem never depends on fork's memory inheritance.
+        out = run_spmd(2, _rank_of, backend="proc", start_method="spawn")
+        assert out == [0, 1]
+
+
+class TestSegmentSizing:
+    def test_block_grows_quadratically_with_ranks(self):
+        assert group_block_bytes(4) > group_block_bytes(2)
+        assert segment_bytes(2) == 64 + 5 * group_block_bytes(2)
+
+    def test_single_rank_runs_inline(self):
+        # No segment, no processes: nranks=1 is always SerialComm.
+        assert run_spmd(1, _rank_of, backend="proc") == [0]
+
+
+class TestMpiAdapter:
+    def test_import_is_guarded(self):
+        from repro.comm import mpi
+
+        if not mpi.HAVE_MPI:
+            with pytest.raises(RuntimeError, match="mpi4py"):
+                mpi.MpiComm()
+            with pytest.raises(RuntimeError, match="mpi4py"):
+                mpi.run_spmd_mpi(2, _rank_of)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown SPMD backend"):
+            run_spmd(2, _rank_of, backend="nccl")

@@ -206,14 +206,14 @@ class TestFactorizationCount:
         assert FACTORIZATIONS.count == c0 + 3
 
     def test_distributed_handle_amortizes(self):
-        """After d_factorize (P reduced-system pobtafs — one per rank),
-        no handle method factorizes again."""
+        """After d_factorize (ONE shared reduced-system pobtaf per epoch,
+        see factorize_reduced), no handle method factorizes again."""
         A, _, rng = _case(n=12, b=3, a=2)
         rhs = rng.standard_normal(A.N)
         P = 3
         c0 = FACTORIZATIONS.count
         df = d_factorize(A.copy(), P)
-        assert FACTORIZATIONS.count == c0 + P
+        assert FACTORIZATIONS.count == c0 + 1
         df.logdet()
         df.solve(rhs)
         df.solve_stack(rng.standard_normal((4, A.N)))
@@ -221,7 +221,7 @@ class TestFactorizationCount:
         df.selected_inverse_diagonal()
         df.solve_and_selected_inverse_diagonal(rhs)
         df.sample(2, rng)
-        assert FACTORIZATIONS.count == c0 + P
+        assert FACTORIZATIONS.count == c0 + 1
 
 
 class TestDistributedHandle:

@@ -1,0 +1,162 @@
+"""Reduced-system factorization: shared (once per epoch) vs redundant.
+
+The ``2P-1``-block separator system used to be factorized by EVERY rank;
+``factorize_reduced`` runs one sweep on rank 0 and broadcasts the factor.
+These tests pin (a) bit-identity between the two schemes at P=2,4,8 on
+both ``REPRO_BATCHED`` settings, (b) the ``FACTORIZATIONS`` sweep count
+dropping from P per epoch to 1, and (c) full-pipeline agreement with the
+sequential solver under the shared scheme.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.local import run_spmd as run_spmd_threads
+from repro.structured.bta import BTAMatrix, BTAShape
+from repro.structured.d_pobtaf import d_pobtaf, partition_matrix
+from repro.structured.d_pobtas import d_pobtas
+from repro.structured.pobtaf import FACTORIZATIONS, pobtaf
+from repro.structured.pobtas import pobtas
+from repro.structured.reduced_system import factorize_reduced, reduced_mode
+
+
+def _case(n, b, a, seed=0):
+    rng = np.random.default_rng(seed)
+    return BTAMatrix.random_spd(BTAShape(n=n, b=b, a=a), rng)
+
+
+def _factor_bits(chol):
+    f = chol.factor
+    return f.diag.copy(), f.lower.copy(), f.arrow.copy(), f.tip.copy()
+
+
+def _run_epoch(A, P, batched):
+    """One d_pobtaf epoch under the ambient REPRO_REDUCED setting."""
+    slices = partition_matrix(A, P, lb=1.6)
+
+    def rank_fn(comm):
+        sl = slices[comm.Get_rank()]
+        f = d_pobtaf(sl, comm, batched=batched)
+        return _factor_bits(f.reduced_chol), f.logdet(comm, batched=batched)
+
+    return run_spmd_threads(P, rank_fn)
+
+
+class TestModeValidation:
+    def test_default_is_shared(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REDUCED", raising=False)
+        assert reduced_mode() == "shared"
+
+    def test_env_selects(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REDUCED", "redundant")
+        assert reduced_mode() == "redundant"
+        assert reduced_mode("shared") == "shared"  # argument wins
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown reduced-system mode"):
+            reduced_mode("batched-ish")
+
+
+class TestSharedVsRedundantBitIdentity:
+    @pytest.mark.parametrize("P", [2, 4, 8])
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_factor_bits_identical(self, P, batched, monkeypatch):
+        A = _case(2 * P + 3, 3, 2)
+        out = {}
+        for mode in ("shared", "redundant"):
+            monkeypatch.setenv("REPRO_REDUCED", mode)
+            out[mode] = _run_epoch(A, P, batched)
+        for (bits_s, ld_s), (bits_r, ld_r) in zip(out["shared"], out["redundant"]):
+            for arr_s, arr_r in zip(bits_s, bits_r):
+                assert np.array_equal(arr_s, arr_r)  # bitwise, not approx
+            assert ld_s == ld_r
+
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_all_ranks_hold_identical_factor(self, batched, monkeypatch):
+        monkeypatch.setenv("REPRO_REDUCED", "shared")
+        A = _case(11, 3, 2)
+        out = _run_epoch(A, 4, batched)
+        bits0 = out[0][0]
+        for bits, _ in out[1:]:
+            for arr, arr0 in zip(bits, bits0):
+                assert np.array_equal(arr, arr0)
+
+
+class TestFactorizationCount:
+    @pytest.mark.parametrize("P", [2, 4, 8])
+    def test_shared_runs_one_reduced_sweep_per_epoch(self, P, monkeypatch):
+        """Counter assertion that per-rank redundancy is gone: an epoch is
+        P interior eliminations (not counted: they never call pobtaf) plus
+        exactly ONE reduced-system sweep — historically it was P."""
+        monkeypatch.setenv("REPRO_REDUCED", "shared")
+        A = _case(2 * P + 3, 3, 2)
+        slices = partition_matrix(A, P, lb=1.6)
+
+        def rank_fn(comm):
+            return d_pobtaf(slices[comm.Get_rank()], comm).positions
+
+        before = FACTORIZATIONS.count
+        run_spmd_threads(P, rank_fn)
+        assert FACTORIZATIONS.count - before == 1
+
+    @pytest.mark.parametrize("P", [2, 4, 8])
+    def test_redundant_runs_p_sweeps(self, P, monkeypatch):
+        monkeypatch.setenv("REPRO_REDUCED", "redundant")
+        A = _case(2 * P + 3, 3, 2)
+        slices = partition_matrix(A, P, lb=1.6)
+
+        def rank_fn(comm):
+            return d_pobtaf(slices[comm.Get_rank()], comm).positions
+
+        before = FACTORIZATIONS.count
+        run_spmd_threads(P, rank_fn)
+        assert FACTORIZATIONS.count - before == P
+
+    def test_explicit_mode_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REDUCED", "redundant")
+        A = _case(9, 3, 2)
+        slices = partition_matrix(A, 3, lb=1.6)
+
+        def rank_fn(comm):
+            sl = slices[comm.Get_rank()]
+            f = d_pobtaf(sl, comm)  # env: redundant
+            chol = factorize_reduced(f.reduced, comm, mode="shared")
+            return _factor_bits(chol)
+
+        before = FACTORIZATIONS.count
+        out = run_spmd_threads(3, rank_fn)
+        # 3 redundant sweeps inside d_pobtaf + 1 shared re-factorization.
+        # (The shared sweep factorizes rank 0's already-factorized copy in
+        # place a second time, so only the sweep COUNT is asserted here.)
+        assert FACTORIZATIONS.count - before == 4
+        assert len(out) == 3
+
+
+class TestSharedPipelineCorrectness:
+    @pytest.mark.parametrize("P", [2, 4])
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_solve_matches_sequential(self, P, batched, monkeypatch):
+        monkeypatch.setenv("REPRO_REDUCED", "shared")
+        A = _case(11, 3, 2)
+        rng = np.random.default_rng(7)
+        rhs = rng.standard_normal(A.n * A.b + A.a)
+        ref_ld = pobtaf(A, batched=batched).logdet(batched=batched)
+        x_ref = pobtas(pobtaf(A, batched=batched), rhs, batched=batched)
+        slices = partition_matrix(A, P, lb=1.6)
+        b, n = A.b, A.n
+
+        def rank_fn(comm):
+            sl = slices[comm.Get_rank()]
+            f = d_pobtaf(sl, comm, batched=batched)
+            ld = f.logdet(comm, batched=batched)
+            xl, xt = d_pobtas(
+                f, rhs[sl.part.start * b : sl.part.stop * b], rhs[n * b :], comm
+            )
+            return ld, xl, xt
+
+        out = run_spmd_threads(P, rank_fn)
+        x_parts = [xl for _, xl, _ in out]
+        x = np.concatenate(x_parts + [out[0][2]])
+        assert np.allclose(x, x_ref, atol=1e-10)
+        for ld, _, _ in out:
+            assert np.isclose(ld, ref_ld)

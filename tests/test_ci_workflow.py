@@ -196,6 +196,19 @@ class TestWorkflowSemantics:
         assert any("bench_backend_transfers" in r for r in runs)
         assert any("bench_serving" in r for r in runs)
 
+    def test_proc_backend_job(self):
+        """The comm/structured suites must also run over real worker
+        processes (REPRO_COMM=proc), with a short collective timeout so a
+        hung rank fails the job loudly, plus the paired backend smoke
+        gate of ``benchmarks/bench_comm_backends.py``."""
+        doc = _load_workflow()
+        job = doc["jobs"]["proc-backend"]
+        assert job["env"]["REPRO_COMM"] == "proc"
+        assert 0 < float(job["env"]["REPRO_COMM_TIMEOUT"]) <= 120
+        runs = [s["run"] for s in job["steps"] if "run" in s]
+        assert any("tests/comm" in r and "tests/structured" in r for r in runs)
+        assert any("bench_comm_backends" in r for r in runs)
+
     def test_pip_cache_enabled(self):
         """Every python setup caches pip (keyed on pyproject.toml)."""
         doc = _load_workflow()
