@@ -11,18 +11,33 @@
 - :mod:`repro.inla.hessian` — finite-difference Hessian at the mode;
 - :mod:`repro.inla.marginals` — posterior marginals of hyperparameters
   and of the latent field (selected inversion);
+- :mod:`repro.inla.nongaussian` — general likelihoods via the batched
+  Laplace (inner Newton) approximation;
+- :mod:`repro.inla.scenarios` — scenario grids sharing batched sweeps
+  across model x likelihood cells;
 - :mod:`repro.inla.dalia` — the :class:`DALIA` front-end tying it all
   together.
 """
 
 from repro.inla.objective import FobjResult, evaluate_fobj
 from repro.inla.solvers import DistributedSolver, SequentialSolver, StructuredSolver, select_solver
-from repro.inla.evaluator import FobjEvaluator
+from repro.inla.evaluator import FobjEvaluator, NonGaussianFobjEvaluator
 from repro.inla.bfgs import BFGSOptions, BFGSResult, bfgs_minimize
 from repro.inla.hessian import fd_hessian
 from repro.inla.marginals import HyperMarginals, LatentMarginals
 from repro.inla.dalia import DALIA, INLAResult
+from repro.inla.nongaussian import (
+    BinomialLikelihood,
+    GaussianApproximation,
+    GaussianObs,
+    PoissonLikelihood,
+    evaluate_fobj_nongaussian,
+    evaluate_fobj_nongaussian_batch,
+    gaussian_approximation,
+    gaussian_approximation_batch,
+)
 from repro.inla.sampling import LatentPosterior
+from repro.inla.scenarios import Scenario, ScenarioResult, evaluate_scenario_grid
 from repro.inla.smart_gradient import SmartGradient
 
 __all__ = [
@@ -30,6 +45,18 @@ __all__ = [
     "SmartGradient",
     "FobjResult",
     "evaluate_fobj",
+    "BinomialLikelihood",
+    "GaussianApproximation",
+    "GaussianObs",
+    "PoissonLikelihood",
+    "evaluate_fobj_nongaussian",
+    "evaluate_fobj_nongaussian_batch",
+    "gaussian_approximation",
+    "gaussian_approximation_batch",
+    "NonGaussianFobjEvaluator",
+    "Scenario",
+    "ScenarioResult",
+    "evaluate_scenario_grid",
     "StructuredSolver",
     "SequentialSolver",
     "DistributedSolver",

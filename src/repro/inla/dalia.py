@@ -13,9 +13,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.inla.bfgs import BFGSOptions, BFGSResult, bfgs_minimize
-from repro.inla.evaluator import FobjEvaluator
+from repro.inla.evaluator import FobjEvaluator, NonGaussianFobjEvaluator
 from repro.inla.hessian import fd_hessian, hyperparameter_precision
 from repro.inla.marginals import HyperMarginals, LatentMarginals
+from repro.inla.nongaussian import gaussian_approximation
 from repro.inla.sampling import LatentPosterior
 from repro.inla.solvers import StructuredSolver, select_solver
 from repro.model.assembler import CoregionalSTModel
@@ -78,6 +79,16 @@ class DALIA:
         factorization entirely (None auto-sizes to two gradient
         stencils; the mode's retained ``Qc`` handle additionally feeds
         the latent posterior).
+    likelihood:
+        Optional non-Gaussian observation likelihood (e.g.
+        :class:`repro.inla.nongaussian.PoissonLikelihood`).  When set,
+        ``fobj`` evaluations run the batched Laplace-approximation inner
+        loop (:class:`repro.inla.evaluator.NonGaussianFobjEvaluator`)
+        and the latent posterior is the Gaussian approximation at the
+        Newton mode ``x*(theta)`` rather than the exact conditional.
+        Only the sequential in-process solver path supports this;
+        combining ``likelihood`` with an explicit distributed ``solver``
+        raises.
     """
 
     def __init__(
@@ -89,22 +100,39 @@ class DALIA:
         s2_parallel: bool = False,
         batch_stencils: bool | None = None,
         cache_size: int | None = None,
+        likelihood=None,
     ):
         self.model = model
         shape = model.permutation.bta_shape
+        self.likelihood = likelihood
+        if likelihood is not None and solver is not None:
+            raise ValueError(
+                "non-Gaussian likelihoods run on the sequential in-process "
+                "path; do not pass an explicit solver"
+            )
         self.solver = solver or select_solver(shape, workload="objective")
         self.marginal_solver = solver or select_solver(shape, workload="marginals")
         #: Factorization handle of Qc at the mode (set by fit(); shared by
         #: the latent marginals and posterior sampling).
         self._mode_posterior: LatentPosterior | None = None
-        self.evaluator = FobjEvaluator(
-            model,
-            solver=self.solver,
-            s1_workers=min(s1_workers, model.layout.n_feval),
-            s2_parallel=s2_parallel,
-            batch_stencils=batch_stencils,
-            cache_size=cache_size,
-        )
+        if likelihood is not None:
+            self.evaluator = NonGaussianFobjEvaluator(
+                model,
+                likelihood,
+                s1_workers=min(s1_workers, model.layout.n_feval),
+                s2_parallel=s2_parallel,
+                batch_stencils=batch_stencils,
+                cache_size=cache_size,
+            )
+        else:
+            self.evaluator = FobjEvaluator(
+                model,
+                solver=self.solver,
+                s1_workers=min(s1_workers, model.layout.n_feval),
+                s2_parallel=s2_parallel,
+                batch_stencils=batch_stencils,
+                cache_size=cache_size,
+            )
 
     def default_start(self) -> np.ndarray:
         """Starting point: moderate ranges/unit scales (reference theta)."""
@@ -139,9 +167,14 @@ class DALIA:
             # any later joint sampling: the handle is cached on the
             # engine, and when the optimizer's last line-search handle is
             # still on the LRU even that factorization is skipped.
-            self._mode_posterior = LatentPosterior.at(
-                self.model, opt.theta, solver=self.marginal_solver, factor=mode_factor
-            )
+            if self.likelihood is not None:
+                self._mode_posterior = self._nongaussian_posterior(
+                    opt.theta, factor=mode_factor
+                )
+            else:
+                self._mode_posterior = LatentPosterior.at(
+                    self.model, opt.theta, solver=self.marginal_solver, factor=mode_factor
+                )
             latent = self._mode_posterior.marginals()
 
         corr = None
@@ -174,10 +207,44 @@ class DALIA:
             return cached
         if theta is None:
             raise ValueError("no cached mode posterior; pass the INLAResult")
-        self._mode_posterior = LatentPosterior.at(
-            self.model, theta, solver=self.marginal_solver
-        )
+        if self.likelihood is not None:
+            self._mode_posterior = self._nongaussian_posterior(theta)
+        else:
+            self._mode_posterior = LatentPosterior.at(
+                self.model, theta, solver=self.marginal_solver
+            )
         return self._mode_posterior
+
+    def _nongaussian_posterior(self, theta, *, factor=None) -> LatentPosterior:
+        """Gaussian approximation at the Newton mode ``x*(theta)``.
+
+        ``LatentPosterior.at`` solves the *Gaussian* information vector
+        ``Qc mu = rhs``, which is wrong under a non-Gaussian likelihood —
+        the conditional mean is the inner-loop Newton mode.  Pair the
+        evaluator's retained ``Qc(x*)`` handle with its warm-started mode
+        when both survived the LRU; otherwise rerun the (warm-started)
+        inner loop once.
+        """
+        theta = np.asarray(theta, dtype=np.float64)
+        key = self.evaluator._key(theta)
+        x0 = self.evaluator._warm_starts.get(key)
+        if factor is None:
+            factor = self.evaluator.cached_factor(theta)
+        if factor is None or x0 is None:
+            approx = gaussian_approximation(
+                self.model,
+                theta,
+                self.likelihood,
+                max_newton=self.evaluator.max_newton,
+                x0_perm=x0,
+            )
+            factor = approx.qc_perm_bta
+            mu_perm = self.model.permutation.permute_vector(approx.x_mode)
+        else:
+            mu_perm = np.array(x0, dtype=np.float64)
+        return LatentPosterior(
+            model=self.model, theta=theta, factor=factor, mu_perm=mu_perm
+        )
 
     def predict_st(
         self,

@@ -215,6 +215,11 @@ class SymbolicAssembly:
         )
         self._vec_perm = model.permutation.perm.perm
 
+        # -- non-Gaussian curvature plan (built lazily on first use) ---------
+        self._A_csr = sp.csr_matrix(model.A)
+        self._align_c_obj = align_c
+        self._curvature: CurvaturePlan | None = None
+
         # -- theta -> scalar coefficients ------------------------------------
         self._layout = model.layout
         self._spde = model.spde
@@ -404,6 +409,112 @@ class SymbolicAssembly:
         """Permuted sparse prior from an already-permuted data row."""
         indptr, indices, shape = self._qp_csr_pattern
         return sp.csr_matrix((data_row, indices, indptr), shape=shape)
+
+    def curvature(self) -> "CurvaturePlan":
+        """The symbolic ``A^T D A`` plan for non-Gaussian Newton loops.
+
+        Built on first use (Gaussian-only models never pay for it) and
+        cached — the pattern work is per-model, the Newton hot loop only
+        runs the plan's value passes.
+        """
+        if self._curvature is None:
+            self._curvature = CurvaturePlan(self)
+        return self._curvature
+
+
+class CurvaturePlan:
+    """Symbolic plan for the non-Gaussian curvature term ``A^T D A``.
+
+    The inner Newton loop of the Laplace approximation re-linearizes the
+    likelihood at every iterate: ``Qc(eta) = Qp + A^T D(eta) A`` with
+    ``D`` the *diagonal* negative log-likelihood Hessian.  The pattern of
+    ``A^T D A`` never depends on ``D`` — every stored pair
+    ``(A[i, r], A[i, c])`` of one observation row contributes
+    ``A[i, r] A[i, c] d_i`` to entry ``(r, c)`` — so everything
+    index-shaped is resolved once here at plan construction:
+
+    - the pair coefficients ``A[i, r] A[i, c]``, their observation
+      gathers, and the slot-sorted ``reduceat`` segment bounds over the
+      exact pair-union pattern,
+    - that pattern's slots mapped into the aligned conditional pattern
+      (composing with the prior -> conditional map ``_p2c``),
+    - ``A^T`` in CSR form for the Newton right-hand side, fused with the
+      time-major vector permutation.
+
+    Per Newton step only diagonal values flow: one gather, one multiply,
+    one segmented sum, one fancy-indexed scatter per theta row — zero
+    scipy-sparse operations, and every operation is row-independent, so
+    a ``t = 1`` lane is bit-identical to the same lane inside any batch.
+    """
+
+    def __init__(self, plan: SymbolicAssembly):
+        A = canonical_csr(plan._A_csr)
+        self._AT = A.T.tocsr()
+        self._vec_perm = plan._vec_perm
+        self._p2c = plan._p2c
+        self.nnz_c = plan.nnz_c
+        indptr, indices, data = A.indptr, A.indices, A.data
+        rows_l, cols_l, coef_l, obs_l = [], [], [], []
+        for i in range(A.shape[0]):
+            lo, hi = indptr[i], indptr[i + 1]
+            if hi == lo:
+                continue
+            c = indices[lo:hi]
+            v = data[lo:hi]
+            q = hi - lo
+            rows_l.append(np.repeat(c, q))
+            cols_l.append(np.tile(c, q))
+            coef_l.append((v[:, None] * v[None, :]).ravel())
+            obs_l.append(np.full(q * q, i, dtype=np.int64))
+        rows = np.concatenate(rows_l)
+        cols = np.concatenate(cols_l)
+        coef = np.concatenate(coef_l)
+        obs = np.concatenate(obs_l)
+        # The pair union *is* the curvature pattern (built from the pairs
+        # themselves, so structural cancellation in any derived product
+        # can never shrink it under us).
+        N = A.shape[1]
+        union = _pattern_of(
+            sp.csr_matrix((np.ones(rows.size), (rows, cols)), shape=(N, N))
+        )
+        slots = PatternAligner(union).slots_of(rows, cols)
+        order = np.argsort(slots, kind="stable")
+        slots = slots[order]
+        self._coef = np.ascontiguousarray(coef[order])
+        self._obs = np.ascontiguousarray(obs[order])
+        self._starts = np.flatnonzero(np.r_[True, slots[1:] != slots[:-1]])
+        union_to_c = plan._align_c_obj.slots_for(union)
+        self._seg_slots_c = np.ascontiguousarray(union_to_c[slots[self._starts]])
+        self.n_pairs = int(rows.size)
+
+    def conditional_values(
+        self, qp_values: np.ndarray, d_stack: np.ndarray, *, backend: Backend | None = None
+    ) -> np.ndarray:
+        """Aligned conditional data stack ``Qc = Qp + A^T D A``.
+
+        ``qp_values`` is a ``(t, nnz_p)`` aligned prior stack, ``d_stack``
+        the ``(t, m)`` diagonal curvature rows.  One gather + segmented
+        sum per row; the segment scatter targets are disjoint, so the
+        fancy ``+=`` is exact.
+        """
+        be = backend if backend is not None else NUMPY_BACKEND
+        qc = be.zeros((qp_values.shape[0], self.nnz_c))
+        qc[:, self._p2c] = qp_values
+        contrib = self._coef * d_stack[:, self._obs]
+        qc[:, self._seg_slots_c] += np.add.reduceat(contrib, self._starts, axis=1)
+        return qc
+
+    def newton_rhs(
+        self, d_stack: np.ndarray, eta_stack: np.ndarray, grad_stack: np.ndarray
+    ) -> np.ndarray:
+        """Permuted Newton right-hand sides ``A^T (D eta + grad)``, ``(t, N)``.
+
+        One fixed-pattern SpMM (per-column CSR matvecs — lane-independent)
+        plus the fused time-major gather.
+        """
+        w = d_stack * eta_stack + grad_stack
+        rhs_var = np.ascontiguousarray((self._AT @ w.T).T)
+        return rhs_var[..., self._vec_perm]
 
 
 class AssemblyWorkspace:

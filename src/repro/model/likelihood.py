@@ -1,17 +1,60 @@
-"""Gaussian observation model.
+"""Observation models: the Gaussian likelihood and the vectorized protocol.
 
 For Gaussian likelihoods the Laplace approximation ``pG`` of paper Eq. 3
 is *exact*: the negative Hessian ``D`` of the log-likelihood is the
 constant diagonal ``tau I`` and the INLA objective needs no inner
 optimization.  This is also what decouples ``Qp`` from ``Qc`` and enables
 the S2 parallel factorization (paper Sec. III-A).
+
+General (non-Gaussian) likelihoods instead implement
+:class:`VectorizedLikelihood` and run the batched Newton inner loop in
+:mod:`repro.inla.nongaussian`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 import numpy as np
+
+
+@runtime_checkable
+class VectorizedLikelihood(Protocol):
+    """Observation likelihood protocol for the batched Laplace inner loop.
+
+    Implementations (:class:`repro.inla.nongaussian.PoissonLikelihood`,
+    :class:`~repro.inla.nongaussian.BinomialLikelihood`,
+    :class:`~repro.inla.nongaussian.GaussianObs`) expose the three
+    quantities the Newton iteration needs — log-density, gradient and
+    negative Hessian diagonal in the linear predictor ``eta = A x`` —
+    over ``(t, m)`` stacks of predictors so one call serves every active
+    theta lane of a stencil sweep.  The scalar methods are the ``t = 1``
+    views and must agree bit-for-bit with row 0 of the stack forms.
+    """
+
+    @property
+    def m(self) -> int:
+        """Number of observations."""
+        ...
+
+    def logpdf_stack(self, etas: np.ndarray) -> np.ndarray:
+        """``(t,)`` log-likelihood values for a ``(t, m)`` predictor stack."""
+        ...
+
+    def gradient_stack(self, etas: np.ndarray) -> np.ndarray:
+        """``(t, m)`` gradients ``d log l / d eta``."""
+        ...
+
+    def neg_hessian_diag_stack(self, etas: np.ndarray) -> np.ndarray:
+        """``(t, m)`` curvatures ``-d^2 log l / d eta^2`` (``D(eta)``)."""
+        ...
+
+    def logpdf(self, eta: np.ndarray) -> float: ...
+
+    def gradient(self, eta: np.ndarray) -> np.ndarray: ...
+
+    def neg_hessian_diag(self, eta: np.ndarray) -> np.ndarray: ...
 
 
 @dataclass(frozen=True)

@@ -203,13 +203,19 @@ class ExceedanceResult:
 Request = PredictRequest | SampleRequest | ExceedanceRequest
 
 
-def _sweep_grouped(factor, stacks: list, sweep) -> list:
+def _sweep_grouped(factor, stacks: list, sweep, lanes_fn=None) -> list:
     """Run per-request ``(k_i, N)`` stacks through ``sweep`` with
     composition-invariant bits; returns the solved stacks in order.
 
-    ``sweep`` is ``factor.solve_stack`` or ``factor.solve_lt_stack``.
+    ``sweep`` is ``factor.solve_stack`` or ``factor.solve_lt_stack``;
+    ``lanes_fn`` optionally the matching ``solve_stack_lanes`` sibling.
     Lane mechanics per the module docstring: solo exact-width sweeps for
     wide stacks, shared zero-padded fixed-width lanes for narrow ones.
+    When ``lanes_fn`` is given, every job of the group — the solo wide
+    stacks AND the padded narrow chunks, each at the exact width it would
+    run solo — goes through ONE lanes call, so a distributed factor pays
+    a single collective round for the whole group instead of one per job
+    (the bits are unchanged: the lanes contract is per-lane identity).
     """
     if not stacks:
         return []
@@ -227,18 +233,26 @@ def _sweep_grouped(factor, stacks: list, sweep) -> list:
     lanes = sweep_lanes()
     out = [None] * len(stacks)
     narrow = [i for i, k in enumerate(ks) if k < lanes]
-    for i, s in enumerate(stacks):
-        if ks[i] >= lanes:
-            out[i] = sweep(s)
+    wide = [i for i, k in enumerate(ks) if k >= lanes]
+    jobs = [stacks[i] for i in wide]
+    chunked = []  # padded fixed-width chunks carrying the narrow rows
     if narrow:
         rows = np.concatenate([stacks[i] for i in narrow], axis=0)
         total = rows.shape[0]
         n_lanes = -(-total // lanes)
         padded = np.zeros((n_lanes * lanes, rows.shape[1]))
         padded[:total] = rows
-        chunks = [sweep(padded[j * lanes : (j + 1) * lanes]) for j in range(n_lanes)]
+        chunked = [padded[j * lanes : (j + 1) * lanes] for j in range(n_lanes)]
+    if lanes_fn is not None and len(jobs) + len(chunked) > 1:
+        solved_jobs = lanes_fn(jobs + chunked)
+    else:
+        solved_jobs = [sweep(s) for s in jobs + chunked]
+    for pos, i in enumerate(wide):
+        out[i] = solved_jobs[pos]
+    if narrow:
+        chunks = solved_jobs[len(wide) :]
         xp = backend.xp
-        solved = (chunks[0] if n_lanes == 1 else xp.concatenate(chunks, axis=0))[:total]
+        solved = (chunks[0] if len(chunks) == 1 else xp.concatenate(chunks, axis=0))[:total]
         off = 0
         for i in narrow:
             out[i] = solved[off : off + ks[i]]
@@ -304,8 +318,28 @@ def execute_batch(posterior, requests: list) -> list:
                 lt_stacks.append(z)
                 lt_owner.append(i)
 
-    solved_rhs = dict(zip(solve_owner, _sweep_grouped(factor, solve_stacks, factor.solve_stack)))
-    solved_z = dict(zip(lt_owner, _sweep_grouped(factor, lt_stacks, factor.solve_lt_stack)))
+    solved_rhs = dict(
+        zip(
+            solve_owner,
+            _sweep_grouped(
+                factor,
+                solve_stacks,
+                factor.solve_stack,
+                getattr(factor, "solve_stack_lanes", None),
+            ),
+        )
+    )
+    solved_z = dict(
+        zip(
+            lt_owner,
+            _sweep_grouped(
+                factor,
+                lt_stacks,
+                factor.solve_lt_stack,
+                getattr(factor, "solve_lt_stack_lanes", None),
+            ),
+        )
+    )
 
     # -- scatter per-request epilogues -------------------------------------
     results: list = [None] * len(requests)

@@ -186,25 +186,21 @@ def d_pobtas(
     return x_local, x_tip
 
 
-def _gather_reduced_rhs(
-    factors: DistributedFactors, rb: np.ndarray, rt: np.ndarray, comm: Communicator
-) -> np.ndarray:
-    """Allgather the per-rank boundary entries into the reduced RHS.
-
-    ``rb`` is this rank's ``(nl, b, k)`` right-hand-side panels (boundary
-    slots carry the boundary entries) and ``rt`` the ``(a, k)`` tip RHS
-    (identical on every rank).  One collective per call, whatever ``k``.
-    """
-    b, a = factors.b, factors.a
+def _boundary_panels(factors: DistributedFactors, rb: np.ndarray) -> np.ndarray:
+    """This rank's boundary rows of ``rb`` (the Allgather payload)."""
     pos_top, pos_bottom = factors.positions
     if pos_top is None or pos_top == pos_bottom:
-        mine = rb[-1]
-    else:
-        mine = np.concatenate([rb[0], rb[-1]], axis=0)
-    gathered = comm.Allgather(np.ascontiguousarray(mine))
+        return rb[-1]
+    return np.concatenate([rb[0], rb[-1]], axis=0)
 
+
+def _reduced_from_gathered(
+    factors: DistributedFactors, gathered: list, rt: np.ndarray, k: int
+) -> np.ndarray:
+    """Scatter gathered boundary pieces into the ``(mr b + a, k)`` reduced RHS."""
+    b, a = factors.b, factors.a
     mr = factors.reduced.m
-    r_red = np.zeros((mr * b + a, rb.shape[-1]))
+    r_red = np.zeros((mr * b + a, k))
     for p, piece in enumerate(gathered):
         top, bottom = factors.reduced.positions[p]
         if top is None or top == bottom:
@@ -215,6 +211,19 @@ def _gather_reduced_rhs(
     if a:
         r_red[mr * b :] = rt
     return r_red
+
+
+def _gather_reduced_rhs(
+    factors: DistributedFactors, rb: np.ndarray, rt: np.ndarray, comm: Communicator
+) -> np.ndarray:
+    """Allgather the per-rank boundary entries into the reduced RHS.
+
+    ``rb`` is this rank's ``(nl, b, k)`` right-hand-side panels (boundary
+    slots carry the boundary entries) and ``rt`` the ``(a, k)`` tip RHS
+    (identical on every rank).  One collective per call, whatever ``k``.
+    """
+    gathered = comm.Allgather(np.ascontiguousarray(_boundary_panels(factors, rb)))
+    return _reduced_from_gathered(factors, gathered, rt, rb.shape[-1])
 
 
 def _scatter_reduced_solution(
@@ -296,3 +305,146 @@ def d_pobtas_lt(
     if squeeze:
         return x_local[:, 0], x_tip[:, 0]
     return x_local, x_tip
+
+
+def _lane_views(rhs_local: np.ndarray, rhs_tip: np.ndarray, widths, nl_b: int, a: int):
+    """Split column-concatenated lanes back into per-lane contiguous copies.
+
+    Each lane is copied out at its *own* width: the GEMM panel shapes —
+    and therefore the floating-point bits — of every per-lane sweep then
+    match the standalone :func:`d_pobtas` call on that lane exactly,
+    which is the lanes contract the tests assert.
+    """
+    rhs_local = np.asarray(rhs_local, dtype=np.float64)
+    rhs_tip = np.asarray(rhs_tip, dtype=np.float64)
+    widths = [int(w) for w in widths]
+    K = sum(widths)
+    if rhs_local.shape != (nl_b, K):
+        raise ValueError(f"rhs_local must be ({nl_b}, {K}), got {rhs_local.shape}")
+    if rhs_tip.shape != (a, K):
+        raise ValueError(f"rhs_tip must be ({a}, {K}), got {rhs_tip.shape}")
+    locs, tips, off = [], [], 0
+    for w in widths:
+        locs.append(np.array(rhs_local[:, off : off + w], order="C", copy=True))
+        tips.append(np.array(rhs_tip[:, off : off + w], order="C", copy=True))
+        off += w
+    return locs, tips, widths, K
+
+
+def d_pobtas_lanes(
+    factors: DistributedFactors,
+    rhs_local: np.ndarray,
+    rhs_tip: np.ndarray,
+    comm: Communicator,
+    widths,
+    *,
+    batched: bool | None = None,
+) -> tuple:
+    """Multi-lane distributed solve: one collective round for many stacks.
+
+    ``rhs_local`` is the column concatenation of several independent
+    right-hand-side stacks ("lanes") of widths ``widths`` — this rank's
+    slices — and ``rhs_tip`` the matching ``(a, sum(widths))`` tip block.
+    Each lane's interior sweeps and reduced-system solve run at the
+    lane's *exact* width (bit-identical to a standalone :func:`d_pobtas`
+    per lane: the collectives are element-wise/concatenating, so a
+    column's bits never depend on its neighbors), but the tip-delta
+    ``Allreduce`` and the boundary ``Allgather`` each fire ONCE for the
+    whole lane set instead of once per lane — the k-collectives-to-one
+    batching of the serving sweep groups.
+
+    Returns ``(x_local, x_tip)`` in the same column-concatenated layout.
+    """
+    part, b, a = factors.part, factors.b, factors.a
+    nl = part.n_blocks
+    m = factors.n_interior
+    use_batched = batched_enabled(batched)
+    locs, tips, widths, K = _lane_views(rhs_local, rhs_tip, widths, nl * b, a)
+
+    # ---- forward: per-lane interior elimination (local, exact widths) ---
+    rbs, tip_deltas = [], []
+    for r in locs:
+        rb = r.reshape(nl, b, -1)
+        tip_delta = np.zeros((a, rb.shape[-1]))
+        if use_batched:
+            _forward_batched(factors, rb, tip_delta, a, m)
+        else:
+            _forward_blocked(factors, rb, tip_delta, a, m)
+        rbs.append(rb)
+        tip_deltas.append(tip_delta)
+
+    # ---- ONE Allreduce for every lane's tip delta -----------------------
+    tip_all = comm.Allreduce(np.ascontiguousarray(np.concatenate(tip_deltas, axis=1)))
+    rts = []
+    off = 0
+    for rt, w in zip(tips, widths):
+        rts.append(rt + tip_all[:, off : off + w] if a else np.zeros((0, w)))
+        off += w
+
+    # ---- ONE Allgather for every lane's boundary panels -----------------
+    mine = np.concatenate([_boundary_panels(factors, rb) for rb in rbs], axis=1)
+    gathered = comm.Allgather(np.ascontiguousarray(mine))
+
+    # ---- per-lane reduced solve + backward sweep (local, exact widths) --
+    xls, xts = [], []
+    off = 0
+    for rb, rt, w in zip(rbs, rts, widths):
+        piece = [np.array(g[:, off : off + w], order="C", copy=True) for g in gathered]
+        r_red = _reduced_from_gathered(factors, piece, rt, w)
+        x_red = pobtas(factors.reduced_chol, r_red, batched=use_batched)
+        x = rb
+        x_tip = _scatter_reduced_solution(factors, x, x_red)
+        if use_batched:
+            _backward_batched(factors, x, x_tip, a, m)
+        else:
+            _backward_blocked(factors, x, x_tip, a, m)
+        xls.append(x.reshape(nl * b, w))
+        xts.append(x_tip)
+        off += w
+    return np.concatenate(xls, axis=1), np.concatenate(xts, axis=1)
+
+
+def d_pobtas_lt_lanes(
+    factors: DistributedFactors,
+    rhs_local: np.ndarray,
+    rhs_tip: np.ndarray,
+    comm: Communicator,
+    widths,
+    *,
+    batched: bool | None = None,
+) -> tuple:
+    """Multi-lane backward-only distributed solve (one Allgather total).
+
+    The ``L^T`` sibling of :func:`d_pobtas_lanes` — no forward sweep, no
+    Allreduce; the single boundary ``Allgather`` carries every lane.
+    Per-lane math at exact widths, bit-identical to standalone
+    :func:`d_pobtas_lt` calls.
+    """
+    part, b, a = factors.part, factors.b, factors.a
+    nl = part.n_blocks
+    m = factors.n_interior
+    use_batched = batched_enabled(batched)
+    locs, tips, widths, K = _lane_views(rhs_local, rhs_tip, widths, nl * b, a)
+
+    rbs = [r.reshape(nl, b, -1) for r in locs]
+    rts = [rt if a else np.zeros((0, w)) for rt, w in zip(tips, widths)]
+
+    mine = np.concatenate([_boundary_panels(factors, rb) for rb in rbs], axis=1)
+    gathered = comm.Allgather(np.ascontiguousarray(mine))
+
+    xls, xts = [], []
+    off = 0
+    for rb, rt, w in zip(rbs, rts, widths):
+        piece = [np.array(g[:, off : off + w], order="C", copy=True) for g in gathered]
+        r_red = _reduced_from_gathered(factors, piece, rt, w)
+        x_red = pobtas_lt(factors.reduced_chol, r_red, batched=use_batched)
+        x = rb
+        x_tip = _scatter_reduced_solution(factors, x, x_red)
+        if use_batched:
+            _backward_batched(factors, x, x_tip, a, m)
+        else:
+            _backward_blocked(factors, x, x_tip, a, m)
+        xls.append(x.reshape(nl * b, w))
+        xts.append(x_tip)
+        off += w
+    return np.concatenate(xls, axis=1), np.concatenate(xts, axis=1)

@@ -59,7 +59,9 @@ from repro.structured.kernels import NotPositiveDefiniteError
 from repro.structured.multirhs import (
     as_rhs_stack,
     d_pobtas_lt_stack,
+    d_pobtas_lt_stack_lanes,
     d_pobtas_stack,
+    d_pobtas_stack_lanes,
     pobtas_lt_stack,
     pobtas_stack,
 )
@@ -241,6 +243,20 @@ class BTAFactor:
         with self._pool.lease(k) as ws:
             return pobtas_lt_stack(self.chol, rhs_stack, batched=self.batched, workspace=ws)
 
+    def solve_stack_lanes(self, stacks: list) -> list:
+        """Solve several independent ``(k_i, N)`` stacks, in lane order.
+
+        The sequential handle has no collectives to batch, so lanes are
+        simply looped — the method exists so sweep-group consumers can
+        target one API on every factor type (the distributed handles
+        collapse the per-lane collective rounds into one).
+        """
+        return [self.solve_stack(s) for s in stacks]
+
+    def solve_lt_stack_lanes(self, stacks: list) -> list:
+        """Backward-only lane solves (see :meth:`solve_stack_lanes`)."""
+        return [self.solve_lt_stack(s) for s in stacks]
+
     def selected_inverse(self) -> BTAMatrix:
         """Selected entries of ``A^{-1}`` (full BTA block pattern)."""
         return pobtasi(self.chol, batched=self.batched)
@@ -404,6 +420,38 @@ class DistributedBTAFactor:
         x = np.concatenate([o[0] for o in out] + [out[0][1]], axis=1)
         return x[0] if squeeze else x
 
+    def _solve_lanes(self, stacks: list, lanes_fn) -> list:
+        """Shared driver for the multi-lane solves: one SPMD epoch, one
+        collective round, per-lane results reassembled in lane order."""
+        norm = [as_rhs_stack(s, self.N)[0] for s in stacks]
+        tips = [s[:, self.n * self.b :] for s in norm]
+
+        def rank_fn(comm):
+            f = self._rank_factors(comm)
+            b = self.b
+            locs = [s[:, f.part.start * b : f.part.stop * b] for s in norm]
+            return lanes_fn(f, locs, tips, comm, batched=self.batched)
+
+        out = _run_spmd_spd(self.P, rank_fn)
+        return [
+            np.concatenate([o[i][0] for o in out] + [out[0][i][1]], axis=1)
+            for i in range(len(stacks))
+        ]
+
+    def solve_stack_lanes(self, stacks: list) -> list:
+        """Solve several ``(k_i, N)`` stacks with ONE collective round.
+
+        All lanes share a single Allreduce + Allgather
+        (:func:`repro.structured.multirhs.d_pobtas_stack_lanes`); each
+        lane's sweeps run at its exact width, so the per-lane results are
+        bit-identical to separate :meth:`solve_stack` calls.
+        """
+        return self._solve_lanes(stacks, d_pobtas_stack_lanes)
+
+    def solve_lt_stack_lanes(self, stacks: list) -> list:
+        """Backward-only lane solves, one Allgather round for the lot."""
+        return self._solve_lanes(stacks, d_pobtas_lt_stack_lanes)
+
     def selected_inverse_diagonal(self) -> np.ndarray:
         """Diagonal of ``A^{-1}`` (communication-free per rank; cached).
 
@@ -498,6 +546,24 @@ def _proc_job_solve_lt_stack(comm, stack, tip, batched):
     return d_pobtas_lt_stack(
         f, stack[:, f.part.start * b : f.part.stop * b], tip, comm, batched=batched
     )
+
+
+def _proc_job_solve_stack_lanes(comm, stacks, tips, batched):
+    from repro.comm.launcher import worker_store
+
+    f = worker_store()[_STORE_KEY]
+    b = f.b
+    locs = [s[:, f.part.start * b : f.part.stop * b] for s in stacks]
+    return d_pobtas_stack_lanes(f, locs, tips, comm, batched=batched)
+
+
+def _proc_job_solve_lt_stack_lanes(comm, stacks, tips, batched):
+    from repro.comm.launcher import worker_store
+
+    f = worker_store()[_STORE_KEY]
+    b = f.b
+    locs = [s[:, f.part.start * b : f.part.stop * b] for s in stacks]
+    return d_pobtas_lt_stack_lanes(f, locs, tips, comm, batched=batched)
 
 
 def _proc_job_selinv_diag(comm, batched):
@@ -608,6 +674,28 @@ class ProcDistributedBTAFactor:
         )
         x = np.concatenate([o[0] for o in out] + [out[0][1]], axis=1)
         return x[0] if squeeze else x
+
+    def _solve_lanes(self, stacks: list, job) -> list:
+        norm = [as_rhs_stack(s, self.N)[0] for s in stacks]
+        tips = [s[:, self.n * self.b :] for s in norm]
+        out = self._run(job, norm, tips, self.batched)
+        return [
+            np.concatenate([o[i][0] for o in out] + [out[0][i][1]], axis=1)
+            for i in range(len(stacks))
+        ]
+
+    def solve_stack_lanes(self, stacks: list) -> list:
+        """Multi-lane solve: one worker epoch, one collective round.
+
+        Bit-identical per lane to :meth:`solve_stack` — and to the
+        thread-backed :class:`DistributedBTAFactor` lanes (the collectives
+        reduce in rank order on both transports).
+        """
+        return self._solve_lanes(stacks, _proc_job_solve_stack_lanes)
+
+    def solve_lt_stack_lanes(self, stacks: list) -> list:
+        """Backward-only multi-lane solve (see :meth:`solve_stack_lanes`)."""
+        return self._solve_lanes(stacks, _proc_job_solve_lt_stack_lanes)
 
     def selected_inverse_diagonal(self) -> np.ndarray:
         if self._selinv_diag is None:

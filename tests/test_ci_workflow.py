@@ -192,6 +192,7 @@ class TestWorkflowSemantics:
         assert any("bench_multirhs" in r for r in runs)
         assert any("bench_factor_reuse" in r for r in runs)
         assert any("bench_multitheta" in r for r in runs)
+        assert any("bench_nongaussian" in r for r in runs)
         assert any("bench_assembly" in r for r in runs)
         assert any("bench_backend_transfers" in r for r in runs)
         assert any("bench_serving" in r for r in runs)
