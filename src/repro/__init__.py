@@ -24,9 +24,11 @@ directly — deep module paths stay available but are not needed):
 See README.md for a quickstart and DESIGN.md for the full system map.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-from repro import serving
+from repro import errors, faults, serving
+from repro.errors import ReproError, is_transient
+from repro.faults import FaultPlan, FaultSpec
 from repro.inla.dalia import DALIA, INLAResult
 from repro.inla.sampling import LatentPosterior
 from repro.inla.solvers import (
@@ -77,5 +79,12 @@ __all__ = [
     "SequentialSolver",
     "DistributedSolver",
     "select_solver",
+    # resilience: unified errors + deterministic fault injection
+    "errors",
+    "faults",
+    "ReproError",
+    "is_transient",
+    "FaultPlan",
+    "FaultSpec",
     "__version__",
 ]

@@ -14,11 +14,11 @@ from dataclasses import dataclass, field
 
 from repro.backend.device import Device
 
+# Re-homed into the unified hierarchy (repro.errors); this module stays
+# the historical import path.
+from repro.errors import MemoryBudgetError  # noqa: F401 - re-exported API
+
 _F64 = 8  # bytes per float64
-
-
-class MemoryBudgetError(RuntimeError):
-    """Raised when an allocation plan exceeds the device memory budget."""
 
 
 def bta_memory_bytes(n: int, b: int, a: int, *, factors: float = 2) -> int:

@@ -22,21 +22,17 @@ from __future__ import annotations
 
 import os
 
+# Re-homed into the unified hierarchy (repro.errors); this module stays
+# the historical import path and keeps the timeout policy.
+from repro.errors import (  # noqa: F401 - re-exported API
+    CommAbortError,
+    CommError,
+    CommTimeoutError,
+    SpmdRetryExhaustedError,
+)
+
 #: Default per-operation timeout (seconds) when ``REPRO_COMM_TIMEOUT`` is unset.
 DEFAULT_COMM_TIMEOUT = 120.0
-
-
-class CommTimeoutError(RuntimeError):
-    """A blocking communication operation exceeded its timeout."""
-
-
-class CommAbortError(RuntimeError):
-    """The communicator group was aborted (peer failure or teardown)."""
-
-    def __init__(self, message: str, *, failed_rank: int | None = None):
-        super().__init__(message)
-        #: Rank whose failure triggered the abort, when known.
-        self.failed_rank = failed_rank
 
 
 def comm_timeout(override: float | None = None) -> float:

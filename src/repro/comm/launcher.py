@@ -28,12 +28,32 @@ parent; a worker that *dies* (killed, segfault) is detected by the
 parent's liveness poll, which aborts the segment on its behalf and
 raises a :class:`CommAbortError` naming the dead rank and exit code —
 never a hang.  The creator unlinks the segment in a ``finally``.
+
+Self-healing (ISSUE 10): a :class:`SpmdSession` run that fails at the
+*communication* level — a killed worker, an aborted collective, a comm
+timeout, an injected transient fault — no longer poisons the session
+permanently.  The session tears the segment down, respawns all workers,
+replays every warm-up epoch recorded via ``run(..., warmup=True)`` (so
+``worker_store`` state is rebuilt), and retries the failed epoch, up to
+``REPRO_SPMD_RETRIES`` times.  Only when the budget is exhausted does it
+raise — a :class:`~repro.errors.SpmdRetryExhaustedError` carrying the
+full per-attempt failure ``history``.  *Application* errors (a genuine
+exception from the SPMD function, e.g. a non-SPD matrix) propagate
+immediately without retry; they still mark the session for respawn so
+the next ``run`` starts from a clean segment.
+
+Deterministic chaos hooks (see :mod:`repro.faults`): each worker checks
+``spmd.worker.bootstrap.r<rank>`` at startup (indexed by spawn
+generation) and ``spmd.worker.kill.r<rank>`` before each job (indexed by
+dispatch sequence), dying via ``os._exit`` when the plan fires — the
+indices are parent-side counters, so schedules hold across respawns.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import pickle
 import secrets
 import time
 import traceback
@@ -42,13 +62,28 @@ from typing import Callable
 
 import numpy as np
 
-from repro.comm.errors import CommAbortError, comm_timeout
+from repro import faults
+from repro.comm.errors import (
+    CommAbortError,
+    CommError,
+    SpmdRetryExhaustedError,
+    comm_timeout,
+)
 from repro.comm.shm import ShmComm, segment_bytes
+from repro.errors import is_transient
 
 #: Module-level per-worker state, preserved across SpmdSession.run calls.
 _WORKER_STORE: dict = {}
 
 _SENTINEL = None  # job value that tells a session worker to exit
+
+#: Exit codes of chaos-killed workers (recognizable in CommAbortError text).
+_EXIT_FAULT_KILL = 77
+_EXIT_FAULT_BOOTSTRAP = 78
+
+#: Failures pickling an exception payload for the parent.  Anything else
+#: escaping ``pickle.dumps`` is a real bug we want to see, not swallow.
+_PICKLE_ERRORS = (pickle.PicklingError, TypeError, AttributeError, RecursionError, ValueError)
 
 
 def worker_store() -> dict:
@@ -57,6 +92,8 @@ def worker_store() -> dict:
     Inside an SPMD function running under a :class:`SpmdSession`, values
     stored here survive until the session closes (each worker process has
     its own store).  Under threads or one-shot proc runs it is ephemeral.
+    Respawned workers start with an empty store; the session rebuilds it
+    by replaying warm-up epochs.
     """
     return _WORKER_STORE
 
@@ -68,6 +105,33 @@ def default_start_method() -> str:
     if env:
         return env
     return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def spmd_retries() -> int:
+    """Per-epoch comm-failure retry budget (``REPRO_SPMD_RETRIES``, >= 0)."""
+    raw = os.environ.get("REPRO_SPMD_RETRIES", "")
+    retries = int(raw) if raw else 2
+    if retries < 0:
+        raise ValueError(f"REPRO_SPMD_RETRIES must be >= 0, got {retries}")
+    return retries
+
+
+def _is_comm_failure(exc: BaseException) -> bool:
+    """Retryable? — a comm-layer failure or a transient (injected) fault.
+
+    Worker exceptions arrive wrapped (``RuntimeError from cause``), so the
+    ``__cause__`` chain is walked.  Application errors — the SPMD function
+    genuinely raising — are NOT retryable: re-running the same epoch on
+    the same inputs would fail the same way.
+    """
+    e: BaseException | None = exc
+    while e is not None:
+        # Pipe-level failures (a dead worker resets its job pipe) are comm
+        # failures too — dispatch hit the corpse before _collect could.
+        if isinstance(e, (CommError, ConnectionError, EOFError)):
+            return True
+        e = e.__cause__
+    return is_transient(exc)
 
 
 class _Segment:
@@ -113,20 +177,35 @@ class _Segment:
             pass
 
 
-def _run_job(comm: ShmComm, conn, fn: Callable, args: tuple, kwargs: dict) -> None:
+def _run_job(
+    comm: ShmComm, conn, fn: Callable, args: tuple, kwargs: dict, epoch: int | None = None
+) -> None:
     """Execute one SPMD job and report the outcome over the pipe."""
+    rank = comm.Get_rank()
+    if epoch is not None:
+        # Chaos schedules inside collectives index by dispatch sequence so
+        # they survive respawns (a fresh process restarts its own counter).
+        comm.fault_index = epoch
+    if faults.should_fire(f"spmd.worker.kill.r{rank}", index=epoch):
+        os._exit(_EXIT_FAULT_KILL)  # simulate SIGKILL/OOM: no reply, no cleanup
     try:
         result = fn(comm, *args, **kwargs)
     except BaseException as exc:  # noqa: BLE001 - must abort peers, not hang them
-        comm.abort(comm.Get_rank())
+        comm.abort(rank)
         tb = traceback.format_exc()
-        try:  # ship the real exception when it pickles, else just the text
-            import pickle
-
-            pickle.dumps(exc)
-        except Exception:
-            exc = None
-        conn.send(("err", comm.Get_rank(), tb, exc))
+        payload: BaseException = exc
+        try:  # ship the real exception when it pickles, else a faithful stand-in
+            pickle.dumps(payload)
+        except _PICKLE_ERRORS as perr:
+            payload = RuntimeError(
+                f"rank {rank} raised unpicklable {type(exc).__name__}: {exc}"
+            )
+            payload.__cause__ = perr  # why the original could not travel
+            try:
+                pickle.dumps(payload)
+            except _PICKLE_ERRORS:  # the pickling error itself does not pickle
+                payload.__cause__ = None
+        conn.send(("err", rank, tb, payload))
     else:
         conn.send(("ok", result))
 
@@ -140,15 +219,17 @@ def _oneshot_main(name: str, size: int, rank: int, conn, fn, args, kwargs) -> No
         conn.close()
 
 
-def _session_main(name: str, size: int, rank: int, conn) -> None:
+def _session_main(name: str, size: int, rank: int, conn, generation: int = 0) -> None:
+    if faults.should_fire(f"spmd.worker.bootstrap.r{rank}", index=generation):
+        os._exit(_EXIT_FAULT_BOOTSTRAP)  # simulate a worker lost at startup
     comm = ShmComm.attach(name, size, rank)
     try:
         while True:
             job = conn.recv()
             if job is _SENTINEL:
                 break
-            fn, args, kwargs = job
-            _run_job(comm, conn, fn, args, kwargs)
+            epoch, fn, args, kwargs = job
+            _run_job(comm, conn, fn, args, kwargs, epoch)
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent vanished
         pass
     finally:
@@ -220,66 +301,57 @@ class SpmdSession:
 
     Use as a context manager; :meth:`run` executes a module-level picklable
     function ``fn(comm, *args, **kwargs)`` on every rank and returns the
-    per-rank results ordered by rank.  A failed run poisons the session
-    (the shared segment's counters are no longer in a known state), so
-    subsequent runs raise immediately.
+    per-rank results ordered by rank.
+
+    The session self-heals: a run that fails at the communication level
+    (dead worker, aborted/timed-out collective, injected transient fault)
+    respawns the worker group — fresh segment, fresh processes, warm-up
+    epochs replayed — and retries, up to :func:`spmd_retries` times,
+    raising :class:`SpmdRetryExhaustedError` with the full failure
+    history only when the budget is spent.  Epochs the session must
+    replay after a respawn (state-building factorize epochs) are marked
+    ``run(..., warmup=True)``.  Application errors propagate immediately
+    but leave the session healable: the next :meth:`run` respawns first.
     """
 
     def __init__(self, nranks: int, *, start_method: str | None = None):
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
         self.nranks = nranks
-        self._broken = False
+        self._needs_respawn = False
         self._closed = False
-        ctx = mp.get_context(start_method or default_start_method())
+        self._ctx = mp.get_context(start_method or default_start_method())
+        self._generation = 0  # spawn generation (bumped on every respawn)
+        self._epoch = 0  # dispatch sequence (bumped on every dispatch, retries too)
+        self._warmups: list = []  # (fn, args, kwargs) to replay after respawn
+        self.respawns = 0  # observability: how often the session healed
+        self._procs: list = []
+        self._conns: list = []
         self._segment = _Segment(nranks)
-        self._procs = []
-        self._conns = []
         try:
-            for r in range(nranks):
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                p = ctx.Process(
-                    target=_session_main,
-                    args=(self._segment.name, nranks, r, child_conn),
-                    daemon=True,
-                    name=f"repro-spmd-{r}",
-                )
-                p.start()
-                child_conn.close()
-                self._procs.append(p)
-                self._conns.append(parent_conn)
+            self._spawn()
         except BaseException:
             self.close()
             raise
 
-    def run(self, fn: Callable, *args, **kwargs) -> list:
-        if self._closed:
-            raise RuntimeError("SpmdSession is closed")
-        if self._broken:
-            raise RuntimeError(
-                "SpmdSession is poisoned by an earlier failure; start a new session"
-            )
-        for r in range(self.nranks):
-            if not self._procs[r].is_alive():
-                self._broken = True
-                self._segment.abort(r)
-                raise CommAbortError(
-                    f"SPMD worker rank {r} died between runs "
-                    f"(exitcode {self._procs[r].exitcode})",
-                    failed_rank=r,
-                )
-        for conn in self._conns:
-            conn.send((fn, args, kwargs))
-        try:
-            return _collect(self._segment, self._procs, self._conns)
-        except BaseException:
-            self._broken = True
-            raise
+    # -- worker lifecycle --------------------------------------------------
 
-    def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
+    def _spawn(self) -> None:
+        for r in range(self.nranks):
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            p = self._ctx.Process(
+                target=_session_main,
+                args=(self._segment.name, self.nranks, r, child_conn, self._generation),
+                daemon=True,
+                name=f"repro-spmd-{r}",
+            )
+            p.start()
+            child_conn.close()
+            self._procs.append(p)
+            self._conns.append(parent_conn)
+
+    def _teardown(self) -> None:
+        """Stop workers and release the segment (session stays usable)."""
         for conn in self._conns:
             try:
                 conn.send(_SENTINEL)
@@ -298,7 +370,80 @@ class SpmdSession:
                 conn.close()
             except OSError:  # pragma: no cover
                 pass
+        self._procs, self._conns = [], []
         self._segment.destroy()
+
+    def _respawn(self) -> None:
+        """Heal: fresh segment + workers, then rebuild worker_store state.
+
+        Warm-up replay failures propagate to the caller's retry loop —
+        they count against the same budget as the epoch being retried.
+        """
+        self._teardown()
+        self._segment = _Segment(self.nranks)
+        self._generation += 1
+        self.respawns += 1
+        self._spawn()
+        self._needs_respawn = False
+        for fn, args, kwargs in self._warmups:
+            self._dispatch(fn, args, kwargs)
+
+    def _dead_rank(self) -> int | None:
+        for r, p in enumerate(self._procs):
+            if not p.is_alive():
+                return r
+        return None
+
+    def _dispatch(self, fn: Callable, args: tuple, kwargs: dict) -> list:
+        """One epoch, one attempt: send to every rank, collect every reply."""
+        epoch = self._epoch
+        self._epoch += 1
+        for conn in self._conns:
+            conn.send((epoch, fn, args, kwargs))
+        return _collect(self._segment, self._procs, self._conns)
+
+    # -- the public epoch API ---------------------------------------------
+
+    def run(self, fn: Callable, *args, warmup: bool = False, **kwargs) -> list:
+        """Run one SPMD epoch with comm-failure recovery.
+
+        ``warmup=True`` records this epoch for replay after any future
+        respawn (use for epochs that build ``worker_store`` state).
+        """
+        if self._closed:
+            raise RuntimeError("SpmdSession is closed")
+        history: list = []
+        attempts = spmd_retries() + 1
+        for attempt in range(attempts):
+            try:
+                if self._needs_respawn or self._dead_rank() is not None:
+                    self._respawn()
+                results = self._dispatch(fn, args, kwargs)
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                self._needs_respawn = True
+                if not _is_comm_failure(exc):
+                    raise  # application error: retrying cannot help
+                history.append(exc)
+                if attempt + 1 >= attempts:
+                    failed = getattr(exc, "failed_rank", None)
+                    raise SpmdRetryExhaustedError(
+                        f"SPMD epoch failed {len(history)} time(s), retry budget "
+                        f"({attempts - 1}) exhausted; last failure: {exc}",
+                        failed_rank=failed,
+                        history=history,
+                    ) from exc
+            else:
+                if warmup:
+                    self._warmups.append((fn, args, kwargs))
+                return results
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._warmups.clear()
+        self._teardown()
 
     def __enter__(self) -> "SpmdSession":
         return self

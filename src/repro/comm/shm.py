@@ -58,6 +58,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro import faults
 from repro.comm.communicator import Communicator, ReduceOp, _reduce_pair
 from repro.comm.errors import CommAbortError, CommTimeoutError, comm_timeout
 from repro.comm.stats import CommStats
@@ -155,6 +156,11 @@ class ShmComm(Communicator):
         self._spare_used = 0
         self._rings: dict = {}
         self._pending: dict = {}  # (source, tag) -> list of received arrays
+        #: Chaos-schedule index for ``comm.shm.exchange`` fault points; the
+        #: launcher sets it to the dispatch sequence number before each job
+        #: so injected comm faults stay scheduled across worker respawns
+        #: (a fresh process's own hit counter restarts at zero).
+        self.fault_index: int | None = None
         #: Measured wire traffic, same kind keys as TraceComm's modeled stats.
         self.measured = CommStats()
 
@@ -236,6 +242,15 @@ class ShmComm(Communicator):
         This is the one collective primitive; Barrier/Bcast/Allgather/
         Allreduce and the object variants are all built on it.
         """
+        if faults.should_fire(
+            f"comm.shm.exchange.r{self._rank}", index=self.fault_index
+        ):
+            # Behave like a real comm failure: flip the segment-wide abort
+            # flag so peers unblock, then fail this rank's collective.
+            self.abort(self._rank)
+            raise CommTimeoutError(
+                f"rank {self._rank}: injected fault at comm.shm.exchange"
+            )
         lay, s, me = self._layout, self._layout.size, self._rank
         buf = self._buf
         total = len(payload)

@@ -1,0 +1,190 @@
+"""The unified ``repro`` error hierarchy.
+
+Every failure the framework can diagnose is a :class:`ReproError`, so a
+caller embedding the pipeline can write ONE ``except ReproError`` guard
+instead of hunting subsystem-specific types across modules.  The concrete
+types stay importable from their historical homes
+(:mod:`repro.structured.kernels`, :mod:`repro.comm.errors`,
+:mod:`repro.backend.memory`, :mod:`repro.serving.server`) — those modules
+now alias this one — and each also keeps its historical base class
+(``LinAlgError``, ``RuntimeError``, ``TimeoutError``) so existing
+``except`` clauses are unaffected.
+
+Two orthogonal facets matter to recovery code:
+
+- **where** the failure came from (the subclass tree below);
+- **whether retrying can help** — the :class:`TransientError` mixin marks
+  failures that are plausibly one-off (an injected chaos fault, an
+  overloaded dependency).  :func:`is_transient` is the single predicate
+  the serving tier's bounded-retry loop consults; deterministic failures
+  (``NotPositiveDefiniteError`` from a genuinely infeasible theta, a
+  validation ``ValueError``) are *not* transient and are never retried.
+"""
+
+from __future__ import annotations
+
+from scipy.linalg import LinAlgError
+
+__all__ = [
+    "ReproError",
+    "TransientError",
+    "is_transient",
+    "NotPositiveDefiniteError",
+    "NPDJitterWarning",
+    "CommError",
+    "CommTimeoutError",
+    "CommAbortError",
+    "SpmdRetryExhaustedError",
+    "MemoryBudgetError",
+    "ServerClosedError",
+    "ServerOverloadedError",
+    "RequestTimeoutError",
+    "CircuitOpenError",
+    "InjectedFaultError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every failure the framework diagnoses itself."""
+
+
+class TransientError:
+    """Mixin marking a failure as plausibly one-off.
+
+    The serving tier's bounded-retry loop retries a failed group only
+    when :func:`is_transient` holds for the raised exception — retrying a
+    deterministic failure (bad theta, malformed request) would just burn
+    the budget reproducing it.
+    """
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether ``exc`` (or anything in its cause chain) is retryable."""
+    seen: BaseException | None = exc
+    while seen is not None:
+        if isinstance(seen, TransientError) or getattr(seen, "transient", False):
+            return True
+        seen = seen.__cause__
+    return False
+
+
+# ---------------------------------------------------------------------------
+# numerics
+# ---------------------------------------------------------------------------
+
+
+class NotPositiveDefiniteError(ReproError, LinAlgError):
+    """A diagonal (or Schur-complemented) block failed its Cholesky.
+
+    In DALIA this signals an invalid hyperparameter configuration; the
+    objective function treats it as ``+inf`` so BFGS backtracks.  Still a
+    ``LinAlgError`` (its historical base) for external callers.
+    """
+
+
+class NPDJitterWarning(UserWarning):
+    """A factorization only succeeded after audited diagonal jitter.
+
+    Emitted by the opt-in ``jitter=`` recovery chain of
+    :func:`repro.structured.factor.factorize` — graceful degradation is
+    never silent: the warning (and the handle's ``applied_jitter``
+    attribute) records exactly how much was added to the diagonal.
+    """
+
+
+# ---------------------------------------------------------------------------
+# communication / SPMD
+# ---------------------------------------------------------------------------
+
+
+class CommError(ReproError, RuntimeError):
+    """Base of the communication-layer failures."""
+
+
+class CommTimeoutError(CommError):
+    """A blocking communication operation exceeded its timeout."""
+
+
+class CommAbortError(CommError):
+    """The communicator group was aborted (peer failure or teardown)."""
+
+    def __init__(self, message: str, *, failed_rank: int | None = None):
+        super().__init__(message)
+        #: Rank whose failure triggered the abort, when known.
+        self.failed_rank = failed_rank
+
+
+class SpmdRetryExhaustedError(CommAbortError):
+    """An SPMD epoch kept failing after every respawn-and-retry attempt.
+
+    Raised by :class:`~repro.comm.launcher.SpmdSession` (and the one-shot
+    proc launcher) once the ``REPRO_SPMD_RETRIES`` budget is spent.  The
+    complete per-attempt failure history is attached, newest last, so the
+    operator sees every underlying cause, not just the final one.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        failed_rank: int | None = None,
+        history: list | None = None,
+    ):
+        super().__init__(message, failed_rank=failed_rank)
+        #: One exception per failed attempt (epoch runs and respawns alike).
+        self.history: list = list(history or [])
+
+
+# ---------------------------------------------------------------------------
+# memory accounting
+# ---------------------------------------------------------------------------
+
+
+class MemoryBudgetError(ReproError, RuntimeError):
+    """Raised when an allocation plan exceeds the device memory budget."""
+
+
+# ---------------------------------------------------------------------------
+# serving tier
+# ---------------------------------------------------------------------------
+
+
+class ServerClosedError(ReproError, RuntimeError):
+    """Raised by ``Server.submit`` after ``Server.close`` (or after the
+    batcher died on an unrecoverable tick failure)."""
+
+
+class ServerOverloadedError(ReproError, RuntimeError):
+    """Admission was shed: the server's pending queue is at ``max_pending``.
+
+    Raised synchronously in the submitting caller — the request never
+    enters the queue, so an overloaded server keeps bounded memory and
+    bounded worst-case latency instead of an ever-growing backlog.
+    """
+
+
+class RequestTimeoutError(ReproError, TimeoutError):
+    """A request's ``deadline_s`` expired before its batch executed."""
+
+
+class CircuitOpenError(ReproError, RuntimeError):
+    """The per-model circuit breaker is open after repeated refit failures.
+
+    Requests for the affected ``(model, theta)`` fail fast until the
+    breaker's reset window elapses and a half-open probe succeeds; other
+    models are unaffected.
+    """
+
+
+# ---------------------------------------------------------------------------
+# fault injection
+# ---------------------------------------------------------------------------
+
+
+class InjectedFaultError(TransientError, ReproError, RuntimeError):
+    """The default exception of a fired :mod:`repro.faults` fault point.
+
+    Transient by construction — an injected fault models a one-off
+    infrastructure hiccup, exactly the class of failure the retry and
+    self-healing paths exist for.
+    """

@@ -1,0 +1,290 @@
+"""Deterministic fault injection: named points, seeded schedules.
+
+The paper's pipeline is pure and deterministic per request, which makes
+recovery paths cheap to *verify* — a recovered result can be compared
+bit-for-bit against the fault-free run — but only if the faults
+themselves are reproducible.  This module provides that harness:
+
+- **fault points** are named sites threaded into the hot paths
+  (``comm.shm.exchange``, ``spmd.worker.kill.r<rank>``,
+  ``spmd.worker.bootstrap.r<rank>``, ``structured.pobtaf``,
+  ``structured.factorize_batch``, ``serving.refit``, ``serving.group``,
+  ``serving.tick`` — see the README catalogue).  When no plan is active
+  a point is one dict lookup — the hot paths pay nothing in production.
+- a :class:`FaultPlan` decides, deterministically, which *hits* of which
+  points fire.  The decision for hit ``k`` of point ``p`` is a pure
+  function of ``(seed, p, k)`` (splitmix64 → uniform), so a given plan
+  produces the identical fault schedule on every run, every platform,
+  regardless of thread interleaving *within one point*.
+
+Activate a plan three ways:
+
+- environment — ``REPRO_FAULTS="seed:point:rate[:times[:after]]"``
+  (comma-separated for several specs; ``point`` is an ``fnmatch``
+  pattern).  Read lazily on every hit, so worker processes — forked or
+  spawned — inherit the schedule with no extra plumbing;
+- :func:`install` / :func:`uninstall` — process-global programmatic
+  plan (forked SPMD workers inherit a copy);
+- ``with injected(plan):`` — scoped installation for tests.
+
+Sites whose "fault" cannot be an exception (a killed worker) consult
+:func:`should_fire` and act themselves (``os._exit``).  Sites where the
+hit count restarts with the process (a respawned SPMD worker) pass an
+explicit ``index`` — the epoch or spawn generation — so the schedule
+survives recovery instead of re-firing forever.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+
+from repro.errors import InjectedFaultError
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "active_plan",
+    "chaos_seeds",
+    "fault_point",
+    "should_fire",
+    "install",
+    "uninstall",
+    "injected",
+]
+
+
+def chaos_seeds(default: tuple = (0, 1, 2)) -> tuple:
+    """Seeds the chaos suites parametrize their schedules over.
+
+    Locally every seed runs in one pytest invocation; the CI chaos job
+    fans the same suite out as a matrix with ``REPRO_CHAOS_SEED`` pinning
+    one seed per leg (three legs = the acceptance bar of >= 3 seeds).
+    """
+    raw = os.environ.get("REPRO_CHAOS_SEED")
+    if raw is None:
+        return tuple(default)
+    return (int(raw),)
+
+_MASK = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+def _uniform(seed: int, point: str, k: int) -> float:
+    """Deterministic uniform in [0, 1) for hit ``k`` of ``point``."""
+    h = zlib.crc32(point.encode("utf-8"))
+    z = _splitmix64(_splitmix64(_splitmix64(seed & _MASK) ^ h) ^ (k & _MASK))
+    return z / 2.0**64
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: which points, how often, how many times.
+
+    ``point`` is an ``fnmatch`` pattern over fault-point names.  For each
+    matching hit with index ``k`` (0-based, per point): eligible when
+    ``k >= after`` and fewer than ``times`` fires have happened (``None``
+    = unbounded), then fires with probability ``rate`` — decided by the
+    seeded hash, not a live RNG, so the schedule is reproducible.
+    """
+
+    point: str
+    rate: float = 1.0
+    times: int | None = 1
+    after: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1 or None, got {self.times}")
+        if self.after < 0:
+            raise ValueError(f"after must be >= 0, got {self.after}")
+
+
+class FaultPlan:
+    """A set of :class:`FaultSpec` plus the per-point hit/fire counters.
+
+    Thread-safe; counters are observable (:meth:`hits`, :meth:`fired`)
+    so tests can assert exactly which faults the run exercised.
+    """
+
+    def __init__(self, specs: list | tuple = (), *, seed: int | None = None):
+        specs = list(specs)
+        if seed is not None:
+            specs = [
+                FaultSpec(s.point, s.rate, s.times, s.after, seed) for s in specs
+            ]
+        self.specs: list = specs
+        self._lock = threading.Lock()
+        self._hits: dict = {}
+        self._fired: dict = {}
+        self._spec_fired: dict = {}  # id(spec) -> count, for `times` caps
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def at(
+        cls,
+        point: str,
+        *,
+        rate: float = 1.0,
+        times: int | None = 1,
+        after: int = 0,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """Single-spec convenience constructor."""
+        return cls([FaultSpec(point, rate, times, after, seed)])
+
+    @classmethod
+    def parse(cls, raw: str) -> "FaultPlan":
+        """Parse the ``REPRO_FAULTS`` grammar.
+
+        ``seed:point:rate[:times[:after]]``, comma-separated for several
+        specs; ``times`` accepts ``inf`` (or ``*``) for unbounded.
+        """
+        specs = []
+        for part in raw.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            fields = part.split(":")
+            if len(fields) < 3:
+                raise ValueError(
+                    f"bad REPRO_FAULTS spec {part!r}: want seed:point:rate[:times[:after]]"
+                )
+            seed, point, rate = int(fields[0]), fields[1], float(fields[2])
+            times: int | None = 1
+            if len(fields) > 3:
+                times = None if fields[3] in ("inf", "*") else int(fields[3])
+            after = int(fields[4]) if len(fields) > 4 else 0
+            specs.append(FaultSpec(point, rate, times, after, seed))
+        return cls(specs)
+
+    # -- observation -------------------------------------------------------
+
+    def hits(self, point: str | None = None):
+        """Hit counts — per point, or the one point's count."""
+        with self._lock:
+            return dict(self._hits) if point is None else self._hits.get(point, 0)
+
+    def fired(self, point: str | None = None):
+        """Fire counts — per point, or the one point's count."""
+        with self._lock:
+            return dict(self._fired) if point is None else self._fired.get(point, 0)
+
+    # -- the decision ------------------------------------------------------
+
+    def check(self, point: str, index: int | None = None) -> bool:
+        """Record one hit of ``point``; True when a spec fires on it.
+
+        ``index`` overrides the plan's own hit counter — callers whose
+        counter would reset with the process (SPMD workers) pass their
+        epoch / spawn generation instead, making the schedule stable
+        across respawns.  Explicit-index hits ignore ``times`` caps (the
+        window ``[after, after + times)`` bounds them instead): a
+        restarted process cannot know how often older incarnations fired.
+        """
+        with self._lock:
+            k = index if index is not None else self._hits.get(point, 0)
+            self._hits[point] = self._hits.get(point, 0) + 1
+            fire = False
+            for spec in self.specs:
+                if not fnmatchcase(point, spec.point):
+                    continue
+                if k < spec.after:
+                    continue
+                if spec.times is not None:
+                    if index is not None:
+                        if k >= spec.after + spec.times:
+                            continue
+                    elif self._spec_fired.get(id(spec), 0) >= spec.times:
+                        continue
+                if spec.rate < 1.0 and _uniform(spec.seed, point, k) >= spec.rate:
+                    continue
+                self._spec_fired[id(spec)] = self._spec_fired.get(id(spec), 0) + 1
+                fire = True
+                break
+            if fire:
+                self._fired[point] = self._fired.get(point, 0) + 1
+            return fire
+
+
+# ---------------------------------------------------------------------------
+# the process-global activation switch
+# ---------------------------------------------------------------------------
+
+_INSTALLED: FaultPlan | None = None
+_ENV_CACHE: tuple = ("", None)  # (raw value, parsed plan)
+_ENV_LOCK = threading.Lock()
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Activate ``plan`` process-wide (programmatic alternative to env)."""
+    global _INSTALLED
+    _INSTALLED = plan
+    return plan
+
+
+def uninstall() -> None:
+    """Deactivate the installed plan (the env plan, if any, still applies)."""
+    global _INSTALLED
+    _INSTALLED = None
+
+
+@contextmanager
+def injected(plan: FaultPlan):
+    """Scoped :func:`install` for tests: always uninstalls on exit."""
+    global _INSTALLED
+    prev = _INSTALLED
+    install(plan)
+    try:
+        yield plan
+    finally:
+        _INSTALLED = prev
+
+
+def _env_plan() -> FaultPlan | None:
+    raw = os.environ.get("REPRO_FAULTS", "")
+    if not raw:
+        return None
+    global _ENV_CACHE
+    with _ENV_LOCK:
+        if _ENV_CACHE[0] != raw:
+            _ENV_CACHE = (raw, FaultPlan.parse(raw))
+        return _ENV_CACHE[1]
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan hits are checked against: installed first, else env."""
+    return _INSTALLED if _INSTALLED is not None else _env_plan()
+
+
+def should_fire(point: str, *, index: int | None = None) -> bool:
+    """Non-raising fault check for sites that act themselves (worker kill)."""
+    plan = active_plan()
+    return plan is not None and plan.check(point, index)
+
+
+def fault_point(point: str, exc=None, *, index: int | None = None) -> None:
+    """Raise the site's exception when the active plan fires on ``point``.
+
+    ``exc`` is a zero-argument exception factory (or ``None`` for the
+    default transient :class:`~repro.errors.InjectedFaultError`).  Doing
+    nothing — the overwhelmingly common case — costs one env lookup.
+    """
+    if should_fire(point, index=index):
+        raise exc() if exc is not None else InjectedFaultError(
+            f"injected fault at {point!r}"
+        )

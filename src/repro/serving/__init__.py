@@ -27,7 +27,14 @@ from repro.serving.api import (
     execute_batch,
 )
 from repro.serving.registry import ModelKey, ModelRegistry, RegistryStats
-from repro.serving.server import Server, ServerClosedError, ServerStats
+from repro.serving.server import (
+    CircuitOpenError,
+    RequestTimeoutError,
+    Server,
+    ServerClosedError,
+    ServerOverloadedError,
+    ServerStats,
+)
 
 __all__ = [
     "PredictRequest",
@@ -43,5 +50,8 @@ __all__ = [
     "RegistryStats",
     "Server",
     "ServerClosedError",
+    "ServerOverloadedError",
+    "RequestTimeoutError",
+    "CircuitOpenError",
     "ServerStats",
 ]

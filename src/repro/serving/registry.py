@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import faults
 from repro.backend.memory import posterior_memory_bytes
 
 __all__ = ["ModelKey", "RegistryStats", "ModelRegistry"]
@@ -153,6 +154,10 @@ class ModelRegistry:
                 self._entries.move_to_end(key)
                 return entry.posterior
             self.stats.misses += 1
+            # Chaos hook: a fault here models a refit failure (bad theta,
+            # OOM, device loss).  It fires BEFORE any mutation, so a failed
+            # fit leaves no half-inserted entry and releases the lock.
+            faults.fault_point("serving.refit")
             posterior = LatentPosterior.at(model, theta, solver=self.solver)
             self._entries[key] = _Entry(posterior=posterior, nbytes=model_bytes(model))
             self._evict_over_budget(keep=key)

@@ -14,6 +14,33 @@ sweep group, one ``solve_lt_stack`` sweep group, and one (cached)
 ``selected_inverse_diagonal`` per model per tick — then scatters results
 into the futures.
 
+Failure semantics (the resilience layer, ISSUE 10):
+
+- **deadlines** — ``submit(..., deadline_s=...)`` bounds how long a
+  request may wait; an expired request fails with
+  :class:`~repro.errors.RequestTimeoutError` instead of occupying a
+  sweep its caller has already abandoned.
+- **load shedding** — ``max_pending`` bounds the queue; admission
+  beyond it raises :class:`~repro.errors.ServerOverloadedError`
+  synchronously in the submitter, keeping backlog (and worst-case
+  latency) bounded under overload.
+- **bounded retry** — a group that fails with a *transient* error
+  (:func:`repro.errors.is_transient`; injected chaos faults qualify) is
+  retried up to ``max_retries`` times with exponential backoff plus
+  deterministic jitter.  ``execute_batch`` is pure, and any per-request
+  ``rng`` state is snapshotted before the first attempt and restored
+  before each retry — so a retried response is bit-identical to a
+  first-try response.
+- **circuit breaker** — repeated refit failures for one ``ModelKey``
+  trip a per-key breaker: requests for that key fail fast with
+  :class:`~repro.errors.CircuitOpenError` until the reset window
+  elapses and a half-open probe succeeds.  Other models are unaffected.
+- **no silent batcher death** — any exception escaping the tick loop
+  itself (queue draining, grouping, an injected ``serving.tick`` fault)
+  fails every pending future with the cause, transitions the server to
+  a closed/failed state (visible in :meth:`~Server.health`), and stops
+  admissions — never a stranded future.
+
 Concurrency safety comes from the layers below: the factor's
 ``SweepWorkspacePool`` leases per-thread buffers, and the lane-quantized
 execution core guarantees every response is bit-identical to a direct
@@ -27,17 +54,29 @@ ever dropped with its future unresolved.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from repro import faults
+from repro.errors import (
+    CircuitOpenError,
+    RequestTimeoutError,
+    ServerClosedError,
+    ServerOverloadedError,
+    is_transient,
+)
 from repro.serving.api import execute_batch
 from repro.serving.registry import ModelKey, ModelRegistry
 
-__all__ = ["Server", "ServerStats", "ServerClosedError"]
-
-
-class ServerClosedError(RuntimeError):
-    """Raised by :meth:`Server.submit` after :meth:`Server.close`."""
+__all__ = [
+    "Server",
+    "ServerStats",
+    "ServerClosedError",
+    "ServerOverloadedError",
+    "RequestTimeoutError",
+    "CircuitOpenError",
+]
 
 
 @dataclass
@@ -50,6 +89,11 @@ class ServerStats:
     ticks: int = 0
     batches: int = 0
     max_batch: int = 0
+    shed: int = 0
+    timed_out: int = 0
+    retries: int = 0
+    breaker_trips: int = 0
+    breaker_fast_fails: int = 0
 
     def snapshot(self) -> dict:
         return {
@@ -59,6 +103,11 @@ class ServerStats:
             "ticks": self.ticks,
             "batches": self.batches,
             "max_batch": self.max_batch,
+            "shed": self.shed,
+            "timed_out": self.timed_out,
+            "retries": self.retries,
+            "breaker_trips": self.breaker_trips,
+            "breaker_fast_fails": self.breaker_fast_fails,
         }
 
 
@@ -69,6 +118,67 @@ class _Pending:
     theta: object
     request: object
     future: Future
+    deadline: float | None = None  # absolute time.monotonic() deadline
+
+
+@dataclass
+class _Breaker:
+    """Per-``ModelKey`` refit circuit breaker (batcher-thread state)."""
+
+    threshold: int
+    reset_s: float
+    failures: int = 0
+    opened_at: float | None = None
+
+    @property
+    def open(self) -> bool:
+        return self.opened_at is not None
+
+    def allow(self, now: float) -> bool:
+        """Whether a fit attempt may proceed (closed, or half-open probe)."""
+        if self.opened_at is None:
+            return True
+        if now - self.opened_at >= self.reset_s:
+            # Half-open: let exactly one probe through; a failure below
+            # re-opens with a fresh window, a success closes.
+            self.opened_at = now
+            return True
+        return False
+
+    def record_failure(self, now: float) -> bool:
+        """Count one refit failure; True when this one trips the breaker."""
+        self.failures += 1
+        if self.open:
+            self.opened_at = now  # failed half-open probe: restart window
+            return False
+        if self.failures >= self.threshold:
+            self.opened_at = now
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.opened_at = None
+
+    def state(self, now: float) -> str:
+        if self.opened_at is None:
+            return "closed"
+        return "half_open" if now - self.opened_at >= self.reset_s else "open"
+
+
+def _snapshot_rngs(group: list) -> list:
+    """Capture every request rng's bit-generator state (for exact retry)."""
+    saved = []
+    for p in group:
+        rng = getattr(p.request, "rng", None)
+        if rng is not None:
+            saved.append((rng, rng.bit_generator.state))
+    return saved
+
+
+def _restore_rngs(saved: list) -> None:
+    for rng, state in saved:
+        rng.bit_generator.state = state
 
 
 class Server:
@@ -79,6 +189,17 @@ class Server:
     to per-request serving, which is exactly the A/B baseline
     ``benchmarks/bench_serving.py`` pairs against.  The batcher sleeps on
     a condition variable between ticks — an idle server burns no CPU.
+
+    Resilience knobs (all optional; defaults preserve the pre-hardening
+    behavior except for bounded retry, which is on):
+
+    - ``max_pending`` — queue bound for load shedding (None = unbounded);
+    - ``default_deadline_s`` — deadline applied when ``submit`` gives none;
+    - ``max_retries`` / ``retry_backoff_s`` — transient-failure retry
+      budget and base backoff (exponential, deterministic jitter);
+    - ``breaker_threshold`` / ``breaker_reset_s`` — consecutive refit
+      failures that trip a per-model circuit breaker, and how long it
+      stays open before a half-open probe.
     """
 
     def __init__(
@@ -86,15 +207,36 @@ class Server:
         registry: ModelRegistry | None = None,
         *,
         max_batch: int = 128,
+        max_pending: int | None = None,
+        default_deadline_s: float | None = None,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.005,
+        breaker_threshold: int = 3,
+        breaker_reset_s: float = 30.0,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1 or None, got {max_pending}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if breaker_threshold < 1:
+            raise ValueError(f"breaker_threshold must be >= 1, got {breaker_threshold}")
         self.registry = registry if registry is not None else ModelRegistry()
         self.max_batch = max_batch
+        self.max_pending = max_pending
+        self.default_deadline_s = default_deadline_s
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset_s = breaker_reset_s
         self.stats = ServerStats()
         self._queue: list[_Pending] = []
         self._cond = threading.Condition()
         self._closed = False
+        self._failure: BaseException | None = None
+        self._breakers: dict[ModelKey, _Breaker] = {}
+        self._retry_salt = 0  # deterministic jitter counter
         self._thread = threading.Thread(
             target=self._run, name="repro-serving-batcher", daemon=True
         )
@@ -102,32 +244,46 @@ class Server:
 
     # -- client side -------------------------------------------------------
 
-    def submit(self, model, theta, request) -> Future:
+    def submit(self, model, theta, request, *, deadline_s: float | None = None) -> Future:
         """Enqueue one typed request; returns a future for its result.
 
         Validation runs here, synchronously — a malformed request raises
         in the caller and never reaches the batcher, so it cannot fail a
-        tick it would otherwise share.
+        tick it would otherwise share.  So does admission control: a full
+        queue raises :class:`ServerOverloadedError` (the request is shed,
+        nothing is enqueued).  ``deadline_s`` (or the server default)
+        starts counting now; a request still queued when it expires fails
+        with :class:`RequestTimeoutError`.
         """
         request.validate(model)
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {deadline_s}")
         pending = _Pending(
             key=ModelKey.of(model, theta),
             model=model,
             theta=theta,
             request=request,
             future=Future(),
+            deadline=None if deadline_s is None else time.monotonic() + deadline_s,
         )
         with self._cond:
             if self._closed:
-                raise ServerClosedError("server is closed to new requests")
+                raise self._closed_error()
+            if self.max_pending is not None and len(self._queue) >= self.max_pending:
+                self.stats.shed += 1
+                raise ServerOverloadedError(
+                    f"server queue is full ({self.max_pending} pending); request shed"
+                )
             self._queue.append(pending)
             self.stats.submitted += 1
             self._cond.notify()
         return pending.future
 
-    def query(self, model, theta, request):
+    def query(self, model, theta, request, *, deadline_s: float | None = None):
         """Submit and wait: the blocking convenience wrapper."""
-        return self.submit(model, theta, request).result()
+        return self.submit(model, theta, request, deadline_s=deadline_s).result()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -144,6 +300,33 @@ class Server:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def failure(self) -> BaseException | None:
+        """The exception that killed the batcher, when it died (else None)."""
+        return self._failure
+
+    def health(self) -> dict:
+        """Operational snapshot: queue depth, breaker states, counters."""
+        now = time.monotonic()
+        with self._cond:
+            depth = len(self._queue)
+            breakers = {
+                repr(tuple(key.theta)): {
+                    "state": br.state(now),
+                    "consecutive_failures": br.failures,
+                }
+                for key, br in self._breakers.items()
+            }
+        return {
+            "closed": self._closed,
+            "failure": repr(self._failure) if self._failure is not None else None,
+            "queue_depth": depth,
+            "max_pending": self.max_pending,
+            "max_batch": self.max_batch,
+            "breakers": breakers,
+            "stats": self.stats.snapshot(),
+        }
+
     def __enter__(self) -> "Server":
         return self
 
@@ -151,6 +334,15 @@ class Server:
         self.close()
 
     # -- batcher side ------------------------------------------------------
+
+    def _closed_error(self) -> ServerClosedError:
+        if self._failure is not None:
+            err = ServerClosedError(
+                f"server failed and is closed to new requests: {self._failure!r}"
+            )
+            err.__cause__ = self._failure
+            return err
+        return ServerClosedError("server is closed to new requests")
 
     def _run(self) -> None:
         while True:
@@ -161,24 +353,130 @@ class Server:
                     return
                 tick = self._queue[: self.max_batch]
                 del self._queue[: self.max_batch]
-            self._serve_tick(tick)
+            try:
+                self._serve_tick(tick)
+            except BaseException as exc:  # noqa: BLE001 - batcher must not die silently
+                self._die(exc, tick)
+                return
+
+    def _die(self, exc: BaseException, tick: list) -> None:
+        """Unrecoverable batcher failure: fail every pending future, close.
+
+        Reached only by exceptions escaping the tick machinery itself
+        (drain, deadline scan, grouping) — per-group failures are isolated
+        inside :meth:`_serve_group`.  The contract the satellite fix
+        establishes: the daemon thread never dies leaving futures
+        unresolved and the server still accepting work.
+        """
+        with self._cond:
+            self._closed = True
+            self._failure = exc
+            stranded = self._queue[:]
+            self._queue.clear()
+        for p in tick + stranded:
+            if not p.future.done():
+                p.future.set_exception(exc)
+                self.stats.failed += 1
 
     def _serve_tick(self, tick: list) -> None:
         self.stats.ticks += 1
         self.stats.max_batch = max(self.stats.max_batch, len(tick))
+        # Chaos hook for the tick machinery itself — exercises _die().
+        faults.fault_point("serving.tick", lambda: RuntimeError("injected tick fault"))
+        live = self._expire(tick)
         groups: dict[ModelKey, list[_Pending]] = {}
-        for p in tick:
+        for p in live:
             groups.setdefault(p.key, []).append(p)
-        for group in groups.values():
+        for key, group in groups.items():
             self.stats.batches += 1
+            self._serve_group(key, group)
+
+    def _expire(self, pendings: list) -> list:
+        """Fail requests whose deadline has passed; return the live rest."""
+        now = time.monotonic()
+        live = []
+        for p in pendings:
+            if p.deadline is not None and now > p.deadline:
+                if not p.future.done():
+                    p.future.set_exception(
+                        RequestTimeoutError("request deadline expired before execution")
+                    )
+                    self.stats.timed_out += 1
+                    self.stats.failed += 1
+            else:
+                live.append(p)
+        return live
+
+    def _breaker(self, key: ModelKey) -> _Breaker:
+        br = self._breakers.get(key)
+        if br is None:
+            br = self._breakers[key] = _Breaker(
+                threshold=self.breaker_threshold, reset_s=self.breaker_reset_s
+            )
+        return br
+
+    def _resolve_posterior(self, key: ModelKey, lead: _Pending):
+        """Registry lookup guarded by the per-key circuit breaker."""
+        br = self._breaker(key)
+        now = time.monotonic()
+        if not br.allow(now):
+            self.stats.breaker_fast_fails += 1
+            raise CircuitOpenError(
+                f"circuit breaker open for theta {tuple(key.theta)} after "
+                f"{br.failures} consecutive refit failures"
+            )
+        try:
+            posterior = self.registry.posterior(lead.model, lead.theta)
+        except BaseException:
+            if br.record_failure(time.monotonic()):
+                self.stats.breaker_trips += 1
+            raise
+        br.record_success()
+        return posterior
+
+    def _fail_group(self, group: list, exc: BaseException) -> None:
+        for p in group:
+            if not p.future.done():
+                p.future.set_exception(exc)
+                self.stats.failed += 1
+
+    def _serve_group(self, key: ModelKey, group: list) -> None:
+        """Execute one per-model group, with bounded transient retry.
+
+        Safe to retry because ``execute_batch`` is pure given the request
+        payloads: per-request rng states are snapshotted before the first
+        attempt and restored before every retry, so a retried response is
+        bit-identical to what the first attempt would have produced.
+        """
+        rng_states = _snapshot_rngs(group)
+        attempt = 0
+        while True:
+            group = self._expire(group)  # deadlines keep counting across retries
+            if not group:
+                return
             try:
-                posterior = self.registry.posterior(group[0].model, group[0].theta)
+                posterior = self._resolve_posterior(key, group[0])
+                faults.fault_point("serving.group")
                 results = execute_batch(posterior, [p.request for p in group])
             except BaseException as exc:  # noqa: BLE001 - forwarded to callers
-                for p in group:
-                    p.future.set_exception(exc)
-                self.stats.failed += len(group)
+                if is_transient(exc) and attempt < self.max_retries:
+                    attempt += 1
+                    self.stats.retries += 1
+                    _restore_rngs(rng_states)
+                    self._backoff(attempt)
+                    continue
+                self._fail_group(group, exc)
+                return
             else:
                 for p, result in zip(group, results):
-                    p.future.set_result(result)
-                self.stats.completed += len(group)
+                    if not p.future.done():
+                        p.future.set_result(result)
+                        self.stats.completed += 1
+                return
+
+    def _backoff(self, attempt: int) -> None:
+        """Exponential backoff with deterministic jitter (no live RNG: the
+        sleep schedule, like everything else here, is reproducible)."""
+        self._retry_salt += 1
+        jitter = 0.5 + (self._retry_salt * 0x9E3779B9 % 1024) / 1024.0
+        time.sleep(self.retry_backoff_s * (2.0 ** (attempt - 1)) * jitter)

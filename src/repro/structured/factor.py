@@ -38,12 +38,14 @@ S1 sampler threads without racing (the scalar caches are idempotent).
 from __future__ import annotations
 
 import threading
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.backend.protocol import NUMPY_BACKEND, Backend
+from repro.errors import NPDJitterWarning
 
 # Pinned to the thread launcher on purpose: the closure-based rank
 # functions below capture (and mutate) handle state across epochs, which
@@ -77,6 +79,7 @@ __all__ = [
     "BTAFactor",
     "DistributedBTAFactor",
     "ProcDistributedBTAFactor",
+    "NPDJitterPolicy",
     "factorize",
     "d_factorize",
     "d_factorize_proc",
@@ -168,6 +171,10 @@ class BTAFactor:
     #: Execution-path pin (None follows ``REPRO_BATCHED``), matching the
     #: ``batched=`` argument of the solver that produced the handle.
     batched: bool | None = None
+    #: Absolute diagonal jitter the NPD recovery chain added before this
+    #: factorization succeeded (0.0 on the normal, unjittered path).  The
+    #: handle then factors ``A + applied_jitter * I``, not ``A``.
+    applied_jitter: float = 0.0
     _logdet: float | None = field(default=None, repr=False)
     _selinv_diag: np.ndarray | None = field(default=None, repr=False)
     _pool: SweepWorkspacePool | None = field(default=None, repr=False)
@@ -615,14 +622,17 @@ class ProcDistributedBTAFactor:
         self._selinv_diag: np.ndarray | None = None
         self._session = SpmdSession(P, start_method=start_method)
         try:
-            self._logdet = self._run(_proc_job_factorize, slices, batched)[0]
+            # warmup=True: the session replays this epoch after a respawn,
+            # rebuilding every rank's resident factor slices before any
+            # retried solve epoch touches the worker_store.
+            self._logdet = self._run(_proc_job_factorize, slices, batched, warmup=True)[0]
         except BaseException:
             self._session.close()
             raise
 
-    def _run(self, job, *args) -> list:
+    def _run(self, job, *args, warmup: bool = False) -> list:
         try:
-            return self._session.run(job, *args)
+            return self._session.run(job, *args, warmup=warmup)
         except RuntimeError as exc:
             cause = exc.__cause__
             while cause is not None:
@@ -748,16 +758,124 @@ def d_factorize_proc(
     return ProcDistributedBTAFactor(A, P, lb=lb, batched=batched, start_method=start_method)
 
 
+@dataclass(frozen=True)
+class NPDJitterPolicy:
+    """Opt-in escalating diagonal-jitter recovery for non-SPD matrices.
+
+    When a factorization hits :class:`NotPositiveDefiniteError`, the
+    recovery chain retries on a *fresh copy* of the pristine input with
+    ``eps * scale`` added to every diagonal entry (``scale`` = mean
+    absolute diagonal entry of the input), escalating ``eps`` from
+    ``initial`` by ``growth`` per rung for at most ``max_tries`` rungs.
+    A success reports the absolute jitter on the handle
+    (``applied_jitter``) and warns (:class:`NPDJitterWarning`) — never
+    silent.  Exhausting the rungs re-raises the final
+    ``NotPositiveDefiniteError``.
+    """
+
+    initial: float = 1e-8
+    growth: float = 100.0
+    max_tries: int = 4
+
+    def __post_init__(self) -> None:
+        if self.initial <= 0:
+            raise ValueError(f"initial jitter must be positive, got {self.initial}")
+        if self.growth <= 1:
+            raise ValueError(f"growth must be > 1, got {self.growth}")
+        if self.max_tries < 1:
+            raise ValueError(f"max_tries must be >= 1, got {self.max_tries}")
+
+    def rungs(self):
+        eps = self.initial
+        for _ in range(self.max_tries):
+            yield eps
+            eps *= self.growth
+
+
+def _resolve_jitter(jitter) -> NPDJitterPolicy | None:
+    if jitter is None or jitter is False:
+        return None
+    if jitter is True:
+        return NPDJitterPolicy()
+    if not isinstance(jitter, NPDJitterPolicy):
+        raise TypeError(f"jitter must be None, bool, or NPDJitterPolicy, got {jitter!r}")
+    return jitter
+
+
+def _diag_scale(A: BTAMatrix) -> float:
+    """Mean absolute diagonal entry — the jitter's relative unit."""
+    total = float(abs(A.diag.diagonal(axis1=1, axis2=2)).sum())
+    count = A.n * A.b
+    if A.a:
+        total += float(abs(A.tip.diagonal()).sum())
+        count += A.a
+    scale = total / count
+    return scale if scale > 0 else 1.0
+
+
+def _with_diag_jitter(A: BTAMatrix, amount: float) -> BTAMatrix:
+    """A fresh copy of ``A`` with ``amount`` added to every diagonal entry."""
+    Aj = A.copy()
+    ib = np.arange(A.b)
+    Aj.diag[:, ib, ib] += amount
+    if A.a:
+        ia = np.arange(A.a)
+        Aj.tip[ia, ia] += amount
+    return Aj
+
+
 def factorize(
-    A: BTAMatrix, *, overwrite: bool = False, batched: bool | None = None
+    A: BTAMatrix,
+    *,
+    overwrite: bool = False,
+    batched: bool | None = None,
+    jitter: bool | NPDJitterPolicy | None = None,
 ) -> BTAFactor:
     """Factorize ``A = L L^T`` and return the sequential handle.
 
     ``overwrite=True`` reuses ``A``'s storage for the factor (the
     caller's matrix is destroyed) — the memory-lean mode of the INLA
     objective, where precision matrices are rebuilt every evaluation.
+
+    ``jitter`` opts into the audited NPD recovery chain (``True`` for the
+    default :class:`NPDJitterPolicy`, or a custom policy).  A matrix that
+    factorizes cleanly is returned bit-identically to the ``jitter=None``
+    path — recovery never changes the bits of a successful result — and a
+    recovered factorization reports the added diagonal on the handle's
+    ``applied_jitter`` and via :class:`NPDJitterWarning`.  With jitter
+    active the first attempt never overwrites the caller's matrix (the
+    pristine values seed every retry); ``overwrite=True`` then only
+    grants permission to drop the input after the outcome is decided.
     """
-    return BTAFactor(chol=pobtaf(A, overwrite=overwrite, batched=batched), batched=batched)
+    policy = _resolve_jitter(jitter)
+    if policy is None:
+        return BTAFactor(chol=pobtaf(A, overwrite=overwrite, batched=batched), batched=batched)
+    try:
+        # Never in place: a mid-factorization NPD abort would corrupt the
+        # pristine values every recovery rung must start from.
+        return BTAFactor(chol=pobtaf(A, overwrite=False, batched=batched), batched=batched)
+    except NotPositiveDefiniteError:
+        pass
+    scale = _diag_scale(A)
+    last_exc: NotPositiveDefiniteError | None = None
+    for eps in policy.rungs():
+        amount = eps * scale
+        try:
+            chol = pobtaf(_with_diag_jitter(A, amount), overwrite=True, batched=batched)
+        except NotPositiveDefiniteError as exc:
+            last_exc = exc
+            continue
+        warnings.warn(
+            f"factorization succeeded only after adding {amount:.3e} "
+            f"(= {eps:.1e} x mean |diag|) to the diagonal",
+            NPDJitterWarning,
+            stacklevel=2,
+        )
+        return BTAFactor(chol=chol, batched=batched, applied_jitter=amount)
+    raise NotPositiveDefiniteError(
+        f"matrix is not positive definite even after {policy.max_tries} "
+        f"diagonal jitter attempts up to {eps * scale:.3e}"
+    ) from last_exc
 
 
 def d_factorize(

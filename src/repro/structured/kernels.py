@@ -11,13 +11,9 @@ from __future__ import annotations
 import numpy as np
 from scipy.linalg import LinAlgError, cholesky as _cholesky, solve_triangular as _solve_triangular
 
-
-class NotPositiveDefiniteError(LinAlgError):
-    """A diagonal (or Schur-complemented) block failed its Cholesky.
-
-    In DALIA this signals an invalid hyperparameter configuration; the
-    objective function treats it as ``+inf`` so BFGS backtracks.
-    """
+# Re-homed into the unified hierarchy (repro.errors); this module stays
+# the historical import path for every solver-layer consumer.
+from repro.errors import NotPositiveDefiniteError
 
 
 def chol_lower(a: np.ndarray) -> np.ndarray:

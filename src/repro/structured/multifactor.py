@@ -47,10 +47,12 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import faults
 from repro.backend.protocol import Backend, backend_for
 from repro.structured import batched as bk
 from repro.structured.bta import BTAMatrix, BTAShape, BTAStack
-from repro.structured.factor import BTAFactor
+from repro.structured.factor import BTAFactor, NPDJitterPolicy, _resolve_jitter, factorize
+from repro.structured.kernels import NotPositiveDefiniteError
 from repro.structured.pobtaf import FACTORIZATIONS, BTACholesky
 
 __all__ = ["BTAFactorBatch", "factorize_batch"]
@@ -81,6 +83,9 @@ class BTAFactorBatch:
     inv: np.ndarray  # (t, n, b, b) cached L[i,i]^{-1} stacks
     arrow_flat: np.ndarray | None  # (t, a, n b) flat arrow rows (None if a == 0)
     backend: Backend
+    #: Per-theta diagonal jitter the NPD recovery chain added (None when the
+    #: batch factorized cleanly; lanes that needed none report 0.0).
+    applied_jitter: np.ndarray | None = field(default=None, repr=False)
     _logdets: np.ndarray | None = field(default=None, repr=False)
     _factors: dict = field(default_factory=dict, repr=False)
 
@@ -191,7 +196,13 @@ class BTAFactorBatch:
             _arrow_flat=None if self.arrow_flat is None else self.arrow_flat[j],
             backend=self.backend,
         )
-        f = BTAFactor(chol=chol, batched=True)
+        f = BTAFactor(
+            chol=chol,
+            batched=True,
+            applied_jitter=(
+                0.0 if self.applied_jitter is None else float(self.applied_jitter[j])
+            ),
+        )
         if self._logdets is not None:
             f._logdet = float(self._logdets[j])
         self._factors[j] = f
@@ -202,11 +213,52 @@ class BTAFactorBatch:
         return [self.factor(j) for j in range(self.t)]
 
 
+def _pristine_lane(pristine, j: int) -> BTAMatrix:
+    """Lane ``j`` of the pre-elimination values, safe to hand to factorize."""
+    if isinstance(pristine, BTAStack):
+        return BTAMatrix(
+            pristine.diag[j].copy(),
+            pristine.lower[j].copy(),
+            pristine.arrow[j].copy(),
+            pristine.tip[j].copy(),
+        )
+    return pristine[j]  # BTAMatrix sequence input: never modified by the batch
+
+
+def _recover_batch(pristine, t: int, be: Backend, policy: NPDJitterPolicy) -> BTAFactorBatch:
+    """Per-lane NPD recovery: refactorize every theta from pristine values.
+
+    Each lane goes through :func:`repro.structured.factor.factorize` with
+    the batched kernels pinned and the caller's jitter policy.  Lanes that
+    factorize cleanly report ``applied_jitter`` 0.0 and are bit-identical
+    to the fault-free batch result (the documented ``factorize_batch`` ==
+    per-theta ``factorize(batched=True)`` contract); only lanes that
+    genuinely need jitter differ — audited, never silent.
+    """
+    lanes = [factorize(_pristine_lane(pristine, j), batched=True, jitter=policy) for j in range(t)]
+    xp = be.xp
+    batch = BTAFactorBatch(
+        shape3=lanes[0].shape3,
+        diag=xp.stack([f.chol.factor.diag for f in lanes]),
+        lower=xp.stack([f.chol.factor.lower for f in lanes]),
+        arrow=xp.stack([f.chol.factor.arrow for f in lanes]),
+        tip=xp.stack([f.chol.factor.tip for f in lanes]),
+        inv=xp.stack([f.chol._diag_inv for f in lanes]),
+        arrow_flat=(
+            xp.stack([f.chol._arrow_flat for f in lanes]) if lanes[0].a else None
+        ),
+        backend=be,
+        applied_jitter=np.array([f.applied_jitter for f in lanes]),
+    )
+    return batch
+
+
 def factorize_batch(
     mats: Sequence[BTAMatrix] | BTAStack,
     *,
     backend: Backend | None = None,
     overwrite: bool = False,
+    jitter: bool | NPDJitterPolicy | None = None,
 ) -> BTAFactorBatch:
     """Factorize ``t`` same-shape BTA matrices in one batched sweep.
 
@@ -226,30 +278,62 @@ def factorize_batch(
     between assembly and factorization, the memory-lean mode of the
     stencil evaluator whose stacks are rebuilt every batch.
 
+    ``jitter`` opts into the audited per-lane NPD recovery chain: on any
+    failure the whole batch is refactorized lane by lane from pristine
+    values through ``factorize(..., batched=True, jitter=policy)``.
+    Lanes needing no jitter stay bit-identical to the fault-free batch;
+    recovered lanes report their added diagonal in the returned batch's
+    ``applied_jitter`` array.  With ``overwrite=True`` and jitter active,
+    a pristine copy of the stack is retained until the outcome is decided.
+
     Raises
     ------
     NotPositiveDefiniteError
-        If *any* stacked matrix fails the factorization.  The caller
+        If *any* stacked matrix fails the factorization (and, when
+        ``jitter`` is set, per-lane recovery failed too).  The caller
         cannot tell which theta failed — evaluators fall back to the
         per-theta path to resolve infeasible stencil points.
     """
+    policy = _resolve_jitter(jitter)
+    pristine = None  # pre-elimination values, only retained when recovery may need them
     if isinstance(mats, BTAStack):
         if overwrite:
             stack = mats
+            if policy is not None:
+                pristine = BTAStack(
+                    mats.diag.copy(), mats.lower.copy(), mats.arrow.copy(), mats.tip.copy()
+                )
         else:
             stack = BTAStack(
                 mats.diag.copy(), mats.lower.copy(), mats.arrow.copy(), mats.tip.copy()
             )
+            pristine = mats
     else:
         mats = list(mats)
         if not mats:
             raise ValueError("need at least one matrix to factorize")
         stack = BTAStack.from_matrices(mats)
+        pristine = mats
     shape3 = stack.shape3
     FACTORIZATIONS.increment()
     n, a = shape3.n, shape3.a
     be = backend if backend is not None else backend_for(stack.diag)
+    try:
+        return _eliminate_stack(stack, shape3, n, a, be)
+    except NotPositiveDefiniteError:
+        if policy is None:
+            raise
+        return _recover_batch(pristine, stack.diag.shape[0], be, policy)
 
+
+def _eliminate_stack(stack: BTAStack, shape3: BTAShape, n: int, a: int, be: Backend):
+    """The in-place theta-batched elimination sweep (one launch per step)."""
+    # Chaos hook: an injected NPD (before any block is touched) exercises
+    # the per-lane recovery path against still-pristine values.
+    faults.fault_point(
+        "structured.factorize_batch",
+        lambda: NotPositiveDefiniteError("injected fault at 'structured.factorize_batch'"),
+    )
     diag, lower, arrow, tip = stack.diag, stack.lower, stack.arrow, stack.tip
     inv = be.xp.empty_like(diag)
 

@@ -37,9 +37,11 @@ import numpy as np
 
 from repro.backend.array_module import batched_enabled
 from repro.backend.protocol import Backend, backend_for
+from repro import faults
 from repro.structured import batched as bk
 from repro.structured.bta import BTAMatrix
 from repro.structured.kernels import (
+    NotPositiveDefiniteError,
     chol_lower,
     logdet_from_chol_diag,
     right_solve_lower_t,
@@ -293,6 +295,12 @@ def pobtaf(
         If any Schur-complemented diagonal block is not positive definite.
     """
     FACTORIZATIONS.increment()
+    # Chaos hook: an injected NPD here (before any storage is touched)
+    # exercises the audited jitter recovery chain in factorize().
+    faults.fault_point(
+        "structured.pobtaf",
+        lambda: NotPositiveDefiniteError("injected fault at 'structured.pobtaf'"),
+    )
     backend = backend_for(A.diag)
     L = A if overwrite else A.copy()
     if batched_enabled(batched, backend):

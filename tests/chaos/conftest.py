@@ -1,0 +1,46 @@
+"""Chaos-suite fixtures: seeded fault schedules, leak checks, fast timeouts.
+
+Every test here runs under an installed :class:`repro.faults.FaultPlan`
+and must leave the machine exactly as it found it: no leaked
+``/dev/shm/repro-spmd-*`` segments, no installed plan, no stranded
+worker processes.  The assertions live in autouse fixtures so a
+regression in any recovery path fails loudly in *every* chaos test.
+"""
+
+import glob
+
+import pytest
+
+from repro import faults
+
+#: The chaos acceptance bar: every recovery scenario green over >= 3 seeds
+#: (each module parametrizes over ``faults.chaos_seeds()``, which CI pins
+#: to one seed per matrix leg via ``REPRO_CHAOS_SEED``).
+CHAOS_SEEDS = faults.chaos_seeds()
+
+
+def _spmd_segments() -> set:
+    return set(glob.glob("/dev/shm/repro-spmd-*"))
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_plan():
+    """A test must never leave a fault plan installed for its neighbors."""
+    yield
+    assert faults.active_plan() is None or faults._INSTALLED is None
+    faults.uninstall()
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Teardown check: recovery paths must unlink every shm segment."""
+    before = _spmd_segments()
+    yield
+    leaked = _spmd_segments() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+@pytest.fixture(autouse=True)
+def fast_comm_timeout(monkeypatch):
+    """Injected comm faults must fail in seconds, not the 120 s default."""
+    monkeypatch.setenv("REPRO_COMM_TIMEOUT", "15")

@@ -1,0 +1,132 @@
+"""SPMD self-healing under injected faults: kill, bootstrap, collective.
+
+The acceptance contract: every recovered run returns results
+bit-identical to the fault-free run (the pipeline is deterministic, so
+replay-based recovery must be invisible in the numbers); exhaustion of
+the retry budget raises a typed error carrying the full failure history;
+and no scenario hangs or leaks segments (conftest asserts teardown).
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.errors import CommAbortError, SpmdRetryExhaustedError
+from repro.comm.launcher import SpmdSession, spmd_retries, worker_store
+from repro.faults import FaultPlan, chaos_seeds, injected
+from repro.structured.bta import BTAMatrix, BTAShape
+from repro.structured.factor import d_factorize_proc
+
+CHAOS_SEEDS = chaos_seeds()
+
+
+def _store_warmup(comm, value):
+    worker_store()["state"] = value * (comm.Get_rank() + 1)
+    return comm.allreduce_scalar(float(value))
+
+
+def _store_reduce(comm):
+    return comm.allreduce_scalar(float(worker_store()["state"]))
+
+
+def _rank_of(comm):
+    return comm.Get_rank()
+
+
+def _fault_free_reference():
+    with SpmdSession(2) as s:
+        s.run(_store_warmup, 3.0, warmup=True)
+        return s.run(_store_reduce)
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+class TestSessionRecovery:
+    def test_killed_worker_respawns_and_matches_fault_free_bits(self, seed):
+        """Dispatch 0 is the warm-up, dispatch 1 the faulted epoch: rank 1
+        dies mid-epoch, the session respawns, replays the warm-up (so the
+        worker_store is rebuilt), and the retried epoch's result is
+        bit-identical to the run that never saw a fault."""
+        expect = _fault_free_reference()
+        plan = FaultPlan.at("spmd.worker.kill.r1", after=1, times=1, seed=seed)
+        with injected(plan), SpmdSession(2) as s:
+            s.run(_store_warmup, 3.0, warmup=True)
+            got = s.run(_store_reduce)
+            # the respawn count proves the fault fired (the fire counter
+            # itself lives in the killed worker's copy of the plan)
+            assert s.respawns == 1
+        assert got == expect
+
+    def test_injected_collective_fault_recovers(self, seed):
+        """A transient failure inside ShmComm._exchange (one rank's
+        collective aborts the group) is retried to bit-identical success."""
+        expect = _fault_free_reference()
+        plan = FaultPlan.at("comm.shm.exchange.r0", after=1, times=1, seed=seed)
+        with injected(plan), SpmdSession(2) as s:
+            s.run(_store_warmup, 3.0, warmup=True)
+            got = s.run(_store_reduce)
+            assert s.respawns == 1
+        assert got == expect
+
+    def test_worker_lost_at_bootstrap_heals_on_first_run(self, seed):
+        """Spawn generation 0 of rank 0 dies before attaching; the first
+        run detects the dead worker, respawns generation 1, and serves."""
+        plan = FaultPlan.at("spmd.worker.bootstrap.r0", times=1, seed=seed)
+        with injected(plan), SpmdSession(2) as s:
+            assert s.run(_rank_of) == [0, 1]
+            assert s.respawns == 1
+
+    def test_budget_exhaustion_raises_typed_error_with_history(self, seed, monkeypatch):
+        """A fault firing on EVERY dispatch defeats every retry; the
+        session must raise the typed exhaustion error carrying one
+        exception per failed attempt — not hang, not raise something
+        generic, not lose the intermediate causes."""
+        monkeypatch.setenv("REPRO_SPMD_RETRIES", "2")
+        plan = FaultPlan.at("spmd.worker.kill.r0", times=None, seed=seed)
+        with injected(plan), SpmdSession(2) as s:
+            with pytest.raises(SpmdRetryExhaustedError) as info:
+                s.run(_rank_of)
+        err = info.value
+        assert isinstance(err, CommAbortError)  # typed-catch compatibility
+        assert len(err.history) == 3  # initial attempt + 2 retries
+        assert all(isinstance(e, CommAbortError) for e in err.history)
+        assert "retry budget" in str(err)
+
+
+class TestRetryKnob:
+    def test_env_knob_and_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPMD_RETRIES", "5")
+        assert spmd_retries() == 5
+        monkeypatch.setenv("REPRO_SPMD_RETRIES", "-1")
+        with pytest.raises(ValueError, match="REPRO_SPMD_RETRIES"):
+            spmd_retries()
+
+    def test_zero_retries_fails_on_first_comm_fault(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPMD_RETRIES", "0")
+        plan = FaultPlan.at("spmd.worker.kill.r0", times=1)
+        with injected(plan), SpmdSession(2) as s:
+            with pytest.raises(SpmdRetryExhaustedError) as info:
+                s.run(_rank_of)
+            assert len(info.value.history) == 1
+            # the budget is spent, but the session itself is still healable
+            assert s.run(_rank_of) == [0, 1]
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+class TestProcFactorSelfHealing:
+    def test_solve_epoch_recovers_with_warmup_replay(self, seed):
+        """Kill a rank during a *solve* epoch of the persistent-process
+        factorization handle: the session respawns, replays the recorded
+        factorize warm-up (rebuilding each rank's resident factor slices)
+        and the retried solve is bit-identical to the fault-free one."""
+        rng = np.random.default_rng(7)
+        A = BTAMatrix.random_spd(BTAShape(n=6, b=4, a=2), rng)
+        rhs = rng.standard_normal(A.N)
+        with d_factorize_proc(A, 2) as clean:
+            x_expect = clean.solve(rhs)
+            ld_expect = clean.logdet()
+        # dispatch 0 = factorize warm-up; the kill window opens at the solve
+        plan = FaultPlan.at("spmd.worker.kill.r1", after=1, times=1, seed=seed)
+        with injected(plan), d_factorize_proc(A, 2) as f:
+            assert f.logdet() == ld_expect
+            x = f.solve(rhs)
+            assert f._session.respawns == 1
+        assert np.array_equal(x, x_expect)

@@ -1,0 +1,209 @@
+"""Serving-tier chaos: bit-identical retries, breakers, shedding, deadlines.
+
+The acceptance contract mirrors the comm suite: a response produced
+through any recovery path (transient retry, breaker half-open probe)
+must be bit-identical to the fault-free response; overload and expiry
+fail *synchronously* with typed errors; and the batcher thread never
+dies leaving a future unresolved (the satellite-1 regression).
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    InjectedFaultError,
+    RequestTimeoutError,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+from repro.faults import FaultPlan, chaos_seeds, injected
+from repro.inla.sampling import LatentPosterior
+from repro.model.datasets import make_dataset
+from repro.serving import ExceedanceRequest, ModelRegistry, SampleRequest, Server
+from repro.serving.api import execute_batch
+
+CHAOS_SEEDS = chaos_seeds()
+
+
+@pytest.fixture(scope="module")
+def served_model():
+    model, gt, _ = make_dataset(nv=1, ns=18, nt=5, nr=1, obs_per_step=20, seed=13)
+    return model, gt.theta
+
+
+@pytest.fixture(scope="module")
+def posterior(served_model):
+    model, theta = served_model
+    return LatentPosterior.at(model, theta)
+
+
+class _GateRegistry(ModelRegistry):
+    """Registry whose lookups block on a gate — pins the batcher inside a
+    tick so tests can deterministically build up a queue behind it."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.gate = threading.Event()
+        self.entered = threading.Event()
+
+    def posterior(self, model, theta):
+        self.entered.set()
+        assert self.gate.wait(10), "test never opened the registry gate"
+        return super().posterior(model, theta)
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+class TestBitIdenticalRetry:
+    def test_transient_group_fault_retried_to_identical_bits(self, seed, served_model, posterior):
+        """An injected transient fault between refit and execution is
+        retried; the caller-supplied rng's state was snapshotted, so the
+        retried draw matches the fault-free draw bit-for-bit."""
+        model, theta = served_model
+        expect = posterior.sample(2, np.random.default_rng(1234))
+        reg = ModelRegistry()
+        reg.posterior(model, theta)  # pre-fit: isolate the group fault
+        plan = FaultPlan.at("serving.group", times=1, seed=seed)
+        with injected(plan), Server(reg) as server:
+            req = SampleRequest(n_samples=2, rng=np.random.default_rng(1234))
+            res = server.query(model, theta, req)
+            assert server.stats.retries == 1
+            assert server.stats.failed == 0
+        assert np.array_equal(res.samples, expect)
+
+    def test_transient_refit_fault_retried_on_cold_registry(self, seed, served_model, posterior):
+        """A transient failure inside the registry miss path is retried;
+        the eventual fit serves the group and the breaker ends closed."""
+        model, theta = served_model
+        expect = execute_batch(posterior, [ExceedanceRequest(threshold=0.5)])[0]
+        plan = FaultPlan.at("serving.refit", times=1, seed=seed)
+        with injected(plan), Server(ModelRegistry()) as server:
+            res = server.query(model, theta, ExceedanceRequest(threshold=0.5))
+            assert server.stats.retries == 1
+            health = server.health()
+        (breaker,) = health["breakers"].values()
+        assert breaker["state"] == "closed" and breaker["consecutive_failures"] == 0
+        assert np.array_equal(res.probability, expect.probability)
+
+
+class TestCircuitBreaker:
+    def test_repeated_refit_failures_trip_then_fast_fail(self, served_model):
+        model, theta = served_model
+        plan = FaultPlan.at("serving.refit", times=None)
+        with injected(plan):
+            with Server(
+                ModelRegistry(), max_retries=0, breaker_threshold=2, breaker_reset_s=60.0
+            ) as server:
+                for _ in range(2):
+                    with pytest.raises(InjectedFaultError):
+                        server.query(model, theta, ExceedanceRequest(threshold=0.5))
+                # Breaker is now open: the third request never reaches the
+                # registry — it fails fast with the typed breaker error.
+                with pytest.raises(CircuitOpenError, match="circuit breaker open"):
+                    server.query(model, theta, ExceedanceRequest(threshold=0.5))
+                health = server.health()
+        (breaker,) = health["breakers"].values()
+        assert breaker["state"] == "open" and breaker["consecutive_failures"] == 2
+        assert health["stats"]["breaker_trips"] == 1
+        assert health["stats"]["breaker_fast_fails"] == 1
+
+    def test_half_open_probe_closes_breaker_after_reset(self, served_model, posterior):
+        """Once the reset window elapses, one probe is let through; the
+        fault schedule is exhausted by then, so the probe fits, serves
+        bit-identical results, and closes the breaker."""
+        model, theta = served_model
+        expect = execute_batch(posterior, [ExceedanceRequest(threshold=0.5)])[0]
+        plan = FaultPlan.at("serving.refit", times=1)
+        with injected(plan):
+            with Server(
+                ModelRegistry(), max_retries=0, breaker_threshold=1, breaker_reset_s=0.2
+            ) as server:
+                with pytest.raises(InjectedFaultError):
+                    server.query(model, theta, ExceedanceRequest(threshold=0.5))
+                with pytest.raises(CircuitOpenError):
+                    server.query(model, theta, ExceedanceRequest(threshold=0.5))
+                time.sleep(0.25)
+                res = server.query(model, theta, ExceedanceRequest(threshold=0.5))
+                health = server.health()
+        (breaker,) = health["breakers"].values()
+        assert breaker["state"] == "closed" and breaker["consecutive_failures"] == 0
+        assert np.array_equal(res.probability, expect.probability)
+
+
+class TestOverloadAndDeadlines:
+    def test_full_queue_sheds_at_admission(self, served_model):
+        model, theta = served_model
+        reg = _GateRegistry()
+        with Server(reg, max_pending=2) as server:
+            inflight = server.submit(model, theta, ExceedanceRequest(threshold=0.5))
+            assert reg.entered.wait(5)  # batcher is pinned inside tick 1
+            queued = [
+                server.submit(model, theta, SampleRequest(n_samples=1, seed=i))
+                for i in range(2)
+            ]
+            with pytest.raises(ServerOverloadedError, match="request shed"):
+                server.submit(model, theta, SampleRequest(n_samples=1, seed=9))
+            reg.gate.set()
+            inflight.result()
+            for f in queued:
+                f.result()  # shed the overflow, served everything admitted
+            assert server.stats.shed == 1
+            assert server.stats.failed == 0
+
+    def test_expired_request_fails_with_timeout_error(self, served_model):
+        model, theta = served_model
+        reg = _GateRegistry()
+        with Server(reg, default_deadline_s=0.05) as server:
+            inflight = server.submit(model, theta, ExceedanceRequest(threshold=0.5), deadline_s=30)
+            assert reg.entered.wait(5)
+            late = server.submit(model, theta, SampleRequest(n_samples=1, seed=0))
+            time.sleep(0.1)  # the server-default deadline expires in queue
+            reg.gate.set()
+            inflight.result()
+            with pytest.raises(RequestTimeoutError, match="deadline expired"):
+                late.result()
+            assert server.stats.timed_out == 1
+
+    def test_deadline_validation(self, served_model):
+        model, theta = served_model
+        with Server(ModelRegistry()) as server:
+            with pytest.raises(ValueError, match="deadline_s"):
+                server.submit(
+                    model, theta, ExceedanceRequest(threshold=0.5), deadline_s=0.0
+                )
+
+
+class TestTickDeathRegression:
+    def test_dying_tick_fails_all_pending_and_closes_server(self, served_model):
+        """Satellite 1: a non-transient fault in the tick machinery used
+        to kill the daemon thread silently — futures hung forever and the
+        server kept accepting work.  Now: every pending future fails with
+        the cause, the server transitions to closed/failed, and further
+        submits raise :class:`ServerClosedError` carrying the cause."""
+        model, theta = served_model
+        reg = _GateRegistry()
+        # Tick 0 (hit index 0) is skipped by after=1; tick 1 dies.
+        plan = FaultPlan.at("serving.tick", after=1, times=1)
+        with injected(plan):
+            server = Server(reg)
+            inflight = server.submit(model, theta, ExceedanceRequest(threshold=0.5))
+            assert reg.entered.wait(5)
+            doomed = [
+                server.submit(model, theta, SampleRequest(n_samples=1, seed=i))
+                for i in range(2)
+            ]
+            reg.gate.set()
+            inflight.result()  # tick 0 completes normally
+            for f in doomed:  # tick 1 raised: both futures carry the cause
+                with pytest.raises(RuntimeError, match="injected tick fault"):
+                    f.result(timeout=5)
+            assert server.closed and isinstance(server.failure, RuntimeError)
+            health = server.health()
+            assert health["closed"] and "injected tick fault" in health["failure"]
+            with pytest.raises(ServerClosedError, match="failed") as info:
+                server.submit(model, theta, ExceedanceRequest(threshold=0.5))
+            assert info.value.__cause__ is server.failure
+            server.close()  # idempotent: the dead batcher joins cleanly

@@ -226,12 +226,15 @@ class TestSpmdSession:
         assert first == [15.0] * 3
         assert again == third == [5.0, 10.0, 15.0]
 
-    def test_failure_poisons_session(self):
+    def test_application_failure_heals_on_next_run(self):
+        """An application error propagates (no retry can help), but the
+        session is NOT permanently poisoned: the next run respawns the
+        worker group and succeeds on a clean segment."""
         with SpmdSession(2) as s:
             with pytest.raises(RuntimeError, match="rank 0"):
                 s.run(_raise_on_rank, 0)
-            with pytest.raises(RuntimeError, match="poisoned"):
-                s.run(_rank_of)
+            assert s.run(_rank_of) == [0, 1]
+            assert s.respawns == 1
 
     def test_close_is_idempotent(self):
         s = SpmdSession(2)

@@ -1,0 +1,143 @@
+"""Registry failure semantics: a failed fit is an event, not a corruption.
+
+Satellite 3 of ISSUE 10.  The invariants: a fit that raises leaves no
+half-inserted entry, never evicts a resident handle, and releases the
+lock so the next caller (or a concurrent one) proceeds normally; and an
+eviction racing a refit keeps the registry internally consistent.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import InjectedFaultError
+from repro.faults import FaultPlan, injected
+from repro.serving.registry import ModelKey, ModelRegistry, model_bytes
+
+
+@pytest.fixture(scope="module")
+def model_theta():
+    from repro.model.datasets import make_dataset
+
+    model, gt, _ = make_dataset(nv=1, ns=16, nt=4, nr=1, obs_per_step=12, seed=3)
+    return model, gt.theta
+
+
+def _thetas(theta, k):
+    return [np.asarray(theta, float) + 0.01 * i for i in range(k)]
+
+
+class TestFailedFit:
+    def test_no_half_inserted_entry_and_lock_released(self, model_theta):
+        model, theta = model_theta
+        reg = ModelRegistry()
+        with injected(FaultPlan.at("serving.refit", times=1)):
+            with pytest.raises(InjectedFaultError):
+                reg.posterior(model, theta)
+            assert len(reg) == 0
+            assert ModelKey.of(model, theta) not in reg
+            assert reg.stats.snapshot() == {"hits": 0, "misses": 1, "evictions": 0}
+            # The lock is free again (RLock: a leak would show as an owned
+            # lock on the failed caller's thread — re-entrant, so probe
+            # from another thread).
+            grabbed = []
+
+            def probe():
+                if reg._lock.acquire(timeout=1):
+                    reg._lock.release()
+                    grabbed.append(True)
+
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+            assert grabbed == [True]
+            # The fault schedule is exhausted: the retried fit succeeds.
+            assert reg.posterior(model, theta) is not None
+            assert len(reg) == 1
+
+    def test_failed_fit_never_evicts_resident_handles(self, model_theta):
+        """A budget at one handle plus a failing second fit: the failure
+        must not push out the resident entry (eviction happens only on a
+        successful admission)."""
+        model, theta = model_theta
+        t0, t1 = _thetas(theta, 2)
+        reg = ModelRegistry(budget_bytes=model_bytes(model))
+        p0 = reg.posterior(model, t0)
+        with injected(FaultPlan.at("serving.refit", times=1)):
+            with pytest.raises(InjectedFaultError):
+                reg.posterior(model, t1)
+        assert reg.keys() == [ModelKey.of(model, t0)]
+        assert reg.stats.evictions == 0
+        assert reg.posterior(model, t0) is p0  # still warm, still a hit
+
+    def test_concurrent_cold_callers_exactly_one_fails(self, model_theta):
+        """Two racers on one cold key under a fire-once fault: whoever
+        reaches the fit first eats the injected failure and releases the
+        lock; the other refits and serves.  Neither hangs."""
+        model, theta = model_theta
+        reg = ModelRegistry()
+        outcomes = []
+
+        def caller():
+            try:
+                outcomes.append(reg.posterior(model, theta))
+            except InjectedFaultError as exc:
+                outcomes.append(exc)
+
+        with injected(FaultPlan.at("serving.refit", times=1)):
+            threads = [threading.Thread(target=caller) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert sum(isinstance(o, InjectedFaultError) for o in outcomes) == 1
+        served = [o for o in outcomes if not isinstance(o, InjectedFaultError)]
+        assert len(served) == 1 and len(reg) == 1
+
+
+class TestEvictionRefitRace:
+    def test_eviction_racing_faulted_refits_stays_consistent(self, model_theta):
+        """One thread hammers theta-0 (keeping it hot, refitting it when
+        evicted) while another cycles theta-1/theta-2 through a one-handle
+        budget under a 30%-rate refit fault schedule.  Every failure must
+        be the injected one, and the registry must end internally
+        consistent: resident set within budget, all counters coherent."""
+        model, theta = model_theta
+        t0, t1, t2 = _thetas(theta, 3)
+        reg = ModelRegistry(budget_bytes=model_bytes(model))
+        errors = []
+
+        def hot_loop():
+            for _ in range(8):
+                try:
+                    assert reg.posterior(model, t0) is not None
+                except InjectedFaultError:
+                    pass
+                except BaseException as exc:  # noqa: BLE001 - test harness
+                    errors.append(exc)
+
+        def churn_loop():
+            for i in range(8):
+                try:
+                    assert reg.posterior(model, (t1, t2)[i % 2]) is not None
+                except InjectedFaultError:
+                    pass
+                except BaseException as exc:  # noqa: BLE001 - test harness
+                    errors.append(exc)
+
+        with injected(FaultPlan.at("serving.refit", rate=0.3, times=None, seed=42)):
+            threads = [threading.Thread(target=f) for f in (hot_loop, churn_loop)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert errors == []
+        # Budget holds one handle; the protected-admission rule allows a
+        # transient second entry only during admission, never at rest.
+        assert len(reg) == 1
+        assert reg.live_bytes <= model_bytes(model)
+        snap = reg.stats.snapshot()
+        assert snap["misses"] >= snap["evictions"] >= 1
+        # And the registry still serves (no poisoned state after the storm).
+        assert reg.posterior(model, t0) is not None

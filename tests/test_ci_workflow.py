@@ -210,6 +210,25 @@ class TestWorkflowSemantics:
         assert any("tests/comm" in r and "tests/structured" in r for r in runs)
         assert any("bench_comm_backends" in r for r in runs)
 
+    def test_chaos_job(self):
+        """The fault-injection suite runs over three schedule seeds (one
+        matrix leg each, pinned via REPRO_CHAOS_SEED), repeats the chaos
+        suites over real worker processes (REPRO_COMM=proc), and gates
+        the serving fault-rate benchmark — the ISSUE 10 acceptance bar."""
+        doc = _load_workflow()
+        job = doc["jobs"]["chaos"]
+        assert sorted(job["strategy"]["matrix"]["fault-seed"]) == ["0", "1", "2"]
+        assert job["env"]["REPRO_CHAOS_SEED"] == "${{ matrix.fault-seed }}"
+        assert 0 < float(job["env"]["REPRO_COMM_TIMEOUT"]) <= 120
+        runs = [s["run"] for s in job["steps"] if "run" in s]
+        assert any("tests/chaos" in r and "tests/test_faults.py" in r for r in runs)
+        assert any("test_registry_failures" in r for r in runs)
+        assert any("bench_serving" in r and "fault" in r for r in runs)
+        proc_legs = [
+            s for s in job["steps"] if s.get("env", {}).get("REPRO_COMM") == "proc"
+        ]
+        assert proc_legs and all("tests/chaos" in s["run"] for s in proc_legs)
+
     def test_pip_cache_enabled(self):
         """Every python setup caches pip (keyed on pyproject.toml)."""
         doc = _load_workflow()

@@ -1,0 +1,132 @@
+"""The deterministic fault-injection harness itself.
+
+Everything the chaos suites lean on is pinned here: schedules are pure
+functions of (seed, point, hit index), the env grammar round-trips, and
+explicit-index scheduling is stable across simulated process restarts.
+"""
+
+import pytest
+
+from repro.errors import InjectedFaultError, is_transient
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    fault_point,
+    injected,
+    install,
+    should_fire,
+    uninstall,
+)
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec("p", rate=1.5)
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec("p", times=0)
+        with pytest.raises(ValueError, match="after"):
+            FaultSpec("p", after=-1)
+
+    def test_parse_grammar(self):
+        plan = FaultPlan.parse("7:comm.shm.*:0.25:inf:3, 0:serving.refit:1.0")
+        assert plan.specs[0] == FaultSpec("comm.shm.*", 0.25, None, 3, 7)
+        assert plan.specs[1] == FaultSpec("serving.refit", 1.0, 1, 0, 0)
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError, match="REPRO_FAULTS"):
+            FaultPlan.parse("serving.refit")
+
+
+class TestDeterminism:
+    def test_schedule_is_a_pure_function_of_seed_point_index(self):
+        """Two identically-configured plans fire on exactly the same hits."""
+        plan_a = FaultPlan.at("x", rate=0.3, times=None, seed=5)
+        plan_b = FaultPlan.at("x", rate=0.3, times=None, seed=5)
+        fires_a = [plan_a.check("x") for _ in range(200)]
+        fires_b = [plan_b.check("x") for _ in range(200)]
+        assert fires_a == fires_b
+        assert 20 < sum(fires_b) < 120  # rate ~0.3 actually thins the schedule
+
+    def test_different_seeds_differ(self):
+        plan_a = FaultPlan.at("x", rate=0.5, times=None, seed=1)
+        plan_b = FaultPlan.at("x", rate=0.5, times=None, seed=2)
+        a = [plan_a.check("x") for _ in range(64)]
+        b = [plan_b.check("x") for _ in range(64)]
+        assert a != b
+
+    def test_times_caps_total_fires(self):
+        plan = FaultPlan.at("p", times=2)
+        fired = [plan.check("p") for _ in range(10)]
+        assert fired == [True, True] + [False] * 8
+        assert plan.fired("p") == 2 and plan.hits("p") == 10
+
+    def test_after_skips_early_hits(self):
+        plan = FaultPlan.at("p", after=3)
+        assert [plan.check("p") for _ in range(6)] == [False] * 3 + [True, False, False]
+
+    def test_fnmatch_patterns(self):
+        plan = FaultPlan.at("spmd.worker.kill.*", times=None)
+        assert plan.check("spmd.worker.kill.r0")
+        assert plan.check("spmd.worker.kill.r7")
+        assert not plan.check("spmd.worker.bootstrap.r0")
+
+
+class TestExplicitIndex:
+    def test_window_is_stable_across_counter_resets(self):
+        """A respawned worker restarts its own hit counter; explicit
+        indices keep the schedule anchored to the parent-side epoch, so a
+        kill-once fault does not re-fire forever and defeat recovery."""
+        plan = FaultPlan.at("kill", times=1, after=2)
+        # epoch indices 0..5, as three successive process incarnations
+        # would each observe them: only epoch 2 is in the firing window.
+        assert [plan.check("kill", index=k) for k in (0, 1, 2)] == [False, False, True]
+        assert [plan.check("kill", index=k) for k in (2, 3)] == [True, False]  # replayed epoch
+        assert plan.check("kill", index=2)  # any incarnation agrees on epoch 2
+
+
+class TestActivation:
+    def test_injected_scopes_install(self):
+        assert active_plan() is None
+        with injected(FaultPlan.at("p")) as plan:
+            assert active_plan() is plan
+            assert should_fire("p") and not should_fire("p")
+        assert active_plan() is None
+
+    def test_install_uninstall(self):
+        plan = install(FaultPlan.at("p"))
+        try:
+            assert active_plan() is plan
+        finally:
+            uninstall()
+        assert active_plan() is None
+
+    def test_env_plan_parsed_lazily(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "3:q:1.0")
+        plan = active_plan()
+        assert plan is not None and plan.specs == [FaultSpec("q", 1.0, 1, 0, 3)]
+        assert active_plan() is plan  # cached per raw value
+        monkeypatch.delenv("REPRO_FAULTS")
+        assert active_plan() is None
+
+    def test_installed_plan_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "0:env-point:1.0")
+        with injected(FaultPlan.at("other")) as plan:
+            assert active_plan() is plan
+
+
+class TestFaultPoint:
+    def test_default_exception_is_transient(self):
+        with injected(FaultPlan.at("p")):
+            with pytest.raises(InjectedFaultError, match="'p'") as info:
+                fault_point("p")
+        assert is_transient(info.value)
+
+    def test_custom_exception_factory(self):
+        with injected(FaultPlan.at("p")):
+            with pytest.raises(KeyError):
+                fault_point("p", lambda: KeyError("boom"))
+
+    def test_no_plan_is_a_no_op(self):
+        fault_point("never-fires")  # must not raise
